@@ -1,0 +1,643 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation section on the synthetic Table 1 workloads, and
+   runs Bechamel micro-benchmarks of the pipeline stages.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- fig8    # one experiment
+     dune exec bench/main.exe -- --quick # A-inputs only, shorter micro runs
+
+   Experiments: table1 table2 fig8 table3 fig9 fig10
+   baseline-aggregate ablation-bbb ablation-growth ablation-sink
+   ablation-superblock micro. *)
+
+module Registry = Vp_workloads.Registry
+module Program = Vp_prog.Program
+module Emulator = Vp_exec.Emulator
+module Tabular = Vp_util.Tabular
+module Stats = Vp_util.Stats
+module Phase_log = Vp_phase.Phase_log
+module Categorize = Vp_phase.Categorize
+
+(* The four configurations of Figures 8 and 10, in the paper's bar
+   order: inference x linking. *)
+let configurations =
+  [
+    (false, false, "no inf, no link");
+    (false, true, "no inf, link");
+    (true, false, "inf, no link");
+    (true, true, "inf, link");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cached pipeline artefacts: one profile per workload, one rewrite per
+   workload x configuration, shared by all experiments. *)
+
+let images : (string, Vp_prog.Image.t) Hashtbl.t = Hashtbl.create 32
+let profiles : (string, Vacuum.Driver.profile) Hashtbl.t = Hashtbl.create 32
+let rewrites : (string * string, Vacuum.Driver.rewrite) Hashtbl.t = Hashtbl.create 64
+let coverages : (string * string, Vacuum.Coverage.t) Hashtbl.t = Hashtbl.create 64
+
+let memo table key compute =
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.replace table key v;
+    v
+
+let image_of w =
+  memo images (Registry.name w) (fun () -> Program.layout (w.Registry.program ()))
+
+let profile_of w =
+  memo profiles (Registry.name w) (fun () -> Vacuum.Driver.profile (image_of w))
+
+let config_of ~inference ~linking = Vacuum.Config.experiment ~inference ~linking
+
+let rewrite_of w ~inference ~linking =
+  let key = (Registry.name w, Printf.sprintf "%b%b" inference linking) in
+  memo rewrites key (fun () ->
+      Vacuum.Driver.rewrite_of_profile
+        ~config:(config_of ~inference ~linking)
+        (profile_of w))
+
+let coverage_of w ~inference ~linking =
+  let key = (Registry.name w, Printf.sprintf "%b%b" inference linking) in
+  memo coverages key (fun () ->
+      Vacuum.Coverage.measure
+        ~config:(config_of ~inference ~linking)
+        (rewrite_of w ~inference ~linking))
+
+(* ------------------------------------------------------------------ *)
+
+let heading title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+let table1 workloads =
+  heading "Table 1: benchmarks and inputs";
+  let t =
+    Tabular.create
+      ~header:
+        [
+          ("Benchmark", Tabular.Left);
+          ("Input", Tabular.Left);
+          ("# of Inst", Tabular.Right);
+          ("Cond branches", Tabular.Right);
+          ("Static size", Tabular.Right);
+        ]
+  in
+  List.iter
+    (fun w ->
+      let p = profile_of w in
+      let o = p.Vacuum.Driver.outcome in
+      Tabular.add_row t
+        [
+          w.Registry.bench;
+          w.Registry.input;
+          Printf.sprintf "%.1fM" (float_of_int o.Emulator.instructions /. 1e6);
+          Printf.sprintf "%.2fM" (float_of_int o.Emulator.cond_branches /. 1e6);
+          string_of_int (Vp_prog.Image.size p.Vacuum.Driver.image);
+        ])
+    workloads;
+  Tabular.print t
+
+let table2 () =
+  heading "Table 2: simulated EPIC machine model";
+  Format.printf "%a@." Vp_cpu.Config.pp Vp_cpu.Config.default;
+  let d = Vp_hsd.Config.default in
+  let t = Tabular.create ~header:[ ("HSD parameter", Tabular.Left); ("Value", Tabular.Right) ] in
+  Tabular.add_row t [ "BBB associativity"; Printf.sprintf "%d-way" d.Vp_hsd.Config.assoc ];
+  Tabular.add_row t [ "Num BBB sets"; string_of_int d.Vp_hsd.Config.sets ];
+  Tabular.add_row t [ "Candidate branch threshold"; string_of_int d.Vp_hsd.Config.candidate_threshold ];
+  Tabular.add_row t [ "Refresh timer interval"; Printf.sprintf "%d br" d.Vp_hsd.Config.refresh_interval ];
+  Tabular.add_row t [ "Clear timer interval"; Printf.sprintf "%d br" d.Vp_hsd.Config.clear_interval ];
+  Tabular.add_row t [ "Hot spot detection cntr size"; Printf.sprintf "%d bits" d.Vp_hsd.Config.hdc_bits ];
+  Tabular.add_row t [ "Hot spot detection cntr inc"; string_of_int d.Vp_hsd.Config.hdc_inc ];
+  Tabular.add_row t [ "Hot spot detection cntr dec"; string_of_int d.Vp_hsd.Config.hdc_dec ];
+  Tabular.add_row t [ "Exec and taken counter size"; Printf.sprintf "%d bits" d.Vp_hsd.Config.counter_bits ];
+  Tabular.print t
+
+let fig8 workloads =
+  heading "Figure 8: percent of dynamic instructions from within packages";
+  let t =
+    Tabular.create
+      ~header:
+        (("Benchmark", Tabular.Left)
+        :: List.map (fun (_, _, name) -> (name, Tabular.Right)) configurations
+        @ [ ("equivalent", Tabular.Right) ])
+  in
+  let sums = Array.make (List.length configurations) 0.0 in
+  List.iter
+    (fun w ->
+      let cells, all_equiv =
+        List.fold_left
+          (fun (cells, equiv) (inference, linking, _) ->
+            let c = coverage_of w ~inference ~linking in
+            (cells @ [ c ], equiv && c.Vacuum.Coverage.equivalent))
+          ([], true) configurations
+      in
+      List.iteri
+        (fun i c -> sums.(i) <- sums.(i) +. c.Vacuum.Coverage.coverage_pct)
+        cells;
+      Tabular.add_row t
+        (Registry.name w
+        :: List.map (fun c -> Tabular.cell_pct c.Vacuum.Coverage.coverage_pct) cells
+        @ [ (if all_equiv then "yes" else "NO") ]))
+    workloads;
+  Tabular.add_separator t;
+  let n = float_of_int (List.length workloads) in
+  Tabular.add_row t
+    ("average" :: Array.to_list (Array.map (fun s -> Tabular.cell_pct (s /. n)) sums));
+  Tabular.print t
+
+let table3 workloads =
+  heading "Table 3: code expansion (full configuration)";
+  let t =
+    Tabular.create
+      ~header:
+        [
+          ("Benchmark", Tabular.Left);
+          ("% Incr in size", Tabular.Right);
+          ("% Static inst selected", Tabular.Right);
+          ("Replication", Tabular.Right);
+        ]
+  in
+  let incrs = ref [] in
+  let selects = ref [] in
+  List.iter
+    (fun w ->
+      let r = rewrite_of w ~inference:true ~linking:true in
+      let e = Vacuum.Expansion.measure r in
+      incrs := e.Vacuum.Expansion.increase_pct :: !incrs;
+      selects := e.Vacuum.Expansion.selected_pct :: !selects;
+      Tabular.add_row t
+        [
+          Registry.name w;
+          Tabular.cell_pct e.Vacuum.Expansion.increase_pct;
+          Tabular.cell_pct e.Vacuum.Expansion.selected_pct;
+          Tabular.cell_float ~decimals:2 e.Vacuum.Expansion.replication;
+        ])
+    workloads;
+  Tabular.add_separator t;
+  Tabular.add_row t
+    [
+      "average";
+      Tabular.cell_pct (Stats.mean !incrs);
+      Tabular.cell_pct (Stats.mean !selects);
+    ];
+  Tabular.print t
+
+let fig9 workloads =
+  heading "Figure 9: categorisation of hot spot branch behaviour (% of dynamic branches)";
+  let t =
+    Tabular.create
+      ~header:
+        (("Benchmark", Tabular.Left)
+        :: List.map
+             (fun c -> (Categorize.category_name c, Tabular.Right))
+             Categorize.all_categories)
+  in
+  List.iter
+    (fun w ->
+      let p = profile_of w in
+      let ws =
+        Categorize.weighted p.Vacuum.Driver.log ~dynamic:p.Vacuum.Driver.aggregate
+      in
+      Tabular.add_row t
+        (Registry.name w :: List.map (fun (_, pct) -> Tabular.cell_pct pct) ws))
+    workloads;
+  Tabular.print t
+
+let fig10 workloads =
+  heading "Figure 10: speedup from package relayout and rescheduling";
+  let t =
+    Tabular.create
+      ~header:
+        (("Benchmark", Tabular.Left)
+        :: List.map (fun (_, _, name) -> (name, Tabular.Right)) configurations)
+  in
+  let per_config = Array.make (List.length configurations) [] in
+  List.iter
+    (fun w ->
+      let config = config_of ~inference:true ~linking:true in
+      let baseline =
+        Vp_cpu.Pipeline.simulate ~config:config.Vacuum.Config.cpu (image_of w)
+      in
+      let cells =
+        List.mapi
+          (fun i (inference, linking, _) ->
+            let r = rewrite_of w ~inference ~linking in
+            let optimized =
+              Vp_cpu.Pipeline.simulate ~config:config.Vacuum.Config.cpu
+                (Vacuum.Driver.rewritten_image r)
+            in
+            let s = Vp_cpu.Pipeline.speedup ~baseline ~optimized in
+            per_config.(i) <- s :: per_config.(i);
+            s)
+          configurations
+      in
+      Tabular.add_row t
+        (Registry.name w :: List.map (Tabular.cell_float ~decimals:3) cells))
+    workloads;
+  Tabular.add_separator t;
+  Tabular.add_row t
+    ("average"
+    :: Array.to_list
+         (Array.map (fun l -> Tabular.cell_float ~decimals:3 (Stats.mean l)) per_config));
+  Tabular.print t
+
+(* ------------------------------------------------------------------ *)
+(* Ablations for the design choices called out in DESIGN.md. *)
+
+(* Inference only matters when the BBB actually loses branches.  The
+   full-size table (2048 entries) never conflicts on these workloads,
+   so this ablation re-runs the coverage experiment under a
+   16-entry BBB where contention is real. *)
+let ablation_bbb workloads =
+  heading
+    "Ablation: inference under BBB contention (16-entry BBB, coverage %)";
+  let small_bbb =
+    { Vp_hsd.Config.default with Vp_hsd.Config.sets = 4; candidate_threshold = 16 }
+  in
+  let t =
+    Tabular.create
+      ~header:
+        [
+          ("Benchmark", Tabular.Left);
+          ("no inference", Tabular.Right);
+          ("with inference", Tabular.Right);
+          ("delta", Tabular.Right);
+        ]
+  in
+  let deltas = ref [] in
+  List.iter
+    (fun w ->
+      let base_config =
+        Vacuum.Config.with_detector small_bbb Vacuum.Config.default
+      in
+      let profile = Vacuum.Driver.profile ~config:base_config (image_of w) in
+      let coverage inference =
+        let config =
+          Vacuum.Config.with_detector small_bbb
+            (config_of ~inference ~linking:true)
+        in
+        (Vacuum.Coverage.measure ~config
+           (Vacuum.Driver.rewrite_of_profile ~config profile))
+          .Vacuum.Coverage.coverage_pct
+      in
+      let off = coverage false in
+      let on_ = coverage true in
+      deltas := (on_ -. off) :: !deltas;
+      Tabular.add_row t
+        [
+          Registry.name w;
+          Tabular.cell_pct off;
+          Tabular.cell_pct on_;
+          Printf.sprintf "%+.1f" (on_ -. off);
+        ])
+    workloads;
+  Tabular.add_separator t;
+  Tabular.add_row t
+    [ "average delta"; ""; ""; Printf.sprintf "%+.1f" (Stats.mean !deltas) ];
+  Tabular.print t
+
+(* Contribution of the heuristic-growth machinery: entry predecessor
+   growth (MAX_BLOCKS) and opportunistic connector adoption. *)
+let ablation_growth workloads =
+  heading "Ablation: heuristic growth (coverage %, full configuration)";
+  let variants =
+    [
+      ("no growth", 0, 0);
+      ("connectors only", 0, 6);
+      ("entries only (MAX_BLOCKS=1)", 1, 0);
+      ("paper (MAX_BLOCKS=1 + connectors)", 1, 6);
+    ]
+  in
+  let t =
+    Tabular.create
+      ~header:
+        (("Benchmark", Tabular.Left)
+        :: List.map (fun (n, _, _) -> (n, Tabular.Right)) variants)
+  in
+  let sums = Array.make (List.length variants) 0.0 in
+  List.iter
+    (fun w ->
+      let profile = profile_of w in
+      let cells =
+        List.mapi
+          (fun i (_, max_blocks, max_connector) ->
+            let base = config_of ~inference:true ~linking:true in
+            let config =
+              {
+                base with
+                Vacuum.Config.identify =
+                  {
+                    base.Vacuum.Config.identify with
+                    Vp_region.Identify.max_blocks;
+                    max_connector;
+                  };
+              }
+            in
+            let c =
+              Vacuum.Coverage.measure ~config
+                (Vacuum.Driver.rewrite_of_profile ~config profile)
+            in
+            sums.(i) <- sums.(i) +. c.Vacuum.Coverage.coverage_pct;
+            c.Vacuum.Coverage.coverage_pct)
+          variants
+      in
+      Tabular.add_row t (Registry.name w :: List.map Tabular.cell_pct cells))
+    workloads;
+  Tabular.add_separator t;
+  let n = float_of_int (List.length workloads) in
+  Tabular.add_row t
+    ("average" :: Array.to_list (Array.map (fun s -> Tabular.cell_pct (s /. n)) sums));
+  Tabular.print t
+
+(* The baseline the paper argues against: one package set formed from
+   the whole-run aggregate profile, with no phase sensitivity. *)
+let baseline_aggregate workloads =
+  heading
+    "Baseline: aggregate-profile packing vs phase packing (full configuration)";
+  let t =
+    Tabular.create
+      ~header:
+        [
+          ("Benchmark", Tabular.Left);
+          ("agg coverage", Tabular.Right);
+          ("phase coverage", Tabular.Right);
+          ("agg speedup", Tabular.Right);
+          ("phase speedup", Tabular.Right);
+        ]
+  in
+  let agg_speeds = ref [] in
+  let phase_speeds = ref [] in
+  List.iter
+    (fun w ->
+      let profile = profile_of w in
+      let config = config_of ~inference:true ~linking:true in
+      let agg = Vacuum.Aggregate.rewrite ~config profile in
+      let phase = rewrite_of w ~inference:true ~linking:true in
+      let agg_cov = Vacuum.Coverage.measure ~config agg in
+      let phase_cov = coverage_of w ~inference:true ~linking:true in
+      let baseline =
+        Vp_cpu.Pipeline.simulate ~config:config.Vacuum.Config.cpu (image_of w)
+      in
+      let time r =
+        Vp_cpu.Pipeline.speedup ~baseline
+          ~optimized:
+            (Vp_cpu.Pipeline.simulate ~config:config.Vacuum.Config.cpu
+               (Vacuum.Driver.rewritten_image r))
+      in
+      let agg_speed = time agg in
+      let phase_speed = time phase in
+      agg_speeds := agg_speed :: !agg_speeds;
+      phase_speeds := phase_speed :: !phase_speeds;
+      Tabular.add_row t
+        [
+          Registry.name w;
+          Tabular.cell_pct agg_cov.Vacuum.Coverage.coverage_pct;
+          Tabular.cell_pct phase_cov.Vacuum.Coverage.coverage_pct;
+          Tabular.cell_float ~decimals:3 agg_speed;
+          Tabular.cell_float ~decimals:3 phase_speed;
+        ])
+    workloads;
+  Tabular.add_separator t;
+  Tabular.add_row t
+    [
+      "average";
+      "";
+      "";
+      Tabular.cell_float ~decimals:3 (Stats.mean !agg_speeds);
+      Tabular.cell_float ~decimals:3 (Stats.mean !phase_speeds);
+    ];
+  Tabular.print t
+
+(* Superblock formation: chain merging + speculative hoisting — this
+   repository's extension of the paper's "basic rescheduling",
+   exercising the region-level scheduling scope Section 2 motivates. *)
+let ablation_superblock workloads =
+  heading "Ablation: superblock formation (beyond the paper's study)";
+  let t =
+    Tabular.create
+      ~header:
+        [
+          ("Benchmark", Tabular.Left);
+          ("paper opt", Tabular.Right);
+          ("+superblocks", Tabular.Right);
+        ]
+  in
+  let base_speeds = ref [] in
+  let sb_speeds = ref [] in
+  List.iter
+    (fun w ->
+      let profile = profile_of w in
+      let paper_cfg = config_of ~inference:true ~linking:true in
+      let sb_cfg = { paper_cfg with Vacuum.Config.opt = Vp_opt.Opt.default } in
+      let baseline =
+        Vp_cpu.Pipeline.simulate ~config:paper_cfg.Vacuum.Config.cpu (image_of w)
+      in
+      let time config =
+        let r = Vacuum.Driver.rewrite_of_profile ~config profile in
+        Vp_cpu.Pipeline.speedup ~baseline
+          ~optimized:
+            (Vp_cpu.Pipeline.simulate ~config:config.Vacuum.Config.cpu
+               (Vacuum.Driver.rewritten_image r))
+      in
+      let a = time paper_cfg in
+      let b = time sb_cfg in
+      base_speeds := a :: !base_speeds;
+      sb_speeds := b :: !sb_speeds;
+      Tabular.add_row t
+        [
+          Registry.name w;
+          Tabular.cell_float ~decimals:3 a;
+          Tabular.cell_float ~decimals:3 b;
+        ])
+    workloads;
+  Tabular.add_separator t;
+  Tabular.add_row t
+    [
+      "average";
+      Tabular.cell_float ~decimals:3 (Stats.mean !base_speeds);
+      Tabular.cell_float ~decimals:3 (Stats.mean !sb_speeds);
+    ];
+  Tabular.print t
+
+(* Exit-block sinking (Section 5.4's suggested redundancy elimination,
+   not applied in the paper's own study). *)
+let ablation_sink workloads =
+  heading "Ablation: exit-block sinking (full configuration)";
+  let t =
+    Tabular.create
+      ~header:
+        [
+          ("Benchmark", Tabular.Left);
+          ("sunk", Tabular.Right);
+          ("deleted", Tabular.Right);
+          ("speedup w/o sink", Tabular.Right);
+          ("speedup w/ sink", Tabular.Right);
+        ]
+  in
+  List.iter
+    (fun w ->
+      let profile = profile_of w in
+      let base = config_of ~inference:true ~linking:true in
+      let sink_cfg =
+        { base with Vacuum.Config.opt = Vp_opt.Opt.with_sinking }
+      in
+      (* Count what the pass does on the linked packages. *)
+      let r_plain = rewrite_of w ~inference:true ~linking:true in
+      let sunk = ref 0 in
+      let deleted = ref 0 in
+      List.iter
+        (fun p ->
+          let _, stats = Vp_opt.Sink.run p in
+          sunk := !sunk + stats.Vp_opt.Sink.sunk;
+          deleted := !deleted + stats.Vp_opt.Sink.deleted)
+        r_plain.Vacuum.Driver.packages;
+      let r_sink = Vacuum.Driver.rewrite_of_profile ~config:sink_cfg profile in
+      let baseline =
+        Vp_cpu.Pipeline.simulate ~config:base.Vacuum.Config.cpu (image_of w)
+      in
+      let time r =
+        Vp_cpu.Pipeline.speedup ~baseline
+          ~optimized:
+            (Vp_cpu.Pipeline.simulate ~config:base.Vacuum.Config.cpu
+               (Vacuum.Driver.rewritten_image r))
+      in
+      Tabular.add_row t
+        [
+          Registry.name w;
+          string_of_int !sunk;
+          string_of_int !deleted;
+          Tabular.cell_float ~decimals:3 (time r_plain);
+          Tabular.cell_float ~decimals:3 (time r_sink);
+        ])
+    workloads;
+  Tabular.print t
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the pipeline stages. *)
+
+let micro ~quick =
+  heading "Micro-benchmarks (Bechamel, monotonic clock)";
+  let open Bechamel in
+  let open Toolkit in
+  let sample = Option.get (Registry.find ~bench:"134.perl" ~input:"B") in
+  let img = image_of sample in
+  let profile = profile_of sample in
+  let snapshot =
+    (List.hd (Phase_log.phases profile.Vacuum.Driver.log)).Phase_log.representative
+  in
+  let region = Vp_region.Identify.identify img snapshot in
+  let pkgs = Vp_package.Build.build region ~prefix:"bench$p0" in
+  let detector_stream =
+    Staged.stage (fun () ->
+        let d = Vp_hsd.Detector.create ~config:Vp_hsd.Config.default () in
+        for i = 0 to 9_999 do
+          Vp_hsd.Detector.on_branch d ~pc:(100 + (i mod 24)) ~taken:(i land 3 <> 0)
+        done)
+  in
+  let identify =
+    Staged.stage (fun () -> ignore (Vp_region.Identify.identify img snapshot))
+  in
+  let build =
+    Staged.stage (fun () ->
+        ignore (Vp_package.Build.build region ~prefix:"bench$p1"))
+  in
+  let emit =
+    Staged.stage (fun () -> ignore (Vp_package.Emit.emit img pkgs))
+  in
+  let optimize =
+    Staged.stage (fun () ->
+        List.iter (fun p -> ignore (Vp_opt.Opt.transform p)) pkgs)
+  in
+  let emulate_100k =
+    Staged.stage (fun () ->
+        ignore (Emulator.run ~fuel:100_000 img))
+  in
+  let timing_100k =
+    Staged.stage (fun () ->
+        ignore (Vp_cpu.Pipeline.simulate ~fuel:100_000 img))
+  in
+  let tests =
+    Test.make_grouped ~name:"vacuum"
+      [
+        Test.make ~name:"hsd detector (10k branches)" detector_stream;
+        Test.make ~name:"region identify (134.perl phase)" identify;
+        Test.make ~name:"package build" build;
+        Test.make ~name:"package emit" emit;
+        Test.make ~name:"layout+schedule" optimize;
+        Test.make ~name:"emulator (100k instrs)" emulate_100k;
+        Test.make ~name:"timing model (100k instrs)" timing_100k;
+      ]
+  in
+  let quota = if quick then Time.second 0.25 else Time.second 1.0 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~stabilize:false ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t = Tabular.create ~header:[ ("stage", Tabular.Left); ("time/run", Tabular.Right); ("r^2", Tabular.Right) ] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let nanos =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let pretty =
+        if nanos > 1e9 then Printf.sprintf "%.2f s" (nanos /. 1e9)
+        else if nanos > 1e6 then Printf.sprintf "%.2f ms" (nanos /. 1e6)
+        else if nanos > 1e3 then Printf.sprintf "%.2f us" (nanos /. 1e3)
+        else Printf.sprintf "%.0f ns" nanos
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Tabular.add_row t [ name; pretty; r2 ])
+    results;
+  Tabular.print t
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let selected = List.filter (fun a -> a <> "--quick") args in
+  let workloads =
+    if quick then List.filter (fun w -> w.Registry.input = "A") Registry.all
+    else Registry.all
+  in
+  let run = function
+    | "table1" -> table1 workloads
+    | "table2" -> table2 ()
+    | "fig8" -> fig8 workloads
+    | "table3" -> table3 workloads
+    | "fig9" -> fig9 workloads
+    | "fig10" -> fig10 workloads
+    | "baseline-aggregate" -> baseline_aggregate workloads
+    | "ablation-bbb" -> ablation_bbb workloads
+    | "ablation-growth" -> ablation_growth workloads
+    | "ablation-sink" -> ablation_sink workloads
+    | "ablation-superblock" -> ablation_superblock workloads
+    | "micro" -> micro ~quick
+    | other ->
+      Printf.eprintf "unknown experiment %s\n" other;
+      exit 1
+  in
+  let all =
+    [
+      "table1"; "table2"; "fig8"; "table3"; "fig9"; "fig10";
+      "baseline-aggregate"; "ablation-bbb"; "ablation-growth"; "ablation-sink";
+      "ablation-superblock"; "micro";
+    ]
+  in
+  match selected with
+  | [] -> List.iter run all
+  | picks -> List.iter run picks

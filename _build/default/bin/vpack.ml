@@ -1,0 +1,280 @@
+(* vpack: command-line front end for the Vacuum Packing pipeline.
+
+   Subcommands: list, run, phases, extract, report, diag, asm,
+   disasm, machine. *)
+
+module Registry = Vp_workloads.Registry
+module Program = Vp_prog.Program
+module Emulator = Vp_exec.Emulator
+
+open Cmdliner
+
+let find_workload spec =
+  let bench, input =
+    match String.index_opt spec '/' with
+    | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+    | None -> (spec, "A")
+  in
+  match Registry.find ~bench ~input with
+  | Some w -> w
+  | None ->
+    Printf.eprintf "unknown workload %s (try `vpack list`)\n" spec;
+    exit 1
+
+let workload_arg =
+  let doc = "Workload as BENCH or BENCH/INPUT (see `vpack list`)." in
+  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let no_inference =
+  Arg.(value & flag & info [ "no-inference" ] ~doc:"Disable hot-block inference.")
+
+let no_linking =
+  Arg.(value & flag & info [ "no-linking" ] ~doc:"Disable package linking.")
+
+let timing =
+  Arg.(value & flag & info [ "timing" ] ~doc:"Run the cycle-level timing model.")
+
+let config_of ~inference ~linking =
+  Vacuum.Config.experiment ~inference ~linking
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Vp_util.Tabular.create
+        ~header:
+          [
+            ("workload", Vp_util.Tabular.Left);
+            ("static instrs", Vp_util.Tabular.Right);
+            ("description", Vp_util.Tabular.Left);
+          ]
+    in
+    List.iter
+      (fun w ->
+        let p = w.Registry.program () in
+        Vp_util.Tabular.add_row t
+          [
+            Registry.name w;
+            string_of_int (Program.static_size p);
+            w.Registry.description;
+          ])
+      Registry.all;
+    Vp_util.Tabular.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the Table 1 workload inventory.")
+    Term.(const run $ const ())
+
+(* --- run --- *)
+
+let run_cmd =
+  let run spec =
+    let w = find_workload spec in
+    let img = Program.layout (w.Registry.program ()) in
+    let o = Emulator.run img in
+    Printf.printf "%s: %d instructions, %d conditional branches, result %d%s\n"
+      (Registry.name w) o.Emulator.instructions o.Emulator.cond_branches
+      o.Emulator.result
+      (if o.Emulator.halted then "" else " (fuel exhausted)")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a workload on the functional emulator.")
+    Term.(const run $ workload_arg)
+
+(* --- phases --- *)
+
+let phases_cmd =
+  let ipc_flag =
+    Arg.(value & flag & info [ "ipc" ] ~doc:"Also report per-phase IPC on the EPIC model.")
+  in
+  let run spec ipc =
+    let w = find_workload spec in
+    let img = Program.layout (w.Registry.program ()) in
+    let profile = Vacuum.Driver.profile img in
+    Printf.printf "%s: %d raw detections, %d recordings\n" (Registry.name w)
+      profile.Vacuum.Driver.detections
+      (List.length profile.Vacuum.Driver.snapshots);
+    Format.printf "%a@." Vp_phase.Phase_log.pp profile.Vacuum.Driver.log;
+    let timeline = Vp_phase.Phase_log.timeline profile.Vacuum.Driver.log in
+    List.iter
+      (fun (s, e, p) -> Printf.printf "  [%9d, %9d) phase %d\n" s e p)
+      timeline;
+    if ipc then begin
+      Printf.printf "\nper-phase timing (phase -1 = detector warm-up):\n";
+      List.iter
+        (fun (ps : Vp_cpu.Pipeline.phase_stats) ->
+          Printf.printf
+            "  phase %2d: %9d branches, %10d instrs, %10d cycles, IPC %.3f\n"
+            ps.Vp_cpu.Pipeline.phase ps.Vp_cpu.Pipeline.branches
+            ps.Vp_cpu.Pipeline.seg_instructions ps.Vp_cpu.Pipeline.seg_cycles
+            ps.Vp_cpu.Pipeline.seg_ipc)
+        (Vp_cpu.Pipeline.simulate_phases ~timeline img)
+    end
+  in
+  Cmd.v
+    (Cmd.info "phases" ~doc:"Profile a workload and show its detected phases.")
+    Term.(const run $ workload_arg $ ipc_flag)
+
+(* --- extract --- *)
+
+let extract_cmd =
+  let run spec no_inf no_link =
+    let w = find_workload spec in
+    let img = Program.layout (w.Registry.program ()) in
+    let config = config_of ~inference:(not no_inf) ~linking:(not no_link) in
+    let r = Vacuum.Driver.rewrite ~config img in
+    List.iter
+      (fun (info : Vacuum.Driver.region_info) ->
+        Printf.printf "phase %d: %d functions, %d hot blocks, %d instructions selected\n"
+          info.Vacuum.Driver.phase.Vp_phase.Phase_log.id
+          info.Vacuum.Driver.stats.Vp_region.Identify.functions
+          info.Vacuum.Driver.stats.Vp_region.Identify.hot_blocks
+          info.Vacuum.Driver.stats.Vp_region.Identify.selected_instructions)
+      r.Vacuum.Driver.regions;
+    List.iter
+      (fun p ->
+        Printf.printf "package %s: root %s, %d blocks, %d entries, %d branch sites\n"
+          p.Vp_package.Pkg.id p.Vp_package.Pkg.root
+          (List.length p.Vp_package.Pkg.blocks)
+          (List.length p.Vp_package.Pkg.entries)
+          (Vp_package.Pkg.branch_count p))
+      r.Vacuum.Driver.packages;
+    Printf.printf "emitted %d package instructions, %d launch points\n"
+      r.Vacuum.Driver.emitted.Vp_package.Emit.package_instructions
+      (List.length r.Vacuum.Driver.emitted.Vp_package.Emit.launch_patches)
+  in
+  Cmd.v
+    (Cmd.info "extract" ~doc:"Run region identification and package extraction.")
+    Term.(const run $ workload_arg $ no_inference $ no_linking)
+
+(* --- report --- *)
+
+let report_cmd =
+  let run spec no_inf no_link timing =
+    let w = find_workload spec in
+    let img = Program.layout (w.Registry.program ()) in
+    let config = config_of ~inference:(not no_inf) ~linking:(not no_link) in
+    let report =
+      Vacuum.Report.evaluate ~config ~timing ~name:(Registry.name w) img
+    in
+    Format.printf "%a@." Vacuum.Report.pp report
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Full evaluation of one workload (coverage, expansion, optional timing).")
+    Term.(const run $ workload_arg $ no_inference $ no_linking $ timing)
+
+(* --- asm / disasm --- *)
+
+let asm_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly source.")
+  in
+  let run file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let source = really_input_string ic n in
+    close_in ic;
+    match Vp_prog.Asm.parse_program source with
+    | Error e ->
+      Format.eprintf "%s: %a@." file Vp_prog.Asm.pp_error e;
+      exit 1
+    | Ok p ->
+      let o = Emulator.run (Program.layout p) in
+      Printf.printf "%s: %d instructions, result %d%s\n" file o.Emulator.instructions
+        o.Emulator.result
+        (if o.Emulator.halted then "" else " (fuel exhausted)")
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Assemble and run a textual-assembly source file.")
+    Term.(const run $ file_arg)
+
+let disasm_cmd =
+  let run spec =
+    let w = find_workload spec in
+    print_string (Vp_prog.Asm.print_program (w.Registry.program ()))
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Print a workload's program as textual assembly.")
+    Term.(const run $ workload_arg)
+
+(* --- diag --- *)
+
+let diag_cmd =
+  let addr_arg =
+    let doc = "Also disassemble around this address of the rewritten image." in
+    Arg.(value & opt (some int) None & info [ "addr" ] ~docv:"ADDR" ~doc)
+  in
+  let run spec addr =
+    let w = find_workload spec in
+    let img = Program.layout (w.Registry.program ()) in
+    let r = Vacuum.Driver.rewrite img in
+    let rimg = Vacuum.Driver.rewritten_image r in
+    let module Image = Vp_prog.Image in
+    let limit = img.Image.orig_limit in
+    let exits = Hashtbl.create 64 in
+    let entries = Hashtbl.create 64 in
+    let bump tbl k =
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+    in
+    let on_event (e : Emulator.event) =
+      if e.Emulator.next_pc >= 0 then begin
+        let from_pkg = e.Emulator.pc >= limit in
+        let to_pkg = e.Emulator.next_pc >= limit in
+        if from_pkg && not to_pkg then bump exits (e.Emulator.pc, e.Emulator.next_pc);
+        if (not from_pkg) && to_pkg then bump entries (e.Emulator.pc, e.Emulator.next_pc)
+      end
+    in
+    let o = Emulator.run ~on_event rimg in
+    Printf.printf "coverage %.1f%% (%d/%d instructions in packages)\n"
+      (Vp_util.Stats.pct o.Emulator.package_instructions o.Emulator.instructions)
+      o.Emulator.package_instructions o.Emulator.instructions;
+    let top tbl name =
+      let l = Hashtbl.fold (fun k v acc -> (v, k) :: acc) tbl [] in
+      let l = List.sort (fun a b -> compare (fst b) (fst a)) l in
+      Printf.printf "%s (%d distinct):\n" name (List.length l);
+      List.iteri
+        (fun i (count, (src, dst)) ->
+          if i < 12 then begin
+            let sym a =
+              match Image.sym_at rimg a with Some s -> s.Image.name | None -> "?"
+            in
+            Printf.printf "  %8d  0x%x (%s) -> 0x%x (%s)\n" count src (sym src) dst
+              (sym dst)
+          end)
+        l
+    in
+    top exits "exits package->original";
+    top entries "entries original->package";
+    match addr with
+    | None -> ()
+    | Some center ->
+      Printf.printf "\ndisassembly around 0x%x:\n" center;
+      for a = max 0 (center - 10) to min (Image.size rimg - 1) (center + 10) do
+        Printf.printf "%s %5x: %s\n"
+          (if a = center then ">" else " ")
+          a
+          (Vp_isa.Instr.to_string (Image.fetch rimg a))
+      done
+  in
+  Cmd.v
+    (Cmd.info "diag"
+       ~doc:"Run the rewritten binary and histogram package boundary crossings.")
+    Term.(const run $ workload_arg $ addr_arg)
+
+(* --- machine --- *)
+
+let machine_cmd =
+  let run () = Format.printf "%a@." Vp_cpu.Config.pp Vp_cpu.Config.default in
+  Cmd.v (Cmd.info "machine" ~doc:"Print the simulated EPIC machine model (Table 2).")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Vacuum Packing: phase-based post-link optimization" in
+  let info = Cmd.info "vpack" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; phases_cmd; extract_cmd; report_cmd; diag_cmd;
+            asm_cmd; disasm_cmd; machine_cmd;
+          ]))

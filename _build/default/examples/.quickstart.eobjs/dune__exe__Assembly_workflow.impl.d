@@ -1,0 +1,1 @@
+examples/assembly_workflow.ml: Format List Printf Vacuum Vp_exec Vp_hsd Vp_package Vp_phase Vp_prog

@@ -1,0 +1,1 @@
+examples/assembly_workflow.mli:

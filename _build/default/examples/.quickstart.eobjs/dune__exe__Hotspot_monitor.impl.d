@@ -1,0 +1,1 @@
+examples/hotspot_monitor.ml: List Option Printf Vp_exec Vp_hsd Vp_phase Vp_prog Vp_workloads

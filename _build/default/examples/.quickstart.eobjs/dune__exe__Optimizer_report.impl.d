@@ -1,0 +1,1 @@
+examples/optimizer_report.ml: List Option Printf Vacuum Vp_cpu Vp_opt Vp_package Vp_prog Vp_workloads

@@ -1,0 +1,1 @@
+examples/perl_phases.ml: List Option Printf String Vacuum Vp_package Vp_phase Vp_prog Vp_workloads

@@ -1,0 +1,1 @@
+examples/perl_phases.mli:

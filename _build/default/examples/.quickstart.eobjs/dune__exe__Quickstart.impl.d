@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Vacuum Vp_cpu Vp_exec Vp_hsd Vp_isa Vp_package Vp_phase Vp_prog

@@ -1,0 +1,1 @@
+lib/cfg/callgraph.ml: Format Hashtbl List Vp_isa Vp_prog

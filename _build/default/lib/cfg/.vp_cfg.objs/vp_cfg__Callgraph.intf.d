@@ -1,0 +1,1 @@
+lib/cfg/callgraph.mli: Format Vp_prog

@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Format Hashtbl List Printf String Vp_isa Vp_prog

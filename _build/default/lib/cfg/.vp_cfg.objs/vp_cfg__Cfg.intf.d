@@ -1,0 +1,1 @@
+lib/cfg/cfg.mli: Format Vp_isa Vp_prog

@@ -1,0 +1,1 @@
+lib/cfg/liveness.ml: Array Cfg List Vp_isa

@@ -1,0 +1,1 @@
+lib/cfg/liveness.mli: Cfg Vp_isa

@@ -1,0 +1,62 @@
+module Instr = Vp_isa.Instr
+module Image = Vp_prog.Image
+
+type edge = { caller : string; callee : string; site : int }
+
+type t = { funcs : string list; edges : edge list }
+
+let of_image image =
+  let syms = Image.functions image in
+  let edges = ref [] in
+  List.iter
+    (fun (s : Image.sym) ->
+      for addr = s.Image.start to s.Image.start + s.Image.len - 1 do
+        match Image.fetch image addr with
+        | Instr.Call { target = Instr.Addr a } -> (
+          match Image.sym_at image a with
+          | Some callee ->
+            edges := { caller = s.Image.name; callee = callee.Image.name; site = addr } :: !edges
+          | None -> ())
+        | _ -> ()
+      done)
+    syms;
+  { funcs = List.map (fun (s : Image.sym) -> s.Image.name) syms; edges = List.rev !edges }
+
+let functions t = t.funcs
+let edges t = t.edges
+
+let callees t name = List.filter (fun e -> e.caller = name) t.edges
+let callers t name = List.filter (fun e -> e.callee = name) t.edges
+
+let is_self_recursive t name =
+  List.exists (fun e -> e.caller = name && e.callee = name) t.edges
+
+let back_edges t ~entry =
+  let adj name =
+    List.sort_uniq compare (List.map (fun e -> e.callee) (callees t name))
+  in
+  let state = Hashtbl.create 16 in
+  let back = ref [] in
+  let rec dfs name =
+    Hashtbl.replace state name `Grey;
+    List.iter
+      (fun callee ->
+        match Hashtbl.find_opt state callee with
+        | Some `Grey -> back := (name, callee) :: !back
+        | Some `Black -> ()
+        | None -> dfs callee)
+      (adj name);
+    Hashtbl.replace state name `Black
+  in
+  if List.mem entry t.funcs then dfs entry;
+  (* Functions unreachable from the entry still get classified so that
+     recursion among them is not mistaken for forward calls. *)
+  List.iter (fun f -> if not (Hashtbl.mem state f) then dfs f) t.funcs;
+  List.sort_uniq compare !back
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>callgraph:@,";
+  List.iter
+    (fun e -> Format.fprintf fmt "  %s -> %s @@%x@," e.caller e.callee e.site)
+    t.edges;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,26 @@
+(** Whole-image call graph: one node per symbol, an edge per static
+    call site. *)
+
+type edge = {
+  caller : string;
+  callee : string;
+  site : int;  (** address of the call instruction *)
+}
+
+type t
+
+val of_image : Vp_prog.Image.t -> t
+
+val functions : t -> string list
+val edges : t -> edge list
+
+val callees : t -> string -> edge list
+val callers : t -> string -> edge list
+
+val is_self_recursive : t -> string -> bool
+
+val back_edges : t -> entry:string -> (string * string) list
+(** DFS back edges of the call graph starting at [entry]; recursion
+    cycles appear here.  Multi-edges between the same pair collapse. *)
+
+val pp : Format.formatter -> t -> unit

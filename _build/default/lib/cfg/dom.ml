@@ -1,0 +1,82 @@
+type t = {
+  idom : int option array;
+  rpo_index : int array;  (* -1 for unreachable *)
+}
+
+let reverse_postorder cfg =
+  let n = Cfg.num_blocks cfg in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs b =
+    visited.(b) <- true;
+    List.iter
+      (fun (a : Cfg.arc) -> if not visited.(a.dst) then dfs a.dst)
+      (Cfg.succs cfg b);
+    order := b :: !order
+  in
+  if n > 0 then dfs (Cfg.entry cfg);
+  (!order, visited)
+
+let compute cfg =
+  let n = Cfg.num_blocks cfg in
+  let rpo, visited = reverse_postorder cfg in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let idom = Array.make n None in
+  if n > 0 then begin
+    let entry = Cfg.entry cfg in
+    idom.(entry) <- Some entry;
+    let intersect a b =
+      (* Walk the two candidate dominators up the tree until they meet;
+         higher rpo index means deeper in the order. *)
+      let rec go a b =
+        if a = b then a
+        else if rpo_index.(a) > rpo_index.(b) then
+          go (Option.get idom.(a)) b
+        else go a (Option.get idom.(b))
+      in
+      go a b
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun b ->
+          if b <> entry then begin
+            let processed_preds =
+              List.filter_map
+                (fun (a : Cfg.arc) ->
+                  if visited.(a.src) && idom.(a.src) <> None then Some a.src
+                  else None)
+                (Cfg.preds cfg b)
+            in
+            match processed_preds with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> Some new_idom then begin
+                idom.(b) <- Some new_idom;
+                changed := true
+              end
+          end)
+        rpo
+    done;
+    (* Normalise: the entry's idom is reported as None. *)
+    idom.(entry) <- None;
+    (* Mark entry reachable through rpo_index; idom for entry stays None. *)
+    ()
+  end;
+  { idom; rpo_index }
+
+let reachable t b = t.rpo_index.(b) >= 0
+
+let idom t b = if reachable t b then t.idom.(b) else None
+
+let dominates t a b =
+  if not (reachable t a && reachable t b) then false
+  else
+    let rec climb x =
+      if x = a then true
+      else match t.idom.(x) with None -> false | Some p -> climb p
+    in
+    climb b

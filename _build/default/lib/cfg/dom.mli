@@ -1,0 +1,17 @@
+(** Dominator computation over a recovered CFG (iterative Cooper–
+    Harvey–Kennedy on reverse postorder).  Blocks unreachable from the
+    entry have no dominator information and report [None]. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the entry and for unreachable
+    blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] — does [a] dominate [b]?  Reflexive.  False when
+    either block is unreachable (except [a = b] reachable). *)
+
+val reachable : t -> int -> bool

@@ -1,0 +1,61 @@
+type loop = {
+  header : int;
+  body : int list;
+  back_edge_srcs : int list;
+}
+
+type t = { loops : loop list; depth : int array; inner : int option array }
+
+let natural_loop cfg header srcs =
+  (* Standard worklist: everything that reaches a latch without passing
+     through the header. *)
+  let in_body = Hashtbl.create 16 in
+  Hashtbl.replace in_body header ();
+  let rec add b =
+    if not (Hashtbl.mem in_body b) then begin
+      Hashtbl.replace in_body b ();
+      List.iter (fun (a : Cfg.arc) -> add a.src) (Cfg.preds cfg b)
+    end
+  in
+  List.iter add srcs;
+  Hashtbl.fold (fun b () acc -> b :: acc) in_body [] |> List.sort compare
+
+let compute cfg =
+  let n = Cfg.num_blocks cfg in
+  let dom = Dom.compute cfg in
+  (* Group back edges by header, keeping only true natural-loop back
+     edges (header dominates the latch). *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (src, dst) ->
+      if Dom.dominates dom dst src then
+        Hashtbl.replace by_header dst (src :: (Option.value ~default:[] (Hashtbl.find_opt by_header dst))))
+    (Cfg.back_edges cfg);
+  let loops =
+    Hashtbl.fold
+      (fun header srcs acc ->
+        { header; body = natural_loop cfg header srcs; back_edge_srcs = List.sort compare srcs }
+        :: acc)
+      by_header []
+    |> List.sort (fun a b -> compare a.header b.header)
+  in
+  let depth = Array.make n 0 in
+  let inner = Array.make n None in
+  (* Process loops from largest body to smallest so the innermost loop
+     writes last. *)
+  let by_size =
+    List.sort (fun a b -> compare (List.length b.body) (List.length a.body)) loops
+  in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun b ->
+          depth.(b) <- depth.(b) + 1;
+          inner.(b) <- Some l.header)
+        l.body)
+    by_size;
+  { loops; depth; inner }
+
+let loops t = t.loops
+let depth t b = t.depth.(b)
+let innermost_header t b = t.inner.(b)

@@ -1,0 +1,22 @@
+(** Natural-loop detection from dominators and back edges.  Used by
+    the layout and scheduling passes to prioritise loop bodies and by
+    workload sanity tests. *)
+
+type loop = {
+  header : int;
+  body : int list;  (** includes the header; ascending block ids *)
+  back_edge_srcs : int list;
+}
+
+type t
+
+val compute : Cfg.t -> t
+
+val loops : t -> loop list
+(** Outermost first (by header reverse-postorder), headers unique —
+    back edges sharing a header merge into one loop. *)
+
+val depth : t -> int -> int
+(** Loop-nesting depth of a block; 0 outside any loop. *)
+
+val innermost_header : t -> int -> int option

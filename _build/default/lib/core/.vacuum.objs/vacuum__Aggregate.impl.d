@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Config Driver Hashtbl List Vp_exec Vp_hsd Vp_phase Vp_region

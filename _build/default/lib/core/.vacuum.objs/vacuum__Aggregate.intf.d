@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Config Driver Vp_hsd

@@ -1,0 +1,1 @@
+lib/core/config.mli: Vp_cpu Vp_hsd Vp_opt Vp_phase Vp_region

@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Config Driver Vp_exec Vp_util

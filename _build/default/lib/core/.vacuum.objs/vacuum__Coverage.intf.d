@@ -1,0 +1,1 @@
+lib/core/coverage.mli: Config Driver Vp_exec

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Config Hashtbl Vp_exec Vp_hsd Vp_package Vp_phase Vp_prog Vp_region

@@ -1,0 +1,1 @@
+lib/core/expansion.ml: Driver Hashtbl List Vp_cfg Vp_package Vp_prog Vp_region Vp_util

@@ -1,0 +1,1 @@
+lib/core/report.ml: Config Coverage Driver Expansion Format List Speedup Vp_exec Vp_phase Vp_region

@@ -1,0 +1,1 @@
+lib/core/report.mli: Config Coverage Driver Expansion Format Speedup Vp_phase Vp_prog

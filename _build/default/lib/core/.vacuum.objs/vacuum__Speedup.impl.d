@@ -1,0 +1,1 @@
+lib/core/speedup.ml: Config Driver Vp_cpu

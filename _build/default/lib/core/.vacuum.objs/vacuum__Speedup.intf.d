@@ -1,0 +1,1 @@
+lib/core/speedup.mli: Config Driver Vp_cpu

@@ -1,0 +1,48 @@
+module Snapshot = Vp_hsd.Snapshot
+module Emulator = Vp_exec.Emulator
+
+let snapshot_of_profile ?(min_share = 0.001) (p : Driver.profile) =
+  let total = p.Driver.outcome.Emulator.cond_branches in
+  let floor_count =
+    max 1 (int_of_float (min_share *. float_of_int total))
+  in
+  let branches =
+    Hashtbl.fold
+      (fun pc (executed, taken) acc ->
+        if executed >= floor_count then { Snapshot.pc; executed; taken } :: acc
+        else acc)
+      p.Driver.aggregate []
+    |> List.sort (fun (a : Snapshot.entry) b -> compare a.Snapshot.pc b.Snapshot.pc)
+  in
+  { Snapshot.id = 0; detected_at = 0; ended_at = total; branches }
+
+let as_single_phase ?min_share (p : Driver.profile) =
+  let snapshot = snapshot_of_profile ?min_share p in
+  {
+    p with
+    Driver.snapshots = [ snapshot ];
+    log = Vp_phase.Phase_log.build [ snapshot ];
+  }
+
+let rewrite ?(config = Config.default) ?(min_share = 0.001) p =
+  (* The paper's absolute arc threshold (16) is calibrated to 9-bit
+     saturating hardware counters.  Aggregate counts are exact, so the
+     equivalent selection threshold scales with the run: the same
+     [min_share] floor used for branch selection. *)
+  let total = p.Driver.outcome.Emulator.cond_branches in
+  let floor_count = max 1 (int_of_float (min_share *. float_of_int total)) in
+  let config =
+    {
+      config with
+      Config.identify =
+        {
+          config.Config.identify with
+          Vp_region.Identify.marking =
+            {
+              config.Config.identify.Vp_region.Identify.marking with
+              Vp_region.Marking.hot_arc_weight_threshold = floor_count;
+            };
+        };
+    }
+  in
+  Driver.rewrite_of_profile ~config (as_single_phase ~min_share p)

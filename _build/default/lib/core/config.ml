@@ -1,0 +1,42 @@
+type t = {
+  detector : Vp_hsd.Config.t;
+  history_size : int;
+  similarity : Vp_phase.Similarity.config;
+  identify : Vp_region.Identify.config;
+  linking : bool;
+  opt : Vp_opt.Opt.config;
+  cpu : Vp_cpu.Config.t;
+  mem_words : int;
+  fuel : int;
+}
+
+let default =
+  {
+    detector = Vp_hsd.Config.default;
+    history_size = 0;
+    similarity = Vp_phase.Similarity.default;
+    identify = Vp_region.Identify.default;
+    linking = true;
+    opt = Vp_opt.Opt.default;
+    cpu = Vp_cpu.Config.default;
+    mem_words = 1 lsl 20;
+    fuel = 200_000_000;
+  }
+
+let experiment ~inference ~linking =
+  {
+    default with
+    identify = { default.identify with Vp_region.Identify.block_inference = inference };
+    linking;
+    (* The paper's speedup study applies relayout and rescheduling
+       only; superblock formation is this repository's extension and
+       is measured separately (ablation-superblock). *)
+    opt = Vp_opt.Opt.paper;
+  }
+
+let experiment_name ~inference ~linking =
+  Printf.sprintf "%s inference, %s linking"
+    (if inference then "with" else "no")
+    (if linking then "with" else "no")
+
+let with_detector detector t = { t with detector }

@@ -1,0 +1,31 @@
+(** End-to-end Vacuum Packing configuration.
+
+    The four configurations evaluated in Figures 8 and 10 are the
+    cross product of hot-block inference and package linking; build
+    them with {!experiment}. *)
+
+type t = {
+  detector : Vp_hsd.Config.t;
+  history_size : int;  (** hardware snapshot history (0 = record all) *)
+  similarity : Vp_phase.Similarity.config;
+  identify : Vp_region.Identify.config;
+  linking : bool;
+  opt : Vp_opt.Opt.config;
+  cpu : Vp_cpu.Config.t;
+  mem_words : int;
+  fuel : int;
+}
+
+val default : t
+(** Table 2 detector, inference and linking on, layout and scheduling
+    on. *)
+
+val experiment : inference:bool -> linking:bool -> t
+(** One of the four Figure 8 / Figure 10 configurations.  Uses the
+    paper's optimization set (relayout + rescheduling only); the
+    library default additionally enables superblock formation. *)
+
+val experiment_name : inference:bool -> linking:bool -> string
+
+val with_detector : Vp_hsd.Config.t -> t -> t
+(** Replace the detector model (tests use the tiny configuration). *)

@@ -1,0 +1,24 @@
+module Emulator = Vp_exec.Emulator
+
+type t = {
+  coverage_pct : float;
+  outcome : Emulator.outcome;
+  equivalent : bool;
+}
+
+let measure ?(config = Config.default) (r : Driver.rewrite) =
+  let outcome =
+    Emulator.run ~fuel:config.Config.fuel ~mem_words:config.Config.mem_words
+      (Driver.rewritten_image r)
+  in
+  let original = r.Driver.source.Driver.outcome in
+  {
+    coverage_pct =
+      Vp_util.Stats.pct outcome.Emulator.package_instructions
+        outcome.Emulator.instructions;
+    outcome;
+    equivalent =
+      outcome.Emulator.halted
+      && outcome.Emulator.checksum = original.Emulator.checksum
+      && outcome.Emulator.result = original.Emulator.result;
+  }

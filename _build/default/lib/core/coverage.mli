@@ -1,0 +1,12 @@
+(** Figure 8 metric: the percentage of dynamic instructions retired
+    from package code when the rewritten binary runs, plus the
+    rewrite-correctness check (the packaged binary must compute
+    exactly what the original computed). *)
+
+type t = {
+  coverage_pct : float;
+  outcome : Vp_exec.Emulator.outcome;  (** the rewritten run *)
+  equivalent : bool;  (** checksum and result match the original *)
+}
+
+val measure : ?config:Config.t -> Driver.rewrite -> t

@@ -1,0 +1,87 @@
+module Emulator = Vp_exec.Emulator
+module Detector = Vp_hsd.Detector
+module Phase_log = Vp_phase.Phase_log
+module Identify = Vp_region.Identify
+module Build = Vp_package.Build
+module Emit = Vp_package.Emit
+
+type profile = {
+  image : Vp_prog.Image.t;
+  outcome : Emulator.outcome;
+  snapshots : Vp_hsd.Snapshot.t list;
+  log : Phase_log.t;
+  aggregate : (int, int * int) Hashtbl.t;
+  detections : int;
+}
+
+type region_info = {
+  phase : Phase_log.phase;
+  region : Vp_region.Region.t;
+  stats : Identify.stats;
+}
+
+type rewrite = {
+  source : profile;
+  regions : region_info list;
+  packages : Vp_package.Pkg.t list;
+  emitted : Emit.result;
+}
+
+let profile ?(config = Config.default) image =
+  let same = Vp_phase.Similarity.same ~config:config.Config.similarity in
+  let detector =
+    Detector.create ~config:config.Config.detector
+      ~history_size:config.Config.history_size ~same ()
+  in
+  let aggregate = Hashtbl.create 512 in
+  let on_branch ~pc ~taken =
+    Detector.on_branch detector ~pc ~taken;
+    let executed, takens =
+      Option.value ~default:(0, 0) (Hashtbl.find_opt aggregate pc)
+    in
+    Hashtbl.replace aggregate pc (executed + 1, if taken then takens + 1 else takens)
+  in
+  let outcome =
+    Emulator.run ~fuel:config.Config.fuel ~mem_words:config.Config.mem_words
+      ~on_branch image
+  in
+  let snapshots = Detector.snapshots detector in
+  {
+    image;
+    outcome;
+    snapshots;
+    log = Phase_log.build ~similarity:config.Config.similarity snapshots;
+    aggregate;
+    detections = Detector.detections detector;
+  }
+
+let rewrite_of_profile ?(config = Config.default) source =
+  let regions =
+    List.map
+      (fun (phase : Phase_log.phase) ->
+        let region, stats =
+          Identify.identify_with_stats ~config:config.Config.identify source.image
+            phase.Phase_log.representative
+        in
+        { phase; region; stats })
+      (Phase_log.phases source.log)
+  in
+  let packages =
+    List.concat_map
+      (fun info ->
+        Build.build info.region
+          ~prefix:(Printf.sprintf "pkg$p%d" info.phase.Phase_log.id))
+      regions
+  in
+  let transform ~protected pkg =
+    Vp_opt.Opt.transform ~config:config.Config.opt ~protected pkg
+  in
+  let emitted =
+    Emit.emit ~linking:config.Config.linking ~transform source.image packages
+  in
+  { source; regions; packages; emitted }
+
+let rewrite ?config image =
+  rewrite_of_profile ?config (profile ?config image)
+
+let rewritten_image r = r.emitted.Emit.image

@@ -1,0 +1,41 @@
+(** The end-to-end Vacuum Packing pipeline.
+
+    {!profile} runs the binary once under the Hot Spot Detector,
+    collecting phase snapshots, the filtered phase log, and (in the
+    same run) a traditional aggregate branch profile for comparison.
+    {!rewrite_of_profile} then performs region identification, package
+    construction, linking and emission; it is configuration-dependent
+    but reuses the profile, so the four Figure 8 configurations share
+    one profiling run per workload. *)
+
+type profile = {
+  image : Vp_prog.Image.t;
+  outcome : Vp_exec.Emulator.outcome;  (** the profiled original run *)
+  snapshots : Vp_hsd.Snapshot.t list;
+  log : Vp_phase.Phase_log.t;
+  aggregate : (int, int * int) Hashtbl.t;
+      (** per-branch whole-run (executed, taken) *)
+  detections : int;  (** raw hardware detections *)
+}
+
+type region_info = {
+  phase : Vp_phase.Phase_log.phase;
+  region : Vp_region.Region.t;
+  stats : Vp_region.Identify.stats;
+}
+
+type rewrite = {
+  source : profile;
+  regions : region_info list;
+  packages : Vp_package.Pkg.t list;
+  emitted : Vp_package.Emit.result;
+}
+
+val profile : ?config:Config.t -> Vp_prog.Image.t -> profile
+
+val rewrite_of_profile : ?config:Config.t -> profile -> rewrite
+
+val rewrite : ?config:Config.t -> Vp_prog.Image.t -> rewrite
+(** [profile] followed by [rewrite_of_profile]. *)
+
+val rewritten_image : rewrite -> Vp_prog.Image.t

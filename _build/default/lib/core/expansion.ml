@@ -1,0 +1,46 @@
+module Image = Vp_prog.Image
+module Cfg = Vp_cfg.Cfg
+module Region = Vp_region.Region
+
+type t = {
+  original_static : int;
+  package_static : int;
+  increase_pct : float;
+  selected_static : int;
+  selected_pct : float;
+  replication : float;
+}
+
+(* Distinct original instruction addresses inside a hot block of any
+   region — "selected to be a part of at least one package". *)
+let selected_addresses regions =
+  let selected = Hashtbl.create 1024 in
+  List.iter
+    (fun (info : Driver.region_info) ->
+      List.iter
+        (fun (_, mf) ->
+          let cfg = Region.cfg mf in
+          List.iter
+            (fun b ->
+              for addr = Cfg.start cfg b to Cfg.start cfg b + Cfg.len cfg b - 1 do
+                Hashtbl.replace selected addr ()
+              done)
+            (Region.hot_blocks mf))
+        (Region.funcs info.Driver.region))
+    regions;
+  Hashtbl.length selected
+
+let measure (r : Driver.rewrite) =
+  let original_static = Image.size r.Driver.source.Driver.image in
+  let package_static = r.Driver.emitted.Vp_package.Emit.package_instructions in
+  let selected_static = selected_addresses r.Driver.regions in
+  {
+    original_static;
+    package_static;
+    increase_pct = Vp_util.Stats.pct package_static original_static;
+    selected_static;
+    selected_pct = Vp_util.Stats.pct selected_static original_static;
+    replication =
+      (if selected_static = 0 then 0.0
+       else float_of_int package_static /. float_of_int selected_static);
+  }

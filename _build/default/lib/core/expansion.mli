@@ -1,0 +1,15 @@
+(** Table 3 metrics: static code growth from packaging, the fraction
+    of original static instructions selected into at least one
+    package, and the resulting replication factor. *)
+
+type t = {
+  original_static : int;  (** instructions in the original image *)
+  package_static : int;  (** instructions emitted as packages *)
+  increase_pct : float;  (** 100 * package / original *)
+  selected_static : int;
+      (** distinct original instructions selected into >= 1 package *)
+  selected_pct : float;
+  replication : float;  (** package_static / selected_static *)
+}
+
+val measure : Driver.rewrite -> t

@@ -1,0 +1,63 @@
+module Phase_log = Vp_phase.Phase_log
+module Categorize = Vp_phase.Categorize
+module Emulator = Vp_exec.Emulator
+
+type t = {
+  name : string;
+  config_name : string;
+  instructions : int;
+  raw_detections : int;
+  recordings : int;
+  unique_phases : int;
+  transitions : int;
+  coverage : Coverage.t;
+  expansion : Expansion.t;
+  categories : Categorize.weights;
+  speedup : Speedup.t option;
+}
+
+let evaluate_profile ?(config = Config.default) ?(timing = true) ~name
+    (profile : Driver.profile) =
+  let r = Driver.rewrite_of_profile ~config profile in
+  let coverage = Coverage.measure ~config r in
+  let expansion = Expansion.measure r in
+  let categories =
+    Categorize.weighted profile.Driver.log ~dynamic:profile.Driver.aggregate
+  in
+  let speedup = if timing then Some (Speedup.measure ~config r) else None in
+  {
+    name;
+    config_name =
+      Config.experiment_name
+        ~inference:config.Config.identify.Vp_region.Identify.block_inference
+        ~linking:config.Config.linking;
+    instructions = profile.Driver.outcome.Emulator.instructions;
+    raw_detections = profile.Driver.detections;
+    recordings = List.length profile.Driver.snapshots;
+    unique_phases = Phase_log.unique_count profile.Driver.log;
+    transitions = Phase_log.transitions profile.Driver.log;
+    coverage;
+    expansion;
+    categories;
+    speedup;
+  }
+
+let evaluate ?config ?timing ~name image =
+  evaluate_profile ?config ?timing ~name (Driver.profile ?config image)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%s (%s)@,\
+    \  dynamic instructions   %d@,\
+    \  detections/recordings  %d/%d@,\
+    \  unique phases          %d (%d transitions)@,\
+    \  coverage               %.1f%%%s@,\
+    \  code expansion         +%.1f%% (selected %.1f%%, replication %.2f)@]"
+    t.name t.config_name t.instructions t.raw_detections t.recordings
+    t.unique_phases t.transitions t.coverage.Coverage.coverage_pct
+    (if t.coverage.Coverage.equivalent then "" else " [NOT EQUIVALENT]")
+    t.expansion.Expansion.increase_pct t.expansion.Expansion.selected_pct
+    t.expansion.Expansion.replication;
+  match t.speedup with
+  | Some s -> Format.fprintf fmt "@,  speedup                %.3fx" s.Speedup.speedup
+  | None -> ()

@@ -1,0 +1,16 @@
+module Pipeline = Vp_cpu.Pipeline
+
+type t = {
+  baseline : Pipeline.stats;
+  optimized : Pipeline.stats;
+  speedup : float;
+}
+
+let measure ?(config = Config.default) (r : Driver.rewrite) =
+  let time image =
+    Pipeline.simulate ~config:config.Config.cpu ~fuel:config.Config.fuel
+      ~mem_words:config.Config.mem_words image
+  in
+  let baseline = time r.Driver.source.Driver.image in
+  let optimized = time (Driver.rewritten_image r) in
+  { baseline; optimized; speedup = Pipeline.speedup ~baseline ~optimized }

@@ -1,0 +1,10 @@
+(** Figure 10 metric: cycle counts of the original and the packaged
+    binary on the Table 2 EPIC timing model, and their ratio. *)
+
+type t = {
+  baseline : Vp_cpu.Pipeline.stats;
+  optimized : Vp_cpu.Pipeline.stats;
+  speedup : float;
+}
+
+val measure : ?config:Config.t -> Driver.rewrite -> t

@@ -1,0 +1,1 @@
+lib/cpu/cache.ml: Array Config

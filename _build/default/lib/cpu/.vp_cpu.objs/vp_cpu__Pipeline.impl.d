@@ -1,0 +1,1 @@
+lib/cpu/pipeline.ml: Array Cache Config Format Hashtbl List Option Predictor Vp_exec Vp_isa

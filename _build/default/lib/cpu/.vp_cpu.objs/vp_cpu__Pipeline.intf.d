@@ -1,0 +1,1 @@
+lib/cpu/pipeline.mli: Config Format Vp_prog

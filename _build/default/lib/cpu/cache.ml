@@ -1,0 +1,61 @@
+type t = {
+  sets : int;
+  assoc : int;
+  line_bytes : int;
+  tags : int array;  (* sets * assoc, -1 = invalid *)
+  lru : int array;  (* higher = more recently used *)
+  mutable clock : int;
+  mutable access_count : int;
+  mutable miss_count : int;
+}
+
+let create (g : Config.cache_geometry) =
+  let lines = g.Config.size_bytes / g.Config.line_bytes in
+  let sets = max 1 (lines / g.Config.assoc) in
+  {
+    sets;
+    assoc = g.Config.assoc;
+    line_bytes = g.Config.line_bytes;
+    tags = Array.make (sets * g.Config.assoc) (-1);
+    lru = Array.make (sets * g.Config.assoc) 0;
+    clock = 0;
+    access_count = 0;
+    miss_count = 0;
+  }
+
+let access t ~addr =
+  t.access_count <- t.access_count + 1;
+  t.clock <- t.clock + 1;
+  let line = addr / t.line_bytes in
+  let set = line mod t.sets in
+  let base = set * t.assoc in
+  let rec find i =
+    if i >= t.assoc then None
+    else if t.tags.(base + i) = line then Some (base + i)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some slot ->
+    t.lru.(slot) <- t.clock;
+    true
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    (* LRU victim (invalid slots have lru 0 and lose ties). *)
+    let victim = ref base in
+    for i = 1 to t.assoc - 1 do
+      if t.lru.(base + i) < t.lru.(!victim) then victim := base + i
+    done;
+    t.tags.(!victim) <- line;
+    t.lru.(!victim) <- t.clock;
+    false
+
+let accesses t = t.access_count
+let misses t = t.miss_count
+
+let miss_rate t =
+  if t.access_count = 0 then 0.0
+  else float_of_int t.miss_count /. float_of_int t.access_count
+
+let reset_stats t =
+  t.access_count <- 0;
+  t.miss_count <- 0

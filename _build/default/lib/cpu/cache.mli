@@ -1,0 +1,16 @@
+(** Set-associative LRU cache model shared by the I-cache, D-cache and
+    L2 of the timing pipeline. *)
+
+type t
+
+val create : Config.cache_geometry -> t
+
+val access : t -> addr:int -> bool
+(** True on hit; a miss installs the line (allocate-on-miss, LRU
+    victim). *)
+
+val accesses : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+
+val reset_stats : t -> unit

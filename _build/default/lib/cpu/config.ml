@@ -1,0 +1,64 @@
+type cache_geometry = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+}
+
+type t = {
+  issue_width : int;
+  ialu_units : int;
+  fp_units : int;
+  mem_units : int;
+  branch_units : int;
+  l1i : cache_geometry;
+  l1d : cache_geometry;
+  l2 : cache_geometry;
+  l2_latency : int;
+  memory_latency : int;
+  branch_resolution : int;
+  gshare_history_bits : int;
+  btb_entries : int;
+  ras_entries : int;
+  instr_bytes : int;
+  word_bytes : int;
+}
+
+let default =
+  {
+    issue_width = 8;
+    ialu_units = 5;
+    fp_units = 3;
+    mem_units = 3;
+    branch_units = 3;
+    l1i = { size_bytes = 64 * 1024; line_bytes = 64; assoc = 4 };
+    l1d = { size_bytes = 64 * 1024; line_bytes = 64; assoc = 4 };
+    l2 = { size_bytes = 512 * 1024; line_bytes = 64; assoc = 8 };
+    l2_latency = 7;
+    memory_latency = 60;
+    branch_resolution = 7;
+    gshare_history_bits = 10;
+    btb_entries = 1024;
+    ras_entries = 32;
+    instr_bytes = 8;
+    word_bytes = 8;
+  }
+
+let pp fmt t =
+  let row name value = Format.fprintf fmt "  %-28s %s@," name value in
+  Format.fprintf fmt "@[<v>";
+  row "Instruction issue" (Printf.sprintf "%d units" t.issue_width);
+  row "Integer ALU" (Printf.sprintf "%d units" t.ialu_units);
+  row "Floating point unit" (Printf.sprintf "%d units" t.fp_units);
+  row "Memory unit" (Printf.sprintf "%d units" t.mem_units);
+  row "Branch unit" (Printf.sprintf "%d units" t.branch_units);
+  row "L1 data cache" (Printf.sprintf "%d KB" (t.l1d.size_bytes / 1024));
+  row "L1 instruction cache" (Printf.sprintf "%d KB" (t.l1i.size_bytes / 1024));
+  row "Unified L2 cache" (Printf.sprintf "%d KB" (t.l2.size_bytes / 1024));
+  row "L2 latency" (Printf.sprintf "%d cycles" t.l2_latency);
+  row "Memory latency" (Printf.sprintf "%d cycles" t.memory_latency);
+  row "Branch resolution" (Printf.sprintf "%d cycles" t.branch_resolution);
+  row "Branch predictor"
+    (Printf.sprintf "%d-bit history gshare" t.gshare_history_bits);
+  row "BTB size" (Printf.sprintf "%d entry" t.btb_entries);
+  row "RAS size" (Printf.sprintf "%d entry" t.ras_entries);
+  Format.fprintf fmt "@]"

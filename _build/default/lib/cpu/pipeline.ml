@@ -1,0 +1,230 @@
+module Instr = Vp_isa.Instr
+module Op = Vp_isa.Op
+module Reg = Vp_isa.Reg
+module Emulator = Vp_exec.Emulator
+
+type stats = {
+  cycles : int;
+  instructions : int;
+  ipc : float;
+  branch_mispredicts : int;
+  ras_mispredicts : int;
+  taken_redirects : int;
+  icache_misses : int;
+  dcache_misses : int;
+  l2_misses : int;
+  fetch_stall_cycles : int;
+  data_stall_cycles : int;
+}
+
+let fu_index = function
+  | Op.Ialu -> 0
+  | Op.Fp | Op.Long_fp -> 1
+  | Op.Mem -> 2
+  | Op.Control -> 3
+
+let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_progress
+    image =
+  let l1i = Cache.create config.Config.l1i in
+  let l1d = Cache.create config.Config.l1d in
+  let l2 = Cache.create config.Config.l2 in
+  let pred = Predictor.create config in
+  let fu_limit =
+    [|
+      config.Config.ialu_units;
+      config.Config.fp_units;
+      config.Config.mem_units;
+      config.Config.branch_units;
+    |]
+  in
+  let fu_used = Array.make 4 0 in
+  let reg_ready = Array.make Reg.count 0 in
+  let cycle = ref 0 in
+  let width_used = ref 0 in
+  let fetch_ready = ref 0 in
+  let fetch_stalls = ref 0 in
+  let data_stalls = ref 0 in
+  let taken_redirects = ref 0 in
+  let instructions = ref 0 in
+  let advance_to c =
+    if c > !cycle then begin
+      cycle := c;
+      width_used := 0;
+      Array.fill fu_used 0 4 0
+    end
+  in
+  (* Memory-hierarchy charge for one access; returns extra latency. *)
+  let hierarchy cache addr =
+    if Cache.access cache ~addr then 0
+    else if Cache.access l2 ~addr then config.Config.l2_latency
+    else config.Config.l2_latency + config.Config.memory_latency
+  in
+  let on_event (e : Emulator.event) =
+    incr instructions;
+    (* Fetch: I-cache access for this instruction's line. *)
+    let fetch_pen = hierarchy l1i (e.Emulator.pc * config.Config.instr_bytes) in
+    if fetch_pen > 0 then fetch_ready := max !fetch_ready (!cycle + fetch_pen);
+    (* Earliest issue: fetch and operands. *)
+    let op_ready =
+      List.fold_left
+        (fun acc r -> max acc reg_ready.(Reg.to_int r))
+        0
+        (Instr.uses e.Emulator.instr)
+    in
+    let earliest = max !fetch_ready op_ready in
+    if earliest > !cycle then begin
+      (if !fetch_ready >= op_ready then
+         fetch_stalls := !fetch_stalls + (earliest - !cycle)
+       else data_stalls := !data_stalls + (earliest - !cycle));
+      advance_to earliest
+    end;
+    (* Structural hazards: issue width and FU availability. *)
+    let fu = fu_index (Instr.fu e.Emulator.instr) in
+    while
+      !width_used >= config.Config.issue_width || fu_used.(fu) >= fu_limit.(fu)
+    do
+      advance_to (!cycle + 1)
+    done;
+    fu_used.(fu) <- fu_used.(fu) + 1;
+    incr width_used;
+    (* Result latency, plus D-cache behaviour for memory operations. *)
+    let latency =
+      match e.Emulator.instr with
+      | Instr.Load _ ->
+        let pen =
+          match e.Emulator.mem_addr with
+          | Some a -> hierarchy l1d (a * config.Config.word_bytes)
+          | None -> 0
+        in
+        Instr.latency e.Emulator.instr + pen
+      | Instr.Store _ ->
+        (match e.Emulator.mem_addr with
+        | Some a -> ignore (hierarchy l1d (a * config.Config.word_bytes))
+        | None -> ());
+        Instr.latency e.Emulator.instr
+      | i -> Instr.latency i
+    in
+    List.iter
+      (fun r -> reg_ready.(Reg.to_int r) <- !cycle + latency)
+      (Instr.defs e.Emulator.instr);
+    (* Control flow: fetch redirects and mispredictions. *)
+    (match e.Emulator.instr with
+    | Instr.Br { target = Instr.Addr target; _ } ->
+      let correct = Predictor.predict_branch pred ~pc:e.Emulator.pc ~taken:e.Emulator.taken in
+      if not correct then
+        fetch_ready := max !fetch_ready (!cycle + config.Config.branch_resolution)
+      else if e.Emulator.taken then begin
+        let btb_hit = Predictor.btb_lookup pred ~pc:e.Emulator.pc ~target in
+        incr taken_redirects;
+        fetch_ready := max !fetch_ready (!cycle + if btb_hit then 1 else 2)
+      end;
+      (match on_branch_progress with
+      | Some f -> f ~cycles:!cycle ~instructions:!instructions
+      | None -> ())
+    | Instr.Br _ -> ()
+    | Instr.Jmp _ -> fetch_ready := max !fetch_ready (!cycle + 1)
+    | Instr.Call _ ->
+      Predictor.call_push pred ~return_addr:(e.Emulator.pc + 1);
+      fetch_ready := max !fetch_ready (!cycle + 1)
+    | Instr.Ret ->
+      let correct = Predictor.ret_predict pred ~actual:e.Emulator.next_pc in
+      fetch_ready :=
+        max !fetch_ready
+          (!cycle + if correct then 1 else config.Config.branch_resolution)
+    | _ -> ())
+  in
+  let (_ : Emulator.outcome) = Emulator.run ?fuel ?mem_words ~on_event image in
+  let pstats = Predictor.stats pred in
+  let total_cycles = !cycle + 1 in
+  {
+    cycles = total_cycles;
+    instructions = !instructions;
+    ipc =
+      (if total_cycles = 0 then 0.0
+       else float_of_int !instructions /. float_of_int total_cycles);
+    branch_mispredicts = pstats.Predictor.mispredictions;
+    ras_mispredicts = pstats.Predictor.ras_misses;
+    taken_redirects = !taken_redirects;
+    icache_misses = Cache.misses l1i;
+    dcache_misses = Cache.misses l1d;
+    l2_misses = Cache.misses l2;
+    fetch_stall_cycles = !fetch_stalls;
+    data_stall_cycles = !data_stalls;
+  }
+
+let simulate ?config ?fuel ?mem_words image =
+  simulate_internal ?config ?fuel ?mem_words image
+
+type phase_stats = {
+  phase : int;
+  branches : int;
+  seg_cycles : int;
+  seg_instructions : int;
+  seg_ipc : float;
+}
+
+let simulate_phases ?config ?fuel ?mem_words ~timeline image =
+  (* The timeline gives [(start, stop, phase)] intervals in dynamic
+     conditional-branch indices; attribute cycle/instruction deltas to
+     the phase active at each retired branch (interval gaps — detector
+     warmup — attribute to phase -1). *)
+  let acc : (int, int * int * int) Hashtbl.t = Hashtbl.create 8 in
+  let branch_index = ref 0 in
+  let last_cycles = ref 0 in
+  let last_instructions = ref 0 in
+  (* The timeline is sorted and branch indices arrive monotonically, so
+     a cursor suffices. *)
+  let remaining = ref timeline in
+  let phase_of i =
+    let rec advance () =
+      match !remaining with
+      | (_, e, _) :: rest when i >= e ->
+        remaining := rest;
+        advance ()
+      | _ -> ()
+    in
+    advance ();
+    match !remaining with
+    | (s, _, p) :: _ when i >= s -> p
+    | _ -> -1
+  in
+  let on_branch_progress ~cycles ~instructions =
+    incr branch_index;
+    let p = phase_of !branch_index in
+    let b, c, n = Option.value ~default:(0, 0, 0) (Hashtbl.find_opt acc p) in
+    Hashtbl.replace acc p
+      (b + 1, c + (cycles - !last_cycles), n + (instructions - !last_instructions));
+    last_cycles := cycles;
+    last_instructions := instructions
+  in
+  let (_ : stats) =
+    simulate_internal ?config ?fuel ?mem_words ~on_branch_progress image
+  in
+  Hashtbl.fold
+    (fun phase (branches, seg_cycles, seg_instructions) l ->
+      {
+        phase;
+        branches;
+        seg_cycles;
+        seg_instructions;
+        seg_ipc =
+          (if seg_cycles = 0 then 0.0
+           else float_of_int seg_instructions /. float_of_int seg_cycles);
+      }
+      :: l)
+    acc []
+  |> List.sort (fun a b -> compare a.phase b.phase)
+
+let speedup ~baseline ~optimized =
+  if optimized.cycles = 0 then 0.0
+  else float_of_int baseline.cycles /. float_of_int optimized.cycles
+
+let pp fmt s =
+  Format.fprintf fmt
+    "@[<v>cycles %d, instructions %d, IPC %.3f@,\
+     mispredicts %d (ras %d), taken redirects %d@,\
+     misses: L1I %d, L1D %d, L2 %d@,\
+     stalls: fetch %d, data %d@]"
+    s.cycles s.instructions s.ipc s.branch_mispredicts s.ras_mispredicts
+    s.taken_redirects s.icache_misses s.dcache_misses s.l2_misses
+    s.fetch_stall_cycles s.data_stall_cycles

@@ -1,0 +1,94 @@
+type t = {
+  history_mask : int;
+  mutable history : int;
+  counters : int array;  (* 2-bit saturating *)
+  btb_tags : int array;
+  btb_targets : int array;
+  ras : int array;
+  mutable ras_top : int;  (* number of valid entries, wraps *)
+  mutable n_branches : int;
+  mutable n_mispredictions : int;
+  mutable n_btb_lookups : int;
+  mutable n_btb_misses : int;
+  mutable n_returns : int;
+  mutable n_ras_misses : int;
+}
+
+type stats = {
+  branches : int;
+  mispredictions : int;
+  btb_lookups : int;
+  btb_misses : int;
+  returns : int;
+  ras_misses : int;
+}
+
+let create (cfg : Config.t) =
+  let table_size = 1 lsl cfg.Config.gshare_history_bits in
+  {
+    history_mask = table_size - 1;
+    history = 0;
+    counters = Array.make table_size 1;
+    btb_tags = Array.make cfg.Config.btb_entries (-1);
+    btb_targets = Array.make cfg.Config.btb_entries 0;
+    ras = Array.make cfg.Config.ras_entries 0;
+    ras_top = 0;
+    n_branches = 0;
+    n_mispredictions = 0;
+    n_btb_lookups = 0;
+    n_btb_misses = 0;
+    n_returns = 0;
+    n_ras_misses = 0;
+  }
+
+let predict_branch t ~pc ~taken =
+  t.n_branches <- t.n_branches + 1;
+  let index = (pc lxor t.history) land t.history_mask in
+  let counter = t.counters.(index) in
+  let prediction = counter >= 2 in
+  t.counters.(index) <-
+    (if taken then min 3 (counter + 1) else max 0 (counter - 1));
+  t.history <- ((t.history lsl 1) lor if taken then 1 else 0) land t.history_mask;
+  let correct = prediction = taken in
+  if not correct then t.n_mispredictions <- t.n_mispredictions + 1;
+  correct
+
+let btb_lookup t ~pc ~target =
+  t.n_btb_lookups <- t.n_btb_lookups + 1;
+  let n = Array.length t.btb_tags in
+  let slot = pc mod n in
+  let hit = t.btb_tags.(slot) = pc && t.btb_targets.(slot) = target in
+  if not hit then begin
+    t.n_btb_misses <- t.n_btb_misses + 1;
+    t.btb_tags.(slot) <- pc;
+    t.btb_targets.(slot) <- target
+  end;
+  hit
+
+let call_push t ~return_addr =
+  let n = Array.length t.ras in
+  t.ras.(t.ras_top mod n) <- return_addr;
+  t.ras_top <- t.ras_top + 1
+
+let ret_predict t ~actual =
+  t.n_returns <- t.n_returns + 1;
+  let n = Array.length t.ras in
+  let correct =
+    if t.ras_top = 0 then false
+    else begin
+      t.ras_top <- t.ras_top - 1;
+      t.ras.(t.ras_top mod n) = actual
+    end
+  in
+  if not correct then t.n_ras_misses <- t.n_ras_misses + 1;
+  correct
+
+let stats t =
+  {
+    branches = t.n_branches;
+    mispredictions = t.n_mispredictions;
+    btb_lookups = t.n_btb_lookups;
+    btb_misses = t.n_btb_misses;
+    returns = t.n_returns;
+    ras_misses = t.n_ras_misses;
+  }

@@ -1,0 +1,31 @@
+(** Branch prediction hardware of Table 2: a gshare direction
+    predictor (2-bit counters, global history), a direct-mapped tagged
+    BTB for taken-target lookup, and a return-address stack. *)
+
+type t
+
+val create : Config.t -> t
+
+val predict_branch : t -> pc:int -> taken:bool -> bool
+(** Predict-and-update for a conditional branch at [pc] with actual
+    outcome [taken]; returns whether the prediction was correct. *)
+
+val btb_lookup : t -> pc:int -> target:int -> bool
+(** Was the taken-target available in the BTB?  Installs/updates the
+    entry either way. *)
+
+val call_push : t -> return_addr:int -> unit
+
+val ret_predict : t -> actual:int -> bool
+(** Pop the RAS and compare with the actual return address. *)
+
+type stats = {
+  branches : int;
+  mispredictions : int;
+  btb_lookups : int;
+  btb_misses : int;
+  returns : int;
+  ras_misses : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/exec/emulator.ml: Array Hashtbl Option Printf State Vp_isa Vp_prog

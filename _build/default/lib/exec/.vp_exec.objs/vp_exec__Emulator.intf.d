@@ -1,0 +1,1 @@
+lib/exec/emulator.mli: Hashtbl Vp_isa Vp_prog

@@ -1,0 +1,1 @@
+lib/exec/state.ml: Array List Printf Vp_isa Vp_prog

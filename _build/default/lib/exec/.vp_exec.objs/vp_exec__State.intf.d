@@ -1,0 +1,1 @@
+lib/exec/state.mli: Vp_isa Vp_prog

@@ -1,0 +1,118 @@
+module Instr = Vp_isa.Instr
+module Op = Vp_isa.Op
+module Reg = Vp_isa.Reg
+module Image = Vp_prog.Image
+
+type event = {
+  pc : int;
+  instr : Instr.t;
+  taken : bool;
+  next_pc : int;
+  mem_addr : int option;
+}
+
+type outcome = {
+  instructions : int;
+  package_instructions : int;
+  cond_branches : int;
+  halted : bool;
+  checksum : int;
+  result : int;
+  final_pc : int;
+}
+
+let target_addr = function
+  | Instr.Addr a -> a
+  | Instr.Label l -> invalid_arg (Printf.sprintf "Emulator: unresolved label %s" l)
+
+let operand_value st = function
+  | Instr.Reg r -> State.reg st r
+  | Instr.Imm n -> n
+
+let run ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch ?on_event image =
+  let st = State.create ~mem_words image in
+  let instructions = ref 0 in
+  let package_instructions = ref 0 in
+  let cond_branches = ref 0 in
+  let halted = ref false in
+  let orig_limit = image.Image.orig_limit in
+  let code = image.Image.code in
+  let size = Array.length code in
+  while (not !halted) && !instructions < fuel do
+    let pc = State.pc st in
+    if pc < 0 || pc >= size then
+      invalid_arg (Printf.sprintf "Emulator: pc 0x%x outside image" pc);
+    let instr = code.(pc) in
+    incr instructions;
+    if pc >= orig_limit then incr package_instructions;
+    let taken = ref false in
+    let mem_addr = ref None in
+    let next = ref (pc + 1) in
+    (match instr with
+    | Instr.Alu { op; dst; src1; src2 } ->
+      State.set_reg st dst (Op.eval_alu op (State.reg st src1) (operand_value st src2))
+    | Instr.Li { dst; imm } -> State.set_reg st dst imm
+    | Instr.La { dst; target } -> State.set_reg st dst (target_addr target)
+    | Instr.Load { dst; base; offset } ->
+      let addr = State.reg st base + offset in
+      mem_addr := Some addr;
+      State.set_reg st dst (State.mem st addr)
+    | Instr.Store { src; base; offset } ->
+      let addr = State.reg st base + offset in
+      mem_addr := Some addr;
+      let v = State.reg st src in
+      State.set_mem st addr v;
+      (* ra spills hold code addresses; keep them out of the digest so
+         original and rewritten binaries stay comparable. *)
+      if not (Reg.equal src Reg.ra) then State.bump_store_digest st addr v
+    | Instr.Br { cond; src1; src2; target } ->
+      incr cond_branches;
+      let t = Op.eval_cond cond (State.reg st src1) (State.reg st src2) in
+      taken := t;
+      if t then next := target_addr target;
+      (match on_branch with Some f -> f ~pc ~taken:t | None -> ())
+    | Instr.Jmp { target } ->
+      taken := true;
+      next := target_addr target
+    | Instr.Call { target } ->
+      taken := true;
+      State.set_reg st Reg.ra (pc + 1);
+      next := target_addr target
+    | Instr.Ret ->
+      taken := true;
+      let ra = State.reg st Reg.ra in
+      if ra = State.halt_address then begin
+        halted := true;
+        next := State.halt_address
+      end
+      else next := ra
+    | Instr.Nop -> ()
+    | Instr.Halt ->
+      halted := true;
+      next := State.halt_address);
+    (match on_event with
+    | Some f ->
+      f { pc; instr; taken = !taken; next_pc = !next; mem_addr = !mem_addr }
+    | None -> ());
+    if not !halted then State.set_pc st !next
+  done;
+  {
+    instructions = !instructions;
+    package_instructions = !package_instructions;
+    cond_branches = !cond_branches;
+    halted = !halted;
+    checksum = State.checksum st;
+    result = State.reg st Reg.ret_value;
+    final_pc = State.pc st;
+  }
+
+let aggregate_branch_profile ?fuel ?mem_words image =
+  let table = Hashtbl.create 256 in
+  let on_branch ~pc ~taken =
+    let executed, takens =
+      Option.value ~default:(0, 0) (Hashtbl.find_opt table pc)
+    in
+    Hashtbl.replace table pc (executed + 1, if taken then takens + 1 else takens)
+  in
+  let (_ : outcome) = run ?fuel ?mem_words ~on_branch image in
+  table

@@ -1,0 +1,48 @@
+(** Functional (architectural) emulation of a binary image.
+
+    The emulator retires one instruction at a time and exposes two
+    observation channels:
+
+    - [on_branch] fires at every conditional-branch retirement with
+      the branch's static address and its outcome — exactly the event
+      stream the Hot Spot Detector consumes;
+    - [on_event] fires at every retirement with full detail (used by
+      the trace-driven timing model).
+
+    Both are optional and the fast path allocates nothing when
+    [on_event] is absent. *)
+
+type event = {
+  pc : int;
+  instr : Vp_isa.Instr.t;
+  taken : bool;  (** meaningful for conditional branches; true for jumps *)
+  next_pc : int;  (** {!State.halt_address} when the machine stops *)
+  mem_addr : int option;  (** effective address of a load/store *)
+}
+
+type outcome = {
+  instructions : int;  (** dynamic instructions retired *)
+  package_instructions : int;  (** retired from appended package code *)
+  cond_branches : int;
+  halted : bool;  (** false when fuel ran out *)
+  checksum : int;
+  result : int;  (** value of [Reg.ret_value] when the machine stopped *)
+  final_pc : int;
+}
+
+val run :
+  ?fuel:int ->
+  ?mem_words:int ->
+  ?on_branch:(pc:int -> taken:bool -> unit) ->
+  ?on_event:(event -> unit) ->
+  Vp_prog.Image.t ->
+  outcome
+(** Execute from the image entry until [Halt], a return to
+    {!State.halt_address}, or fuel exhaustion (default fuel 200M).
+    Raises {!State.Fault} on out-of-range memory access and
+    [Invalid_argument] on a jump outside the image. *)
+
+val aggregate_branch_profile :
+  ?fuel:int -> ?mem_words:int -> Vp_prog.Image.t -> (int, int * int) Hashtbl.t
+(** Whole-run (executed, taken) counts per static conditional branch —
+    the traditional aggregate profile the paper contrasts against. *)

@@ -1,0 +1,75 @@
+module Reg = Vp_isa.Reg
+module Image = Vp_prog.Image
+
+exception Fault of string
+
+type t = {
+  regs : int array;
+  memory : int array;
+  stack_floor : int;
+  mutable program_counter : int;
+  mutable digest : int;
+}
+
+let halt_address = -1
+
+(* Addresses at or above the floor are stack: private scratch whose
+   stores (spills, frame locals) are not part of observable behaviour. *)
+let stack_floor_of mem_words = mem_words - min (mem_words / 4) (1 lsl 16)
+
+let create ~mem_words image =
+  let regs = Array.make Reg.count 0 in
+  regs.(Reg.to_int Reg.sp) <- mem_words;
+  regs.(Reg.to_int Reg.ra) <- halt_address;
+  let memory = Array.make mem_words 0 in
+  List.iter
+    (fun (addr, v) ->
+      if addr < 0 || addr >= mem_words then
+        raise (Fault (Printf.sprintf "data initialiser at %d out of range" addr));
+      memory.(addr) <- v)
+    image.Image.data_init;
+  {
+    regs;
+    memory;
+    stack_floor = stack_floor_of mem_words;
+    program_counter = image.Image.entry;
+    digest = 0;
+  }
+
+let pc t = t.program_counter
+let set_pc t v = t.program_counter <- v
+
+let reg t r =
+  let i = Reg.to_int r in
+  if i = 0 then 0 else t.regs.(i)
+
+let set_reg t r v =
+  let i = Reg.to_int r in
+  if i <> 0 then t.regs.(i) <- v
+
+let mem t addr =
+  if addr < 0 || addr >= Array.length t.memory then
+    raise (Fault (Printf.sprintf "load from %d out of range (pc=0x%x)" addr t.program_counter))
+  else t.memory.(addr)
+
+let set_mem t addr v =
+  if addr < 0 || addr >= Array.length t.memory then
+    raise (Fault (Printf.sprintf "store to %d out of range (pc=0x%x)" addr t.program_counter))
+  else t.memory.(addr) <- v
+
+let mem_words t = Array.length t.memory
+
+let mix h v = (h * 31) + v
+
+let store_digest t = t.digest
+
+let bump_store_digest t addr v =
+  if addr < t.stack_floor then t.digest <- mix (mix t.digest addr) v
+
+(* The checksum compares semantic outcomes: the full store stream plus
+   the result register.  Dead register values at halt are excluded —
+   they legitimately differ once an optimizer sinks or deletes
+   computations whose results the program never consumes (and the
+   return-address register holds code addresses, which differ between
+   an original binary and its packaged rewrite by construction). *)
+let checksum t = mix t.digest t.regs.(Reg.to_int Reg.ret_value)

@@ -1,0 +1,47 @@
+(** Architectural machine state: 32 integer registers and a flat word
+    memory.  Register 0 reads as zero and swallows writes.  The
+    initial return address is {!halt_address}; a [Ret] landing there
+    stops the machine, which is how the entry function terminates
+    without a [Halt]. *)
+
+type t
+
+val halt_address : int
+(** Sentinel return address (-1). *)
+
+val create : mem_words:int -> Vp_prog.Image.t -> t
+(** Fresh state: pc at the image entry, sp at the top of memory, ra at
+    {!halt_address}, memory initialised from the image's data
+    initialisers. *)
+
+val pc : t -> int
+val set_pc : t -> int -> unit
+
+val reg : t -> Vp_isa.Reg.t -> int
+val set_reg : t -> Vp_isa.Reg.t -> int -> unit
+
+exception Fault of string
+(** Raised on out-of-range memory access, with pc context. *)
+
+val mem : t -> int -> int
+val set_mem : t -> int -> int -> unit
+
+val mem_words : t -> int
+
+val store_digest : t -> int
+(** Running hash over the (address, value) store stream — divergence
+    between an original and a rewritten binary shows up here.  Stores
+    into the stack region (the top quarter of memory, capped at 64K
+    words) are excluded: spills and frame locals are private scratch,
+    and dead callee-save traffic legitimately differs once the
+    optimizer deletes computations whose results the program never
+    consumes. *)
+
+val bump_store_digest : t -> int -> int -> unit
+(** No-op for stack-region addresses (see {!store_digest}). *)
+
+val checksum : t -> int
+(** Final architectural checksum: the store digest folded with the
+    result register.  Dead register values at halt are deliberately
+    excluded so semantics-preserving optimizations (dead-code sinking)
+    remain checksum-equal. *)

@@ -1,0 +1,1 @@
+lib/hsd/bbb.ml: Array Config List Snapshot Vp_util

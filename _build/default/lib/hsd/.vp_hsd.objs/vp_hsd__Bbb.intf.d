@@ -1,0 +1,1 @@
+lib/hsd/bbb.mli: Config Snapshot

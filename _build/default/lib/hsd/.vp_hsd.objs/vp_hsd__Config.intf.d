@@ -1,0 +1,1 @@
+lib/hsd/config.mli:

@@ -1,0 +1,1 @@
+lib/hsd/detector.ml: Bbb Config List Snapshot Stdlib

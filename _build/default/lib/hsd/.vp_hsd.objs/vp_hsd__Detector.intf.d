@@ -1,0 +1,1 @@
+lib/hsd/detector.mli: Config Snapshot

@@ -1,0 +1,1 @@
+lib/hsd/snapshot.ml: Format List

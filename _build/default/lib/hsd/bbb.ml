@@ -1,0 +1,112 @@
+module Counter = Vp_util.Counter
+
+type slot = {
+  mutable valid : bool;
+  mutable tag : int;
+  counter : Counter.t;
+  mutable candidate : bool;
+}
+
+type t = { config : Config.t; slots : slot array (* sets * assoc, set-major *) }
+
+type verdict = Candidate | Non_candidate | Dropped
+
+let create (config : Config.t) =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Bbb.create: " ^ e));
+  let slots =
+    Array.init (Config.capacity config) (fun _ ->
+        {
+          valid = false;
+          tag = 0;
+          counter = Counter.create ~bits:config.Config.counter_bits;
+          candidate = false;
+        })
+  in
+  { config; slots }
+
+let set_range t pc =
+  let set = pc mod t.config.Config.sets in
+  let base = set * t.config.Config.assoc in
+  (base, base + t.config.Config.assoc - 1)
+
+let find_slot t pc =
+  let lo, hi = set_range t pc in
+  let rec go i =
+    if i > hi then None
+    else if t.slots.(i).valid && t.slots.(i).tag = pc then Some t.slots.(i)
+    else go (i + 1)
+  in
+  go lo
+
+let find_victim t pc =
+  let lo, hi = set_range t pc in
+  (* Prefer an invalid way; otherwise evict a non-candidate. *)
+  let rec find_invalid i =
+    if i > hi then None
+    else if not t.slots.(i).valid then Some t.slots.(i)
+    else find_invalid (i + 1)
+  in
+  match find_invalid lo with
+  | Some s -> Some s
+  | None ->
+    let rec find_noncand i =
+      if i > hi then None
+      else if not t.slots.(i).candidate then Some t.slots.(i)
+      else find_noncand (i + 1)
+    in
+    find_noncand lo
+
+let bump t slot ~taken =
+  Counter.record slot.counter ~taken;
+  if Counter.executed slot.counter >= t.config.Config.candidate_threshold then
+    slot.candidate <- true;
+  if slot.candidate then Candidate else Non_candidate
+
+let record t ~pc ~taken =
+  match find_slot t pc with
+  | Some slot -> bump t slot ~taken
+  | None -> (
+    match find_victim t pc with
+    | Some slot ->
+      slot.valid <- true;
+      slot.tag <- pc;
+      slot.candidate <- false;
+      Counter.reset slot.counter;
+      bump t slot ~taken
+    | None -> Dropped)
+
+let refresh t =
+  Array.iter
+    (fun s -> if s.valid && not s.candidate then Counter.reset s.counter)
+    t.slots
+
+let clear t =
+  Array.iter
+    (fun s ->
+      s.valid <- false;
+      s.candidate <- false;
+      Counter.reset s.counter)
+    t.slots
+
+let snapshot_entries t =
+  Array.to_list t.slots
+  |> List.filter_map (fun s ->
+         if s.valid && s.candidate then
+           Some
+             {
+               Snapshot.pc = s.tag;
+               executed = Counter.executed s.counter;
+               taken = Counter.taken s.counter;
+             }
+         else None)
+  |> List.sort (fun (a : Snapshot.entry) b -> compare a.Snapshot.pc b.Snapshot.pc)
+
+let occupancy t =
+  Array.fold_left (fun acc s -> if s.valid then acc + 1 else acc) 0 t.slots
+
+let candidates t =
+  Array.fold_left (fun acc s -> if s.valid && s.candidate then acc + 1 else acc) 0 t.slots
+
+let tracked t ~pc = find_slot t pc <> None

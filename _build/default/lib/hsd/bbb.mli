@@ -1,0 +1,36 @@
+(** The Branch Behavior Buffer: a set-associative table profiling
+    retiring conditional branches, after Merten et al. (ISCA 1999).
+
+    Each entry tracks one static branch with saturating executed/taken
+    counters and a {e candidate} flag that sets once the executed
+    count reaches the candidate threshold.  A missing branch installs
+    into an invalid or non-candidate way of its set; when every way
+    holds a candidate the newcomer is dropped — the contention
+    lossiness the paper's inference rules compensate for. *)
+
+type t
+
+type verdict =
+  | Candidate  (** retired branch is a candidate (drives the HDC down) *)
+  | Non_candidate  (** tracked but below threshold *)
+  | Dropped  (** not tracked: set full of candidates *)
+
+val create : Config.t -> t
+
+val record : t -> pc:int -> taken:bool -> verdict
+
+val refresh : t -> unit
+(** Zero the counters of every non-candidate entry (refresh timer). *)
+
+val clear : t -> unit
+(** Invalidate everything (clear timer / phase end). *)
+
+val snapshot_entries : t -> Snapshot.entry list
+(** Candidate entries, ascending by pc. *)
+
+val occupancy : t -> int
+(** Valid entries. *)
+
+val candidates : t -> int
+
+val tracked : t -> pc:int -> bool

@@ -1,0 +1,107 @@
+type raw = { id : int; detected_at : int; entries : Snapshot.entry list }
+
+type t = {
+  cfg : Config.t;
+  bbb : Bbb.t;
+  history_size : int;
+  same : Snapshot.t -> Snapshot.t -> bool;
+  mutable hdc : int;
+  mutable branches : int;
+  mutable since_refresh : int;
+  mutable since_clear : int;
+  mutable recorded_rev : raw list;
+  mutable raw_detections : int;
+}
+
+let create ?(config = Config.default) ?(history_size = 0) ?(same = fun _ _ -> false)
+    () =
+  (match Config.validate config with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Detector.create: " ^ e));
+  {
+    cfg = config;
+    bbb = Bbb.create config;
+    history_size;
+    same;
+    hdc = Config.hdc_max config;
+    branches = 0;
+    since_refresh = 0;
+    since_clear = 0;
+    recorded_rev = [];
+    raw_detections = 0;
+  }
+
+let config t = t.cfg
+
+(* View a raw recording as a snapshot for history comparison; the
+   extent is irrelevant to similarity. *)
+let snapshot_of_raw r =
+  { Snapshot.id = r.id; detected_at = r.detected_at; ended_at = r.detected_at;
+    branches = r.entries }
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let in_history t entries =
+  if t.history_size = 0 then false
+  else
+    let candidate =
+      { Snapshot.id = -1; detected_at = t.branches; ended_at = t.branches;
+        branches = entries }
+    in
+    List.exists
+      (fun r -> t.same candidate (snapshot_of_raw r))
+      (take t.history_size t.recorded_rev)
+
+let rearm t =
+  Bbb.clear t.bbb;
+  t.hdc <- Config.hdc_max t.cfg;
+  t.since_refresh <- 0;
+  t.since_clear <- 0
+
+let on_branch t ~pc ~taken =
+  t.branches <- t.branches + 1;
+  t.since_refresh <- t.since_refresh + 1;
+  t.since_clear <- t.since_clear + 1;
+  let verdict = Bbb.record t.bbb ~pc ~taken in
+  let hdc_max = Config.hdc_max t.cfg in
+  (match verdict with
+  | Bbb.Candidate -> t.hdc <- Stdlib.max 0 (t.hdc - t.cfg.Config.hdc_dec)
+  | Bbb.Non_candidate | Bbb.Dropped ->
+    t.hdc <- Stdlib.min hdc_max (t.hdc + t.cfg.Config.hdc_inc));
+  if t.hdc = 0 then begin
+    t.raw_detections <- t.raw_detections + 1;
+    let entries = Bbb.snapshot_entries t.bbb in
+    if entries <> [] && not (in_history t entries) then
+      t.recorded_rev <-
+        { id = List.length t.recorded_rev; detected_at = t.branches; entries }
+        :: t.recorded_rev;
+    rearm t
+  end
+  else begin
+    if t.since_refresh >= t.cfg.Config.refresh_interval then begin
+      Bbb.refresh t.bbb;
+      t.since_refresh <- 0
+    end;
+    if t.since_clear >= t.cfg.Config.clear_interval then rearm t
+  end
+
+let snapshots t =
+  let raws = List.rev t.recorded_rev in
+  let rec build = function
+    | [] -> []
+    | [ r ] ->
+      [ { Snapshot.id = r.id; detected_at = r.detected_at; ended_at = t.branches;
+          branches = r.entries } ]
+    | r :: (next :: _ as rest) ->
+      { Snapshot.id = r.id; detected_at = r.detected_at;
+        ended_at = next.detected_at; branches = r.entries }
+      :: build rest
+  in
+  build raws
+
+let branches_seen t = t.branches
+let hdc_value t = t.hdc
+let detections t = t.raw_detections
+let recordings t = List.length t.recorded_rev

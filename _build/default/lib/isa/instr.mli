@@ -1,0 +1,92 @@
+(** Instructions of the simulated EPIC-flavoured ISA.
+
+    One instruction occupies one address unit.  Before layout, control
+    transfers name {!target} labels; layout resolves every label to an
+    absolute address, and the binary image only ever contains resolved
+    instructions.
+
+    Control semantics:
+    - [Br] compares two registers and jumps to the target when the
+      condition holds, otherwise falls through.
+    - [Call] writes the return address (pc + 1) into [Reg.ra] and
+      jumps; there is no hardware stack, so functions that make calls
+      spill [ra] in their prologue.
+    - [Ret] jumps to the address held in [Reg.ra].
+    - [Halt] stops the machine (used only by the top-level driver). *)
+
+type target = Label of string | Addr of int
+
+type operand = Reg of Reg.t | Imm of int
+
+type t =
+  | Alu of { op : Op.alu; dst : Reg.t; src1 : Reg.t; src2 : operand }
+  | Li of { dst : Reg.t; imm : int }  (** load immediate *)
+  | La of { dst : Reg.t; target : target }  (** load code address *)
+  | Load of { dst : Reg.t; base : Reg.t; offset : int }
+  | Store of { src : Reg.t; base : Reg.t; offset : int }
+  | Br of { cond : Op.cond; src1 : Reg.t; src2 : Reg.t; target : target }
+  | Jmp of { target : target }
+  | Call of { target : target }
+  | Ret
+  | Nop
+  | Halt
+
+(** {1 Classification} *)
+
+val is_cond_branch : t -> bool
+(** Conditional branches are the only instructions profiled by the
+    Branch Behavior Buffer. *)
+
+val is_control : t -> bool
+(** Any instruction that can redirect the pc. *)
+
+val is_terminator : t -> bool
+(** Ends a basic block: [Br], [Jmp], [Call], [Ret], [Halt].  Per the
+    paper, a block contains at most one branch or call, always last. *)
+
+val is_call : t -> bool
+val is_return : t -> bool
+val is_load : t -> bool
+val is_store : t -> bool
+val is_mem : t -> bool
+
+(** {1 Targets} *)
+
+val target : t -> target option
+(** The label/address a control instruction may transfer to.  [Ret]
+    has none (indirect through [ra]). *)
+
+val with_target : t -> target -> t
+(** Replace the target of a control instruction; raises
+    [Invalid_argument] on instructions without one. *)
+
+val resolve : (string -> int) -> t -> t
+(** Resolve [Label] targets to [Addr] using the given symbol lookup. *)
+
+val retarget : (int -> int) -> t -> t
+(** Rewrite resolved [Addr] targets through an address map; leaves
+    labels untouched. *)
+
+(** {1 Dataflow} *)
+
+val defs : t -> Reg.t list
+(** Registers written.  [Call] defines [ra] and the argument registers
+    (the callee may overwrite them); writes to [Reg.zero] are
+    discarded by the machine but still reported here. *)
+
+val uses : t -> Reg.t list
+(** Registers read.  [Call] uses [sp] and all argument registers
+    (conservative interprocedural summary); [Ret] uses [ra], [sp] and
+    the return-value register. *)
+
+(** {1 Machine mapping} *)
+
+val fu : t -> Op.fu
+val latency : t -> int
+(** Base result latency, before cache effects. *)
+
+(** {1 Printing} *)
+
+val pp_target : Format.formatter -> target -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

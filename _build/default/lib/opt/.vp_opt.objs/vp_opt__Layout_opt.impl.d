@@ -1,0 +1,1 @@
+lib/opt/layout_opt.ml: Hashtbl List Vp_isa Vp_package Weights

@@ -1,0 +1,1 @@
+lib/opt/opt.ml: Layout_opt Schedule Sink Superblock Weights

@@ -1,0 +1,1 @@
+lib/opt/opt.mli: Vp_package

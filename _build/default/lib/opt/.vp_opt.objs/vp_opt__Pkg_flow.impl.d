@@ -1,0 +1,1 @@
+lib/opt/pkg_flow.ml: Vp_isa Vp_package

@@ -1,0 +1,1 @@
+lib/opt/pkg_flow.mli: Vp_isa Vp_package

@@ -1,0 +1,1 @@
+lib/opt/schedule.ml: Array Fun Hashtbl List Option Vp_isa Vp_package

@@ -1,0 +1,1 @@
+lib/opt/schedule.mli: Vp_isa Vp_package

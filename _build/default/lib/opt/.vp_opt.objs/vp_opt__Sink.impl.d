@@ -1,0 +1,1 @@
+lib/opt/sink.ml: Array Hashtbl List Option Pkg_flow Vp_isa Vp_package

@@ -1,0 +1,1 @@
+lib/opt/sink.mli: Hashtbl Vp_isa Vp_package

@@ -1,0 +1,1 @@
+lib/opt/superblock.ml: Hashtbl List Option Pkg_flow Sink Vp_isa Vp_package

@@ -1,0 +1,1 @@
+lib/opt/superblock.mli: Vp_package

@@ -1,0 +1,1 @@
+lib/opt/weights.ml: Hashtbl List Option Vp_package

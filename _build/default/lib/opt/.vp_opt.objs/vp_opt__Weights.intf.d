@@ -1,0 +1,1 @@
+lib/opt/weights.mli: Vp_package

@@ -1,0 +1,73 @@
+module Pkg = Vp_package.Pkg
+module Op = Vp_isa.Op
+
+let flip_branches ?(threshold = 0.5) pkg =
+  Pkg.map_blocks
+    (fun b ->
+      match (b.Pkg.term, b.Pkg.taken_prob) with
+      | Pkg.Branch { cond; src1; src2; taken; fall }, Some p when p > threshold ->
+        {
+          b with
+          Pkg.term =
+            Pkg.Branch
+              { cond = Op.negate_cond cond; src1; src2; taken = fall; fall = taken };
+          taken_prob = Some (1.0 -. p);
+        }
+      | _ -> b)
+    pkg
+
+let successors (b : Pkg.block) =
+  match b.Pkg.term with
+  | Pkg.Fall l | Pkg.Goto l -> [ l ]
+  | Pkg.Branch { taken; fall; _ } -> [ fall; taken ]
+  | Pkg.Call_orig { next; _ } -> [ next ]
+  | Pkg.Inlined_call { prologue; _ } -> [ prologue ]
+  | Pkg.Return | Pkg.Exit_jump _ | Pkg.Stop -> []
+
+let order_blocks weights (pkg : Pkg.t) =
+  let by_label = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace by_label b.Pkg.label b) pkg.Pkg.blocks;
+  let placed = Hashtbl.create 64 in
+  let order = ref [] in
+  let place b =
+    Hashtbl.replace placed b.Pkg.label ();
+    order := b :: !order
+  in
+  (* Chain from a seed: keep appending the heaviest unplaced successor. *)
+  let rec chain b =
+    place b;
+    let next =
+      successors b
+      |> List.filter_map (fun l ->
+             match Hashtbl.find_opt by_label l with
+             | Some s when (not (Hashtbl.mem placed l)) && not s.Pkg.is_exit ->
+               Some (s, Weights.arc weights b.Pkg.label l)
+             | _ -> None)
+      |> List.sort (fun (_, wa) (_, wb) -> compare wb wa)
+    in
+    match next with
+    | (s, _) :: _ -> chain s
+    | [] -> ()
+  in
+  (* Seeds: entries first (hottest entry first), then remaining hot
+     blocks by weight. *)
+  let entry_blocks =
+    List.filter_map (fun (l, _) -> Hashtbl.find_opt by_label l) pkg.Pkg.entries
+    |> List.stable_sort (fun a b ->
+           compare (Weights.block weights b.Pkg.label) (Weights.block weights a.Pkg.label))
+  in
+  List.iter (fun b -> if not (Hashtbl.mem placed b.Pkg.label) then chain b) entry_blocks;
+  List.iter
+    (fun b ->
+      if (not (Hashtbl.mem placed b.Pkg.label)) && not b.Pkg.is_exit then chain b)
+    (Weights.hottest_first weights pkg);
+  (* Exit blocks sink to the bottom, in original order. *)
+  List.iter
+    (fun b -> if not (Hashtbl.mem placed b.Pkg.label) then place b)
+    pkg.Pkg.blocks;
+  { pkg with Pkg.blocks = List.rev !order }
+
+let run pkg =
+  let flipped = flip_branches pkg in
+  let weights = Weights.compute flipped in
+  order_blocks weights flipped

@@ -1,0 +1,43 @@
+type config = {
+  layout : bool;
+  scheduling : bool;
+  sinking : bool;
+  superblocks : bool;
+  flip_threshold : float;
+}
+
+let default =
+  {
+    layout = true;
+    scheduling = true;
+    sinking = false;
+    superblocks = true;
+    flip_threshold = 0.5;
+  }
+
+let paper = { default with superblocks = false }
+
+let none =
+  {
+    layout = false;
+    scheduling = false;
+    sinking = false;
+    superblocks = false;
+    flip_threshold = 0.5;
+  }
+
+let with_sinking = { default with sinking = true }
+
+let transform ?(config = default) ?(protected = []) pkg =
+  let pkg = if config.sinking then fst (Sink.run pkg) else pkg in
+  let pkg =
+    if config.superblocks then fst (Superblock.run ~protected pkg) else pkg
+  in
+  let pkg =
+    if config.layout then
+      let flipped = Layout_opt.flip_branches ~threshold:config.flip_threshold pkg in
+      let weights = Weights.compute flipped in
+      Layout_opt.order_blocks weights flipped
+    else pkg
+  in
+  if config.scheduling then Schedule.run pkg else pkg

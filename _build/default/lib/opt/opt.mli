@@ -1,0 +1,38 @@
+(** The package transformation pipeline plugged into
+    {!Vp_package.Emit.emit}'s [transform] hook: branch flipping and
+    hot-chain layout, then local list scheduling. *)
+
+type config = {
+  layout : bool;
+  scheduling : bool;
+  sinking : bool;
+      (** exit-block sinking (Section 5.4's suggested redundancy
+          elimination).  Off by default, as in the paper's study;
+          the [ablation-sink] bench measures it. *)
+  superblocks : bool;
+      (** superblock formation: chain merging and speculative
+          hoisting, widening the scheduler's scope to the region
+          level (Section 2's motivation).  On by default. *)
+  flip_threshold : float;  (** taken probability above which a branch flips *)
+}
+
+val default : config
+(** Everything the library offers except sinking: layout, scheduling
+    and superblock formation. *)
+
+val paper : config
+(** Exactly the paper's Section 5.4 study: relayout and rescheduling
+    only — no superblocks, no sinking.  The Figure 8/10 experiment
+    configurations use this. *)
+
+val none : config
+(** All passes off — the identity transform. *)
+
+val with_sinking : config
+(** [default] plus exit-block sinking. *)
+
+val transform :
+  ?config:config -> ?protected:string list -> Vp_package.Pkg.t -> Vp_package.Pkg.t
+(** [protected] names blocks with predecessors outside this package
+    (cross-package link targets); superblock formation never absorbs
+    them. *)

@@ -1,0 +1,29 @@
+module Instr = Vp_isa.Instr
+module Reg = Vp_isa.Reg
+module Pkg = Vp_package.Pkg
+
+let succ_labels = function
+  | Pkg.Fall l | Pkg.Goto l -> [ l ]
+  | Pkg.Branch { taken; fall; _ } -> [ taken; fall ]
+  | Pkg.Call_orig { next; _ } -> [ next ]
+  | Pkg.Inlined_call { prologue; _ } -> [ prologue ]
+  | Pkg.Return | Pkg.Exit_jump _ | Pkg.Stop -> []
+
+let term_uses = function
+  | Pkg.Branch { src1; src2; _ } -> [ src1; src2 ]
+  | Pkg.Call_orig _ -> Instr.uses (Instr.Call { target = Instr.Addr 0 })
+  | Pkg.Inlined_call _ ->
+    (* Transfers into the inlined prologue: argument registers and the
+       stack pointer flow in, like a call. *)
+    Instr.uses (Instr.Call { target = Instr.Addr 0 })
+  | Pkg.Return -> Instr.uses Instr.Ret
+  | Pkg.Exit_jump _ -> []
+  | Pkg.Stop -> [ Reg.ret_value ]
+  | Pkg.Fall _ | Pkg.Goto _ -> []
+
+let term_defs = function
+  | Pkg.Call_orig _ -> Instr.defs (Instr.Call { target = Instr.Addr 0 })
+  | Pkg.Inlined_call _ -> [ Reg.ra ]
+  | Pkg.Branch _ | Pkg.Return | Pkg.Exit_jump _ | Pkg.Stop | Pkg.Fall _
+  | Pkg.Goto _ ->
+    []

@@ -1,0 +1,11 @@
+(** Shared package-graph helpers for the optimizer passes: successor
+    labels and register effects of package terminators. *)
+
+val succ_labels : Vp_package.Pkg.term -> string list
+(** Package-internal successor labels of a terminator. *)
+
+val term_uses : Vp_package.Pkg.term -> Vp_isa.Reg.t list
+(** Registers a terminator reads, including the interprocedural
+    summaries of calls and returns and the halt's result register. *)
+
+val term_defs : Vp_package.Pkg.term -> Vp_isa.Reg.t list

@@ -1,0 +1,172 @@
+module Instr = Vp_isa.Instr
+module Op = Vp_isa.Op
+module Reg = Vp_isa.Reg
+module Pkg = Vp_package.Pkg
+
+type machine = {
+  issue_width : int;
+  ialu : int;
+  fp : int;
+  mem : int;
+  branch : int;
+}
+
+let epic_default = { issue_width = 8; ialu = 5; fp = 3; mem = 3; branch = 3 }
+
+let fu_slot = function
+  | Op.Ialu -> `Ialu
+  | Op.Fp | Op.Long_fp -> `Fp
+  | Op.Mem -> `Mem
+  | Op.Control -> `Branch
+
+let slot_count machine = function
+  | `Ialu -> machine.ialu
+  | `Fp -> machine.fp
+  | `Mem -> machine.mem
+  | `Branch -> machine.branch
+
+(* Registers that create dependences: the zero register is neither
+   really written nor meaningfully read. *)
+let dep_regs regs = List.filter (fun r -> not (Reg.equal r Reg.zero)) regs
+
+(* Dependence edges as predecessor lists: preds.(i) = list of (j, min
+   latency) with j < i that must issue before i. *)
+let dependences instrs =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let preds = Array.make n [] in
+  let add i j lat = preds.(i) <- (j, lat) :: preds.(i) in
+  for i = 0 to n - 1 do
+    let defs_i = dep_regs (Instr.defs arr.(i)) in
+    let uses_i = dep_regs (Instr.uses arr.(i)) in
+    for j = 0 to i - 1 do
+      let defs_j = dep_regs (Instr.defs arr.(j)) in
+      let uses_j = dep_regs (Instr.uses arr.(j)) in
+      let overlap a b = List.exists (fun r -> List.exists (Reg.equal r) b) a in
+      (* RAW: j defines something i uses — full latency. *)
+      if overlap defs_j uses_i then add i j (Instr.latency arr.(j));
+      (* WAW: both define — next cycle is enough on this machine. *)
+      if overlap defs_j defs_i then add i j 1;
+      (* WAR: j uses what i defines — same cycle would be fine on a
+         register-read-at-issue machine; keep order with latency 0. *)
+      if overlap uses_j defs_i then add i j 0;
+      (* Memory ordering: stores are barriers. *)
+      let mem_dep =
+        (Instr.is_store arr.(j) && Instr.is_mem arr.(i))
+        || (Instr.is_mem arr.(j) && Instr.is_store arr.(i))
+      in
+      if mem_dep then add i j 1
+    done
+  done;
+  preds
+
+(* Latency-weighted height of each node: longest path to any sink. *)
+let heights instrs preds =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  let succs = Array.make n [] in
+  Array.iteri
+    (fun i ps -> List.iter (fun (j, lat) -> succs.(j) <- (i, lat) :: succs.(j)) ps)
+    preds;
+  let h = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    h.(i) <-
+      List.fold_left
+        (fun acc (succ, lat) -> max acc (h.(succ) + max 1 lat))
+        (Instr.latency arr.(i))
+        succs.(i)
+  done;
+  h
+
+let schedule_body ?(machine = epic_default) instrs =
+  let arr = Array.of_list instrs in
+  let n = Array.length arr in
+  if n <= 1 then instrs
+  else begin
+    let preds = dependences instrs in
+    let h = heights instrs preds in
+    let issued = Array.make n (-1) in
+    (* issue cycle, -1 = not yet *)
+    let order = ref [] in
+    let remaining = ref n in
+    let cycle = ref 0 in
+    while !remaining > 0 do
+      let width = ref 0 in
+      let used = Hashtbl.create 4 in
+      let slot_free s =
+        Option.value ~default:0 (Hashtbl.find_opt used s) < slot_count machine s
+      in
+      let take s =
+        Hashtbl.replace used s (1 + Option.value ~default:0 (Hashtbl.find_opt used s))
+      in
+      (* Ready: unissued, all preds issued with latency satisfied. *)
+      let progressed = ref true in
+      while !progressed && !width < machine.issue_width do
+        progressed := false;
+        let candidates =
+          List.filter
+            (fun i ->
+              issued.(i) < 0
+              && List.for_all
+                   (fun (j, lat) -> issued.(j) >= 0 && issued.(j) + lat <= !cycle)
+                   preds.(i)
+              && slot_free (fu_slot (Instr.fu arr.(i))))
+            (List.init n Fun.id)
+          |> List.sort (fun a b -> compare (h.(b), a) (h.(a), b))
+        in
+        match candidates with
+        | i :: _ ->
+          issued.(i) <- !cycle;
+          take (fu_slot (Instr.fu arr.(i)));
+          order := i :: !order;
+          incr width;
+          decr remaining;
+          progressed := true
+        | [] -> ()
+      done;
+      incr cycle
+    done;
+    List.rev_map (fun i -> arr.(i)) !order
+  end
+
+let estimate_cycles ?(machine = epic_default) instrs =
+  (* In-order issue of the body as given, tracking operand readiness
+     and FU occupancy per cycle. *)
+  let ready = Array.make Reg.count 0 in
+  let cycle = ref 0 in
+  let width = ref 0 in
+  let used = Hashtbl.create 4 in
+  let advance () =
+    incr cycle;
+    width := 0;
+    Hashtbl.reset used
+  in
+  List.iter
+    (fun i ->
+      let operand_ready =
+        List.fold_left
+          (fun acc r -> max acc ready.(Reg.to_int r))
+          0
+          (dep_regs (Instr.uses i))
+      in
+      while
+        !cycle < operand_ready
+        || !width >= machine.issue_width
+        || Option.value ~default:0 (Hashtbl.find_opt used (fu_slot (Instr.fu i)))
+           >= slot_count machine (fu_slot (Instr.fu i))
+      do
+        advance ()
+      done;
+      let s = fu_slot (Instr.fu i) in
+      Hashtbl.replace used s (1 + Option.value ~default:0 (Hashtbl.find_opt used s));
+      incr width;
+      List.iter
+        (fun r -> ready.(Reg.to_int r) <- !cycle + Instr.latency i)
+        (dep_regs (Instr.defs i)))
+    instrs;
+  !cycle + 1
+
+let run ?machine pkg =
+  Pkg.map_blocks
+    (fun b -> { b with Pkg.body = schedule_body ?machine b.Pkg.body })
+    pkg

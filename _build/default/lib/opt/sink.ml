@@ -1,0 +1,173 @@
+module Instr = Vp_isa.Instr
+module Reg = Vp_isa.Reg
+module Pkg = Vp_package.Pkg
+
+type stats = { sunk : int; deleted : int }
+
+let mask_of regs = List.fold_left (fun m r -> m lor (1 lsl Reg.to_int r)) 0 regs
+
+let regs_of mask =
+  List.filter
+    (fun r -> mask land (1 lsl Reg.to_int r) <> 0)
+    (List.init Reg.count Reg.of_int)
+
+let succ_labels = Pkg_flow.succ_labels
+let term_uses = Pkg_flow.term_uses
+let term_defs = Pkg_flow.term_defs
+
+(* Backward liveness over the package graph.  Exit blocks' terminal
+   contribution is their recorded dummy-consumer set. *)
+let liveness (pkg : Pkg.t) =
+  let blocks = Array.of_list pkg.Pkg.blocks in
+  let index = Hashtbl.create 64 in
+  Array.iteri (fun i b -> Hashtbl.replace index b.Pkg.label i) blocks;
+  let n = Array.length blocks in
+  let live_in = Array.make n 0 in
+  let live_out = Array.make n 0 in
+  let terminal_mask (b : Pkg.block) =
+    (* Exit blocks carry the live set across the exited arc even after
+       linking retargets their terminator to another package. *)
+    if b.Pkg.is_exit then mask_of b.Pkg.live_out
+    else mask_of (term_uses b.Pkg.term)
+  in
+  let transfer (b : Pkg.block) out =
+    let after_body = out lor mask_of (term_uses b.Pkg.term) in
+    let after_body = (after_body land lnot (mask_of (term_defs b.Pkg.term)))
+                     lor mask_of (term_uses b.Pkg.term) in
+    List.fold_left
+      (fun live i ->
+        (live land lnot (mask_of (Instr.defs i))) lor mask_of (Instr.uses i))
+      after_body (List.rev b.Pkg.body)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let b = blocks.(i) in
+      let out =
+        List.fold_left
+          (fun acc l ->
+            match Hashtbl.find_opt index l with
+            | Some j -> acc lor live_in.(j)
+            | None -> acc)
+          (terminal_mask b) (succ_labels b.Pkg.term)
+      in
+      let inn = transfer b out in
+      if out <> live_out.(i) || inn <> live_in.(i) then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (blocks, index, live_in, live_out)
+
+let live_in pkg =
+  let blocks, _, live_in, _ = liveness pkg in
+  let table = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (b : Pkg.block) -> Hashtbl.replace table b.Pkg.label (regs_of live_in.(i)))
+    blocks;
+  table
+
+(* Only pure register computations may move. *)
+let sinkable = function
+  | Instr.Alu _ | Instr.Li _ | Instr.La _ -> true
+  | Instr.Load _ | Instr.Store _ | Instr.Br _ | Instr.Jmp _ | Instr.Call _
+  | Instr.Ret | Instr.Nop | Instr.Halt ->
+    false
+
+let run (pkg : Pkg.t) =
+  let blocks, index, live_in, _ = liveness pkg in
+  let exit_of label =
+    match Hashtbl.find_opt index label with
+    | Some j when blocks.(j).Pkg.is_exit -> Some j
+    | _ -> None
+  in
+  (* Sunk instructions per exit block, kept in original order. *)
+  let pending : (int, Instr.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let sunk = ref 0 in
+  let deleted = ref 0 in
+  let new_blocks =
+    Array.map
+      (fun (b : Pkg.block) ->
+        if b.Pkg.is_exit then b
+        else begin
+          let exit_succs = List.filter_map exit_of (succ_labels b.Pkg.term) in
+          let internal_mask =
+            List.fold_left
+              (fun acc l ->
+                match Hashtbl.find_opt index l with
+                | Some j when not blocks.(j).Pkg.is_exit -> acc lor live_in.(j)
+                | _ -> acc)
+              (mask_of (term_uses b.Pkg.term))
+              (succ_labels b.Pkg.term)
+          in
+          (* Walk the body backwards, tracking (a) registers read later
+             inside this block, (b) registers whose defining instruction
+             must stay because something after it was kept, i.e. the
+             sources redefined below the current point. *)
+          let kept = ref [] in
+          let live_later = ref internal_mask in
+          let redefined_below = ref 0 in
+          (* Registers a sunk instruction reads at each exit: their
+             producers must also sink (or stay, which the stability
+             check guarantees is safe). *)
+          let sunk_uses = Hashtbl.create 4 in
+          let sunk_uses_of j = Option.value ~default:0 (Hashtbl.find_opt sunk_uses j) in
+          let exit_live j = live_in.(j) lor sunk_uses_of j in
+          List.iter
+            (fun i ->
+              let defs = mask_of (Instr.defs i) in
+              let uses = mask_of (Instr.uses i) in
+              let needed_internally = defs land !live_later <> 0 in
+              let sources_stable = uses land !redefined_below = 0 in
+              let wanted_exits =
+                List.filter (fun j -> defs land exit_live j <> 0) exit_succs
+              in
+              (* A def overwritten by a kept instruction below never
+                 reaches the exits — what they see is the newer value —
+                 so such an instruction is dead here, not sinkable. *)
+              let def_stable = defs land !redefined_below = 0 in
+              if
+                sinkable i && defs <> 0
+                && not needed_internally
+                && sources_stable
+              then
+                if wanted_exits = [] || not def_stable then incr deleted
+                else begin
+                  incr sunk;
+                  List.iter
+                    (fun j ->
+                      Hashtbl.replace sunk_uses j (sunk_uses_of j lor uses);
+                      let cell =
+                        match Hashtbl.find_opt pending j with
+                        | Some c -> c
+                        | None ->
+                          let c = ref [] in
+                          Hashtbl.replace pending j c;
+                          c
+                      in
+                      cell := i :: !cell)
+                    wanted_exits
+                end
+              else begin
+                kept := i :: !kept;
+                live_later := (!live_later land lnot defs) lor uses;
+                redefined_below := !redefined_below lor defs
+              end)
+            (List.rev b.Pkg.body);
+          { b with Pkg.body = !kept }
+        end)
+      blocks
+  in
+  let final =
+    Array.mapi
+      (fun i (b : Pkg.block) ->
+        match Hashtbl.find_opt pending i with
+        | Some cell -> { b with Pkg.body = !cell @ b.Pkg.body }
+        | None -> b)
+      new_blocks
+    |> Array.to_list
+  in
+  ({ pkg with Pkg.blocks = final }, { sunk = !sunk; deleted = !deleted })

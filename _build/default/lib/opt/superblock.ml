@@ -1,0 +1,162 @@
+module Instr = Vp_isa.Instr
+module Reg = Vp_isa.Reg
+module Pkg = Vp_package.Pkg
+
+type stats = { merged : int; hoisted : int }
+
+let pure = function
+  | Instr.Alu _ | Instr.Li _ | Instr.La _ -> true
+  | Instr.Load _ | Instr.Store _ | Instr.Br _ | Instr.Jmp _ | Instr.Call _
+  | Instr.Ret | Instr.Nop | Instr.Halt ->
+    false
+
+(* Package-internal predecessor counts by label. *)
+let pred_counts (blocks : Pkg.block list) =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Pkg.block) ->
+      List.iter
+        (fun l ->
+          Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+        (Pkg_flow.succ_labels b.Pkg.term))
+    blocks;
+  counts
+
+(* One merging round: absorb the first eligible single-predecessor
+   target of an unconditional transfer.  Returns None at fix-point. *)
+let merge_once ~protected blocks =
+  let counts = pred_counts blocks in
+  let by_label = Hashtbl.create 64 in
+  List.iter (fun (b : Pkg.block) -> Hashtbl.replace by_label b.Pkg.label b) blocks;
+  let eligible (a : Pkg.block) =
+    match a.Pkg.term with
+    | Pkg.Fall l | Pkg.Goto l -> (
+      match Hashtbl.find_opt by_label l with
+      | Some b
+        when (not b.Pkg.is_exit)
+             && (not a.Pkg.is_exit)
+             && l <> a.Pkg.label
+             && Option.value ~default:0 (Hashtbl.find_opt counts l) = 1
+             && not (List.mem l protected) ->
+        Some (a, b)
+      | _ -> None)
+    | _ -> None
+  in
+  let rec find = function
+    | [] -> None
+    | a :: rest -> ( match eligible a with Some pair -> Some pair | None -> find rest)
+  in
+  match find blocks with
+  | None -> None
+  | Some (a, b) ->
+    let merged =
+      {
+        a with
+        Pkg.body = a.Pkg.body @ b.Pkg.body;
+        term = b.Pkg.term;
+        taken_prob = b.Pkg.taken_prob;
+        weight = max a.Pkg.weight b.Pkg.weight;
+      }
+    in
+    Some
+      ( List.filter_map
+          (fun (c : Pkg.block) ->
+            if c.Pkg.label = a.Pkg.label then Some merged
+            else if c.Pkg.label = b.Pkg.label then None
+            else Some c)
+          blocks,
+        (b.Pkg.label, a.Pkg.label) )
+
+let overlap regs mask =
+  List.exists (fun r -> mask land (1 lsl Reg.to_int r) <> 0) regs
+
+let mask_of regs = List.fold_left (fun m r -> m lor (1 lsl Reg.to_int r)) 0 regs
+
+(* Hoist the eligible pure prefix of each branch's single-predecessor
+   fall-through successor above the branch. *)
+let hoist ~protected ~max_hoist (pkg : Pkg.t) =
+  let live = Sink.live_in pkg in
+  let counts = pred_counts pkg.Pkg.blocks in
+  let by_label = Hashtbl.create 64 in
+  List.iter (fun (b : Pkg.block) -> Hashtbl.replace by_label b.Pkg.label b) pkg.Pkg.blocks;
+  let hoisted = ref 0 in
+  (* Per-target prefix removals, applied in one rebuild pass. *)
+  let moved : (string, Instr.t list) Hashtbl.t = Hashtbl.create 8 in
+  let additions : (string, Instr.t list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Pkg.block) ->
+      match a.Pkg.term with
+      | Pkg.Branch { taken; fall; src1; src2; _ }
+        when taken <> fall
+             && (not (List.mem fall protected))
+             && (not (Hashtbl.mem moved fall))
+             && Option.value ~default:0 (Hashtbl.find_opt counts fall) = 1 -> (
+        match Hashtbl.find_opt by_label fall with
+        | Some b when not b.Pkg.is_exit ->
+          let live_taken =
+            mask_of (Option.value ~default:[] (Hashtbl.find_opt live taken))
+          in
+          let forbidden = live_taken lor mask_of [ src1; src2 ] in
+          let rec prefix n acc = function
+            | i :: rest
+              when n < max_hoist && pure i
+                   && not (overlap (Instr.defs i) forbidden) ->
+              prefix (n + 1) (i :: acc) rest
+            | _ -> List.rev acc
+          in
+          let p = prefix 0 [] b.Pkg.body in
+          if p <> [] then begin
+            hoisted := !hoisted + List.length p;
+            Hashtbl.replace moved fall p;
+            Hashtbl.replace additions a.Pkg.label p
+          end
+        | _ -> ())
+      | _ -> ())
+    pkg.Pkg.blocks;
+  let blocks =
+    List.map
+      (fun (b : Pkg.block) ->
+        let body =
+          match Hashtbl.find_opt moved b.Pkg.label with
+          | Some p ->
+            let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+            drop (List.length p) b.Pkg.body
+          | None -> b.Pkg.body
+        in
+        let body =
+          match Hashtbl.find_opt additions b.Pkg.label with
+          | Some p -> body @ p
+          | None -> body
+        in
+        { b with Pkg.body })
+      pkg.Pkg.blocks
+  in
+  ({ pkg with Pkg.blocks }, !hoisted)
+
+let run ?(protected = []) ?(max_hoist = 4) (pkg : Pkg.t) =
+  let protected = List.map fst pkg.Pkg.entries @ protected in
+  let merged = ref 0 in
+  let blocks = ref pkg.Pkg.blocks in
+  let renames = Hashtbl.create 8 in
+  let continue_ = ref true in
+  while !continue_ do
+    match merge_once ~protected !blocks with
+    | Some (blocks', (absorbed, into)) ->
+      incr merged;
+      Hashtbl.replace renames absorbed into;
+      blocks := blocks'
+    | None -> continue_ := false
+  done;
+  (* An absorbed branch block's site now lives in its absorber; follow
+     rename chains so metadata stays resolvable. *)
+  let rec resolve l =
+    match Hashtbl.find_opt renames l with Some l' -> resolve l' | None -> l
+  in
+  let sites =
+    List.map
+      (fun (s : Pkg.site) -> { s with Pkg.block_label = resolve s.Pkg.block_label })
+      pkg.Pkg.sites
+  in
+  let pkg = { pkg with Pkg.blocks = !blocks; sites } in
+  let pkg, hoisted = hoist ~protected ~max_hoist pkg in
+  (pkg, { merged = !merged; hoisted })

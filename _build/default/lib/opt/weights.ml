@@ -1,0 +1,66 @@
+module Pkg = Vp_package.Pkg
+
+type t = {
+  blocks : (string, float) Hashtbl.t;
+  arcs : (string * string, float) Hashtbl.t;
+}
+
+(* Internal successor edges of a block with transfer probabilities. *)
+let succ_probs ~clamp (b : Pkg.block) =
+  let p =
+    match b.Pkg.taken_prob with
+    | Some p -> min clamp (max (1.0 -. clamp) p)
+    | None -> 0.5
+  in
+  match b.Pkg.term with
+  | Pkg.Fall l | Pkg.Goto l -> [ (l, 1.0) ]
+  | Pkg.Branch { taken; fall; _ } -> [ (taken, p); (fall, 1.0 -. p) ]
+  | Pkg.Call_orig { next; _ } -> [ (next, 1.0) ]
+  | Pkg.Inlined_call { prologue; _ } -> [ (prologue, 1.0) ]
+  | Pkg.Return | Pkg.Exit_jump _ | Pkg.Stop -> []
+
+let compute ?(iterations = 64) ?(clamp = 0.99) (pkg : Pkg.t) =
+  let weight = Hashtbl.create 64 in
+  let injection = Hashtbl.create 8 in
+  List.iter (fun (label, _) -> Hashtbl.replace injection label 1.0) pkg.Pkg.entries;
+  (* Inlined-callee returns rejoin the caller; their targets need no
+     injection — flow arrives through the Goto edges. *)
+  let edges =
+    List.map (fun b -> (b.Pkg.label, succ_probs ~clamp b)) pkg.Pkg.blocks
+  in
+  List.iter (fun b -> Hashtbl.replace weight b.Pkg.label 0.0) pkg.Pkg.blocks;
+  for _ = 1 to iterations do
+    let incoming = Hashtbl.create 64 in
+    List.iter
+      (fun (src, succs) ->
+        let w = Option.value ~default:0.0 (Hashtbl.find_opt weight src) in
+        List.iter
+          (fun (dst, p) ->
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt incoming dst) in
+            Hashtbl.replace incoming dst (prev +. (w *. p)))
+          succs)
+      edges;
+    List.iter
+      (fun b ->
+        let label = b.Pkg.label in
+        let inj = Option.value ~default:0.0 (Hashtbl.find_opt injection label) in
+        let inc = Option.value ~default:0.0 (Hashtbl.find_opt incoming label) in
+        Hashtbl.replace weight label (inj +. inc))
+      pkg.Pkg.blocks
+  done;
+  let arcs = Hashtbl.create 64 in
+  List.iter
+    (fun (src, succs) ->
+      let w = Option.value ~default:0.0 (Hashtbl.find_opt weight src) in
+      List.iter (fun (dst, p) -> Hashtbl.replace arcs (src, dst) (w *. p)) succs)
+    edges;
+  { blocks = weight; arcs }
+
+let block t label = Option.value ~default:0.0 (Hashtbl.find_opt t.blocks label)
+
+let arc t src dst = Option.value ~default:0.0 (Hashtbl.find_opt t.arcs (src, dst))
+
+let hottest_first t (pkg : Pkg.t) =
+  List.stable_sort
+    (fun a b -> compare (block t b.Pkg.label) (block t a.Pkg.label))
+    pkg.Pkg.blocks

@@ -1,0 +1,23 @@
+(** Block and arc weight estimation inside a package from the taken
+    probabilities recorded by the HSD — the method of [4] (Section
+    5.4): entry blocks inject unit flow, every block forwards its
+    weight along its terminator split by taken probability, and the
+    system is iterated to an approximate fix-point.  Probabilities are
+    clamped away from 1 so every cycle is a contraction and the
+    iteration converges. *)
+
+type t
+
+val compute : ?iterations:int -> ?clamp:float -> Vp_package.Pkg.t -> t
+(** Defaults: 64 iterations, clamp 0.99. *)
+
+val block : t -> string -> float
+(** Estimated relative execution weight of a labelled block (0 for
+    unknown labels). *)
+
+val arc : t -> string -> string -> float
+(** Estimated flow from one block to another; 0 when there is no
+    direct terminator edge. *)
+
+val hottest_first : t -> Vp_package.Pkg.t -> Vp_package.Pkg.block list
+(** The package's blocks sorted by descending weight. *)

@@ -1,0 +1,1 @@
+lib/package/build.ml: Array Hashtbl List Option Pkg Printf Prune Roots Vp_cfg Vp_hsd Vp_isa Vp_prog Vp_region

@@ -1,0 +1,1 @@
+lib/package/build.mli: Pkg Roots Vp_region

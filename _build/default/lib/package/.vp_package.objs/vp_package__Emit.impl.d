@@ -1,0 +1,1 @@
+lib/package/emit.ml: Array Hashtbl Linking List Pkg Printf Vp_isa Vp_prog

@@ -1,0 +1,1 @@
+lib/package/emit.mli: Linking Pkg Vp_isa Vp_prog

@@ -1,0 +1,1 @@
+lib/package/linking.ml: Array List Pkg

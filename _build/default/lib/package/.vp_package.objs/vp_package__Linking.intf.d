@@ -1,0 +1,1 @@
+lib/package/linking.mli: Pkg

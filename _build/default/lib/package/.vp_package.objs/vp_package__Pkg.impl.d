@@ -1,0 +1,1 @@
+lib/package/pkg.ml: Format Hashtbl List Option Printf Result Vp_isa

@@ -1,0 +1,1 @@
+lib/package/pkg.mli: Format Vp_isa

@@ -1,0 +1,1 @@
+lib/package/prune.ml: Array Fun List Vp_cfg Vp_isa Vp_region

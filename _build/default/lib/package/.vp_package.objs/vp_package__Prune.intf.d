@@ -1,0 +1,1 @@
+lib/package/prune.mli: Vp_cfg Vp_isa Vp_region

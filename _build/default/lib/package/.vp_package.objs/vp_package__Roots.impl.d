@@ -1,0 +1,1 @@
+lib/package/roots.ml: Hashtbl List Option Prune Vp_cfg Vp_prog Vp_region

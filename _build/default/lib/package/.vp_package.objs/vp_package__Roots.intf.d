@@ -1,0 +1,1 @@
+lib/package/roots.mli: Prune Vp_region

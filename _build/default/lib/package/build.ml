@@ -1,0 +1,262 @@
+module Cfg = Vp_cfg.Cfg
+module Image = Vp_prog.Image
+module Instr = Vp_isa.Instr
+module Region = Vp_region.Region
+
+(* Mutable construction state for one package. *)
+type state = {
+  pkg_id : string;
+  region : Region.t;
+  roots : Roots.t;
+  mutable blocks_rev : Pkg.block list;
+  mutable sites_rev : Pkg.site list;
+  contexts : (Pkg.context, int) Hashtbl.t;
+  mutable next_ctx : int;
+  mutable next_exit : int;
+}
+
+let ctx_id st ctx =
+  match Hashtbl.find_opt st.contexts ctx with
+  | Some id -> id
+  | None ->
+    let id = st.next_ctx in
+    st.next_ctx <- id + 1;
+    Hashtbl.replace st.contexts ctx id;
+    id
+
+let label st ctx addr = Printf.sprintf "%s$c%d$%x" st.pkg_id (ctx_id st ctx) addr
+
+let fresh_exit st =
+  let n = st.next_exit in
+  st.next_exit <- n + 1;
+  Printf.sprintf "%s$x%d" st.pkg_id n
+
+(* An exit block leaving the package along [arc]; carries the live
+   registers across the arc as dummy consumers for the optimizer. *)
+let make_exit st view ctx (arc : Cfg.arc) =
+  let cfg = Prune.cfg view in
+  let target = Cfg.start cfg arc.Cfg.dst in
+  let lbl = fresh_exit st in
+  st.blocks_rev <-
+    {
+      Pkg.label = lbl;
+      orig_addr = -1;
+      context = ctx;
+      body = [];
+      term = Pkg.Exit_jump target;
+      weight = 0;
+      taken_prob = None;
+      live_out = Prune.live_across view arc;
+      is_exit = true;
+    }
+    :: st.blocks_rev;
+  (lbl, target)
+
+let find_arc cfg b kind =
+  List.find_opt (fun (a : Cfg.arc) -> a.Cfg.kind = kind) (Cfg.succs cfg b)
+
+(* Would inlining [callee] under [path] respect the recursion rule?
+   A function may appear once on the path, and then only as the
+   immediate caller making a direct self-recursive call. *)
+let inline_allowed path callee =
+  let occurrences = List.length (List.filter (( = ) callee) path) in
+  occurrences = 0
+  || occurrences = 1
+     &&
+     match List.rev path with last :: _ -> last = callee | [] -> false
+
+let max_inline_depth = 8
+
+(* Copy the selected blocks of [fname] under [ctx].  [ret_term] is the
+   terminator replacing a return: [Pkg.Return] at root level or when
+   the continuation is cold, [Pkg.Goto cont] for a hot continuation.
+   Returns unit; blocks accumulate in [st]. *)
+let rec copy_function st ~ctx ~path ~fname ~is_root ~ret_term =
+  let view = Roots.view st.roots fname in
+  let cfg = Prune.cfg view in
+  let to_copy =
+    if is_root then Prune.hot_blocks view else Prune.reachable_from_prologue view
+  in
+  let selected = Array.make (Cfg.num_blocks cfg) false in
+  List.iter (fun b -> selected.(b) <- true) to_copy;
+  let internal (a : Cfg.arc) =
+    selected.(a.Cfg.dst)
+    && Vp_region.Temperature.is_hot (Region.arc_temp (Prune.mf view) a)
+    && Vp_region.Temperature.is_hot (Region.temp (Prune.mf view) a.Cfg.dst)
+  in
+  let target_label arc_opt ~fallback_exit =
+    (* Label for a control transfer along [arc_opt]: a package-internal
+       copy when the arc stays inside, an exit block otherwise.
+       Returns (label, cold_target option): the cold target is the
+       original address when the direction leaves the package. *)
+    match arc_opt with
+    | Some arc when internal arc -> (label st ctx (Cfg.start cfg arc.Cfg.dst), None)
+    | Some arc ->
+      let lbl, target = fallback_exit arc in
+      (lbl, Some target)
+    | None ->
+      (* A control transfer with no recovered arc (target outside the
+         function): treat as an exit to nowhere; cannot happen on
+         builder-produced images. *)
+      invalid_arg "Build.copy_function: dangling control transfer"
+  in
+  List.iter
+    (fun b ->
+      let instrs = Cfg.instrs cfg b in
+      let terminator = Cfg.terminator cfg b in
+      let body =
+        match terminator with
+        | Some _ -> List.filteri (fun i _ -> i < List.length instrs - 1) instrs
+        | None -> instrs
+      in
+      let block_start = Cfg.start cfg b in
+      let block_end = block_start + Cfg.len cfg b in
+      let fallback_exit arc = make_exit st view ctx arc in
+      let mk_term () =
+        match terminator with
+        | Some (Instr.Br { cond; src1; src2; target = Instr.Addr ta }) ->
+          let taken_arc = find_arc cfg b Cfg.Taken in
+          let fall_arc = find_arc cfg b Cfg.Fallthrough in
+          let taken_lbl, taken_cold = target_label taken_arc ~fallback_exit in
+          let fall_lbl, fall_cold = target_label fall_arc ~fallback_exit in
+          ignore ta;
+          let bias, cold_exit, cold_target =
+            match (taken_cold, fall_cold) with
+            | None, None -> (Pkg.U, None, None)
+            | None, Some t -> (Pkg.T, Some fall_lbl, Some t)
+            | Some t, None -> (Pkg.F, Some taken_lbl, Some t)
+            | Some t, Some _ -> (Pkg.Neither, Some taken_lbl, Some t)
+          in
+          st.sites_rev <-
+            {
+              Pkg.orig_pc = block_end - 1;
+              site_context = ctx;
+              block_label = label st ctx block_start;
+              bias;
+              cold_exit;
+              cold_target;
+            }
+            :: st.sites_rev;
+          Pkg.Branch { cond; src1; src2; taken = taken_lbl; fall = fall_lbl }
+        | Some (Instr.Jmp { target = Instr.Addr _ }) ->
+          let arc = find_arc cfg b Cfg.Taken in
+          let lbl, _ = target_label arc ~fallback_exit in
+          Pkg.Goto lbl
+        | Some (Instr.Call { target = Instr.Addr callee_entry }) -> (
+          let call_site = block_end - 1 in
+          let cont_arc = find_arc cfg b Cfg.Fallthrough in
+          let callee_name =
+            match Image.sym_at (Region.image st.region) callee_entry with
+            | Some sym -> Some sym.Image.name
+            | None -> None
+          in
+          let callee_in_region =
+            match callee_name with
+            | Some n -> Region.find_func st.region n <> None
+            | None -> false
+          in
+          let do_inline =
+            callee_in_region
+            && (match callee_name with
+               | Some n -> Roots.inlinable st.roots n && inline_allowed path n
+               | None -> false)
+            && List.length path < max_inline_depth
+          in
+          if do_inline then begin
+            let callee = Option.get callee_name in
+            let new_ctx = ctx @ [ call_site ] in
+            let callee_ret_term =
+              match cont_arc with
+              | Some arc when internal arc ->
+                Pkg.Goto (label st ctx (Cfg.start cfg arc.Cfg.dst))
+              | Some _ | None ->
+                (* Cold continuation: the restored ra already points at
+                   the original continuation. *)
+                Pkg.Return
+            in
+            copy_function st ~ctx:new_ctx ~path:(path @ [ callee ]) ~fname:callee
+              ~is_root:false ~ret_term:callee_ret_term;
+            let callee_cfg = Prune.cfg (Roots.view st.roots callee) in
+            Pkg.Inlined_call
+              {
+                ra_value = call_site + 1;
+                prologue = label st new_ctx (Cfg.start callee_cfg (Cfg.entry callee_cfg));
+              }
+          end
+          else
+            let next_lbl, _ =
+              match cont_arc with
+              | Some arc when internal arc ->
+                (label st ctx (Cfg.start cfg arc.Cfg.dst), None)
+              | Some arc ->
+                let lbl, t = make_exit st view ctx arc in
+                (lbl, Some t)
+              | None -> invalid_arg "Build: call without continuation"
+            in
+            Pkg.Call_orig { callee = callee_entry; next = next_lbl })
+        | Some Instr.Ret -> ret_term
+        | Some Instr.Halt -> Pkg.Stop
+        | Some (Instr.Br { target = Instr.Label _; _ })
+        | Some (Instr.Jmp { target = Instr.Label _ })
+        | Some (Instr.Call { target = Instr.Label _ }) ->
+          invalid_arg "Build: unresolved label in image"
+        | Some _ | None -> (
+          (* Straight-line block: fall through. *)
+          match find_arc cfg b Cfg.Fallthrough with
+          | Some arc when internal arc ->
+            Pkg.Fall (label st ctx (Cfg.start cfg arc.Cfg.dst))
+          | Some arc ->
+            let lbl, _ = make_exit st view ctx arc in
+            Pkg.Goto lbl
+          | None -> invalid_arg "Build: block without successor")
+      in
+      let term = mk_term () in
+      st.blocks_rev <-
+        {
+          Pkg.label = label st ctx block_start;
+          orig_addr = block_start;
+          context = ctx;
+          body;
+          term;
+          weight = Region.weight (Prune.mf view) b;
+          taken_prob = Region.taken_prob (Prune.mf view) b;
+          live_out = [];
+          is_exit = false;
+        }
+        :: st.blocks_rev)
+    to_copy
+
+let build_one region roots ~prefix root =
+  let st =
+    {
+      pkg_id = Printf.sprintf "%s$%s" prefix root;
+      region;
+      roots;
+      blocks_rev = [];
+      sites_rev = [];
+      contexts = Hashtbl.create 8;
+      next_ctx = 0;
+      next_exit = 0;
+    }
+  in
+  copy_function st ~ctx:[] ~path:[ root ] ~fname:root ~is_root:true
+    ~ret_term:Pkg.Return;
+  let view = Roots.view roots root in
+  let cfg = Prune.cfg view in
+  let entries =
+    List.map
+      (fun b -> (label st [] (Cfg.start cfg b), Cfg.start cfg b))
+      (Prune.entry_blocks view)
+  in
+  {
+    Pkg.id = st.pkg_id;
+    region_id = (Region.snapshot region).Vp_hsd.Snapshot.id;
+    root;
+    blocks = List.rev st.blocks_rev;
+    entries;
+    sites = List.rev st.sites_rev;
+  }
+
+let build region ~prefix =
+  let roots = Roots.compute region in
+  List.map (fun (root, _) -> build_one region roots ~prefix root) (Roots.roots roots)

@@ -1,0 +1,144 @@
+module Instr = Vp_isa.Instr
+module Reg = Vp_isa.Reg
+module Image = Vp_prog.Image
+
+type result = {
+  image : Image.t;
+  packages : Pkg.t list;
+  groups : Linking.group list;
+  launch_patches : (int * int) list;
+  package_instructions : int;
+}
+
+(* One block's instruction stream; [next] is the label of the block
+   that follows in layout order, letting fall-throughs stay implicit. *)
+let block_instrs (b : Pkg.block) ~next =
+  let jump_unless_adjacent l =
+    if Some l = next then [] else [ Instr.Jmp { target = Instr.Label l } ]
+  in
+  let term_instrs =
+    match b.Pkg.term with
+    | Pkg.Fall l -> jump_unless_adjacent l
+    | Pkg.Goto l -> [ Instr.Jmp { target = Instr.Label l } ]
+    | Pkg.Branch { cond; src1; src2; taken; fall } ->
+      Instr.Br { cond; src1; src2; target = Instr.Label taken }
+      :: jump_unless_adjacent fall
+    | Pkg.Call_orig { callee; next = n } ->
+      Instr.Call { target = Instr.Addr callee } :: jump_unless_adjacent n
+    | Pkg.Inlined_call { ra_value; prologue } ->
+      [
+        Instr.La { dst = Reg.ra; target = Instr.Addr ra_value };
+        Instr.Jmp { target = Instr.Label prologue };
+      ]
+    | Pkg.Return -> [ Instr.Ret ]
+    | Pkg.Exit_jump a -> [ Instr.Jmp { target = Instr.Addr a } ]
+    | Pkg.Stop -> [ Instr.Halt ]
+  in
+  b.Pkg.body @ term_instrs
+
+let linearize (p : Pkg.t) =
+  let rec go = function
+    | [] -> []
+    | [ b ] -> block_instrs b ~next:None
+    | b :: (nxt :: _ as rest) ->
+      block_instrs b ~next:(Some nxt.Pkg.label) @ go rest
+  in
+  go p.Pkg.blocks
+
+(* Like [linearize], but also returns each block label's offset. *)
+let linearize_with_offsets p =
+  let offsets = ref [] in
+  let rec go pos = function
+    | [] -> []
+    | b :: rest ->
+      let next = match rest with nxt :: _ -> Some nxt.Pkg.label | [] -> None in
+      let instrs = block_instrs b ~next in
+      offsets := (b.Pkg.label, pos) :: !offsets;
+      instrs @ go (pos + List.length instrs) rest
+  in
+  let instrs = go 0 p.Pkg.blocks in
+  (instrs, List.rev !offsets)
+
+let emit ?(linking = true) ?(transform = fun ~protected:_ p -> p) image pkgs =
+  let groups = Linking.group_packages ~linking pkgs in
+  let links = List.concat_map (fun g -> g.Linking.links) groups in
+  let linked = Linking.apply groups in
+  (* Blocks targeted by cross-package links have predecessors the
+     transform cannot see; it must not absorb or shorten them. *)
+  let final =
+    List.map
+      (fun (p : Pkg.t) ->
+        let protected =
+          List.filter_map
+            (fun (l : Linking.link) ->
+              if l.Linking.to_pkg = p.Pkg.id then Some l.Linking.to_label else None)
+            links
+        in
+        transform ~protected p)
+      linked
+  in
+  (* First pass: linearise everything and assign global addresses. *)
+  let base = Image.size image in
+  let table = Hashtbl.create 256 in
+  let sections =
+    List.fold_left
+      (fun (sections, pos) p ->
+        let instrs, offsets = linearize_with_offsets p in
+        List.iter
+          (fun (label, off) ->
+            if Hashtbl.mem table label then
+              invalid_arg (Printf.sprintf "Emit: duplicate label %s" label);
+            Hashtbl.replace table label (pos + off))
+          offsets;
+        (sections @ [ (p, instrs) ], pos + List.length instrs))
+      ([], base) final
+    |> fst
+  in
+  let lookup label =
+    match Hashtbl.find_opt table label with
+    | Some a -> a
+    | None -> invalid_arg (Printf.sprintf "Emit: undefined label %s" label)
+  in
+  (* Second pass: resolve and append per-package symbols. *)
+  let image', total =
+    List.fold_left
+      (fun (img, total) ((p : Pkg.t), instrs) ->
+        let code = Array.of_list (List.map (Instr.resolve lookup) instrs) in
+        let img', _ = Image.append img ~name:p.Pkg.id code in
+        (img', total + Array.length code))
+      (image, 0) sections
+  in
+  (* Launch points: left-most package of each group claims each entry
+     address first. *)
+  let claimed = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun p ->
+          List.iter
+            (fun (label, orig_addr) ->
+              if not (Hashtbl.mem claimed orig_addr) then
+                Hashtbl.replace claimed orig_addr (lookup label))
+            p.Pkg.entries)
+        g.Linking.ordered)
+    groups;
+  let launch_patches =
+    Hashtbl.fold (fun orig target acc -> (orig, target) :: acc) claimed []
+    |> List.sort compare
+  in
+  let image'' =
+    Image.patch image'
+      (List.map
+         (fun (orig, target) -> (orig, Instr.Jmp { target = Instr.Addr target }))
+         launch_patches)
+  in
+  (match Image.validate image'' with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Emit: invalid rewritten image: " ^ e));
+  {
+    image = image'';
+    packages = final;
+    groups;
+    launch_patches;
+    package_instructions = total;
+  }

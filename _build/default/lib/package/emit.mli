@@ -1,0 +1,38 @@
+(** Package emission: linearise packages, append them to the binary
+    image, and patch launch points.
+
+    Linearisation walks blocks in package order, materialising a jump
+    wherever a fall-through edge is not adjacent; inlined call sites
+    expand to a return-address materialisation plus a jump.  All
+    packages of a run share one label table, so cross-package links
+    resolve like any other target.
+
+    Launch points: every entry block's original address is patched
+    with a jump to the entry's package copy.  When several packages of
+    a root group share an entry address, the left-most package in the
+    group's chosen ordering wins (Section 3.3.4). *)
+
+type result = {
+  image : Vp_prog.Image.t;  (** rewritten binary *)
+  packages : Pkg.t list;  (** final packages, post-linking and transform *)
+  groups : Linking.group list;
+  launch_patches : (int * int) list;  (** original address -> package address *)
+  package_instructions : int;  (** emitted package code size *)
+}
+
+val emit :
+  ?linking:bool ->
+  ?transform:(protected:string list -> Pkg.t -> Pkg.t) ->
+  Vp_prog.Image.t ->
+  Pkg.t list ->
+  result
+(** [transform] runs on each package after link resolution and before
+    linearisation — the optimizer hook (layout, scheduling, superblock
+    formation).  [protected] names the package's blocks that are
+    targets of cross-package links: they have unseen predecessors and
+    must survive with their label and entry semantics intact.  Raises
+    [Invalid_argument] if the rewritten image fails validation. *)
+
+val linearize : Pkg.t -> Vp_isa.Instr.t list
+(** The instruction stream of one package with still-symbolic internal
+    targets; exposed for tests. *)

@@ -1,0 +1,137 @@
+type link = {
+  from_pkg : string;
+  site : Pkg.site;
+  to_pkg : string;
+  to_label : string;
+}
+
+type group = {
+  root : string;
+  ordered : Pkg.t list;
+  links : link list;
+  rank : float;
+}
+
+let rank_of_ratios = function
+  | [] -> 0.0
+  | r :: rest ->
+    let acc = ref r in
+    let weight = ref r in
+    List.iter
+      (fun ri ->
+        weight := !weight *. ri;
+        acc := !acc +. !weight)
+      rest;
+    !acc
+
+(* A site with a cold direction links to the first package rightward
+   (wrapping, excluding the source) holding a copy of the cold target
+   under the identical inline context. *)
+let links_for_ordering ordered =
+  let n = List.length ordered in
+  let arr = Array.of_list ordered in
+  let links = ref [] in
+  Array.iteri
+    (fun i p ->
+      List.iter
+        (fun (site : Pkg.site) ->
+          match (site.Pkg.cold_exit, site.Pkg.cold_target, site.Pkg.bias) with
+          | Some _, Some target, (Pkg.T | Pkg.F) ->
+            let rec scan k =
+              if k >= n - 1 then ()
+              else
+                let q = arr.((i + 1 + k) mod n) in
+                (match Pkg.copy_label q site.Pkg.site_context target with
+                | Some to_label ->
+                  links :=
+                    {
+                      from_pkg = p.Pkg.id;
+                      site;
+                      to_pkg = q.Pkg.id;
+                      to_label;
+                    }
+                    :: !links
+                | None -> scan (k + 1))
+            in
+            scan 0
+          | _ -> ())
+        p.Pkg.sites)
+    arr;
+  List.rev !links
+
+let rank_of_ordering ordered =
+  let links = links_for_ordering ordered in
+  let incoming p =
+    List.length (List.filter (fun l -> l.to_pkg = p.Pkg.id) links)
+  in
+  let ratios =
+    List.map
+      (fun p ->
+        let branches = Pkg.branch_count p in
+        if branches = 0 then 0.0
+        else float_of_int (incoming p) /. float_of_int branches)
+      ordered
+  in
+  (rank_of_ratios ratios, links)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let best_ordering pkgs =
+  let candidates =
+    if List.length pkgs <= 6 then permutations pkgs else [ pkgs ]
+  in
+  let scored =
+    List.map
+      (fun ordering ->
+        let rank, links = rank_of_ordering ordering in
+        (rank, ordering, links))
+      candidates
+  in
+  List.fold_left
+    (fun (best_rank, best_ord, best_links) (rank, ord, links) ->
+      if rank > best_rank then (rank, ord, links) else (best_rank, best_ord, best_links))
+    (match scored with
+    | first :: _ -> first
+    | [] -> (0.0, pkgs, []))
+    scored
+
+let group_packages ?(linking = true) pkgs =
+  let roots =
+    List.fold_left
+      (fun acc p -> if List.mem p.Pkg.root acc then acc else acc @ [ p.Pkg.root ])
+      [] pkgs
+  in
+  List.map
+    (fun root ->
+      let members = List.filter (fun p -> p.Pkg.root = root) pkgs in
+      if linking && List.length members > 1 then
+        let rank, ordered, links = best_ordering members in
+        { root; ordered; links; rank }
+      else { root; ordered = members; links = []; rank = 0.0 })
+    roots
+
+(* Retarget the exit blocks chosen by links. *)
+let apply groups =
+  let retarget links p =
+    let target_of label =
+      List.find_opt (fun l -> l.from_pkg = p.Pkg.id && l.site.Pkg.cold_exit = Some label) links
+    in
+    Pkg.map_blocks
+      (fun b ->
+        if not b.Pkg.is_exit then b
+        else
+          match target_of b.Pkg.label with
+          | Some l -> { b with Pkg.term = Pkg.Goto l.to_label }
+          | None -> b)
+      p
+  in
+  List.concat_map
+    (fun g -> List.map (retarget g.links) g.ordered)
+    groups

@@ -1,0 +1,76 @@
+module Cfg = Vp_cfg.Cfg
+module Liveness = Vp_cfg.Liveness
+module Region = Vp_region.Region
+module T = Vp_region.Temperature
+module Instr = Vp_isa.Instr
+
+type view = {
+  mf : Region.mf;
+  live : Liveness.t;
+  hot : bool array;  (* block -> hot *)
+}
+
+let view mf =
+  let cfg = Region.cfg mf in
+  let hot = Array.init (Cfg.num_blocks cfg) (fun b -> T.is_hot (Region.temp mf b)) in
+  { mf; live = Liveness.compute cfg; hot }
+
+let mf v = v.mf
+let cfg v = Region.cfg v.mf
+
+let hot_blocks v =
+  List.filter (fun b -> v.hot.(b)) (List.init (Array.length v.hot) Fun.id)
+
+let arc_internal v (a : Cfg.arc) =
+  v.hot.(a.Cfg.src) && v.hot.(a.Cfg.dst)
+  && T.is_hot (Region.arc_temp v.mf a)
+
+let internal_succs v b =
+  List.filter (arc_internal v) (Cfg.succs (cfg v) b)
+
+let exit_arcs_of v b =
+  if not v.hot.(b) then []
+  else List.filter (fun a -> not (arc_internal v a)) (Cfg.succs (cfg v) b)
+
+let entry_blocks v =
+  List.filter
+    (fun b ->
+      v.hot.(b)
+      && not
+           (List.exists (arc_internal v)
+              (Cfg.preds_ignoring_back_edges (cfg v) b)))
+    (hot_blocks v)
+
+let reachable_from_prologue v =
+  let c = cfg v in
+  let entry = Cfg.entry c in
+  if not v.hot.(entry) then []
+  else begin
+    let seen = Array.make (Cfg.num_blocks c) false in
+    let rec dfs b =
+      if not seen.(b) then begin
+        seen.(b) <- true;
+        List.iter (fun (a : Cfg.arc) -> dfs a.Cfg.dst) (internal_succs v b)
+      end
+    in
+    dfs entry;
+    List.filter (fun b -> seen.(b)) (List.init (Cfg.num_blocks c) Fun.id)
+  end
+
+let has_prologue v = v.hot.(Cfg.entry (cfg v))
+
+let ret_blocks v =
+  List.filter
+    (fun b ->
+      match Cfg.terminator (cfg v) b with
+      | Some Instr.Ret -> true
+      | _ -> false)
+    (hot_blocks v)
+
+let inlinable v =
+  has_prologue v
+  &&
+  let reach = reachable_from_prologue v in
+  List.exists (fun b -> List.mem b reach) (ret_blocks v)
+
+let live_across v a = Liveness.live_across v.live a

@@ -1,0 +1,1 @@
+lib/phase/categorize.ml: Format Hashtbl List Option Phase_log Vp_hsd Vp_util

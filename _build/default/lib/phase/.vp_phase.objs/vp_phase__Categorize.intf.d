@@ -1,0 +1,1 @@
+lib/phase/categorize.mli: Format Hashtbl Phase_log

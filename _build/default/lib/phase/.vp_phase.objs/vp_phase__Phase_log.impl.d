@@ -1,0 +1,1 @@
+lib/phase/phase_log.ml: Format List Similarity Vp_hsd

@@ -1,0 +1,1 @@
+lib/phase/phase_log.mli: Format Similarity Vp_hsd

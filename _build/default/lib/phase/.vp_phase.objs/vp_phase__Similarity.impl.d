@@ -1,0 +1,1 @@
+lib/phase/similarity.ml: List Vp_hsd

@@ -1,0 +1,1 @@
+lib/phase/similarity.mli: Vp_hsd

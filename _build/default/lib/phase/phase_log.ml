@@ -1,0 +1,77 @@
+module Snapshot = Vp_hsd.Snapshot
+
+type phase = {
+  id : int;
+  representative : Snapshot.t;
+  occurrences : Snapshot.t list;
+}
+
+type t = { phases : phase list; schedule : (int * int * int) list; raw : int }
+
+let build ?(similarity = Similarity.default) snapshots =
+  let classes : (int * Snapshot.t * Snapshot.t list ref) list ref = ref [] in
+  let schedule_rev = ref [] in
+  List.iter
+    (fun snap ->
+      let assigned =
+        List.find_opt
+          (fun (_, rep, _) -> Similarity.same ~config:similarity snap rep)
+          !classes
+      in
+      let id =
+        match assigned with
+        | Some (id, _, members) ->
+          members := snap :: !members;
+          id
+        | None ->
+          let id = List.length !classes in
+          classes := !classes @ [ (id, snap, ref [ snap ]) ];
+          id
+      in
+      schedule_rev := (snap.Snapshot.detected_at, snap.Snapshot.ended_at, id) :: !schedule_rev)
+    snapshots;
+  let phases =
+    List.map
+      (fun (id, rep, members) ->
+        { id; representative = rep; occurrences = List.rev !members })
+      !classes
+  in
+  { phases; schedule = List.rev !schedule_rev; raw = List.length snapshots }
+
+let phases t = t.phases
+
+(* Merge adjacent same-phase intervals for a readable schedule. *)
+let timeline t =
+  let rec merge = function
+    | (s1, e1, p1) :: (s2, e2, p2) :: rest when p1 = p2 && e1 = s2 ->
+      merge ((s1, e2, p1) :: rest)
+    | x :: rest -> x :: merge rest
+    | [] -> []
+  in
+  merge t.schedule
+
+let raw_count t = t.raw
+let unique_count t = List.length t.phases
+
+let extent p =
+  List.fold_left (fun acc s -> acc + Snapshot.extent s) 0 p.occurrences
+
+let transitions t =
+  let tl = timeline t in
+  let rec count = function
+    | (_, _, a) :: ((_, _, b) :: _ as rest) ->
+      (if a <> b then 1 else 0) + count rest
+    | _ -> 0
+  in
+  count tl
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%d raw recordings, %d unique phases@," t.raw
+    (unique_count t);
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "phase %d: %d occurrences, extent %d, %d branches@," p.id
+        (List.length p.occurrences) (extent p)
+        (List.length p.representative.Snapshot.branches))
+    t.phases;
+  Format.fprintf fmt "@]"

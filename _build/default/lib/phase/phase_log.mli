@@ -1,0 +1,37 @@
+(** Software filtering of raw hot-spot recordings into unique phases.
+
+    The hardware re-detects a stable phase every detection cycle, so
+    the raw snapshot stream contains long runs of near-identical
+    records.  This pass groups snapshots into equivalence classes by
+    {!Similarity.same} against each class representative (the first
+    member), yielding the unique phases the region-formation pipeline
+    processes — "software filtering eliminates all redundant hot spot
+    detections", Section 3.1. *)
+
+type phase = {
+  id : int;
+  representative : Vp_hsd.Snapshot.t;
+  occurrences : Vp_hsd.Snapshot.t list;  (** every merged recording, in order *)
+}
+
+type t
+
+val build : ?similarity:Similarity.config -> Vp_hsd.Snapshot.t list -> t
+
+val phases : t -> phase list
+(** Unique phases in first-detection order. *)
+
+val timeline : t -> (int * int * int) list
+(** [(start, stop, phase_id)] intervals in execution order — the
+    program's phase schedule as the detector saw it. *)
+
+val raw_count : t -> int
+val unique_count : t -> int
+
+val extent : phase -> int
+(** Total dynamic branches covered by all occurrences of the phase. *)
+
+val transitions : t -> int
+(** Adjacent timeline intervals with different phase ids. *)
+
+val pp : Format.formatter -> t -> unit

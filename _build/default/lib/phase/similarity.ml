@@ -1,0 +1,35 @@
+module Snapshot = Vp_hsd.Snapshot
+
+type config = {
+  missing_fraction : float;
+  bias_threshold : float;
+  max_bias_flips : int;
+}
+
+let default = { missing_fraction = 0.3; bias_threshold = 0.9; max_bias_flips = 0 }
+
+let missing_fraction a b =
+  match a.Snapshot.branches with
+  | [] -> 0.0
+  | branches ->
+    let missing =
+      List.length (List.filter (fun e -> Snapshot.find b e.Snapshot.pc = None) branches)
+    in
+    float_of_int missing /. float_of_int (List.length branches)
+
+let bias_flips ?(threshold = 0.9) a b =
+  List.fold_left
+    (fun acc ea ->
+      match Snapshot.find b ea.Snapshot.pc with
+      | None -> acc
+      | Some eb -> (
+        match (Snapshot.bias ~threshold ea, Snapshot.bias ~threshold eb) with
+        | Snapshot.Taken, Snapshot.Not_taken | Snapshot.Not_taken, Snapshot.Taken ->
+          acc + 1
+        | _ -> acc))
+    0 a.Snapshot.branches
+
+let same ?(config = default) a b =
+  missing_fraction a b < config.missing_fraction
+  && missing_fraction b a < config.missing_fraction
+  && bias_flips ~threshold:config.bias_threshold a b <= config.max_bias_flips

@@ -1,0 +1,25 @@
+(** Hot-spot similarity, per Section 3.1 of the paper.
+
+    Two hot spots are the {e same} phase unless:
+    - 30 % or more of one's branches are missing from the other (in
+      either direction), or
+    - more than [max_bias_flips] branches common to both are biased in
+      both and flip direction (taken vs. not-taken) between them.
+      The paper uses a threshold of a single varying biased branch,
+      i.e. [max_bias_flips = 0]. *)
+
+type config = {
+  missing_fraction : float;  (** default 0.3 *)
+  bias_threshold : float;  (** what counts as biased; default 0.9 *)
+  max_bias_flips : int;  (** tolerated flipped biased branches; default 0 *)
+}
+
+val default : config
+
+val missing_fraction : Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> float
+(** Fraction of the first snapshot's branches absent from the second. *)
+
+val bias_flips : ?threshold:float -> Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> int
+(** Branches biased in both snapshots with opposite directions. *)
+
+val same : ?config:config -> Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> bool

@@ -1,0 +1,1 @@
+lib/prog/asm.ml: Block Buffer Format Fun Func Hashtbl List Printf Program Result String Vp_isa

@@ -1,0 +1,1 @@
+lib/prog/asm.mli: Format Program Vp_isa

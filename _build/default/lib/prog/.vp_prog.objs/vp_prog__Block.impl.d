@@ -1,0 +1,1 @@
+lib/prog/block.ml: Format List Printf Vp_isa

@@ -1,0 +1,1 @@
+lib/prog/block.mli: Format Vp_isa

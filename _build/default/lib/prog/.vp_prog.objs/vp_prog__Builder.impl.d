@@ -1,0 +1,1 @@
+lib/prog/builder.ml: Array Block Func List Printf Program Vp_isa

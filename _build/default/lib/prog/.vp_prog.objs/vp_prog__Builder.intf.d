@@ -1,0 +1,1 @@
+lib/prog/builder.mli: Program Vp_isa

@@ -1,0 +1,1 @@
+lib/prog/func.ml: Block Format List Printf

@@ -1,0 +1,1 @@
+lib/prog/func.mli: Block Format

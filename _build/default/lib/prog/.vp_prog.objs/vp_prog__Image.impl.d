@@ -1,0 +1,1 @@
+lib/prog/image.ml: Array Format List Printf Vp_isa

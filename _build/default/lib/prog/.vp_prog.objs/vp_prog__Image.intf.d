@@ -1,0 +1,1 @@
+lib/prog/image.mli: Format Vp_isa

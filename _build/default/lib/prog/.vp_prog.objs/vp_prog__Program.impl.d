@@ -1,0 +1,1 @@
+lib/prog/program.ml: Array Block Format Func Hashtbl Image List Printf Vp_isa

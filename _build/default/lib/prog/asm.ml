@@ -1,0 +1,273 @@
+module Instr = Vp_isa.Instr
+module Op = Vp_isa.Op
+module Reg = Vp_isa.Reg
+
+type error = { line : int; message : string }
+
+let pp_error fmt e = Format.fprintf fmt "line %d: %s" e.line e.message
+
+(* --- lexical helpers --- *)
+
+let reg_table =
+  let table = Hashtbl.create 40 in
+  List.iter
+    (fun i ->
+      let r = Reg.of_int i in
+      Hashtbl.replace table (Reg.name r) r)
+    (List.init Reg.count Fun.id);
+  table
+
+let parse_reg s =
+  match Hashtbl.find_opt reg_table s with
+  | Some r -> Ok r
+  | None -> Error (Printf.sprintf "unknown register %S" s)
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad integer %S" s)
+
+let parse_imm s =
+  if String.length s > 1 && s.[0] = '#' then
+    parse_int (String.sub s 1 (String.length s - 1))
+  else Error (Printf.sprintf "expected immediate, got %S" s)
+
+let parse_target s =
+  if String.length s > 2 && s.[0] = '0' && s.[1] = 'x' then
+    match int_of_string_opt s with
+    | Some a -> Ok (Instr.Addr a)
+    | None -> Error (Printf.sprintf "bad address %S" s)
+  else if s <> "" then Ok (Instr.Label s)
+  else Error "empty target"
+
+let parse_operand s =
+  if String.length s > 0 && s.[0] = '#' then
+    Result.map (fun n -> Instr.Imm n) (parse_imm s)
+  else Result.map (fun r -> Instr.Reg r) (parse_reg s)
+
+(* "4(sp)" -> (4, sp) *)
+let parse_mem s =
+  match String.index_opt s '(' with
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+    let off = String.sub s 0 i in
+    let base = String.sub s (i + 1) (String.length s - i - 2) in
+    Result.bind (parse_int off) (fun offset ->
+        Result.map (fun base -> (offset, base)) (parse_reg base))
+  | _ -> Error (Printf.sprintf "expected OFFSET(REG), got %S" s)
+
+let tokens line =
+  String.map (function ',' -> ' ' | c -> c) line
+  |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+
+let alu_table =
+  let table = Hashtbl.create 16 in
+  List.iter (fun op -> Hashtbl.replace table (Op.alu_name op) op) Op.all_alu;
+  table
+
+let cond_table =
+  let table = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace table ("b" ^ Op.cond_name c) c) Op.all_cond;
+  table
+
+let ( let* ) = Result.bind
+
+let parse_instr line =
+  match tokens line with
+  | [] -> Error "empty instruction"
+  | mnemonic :: args -> (
+    match (Hashtbl.find_opt alu_table mnemonic, Hashtbl.find_opt cond_table mnemonic, args) with
+    | Some op, _, [ d; s1; s2 ] ->
+      let* dst = parse_reg d in
+      let* src1 = parse_reg s1 in
+      let* src2 = parse_operand s2 in
+      Ok (Instr.Alu { op; dst; src1; src2 })
+    | Some _, _, _ -> Error (mnemonic ^ " expects 3 operands")
+    | None, Some cond, [ s1; s2; t ] ->
+      let* src1 = parse_reg s1 in
+      let* src2 = parse_reg s2 in
+      let* target = parse_target t in
+      Ok (Instr.Br { cond; src1; src2; target })
+    | None, Some _, _ -> Error (mnemonic ^ " expects 3 operands")
+    | None, None, _ -> (
+      match (mnemonic, args) with
+      | "li", [ d; imm ] ->
+        let* dst = parse_reg d in
+        let* imm = parse_imm imm in
+        Ok (Instr.Li { dst; imm })
+      | "la", [ d; t ] ->
+        let* dst = parse_reg d in
+        let* target = parse_target t in
+        Ok (Instr.La { dst; target })
+      | "ld", [ d; mem ] ->
+        let* dst = parse_reg d in
+        let* offset, base = parse_mem mem in
+        Ok (Instr.Load { dst; base; offset })
+      | "st", [ s; mem ] ->
+        let* src = parse_reg s in
+        let* offset, base = parse_mem mem in
+        Ok (Instr.Store { src; base; offset })
+      | "jmp", [ t ] ->
+        let* target = parse_target t in
+        Ok (Instr.Jmp { target })
+      | "call", [ t ] ->
+        let* target = parse_target t in
+        Ok (Instr.Call { target })
+      | "ret", [] -> Ok Instr.Ret
+      | "nop", [] -> Ok Instr.Nop
+      | "halt", [] -> Ok Instr.Halt
+      | _ -> Error (Printf.sprintf "cannot parse %S" (String.trim line))))
+
+(* --- program-level parsing --- *)
+
+type pstate = {
+  mutable funcs_rev : Func.t list;
+  mutable current_func : string option;
+  mutable blocks_rev : Block.t list;
+  mutable current_label : string option;
+  mutable instrs_rev : Instr.t list;
+  mutable entry : string option;
+  mutable data_break : int;
+  mutable data_init_rev : (int * int) list;
+  mutable auto_labels : int;
+}
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let close_block st =
+  match st.current_label with
+  | None ->
+    if st.instrs_rev <> [] then Error "instructions before any label"
+    else Ok ()
+  | Some label ->
+    st.blocks_rev <- Block.v label (List.rev st.instrs_rev) :: st.blocks_rev;
+    st.current_label <- None;
+    st.instrs_rev <- [];
+    Ok ()
+
+let close_func st =
+  let* () = close_block st in
+  match st.current_func with
+  | None ->
+    if st.blocks_rev <> [] then Error "blocks before any .func" else Ok ()
+  | Some name ->
+    if st.blocks_rev = [] then Error (Printf.sprintf "function %s has no blocks" name)
+    else begin
+      st.funcs_rev <- Func.v name (List.rev st.blocks_rev) :: st.funcs_rev;
+      st.current_func <- None;
+      st.blocks_rev <- [];
+      Ok ()
+    end
+
+let parse_line st line =
+  let line = String.trim (strip_comment line) in
+  if line = "" then Ok ()
+  else if String.length line > 0 && line.[0] = '.' then
+    match tokens line with
+    | [ ".func"; name ] ->
+      let* () = close_func st in
+      st.current_func <- Some name;
+      Ok ()
+    | [ ".entry"; name ] ->
+      st.entry <- Some name;
+      Ok ()
+    | [ ".data"; n ] ->
+      let* break_ = parse_int n in
+      st.data_break <- break_;
+      Ok ()
+    | [ ".init"; addr; value ] ->
+      let* addr = parse_int addr in
+      let* value = parse_int value in
+      st.data_init_rev <- (addr, value) :: st.data_init_rev;
+      Ok ()
+    | _ -> Error (Printf.sprintf "bad directive %S" line)
+  else if String.length line > 1 && line.[String.length line - 1] = ':' then begin
+    let* () = close_block st in
+    st.current_label <- Some (String.sub line 0 (String.length line - 1));
+    Ok ()
+  end
+  else
+    match st.current_label with
+    | None -> Error "instruction outside any block (missing label?)"
+    | Some label ->
+      (* Blocks carry at most one control instruction, always last;
+         like any assembler we split automatically at control
+         instructions, deriving a fresh label for the continuation. *)
+      let* () =
+        match st.instrs_rev with
+        | last :: _ when Instr.is_control last ->
+          let* () = close_block st in
+          st.auto_labels <- st.auto_labels + 1;
+          st.current_label <- Some (Printf.sprintf "%s$auto%d" label st.auto_labels);
+          Ok ()
+        | _ -> Ok ()
+      in
+      let* i = parse_instr line in
+      st.instrs_rev <- i :: st.instrs_rev;
+      Ok ()
+
+let parse_program source =
+  let st =
+    {
+      funcs_rev = [];
+      current_func = None;
+      blocks_rev = [];
+      current_label = None;
+      instrs_rev = [];
+      entry = None;
+      data_break = 16;
+      data_init_rev = [];
+      auto_labels = 0;
+    }
+  in
+  let lines = String.split_on_char '\n' source in
+  let rec go n = function
+    | [] -> (
+      match close_func st with
+      | Error message -> Error { line = n; message }
+      | Ok () -> (
+        match st.entry with
+        | None -> Error { line = n; message = "missing .entry directive" }
+        | Some entry -> (
+          try
+            Ok
+              (Program.v
+                 ~data_init:(List.rev st.data_init_rev)
+                 ~data_break:st.data_break ~entry
+                 (List.rev st.funcs_rev))
+          with Invalid_argument message -> Error { line = n; message })))
+    | line :: rest -> (
+      match (try parse_line st line with Invalid_argument m -> Error m) with
+      | Error message -> Error { line = n; message }
+      | Ok () -> go (n + 1) rest)
+  in
+  go 1 lines
+
+(* --- printing --- *)
+
+let print_program (p : Program.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf ".data %d\n" p.Program.data_break);
+  List.iter
+    (fun (addr, v) -> Buffer.add_string buf (Printf.sprintf ".init %d %d\n" addr v))
+    p.Program.data_init;
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Printf.sprintf ".func %s\n" (Func.name f));
+      List.iter
+        (fun b ->
+          Buffer.add_string buf (Block.label b);
+          Buffer.add_string buf ":\n";
+          List.iter
+            (fun i ->
+              Buffer.add_string buf "  ";
+              Buffer.add_string buf (Instr.to_string i);
+              Buffer.add_char buf '\n')
+            (Block.body b))
+        (Func.blocks f))
+    p.Program.funcs;
+  Buffer.add_string buf (Printf.sprintf ".entry %s\n" p.Program.entry);
+  Buffer.contents buf

@@ -1,0 +1,49 @@
+(** Textual assembly for the simulated ISA.
+
+    The printer emits exactly the disassembly syntax of
+    {!Vp_isa.Instr.pp}; the parser accepts it back, so
+    [parse (print p)] reproduces [p] structurally.  Example source:
+
+    {v
+.func sum
+sum$entry:
+  li t0, #0
+  li t1, #0
+sum$loop:
+  bge t1, a0, sum$done
+  add t0, t0, t1
+  add t1, t1, #1
+  jmp sum$loop
+sum$done:
+  add a0, t0, #0
+  ret
+.func main
+main$entry:
+  li a0, #10
+  call sum
+  halt
+.entry main
+    v}
+
+    Blocks hold at most one control instruction, always last; the
+    parser splits automatically after a control instruction, deriving
+    a fresh continuation label, so hand-written code need not label
+    every fall-through block.
+
+    Directives: [.func NAME] starts a function (its first label opens
+    the entry block); [.entry NAME] selects the entry function;
+    [.data BREAK] sets the first free data address; [.init ADDR VALUE]
+    adds a memory initialiser.  [#] introduces immediates; [;] starts
+    a comment running to end of line.  Control targets may be label
+    names or absolute [0x..] addresses. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_program : string -> (Program.t, error) result
+
+val print_program : Program.t -> string
+
+val parse_instr : string -> (Vp_isa.Instr.t, string) result
+(** One instruction, exposed for tests and tooling. *)

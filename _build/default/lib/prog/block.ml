@@ -1,0 +1,40 @@
+module Instr = Vp_isa.Instr
+
+type t = { label : string; body : Instr.t list }
+
+let check_body label body =
+  let rec go = function
+    | [] -> ()
+    | [ _last ] -> ()
+    | i :: rest ->
+      if Instr.is_control i then
+        invalid_arg
+          (Printf.sprintf "Block %s: control instruction %s not last" label
+             (Instr.to_string i))
+      else go rest
+  in
+  go body
+
+let v label body =
+  check_body label body;
+  { label; body }
+
+let label t = t.label
+let body t = t.body
+let size t = List.length t.body
+
+let terminator t =
+  match List.rev t.body with
+  | last :: _ when Instr.is_control last -> Some last
+  | _ -> None
+
+let falls_through t =
+  match terminator t with
+  | None -> true
+  | Some (Instr.Br _) | Some (Instr.Call _) -> true
+  | Some (Instr.Jmp _) | Some Instr.Ret | Some Instr.Halt -> false
+  | Some _ -> true
+
+let pp fmt t =
+  Format.fprintf fmt "%s:" t.label;
+  List.iter (fun i -> Format.fprintf fmt "@\n  %a" Instr.pp i) t.body

@@ -1,0 +1,1 @@
+lib/region/growth.ml: Fun List Queue Region Temperature Vp_cfg Vp_isa

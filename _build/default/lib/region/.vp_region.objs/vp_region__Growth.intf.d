@@ -1,0 +1,1 @@
+lib/region/growth.mli: Region

@@ -1,0 +1,1 @@
+lib/region/identify.ml: Growth Inference List Marking Region

@@ -1,0 +1,1 @@
+lib/region/identify.mli: Marking Region Vp_hsd Vp_prog

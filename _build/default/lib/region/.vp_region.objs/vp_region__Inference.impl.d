@@ -1,0 +1,1 @@
+lib/region/inference.ml: List Region Temperature Vp_cfg Vp_isa Vp_prog

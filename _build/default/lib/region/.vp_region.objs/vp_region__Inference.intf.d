@@ -1,0 +1,1 @@
+lib/region/inference.mli: Region

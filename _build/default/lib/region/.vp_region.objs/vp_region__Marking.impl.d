@@ -1,0 +1,1 @@
+lib/region/marking.ml: List Printf Region Temperature Vp_cfg Vp_hsd Vp_prog

@@ -1,0 +1,1 @@
+lib/region/marking.mli: Region

@@ -1,0 +1,1 @@
+lib/region/region.ml: Array Format Fun Hashtbl List Option Printf Temperature Vp_cfg Vp_hsd Vp_prog

@@ -1,0 +1,1 @@
+lib/region/region.mli: Format Temperature Vp_cfg Vp_hsd Vp_prog

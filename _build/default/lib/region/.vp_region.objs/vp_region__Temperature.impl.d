@@ -1,0 +1,1 @@
+lib/region/temperature.ml: Format

@@ -1,0 +1,131 @@
+module Cfg = Vp_cfg.Cfg
+module T = Temperature
+
+let adopt_unknown_arcs mf =
+  let cfg = Region.cfg mf in
+  List.iter
+    (fun (a : Cfg.arc) ->
+      if
+        T.equal (Region.arc_temp mf a) T.Unknown
+        && T.is_hot (Region.temp mf a.Cfg.src)
+        && T.is_hot (Region.temp mf a.Cfg.dst)
+      then ignore (Region.set_arc_temp mf a T.Hot))
+    (Cfg.arcs cfg)
+
+(* A Hot block is an entry when no non-back-edge predecessor arc both
+   is Hot and comes from a Hot block. *)
+let entry_blocks mf =
+  let cfg = Region.cfg mf in
+  List.filter
+    (fun b ->
+      T.is_hot (Region.temp mf b)
+      && not
+           (List.exists
+              (fun (a : Cfg.arc) ->
+                T.is_hot (Region.arc_temp mf a) && T.is_hot (Region.temp mf a.Cfg.src))
+              (Cfg.preds_ignoring_back_edges cfg b)))
+    (List.init (Cfg.num_blocks cfg) Fun.id)
+
+let grow_entry mf ~max_blocks entry =
+  let cfg = Region.cfg mf in
+  let adopted = ref 0 in
+  (* Walk backwards breadth-first through non-Cold predecessors. *)
+  let queue = Queue.create () in
+  Queue.add entry queue;
+  while (not (Queue.is_empty queue)) && !adopted < max_blocks do
+    let b = Queue.take queue in
+    List.iter
+      (fun (a : Cfg.arc) ->
+        if !adopted < max_blocks && not (T.is_cold (Region.arc_temp mf a)) then begin
+          let p = a.Cfg.src in
+          match Region.temp mf p with
+          | T.Hot ->
+            (* Reached existing hot code: connect and stop this path. *)
+            ignore (Region.set_arc_temp mf a T.Hot)
+          | T.Unknown ->
+            ignore (Region.set_temp mf p T.Hot);
+            ignore (Region.set_arc_temp mf a T.Hot);
+            incr adopted;
+            Queue.add p queue
+          | T.Cold -> ()
+        end)
+      (Cfg.preds_ignoring_back_edges cfg b)
+  done;
+  !adopted
+
+(* A block is a pure connector when it cannot branch, call or leave
+   the function: only straight-line code ending in a fall-through or
+   an unconditional jump. *)
+let connector_block cfg b =
+  match Cfg.terminator cfg b with
+  | None | Some (Vp_isa.Instr.Jmp _) -> true
+  | Some _ -> false
+
+(* Try to adopt the exit chain starting along [arc]: walk single-
+   successor, branch-free, call-free blocks within the instruction
+   budget, and adopt the chain when it rejoins a Hot block.  Only
+   directions the phase actually traversed qualify: a marked arc needs
+   a non-zero profile weight, while an Unknown arc (no information
+   against it) qualifies outright.  Phase-defining fully-biased cold
+   arms have weight zero and are never adopted, preserving package
+   specialisation. *)
+let adopt_connector mf ~max_connector (arc : Cfg.arc) =
+  let cfg = Region.cfg mf in
+  let back = Cfg.back_edges cfg in
+  (* A traversed direction may rejoin anywhere; an untraversed one
+     only qualifies when the chain closes a loop (back-edge rejoin),
+     so phase-defining biased arms stay excluded. *)
+  let traversed =
+    match Region.arc_temp mf arc with
+    | T.Unknown -> true
+    | T.Cold -> Region.arc_weight mf arc >= 1
+    | T.Hot -> false
+  in
+  match Region.arc_temp mf arc with
+  | T.Hot -> 0
+  | T.Unknown | T.Cold ->
+    let rec walk b budget chain_rev arcs_rev =
+      if T.is_hot (Region.temp mf b) then begin
+        let closing_arc =
+          match arcs_rev with (a : Cfg.arc) :: _ -> a | [] -> arc
+        in
+        let closes_loop = List.mem (closing_arc.Cfg.src, closing_arc.Cfg.dst) back in
+        if traversed || closes_loop then begin
+          List.iter (Region.force_hot mf) chain_rev;
+          List.iter (Region.force_hot_arc mf) (arc :: arcs_rev);
+          (* Count even zero-length chains as progress so the formation
+             loop reruns inference over the newly hot arc. *)
+          1 + List.length chain_rev
+        end
+        else 0
+      end
+      else if budget < Cfg.len cfg b || not (connector_block cfg b) then 0
+      else
+        match Cfg.succs cfg b with
+        | [ next ] ->
+          walk next.Cfg.dst (budget - Cfg.len cfg b) (b :: chain_rev)
+            (next :: arcs_rev)
+        | [] | _ :: _ :: _ -> 0
+    in
+    walk arc.Cfg.dst max_connector [] []
+
+let adopt_loop_connectors mf ~max_connector =
+  if max_connector <= 0 then 0
+  else
+    List.fold_left
+      (fun acc arc -> acc + adopt_connector mf ~max_connector arc)
+      0 (Region.exit_arcs mf)
+
+let grow ?(max_blocks = 1) ?(max_connector = 6) region =
+  let total = ref 0 in
+  List.iter (fun (_, mf) -> adopt_unknown_arcs mf) (Region.funcs region);
+  List.iter
+    (fun (_, mf) -> total := !total + adopt_loop_connectors mf ~max_connector)
+    (Region.funcs region);
+  List.iter
+    (fun (_, mf) ->
+      List.iter
+        (fun entry -> total := !total + grow_entry mf ~max_blocks entry)
+        (entry_blocks mf))
+    (Region.funcs region);
+  !total

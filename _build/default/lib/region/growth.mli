@@ -1,0 +1,34 @@
+(** Heuristic hot-region growth (Section 3.2.3, plus the
+    exit-minimisation goal of Section 3.2).
+
+    Three expansions after inference settles:
+
+    1. {e Unknown-arc adoption}: any [Unknown] arc between two [Hot]
+       blocks is included (made [Hot]) — nothing is known against it
+       and removing it as an exit improves connectivity.  [Cold] arcs
+       between [Hot] blocks stay excluded: the package specialises to
+       the phase.
+    2. {e Loop-connector adoption}: the paper's first design goal is
+       to "minimize the number of exits by opportunistically including
+       infrequent paths when inclusion is associated with little or no
+       cost".  The canonical case is a loop nest: the inner loop's
+       exit direction is genuinely infrequent (so marked [Cold]), yet
+       it leads through a branch-free, call-free connector of a couple
+       of instructions — the outer-loop latch — straight back to a
+       [Hot] loop header.  Excluding it would force an exit on every
+       outer iteration.  A cold exit chain is adopted when it is
+       branch-free and call-free, totals at most [max_connector]
+       instructions, and closes into a [Hot] block through a CFG back
+       edge.  Rare specialised arms rejoin {e forward}, so they remain
+       excluded and phase specialisation is preserved.
+    3. {e Entry predecessor growth}: aiming for a single launch point,
+       each entry block (a [Hot] block with no [Hot] in-arc from a
+       [Hot] block, back edges ignored) grows backwards through
+       non-[Cold] predecessor blocks and arcs until another [Hot]
+       block is reached, adopting at most [max_blocks] blocks per
+       entry (the paper uses MAX_BLOCKS = 1). *)
+
+val grow : ?max_blocks:int -> ?max_connector:int -> Region.t -> int
+(** Returns the number of blocks adopted (connectors plus predecessor
+    growth).  [max_connector] defaults to 6; 0 disables connector
+    adoption. *)

@@ -1,0 +1,27 @@
+(** Step 2 top level: from a hot-spot snapshot to an identified hot
+    region — marking, inference to fix-point, heuristic growth, and a
+    settling inference pass over the grown region. *)
+
+type config = {
+  block_inference : bool;  (** Figure 8/10 "inference" knob *)
+  max_blocks : int;  (** heuristic-growth budget per entry; paper uses 1 *)
+  max_connector : int;
+      (** instruction budget for loop-connector adoption (Section 3.2's
+          exit-minimisation goal); 0 disables *)
+  marking : Marking.config;
+}
+
+val default : config
+
+val identify : ?config:config -> Vp_prog.Image.t -> Vp_hsd.Snapshot.t -> Region.t
+
+type stats = {
+  functions : int;
+  hot_blocks : int;
+  selected_instructions : int;
+  inference_rounds : int;
+  grown_blocks : int;
+}
+
+val identify_with_stats :
+  ?config:config -> Vp_prog.Image.t -> Vp_hsd.Snapshot.t -> Region.t * stats

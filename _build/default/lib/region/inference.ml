@@ -1,0 +1,75 @@
+module Cfg = Vp_cfg.Cfg
+module Image = Vp_prog.Image
+module T = Temperature
+
+(* One sweep over a single marked function; returns true when any
+   temperature changed. *)
+let sweep_function region block_inference (mf : Region.mf) =
+  let cfg = Region.cfg mf in
+  let changed = ref false in
+  let note b = if b then changed := true in
+  let block_rules_allowed b =
+    block_inference
+    ||
+    match Cfg.terminator cfg b with
+    | Some (Vp_isa.Instr.Br _) -> false
+    | _ -> true
+  in
+  for b = 0 to Cfg.num_blocks cfg - 1 do
+    let ins = Cfg.preds cfg b in
+    let outs = Cfg.succs cfg b in
+    let temps arcs = List.map (Region.arc_temp mf) arcs in
+    (* Statements 3-4 solve *unknown* temperatures only (Figure 4,
+       statement 1); a known block never changes. *)
+    if T.equal (Region.temp mf b) T.Unknown && block_rules_allowed b then begin
+      let all_cold arcs =
+        arcs <> [] && List.for_all T.is_cold (temps arcs)
+      in
+      if all_cold ins || all_cold outs then note (Region.set_temp mf b T.Cold);
+      (* Statement 4: any adjacent Hot arc => Hot. *)
+      if List.exists T.is_hot (temps ins) || List.exists T.is_hot (temps outs) then
+        note (Region.set_temp mf b T.Hot)
+    end;
+    (match Region.temp mf b with
+    | T.Cold ->
+      (* Statement 6: every arc of a Cold block is Cold. *)
+      List.iter (fun a -> note (Region.set_arc_temp mf a T.Cold)) (ins @ outs)
+    | T.Hot ->
+      (* Statement 7: all-but-one known-Cold => the remaining arc is
+         Hot.  Applies separately to the in- and out-arc sets. *)
+      let infer_last arcs =
+        match List.filter (fun a -> not (T.is_cold (Region.arc_temp mf a))) arcs with
+        | [ single ] -> note (Region.set_arc_temp mf single T.Hot)
+        | [] | _ :: _ :: _ -> ()
+      in
+      infer_last ins;
+      infer_last outs
+    | T.Unknown -> ())
+  done;
+  (* Statement 9: Hot call block => callee prologue Hot.  May add new
+     functions to the region. *)
+  List.iter
+    (fun (_, callee_addr) ->
+      match Image.sym_at (Region.image region) callee_addr with
+      | Some sym ->
+        let callee = Region.add_func region sym.Image.name in
+        note (Region.set_temp callee (Cfg.entry (Region.cfg callee)) T.Hot)
+      | None -> ())
+    (Region.hot_call_sites mf);
+  !changed
+
+let run ?(block_inference = true) region =
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    incr rounds;
+    (* [funcs] is re-read every sweep: the call rule may have added
+       functions. *)
+    let changed =
+      List.fold_left
+        (fun acc (_, mf) -> sweep_function region block_inference mf || acc)
+        false (Region.funcs region)
+    in
+    continue_ := changed
+  done;
+  !rounds

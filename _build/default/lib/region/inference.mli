@@ -1,0 +1,24 @@
+(** The temperature-inference fix-point of Figure 4 / Figure 5.
+
+    Rules applied until nothing changes, across all functions of the
+    region (the call rule pulls new functions in mid-flight):
+
+    - {e blocks} (statements 3–4): a block is [Cold] when all of its
+      in-arcs, or all of its out-arcs, are known [Cold] (at least one
+      arc required); a block is [Hot] when any adjacent arc is [Hot];
+    - {e arcs} (statements 6–7): every arc of a [Cold] block is
+      [Cold]; if all but one of a [Hot] block's out-arcs (or in-arcs)
+      are known [Cold], the remaining arc is [Hot] — including the
+      degenerate single-arc case;
+    - {e calls} (statement 9): the prologue (entry block) of the
+      callee of a [Hot] call block is [Hot].
+
+    With [block_inference = false] (the "no inference" configuration
+    of Figures 8 and 10), the block rules only apply to blocks that do
+    not end in a conditional branch — the profile is trusted to be
+    complete for branches — while the arc and call rules still run. *)
+
+val run : ?block_inference:bool -> Region.t -> int
+(** Iterate to fix-point; returns the number of sweeps performed
+    (at least 1; a second call returns exactly 1 because nothing
+    changes — the fix-point is idempotent). *)

@@ -1,0 +1,54 @@
+module Cfg = Vp_cfg.Cfg
+module Image = Vp_prog.Image
+module Snapshot = Vp_hsd.Snapshot
+
+type config = {
+  arc_hot_fraction : float;
+  hot_arc_weight_threshold : int;
+}
+
+let default = { arc_hot_fraction = 0.25; hot_arc_weight_threshold = 16 }
+
+let classify_direction config ~executed ~weight =
+  let fraction =
+    if executed = 0 then 0.0 else float_of_int weight /. float_of_int executed
+  in
+  if fraction >= config.arc_hot_fraction || weight > config.hot_arc_weight_threshold
+  then Temperature.Hot
+  else Temperature.Cold
+
+let mark_entry config region (e : Snapshot.entry) =
+  let image = Region.image region in
+  match Image.sym_at image e.Snapshot.pc with
+  | None ->
+    invalid_arg (Printf.sprintf "Marking.mark: branch 0x%x outside any symbol" e.Snapshot.pc)
+  | Some sym ->
+    let mf = Region.add_func region sym.Image.name in
+    let cfg = Region.cfg mf in
+    let b =
+      match Cfg.block_at cfg e.Snapshot.pc with
+      | Some b -> b
+      | None -> invalid_arg "Marking.mark: branch address not in recovered CFG"
+    in
+    if Cfg.branch_addr cfg b <> Some e.Snapshot.pc then
+      invalid_arg
+        (Printf.sprintf "Marking.mark: 0x%x does not terminate block %d" e.Snapshot.pc b);
+    let _ = Region.set_temp mf b Temperature.Hot in
+    Region.add_weight mf b e.Snapshot.executed;
+    Region.set_taken_prob mf b (Snapshot.taken_fraction e);
+    List.iter
+      (fun (a : Cfg.arc) ->
+        let weight =
+          match a.Cfg.kind with
+          | Cfg.Taken -> e.Snapshot.taken
+          | Cfg.Fallthrough -> e.Snapshot.executed - e.Snapshot.taken
+        in
+        Region.set_arc_weight mf a weight;
+        let t = classify_direction config ~executed:e.Snapshot.executed ~weight in
+        let _ = Region.set_arc_temp mf a t in
+        ())
+      (Cfg.succs cfg b)
+
+let mark ?(config = default) region =
+  let snapshot = Region.snapshot region in
+  List.iter (mark_entry config region) snapshot.Snapshot.branches

@@ -1,0 +1,22 @@
+(** Step 2 initialisation (Section 3.2.1): superimpose one hot-spot
+    snapshot onto recovered CFGs.
+
+    Every block containing a snapshot branch becomes [Hot] with the
+    branch's executed count as weight and taken fraction as taken
+    probability.  The branch's out-arcs get weights from the taken and
+    executed counters and a temperature: [Hot] when the direction
+    carries at least [arc_hot_fraction] of the branch's flow {e or}
+    more than [hot_arc_weight_threshold] executions, [Cold]
+    otherwise. *)
+
+type config = {
+  arc_hot_fraction : float;  (** default 0.25 *)
+  hot_arc_weight_threshold : int;  (** default 16, the HSD candidate threshold *)
+}
+
+val default : config
+
+val mark : ?config:config -> Region.t -> unit
+(** Raises [Invalid_argument] if a snapshot branch address does not
+    terminate a recovered block (cannot happen on images produced by
+    {!Vp_prog.Program.layout}). *)

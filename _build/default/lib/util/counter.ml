@@ -1,0 +1,35 @@
+type t = {
+  max_value : int;
+  mutable executed : int;
+  mutable taken : int;
+  mutable halvings : int;
+}
+
+let create ~bits =
+  assert (bits > 0 && bits < 62);
+  { max_value = (1 lsl bits) - 1; executed = 0; taken = 0; halvings = 0 }
+
+let reset t =
+  t.executed <- 0;
+  t.taken <- 0;
+  t.halvings <- 0
+
+let max_value t = t.max_value
+
+let record t ~taken =
+  if t.executed >= t.max_value then begin
+    t.executed <- t.executed / 2;
+    t.taken <- t.taken / 2;
+    t.halvings <- t.halvings + 1
+  end;
+  t.executed <- t.executed + 1;
+  if taken then t.taken <- t.taken + 1
+
+let executed t = t.executed
+let taken t = t.taken
+
+let taken_fraction t =
+  if t.executed = 0 then 0.0
+  else float_of_int t.taken /. float_of_int t.executed
+
+let halvings t = t.halvings

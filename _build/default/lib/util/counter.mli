@@ -1,0 +1,32 @@
+(** Saturating hardware-style counters.
+
+    The Branch Behavior Buffer tracks each branch with a pair of
+    fixed-width counters (executed, taken).  The paper requires that on
+    saturation the *taken fraction* is preserved, which the classic
+    implementation achieves by halving both counters when the executed
+    counter would overflow.  This module packages that behaviour. *)
+
+type t
+(** A mutable (executed, taken) counter pair of a given bit width. *)
+
+val create : bits:int -> t
+(** Fresh pair of [bits]-wide counters, both zero. *)
+
+val reset : t -> unit
+
+val max_value : t -> int
+(** Largest representable count: [2^bits - 1]. *)
+
+val record : t -> taken:bool -> unit
+(** Record one retirement.  If the executed counter is at its maximum,
+    both counters are halved first so the taken fraction survives. *)
+
+val executed : t -> int
+val taken : t -> int
+
+val taken_fraction : t -> float
+(** [taken / executed]; 0 when nothing was recorded. *)
+
+val halvings : t -> int
+(** How many times saturation forced a halving — exposed for tests and
+    for estimating true execution magnitude. *)

@@ -1,0 +1,61 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  header : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~header = { header; rows = [] }
+
+let width t = List.length t.header
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > width t then invalid_arg "Tabular.add_row: too many cells";
+  let padded = cells @ List.init (width t - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let headers = List.map fst t.header in
+  let aligns = List.map snd t.header in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        let cell_width = function
+          | Cells cells -> String.length (List.nth cells i)
+          | Separator -> 0
+        in
+        List.fold_left (fun acc r -> max acc (cell_width r)) (String.length h) rows)
+      headers
+  in
+  let pad align w s =
+    let n = String.length s in
+    if n >= w then s
+    else
+      let fill = String.make (w - n) ' ' in
+      match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let render_cells cells =
+    let padded = List.map2 (fun (w, a) s -> pad a w s) (List.combine widths aligns) cells in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let body =
+    List.map (function Cells cells -> render_cells cells | Separator -> rule) rows
+  in
+  String.concat "\n" ((render_cells headers :: rule :: body))
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_float ?(decimals = 1) x = Printf.sprintf "%.*f" decimals x
+
+let cell_pct x = Printf.sprintf "%.1f" x

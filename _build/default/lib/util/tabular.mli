@@ -1,0 +1,30 @@
+(** Fixed-width text tables for the benchmark harness output.
+
+    The harness regenerates the paper's tables and figures as aligned
+    text; this module handles column sizing and alignment. *)
+
+type align = Left | Right
+
+type t
+
+val create : header:(string * align) list -> t
+(** A table with the given column headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule row. *)
+
+val render : t -> string
+(** The fully formatted table, including header rule. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float with a fixed number of decimals (default 1). *)
+
+val cell_pct : float -> string
+(** Format a percentage with one decimal, no % sign. *)

@@ -1,0 +1,1 @@
+lib/workloads/common.ml: Array Printf Vp_isa Vp_prog

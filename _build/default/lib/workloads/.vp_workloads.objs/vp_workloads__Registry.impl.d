@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List Vp_prog W_go W_gzip W_ijpeg W_li W_m88ksim W_mcf W_mpeg2dec W_parser W_perl W_twolf W_vortex W_vpr

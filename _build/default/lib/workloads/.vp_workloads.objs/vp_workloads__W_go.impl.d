@@ -1,0 +1,1 @@
+lib/workloads/w_go.ml: Array Common List Vp_isa Vp_prog

@@ -1,0 +1,1 @@
+lib/workloads/w_go.mli: Vp_prog

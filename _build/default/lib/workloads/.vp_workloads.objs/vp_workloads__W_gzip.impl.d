@@ -1,0 +1,1 @@
+lib/workloads/w_gzip.ml: Array Common Vp_isa Vp_prog

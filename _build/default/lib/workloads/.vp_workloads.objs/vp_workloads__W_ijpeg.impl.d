@@ -1,0 +1,1 @@
+lib/workloads/w_ijpeg.ml: Common Vp_isa Vp_prog

@@ -1,0 +1,1 @@
+lib/workloads/w_ijpeg.mli: Vp_prog

@@ -1,0 +1,1 @@
+lib/workloads/w_li.mli: Vp_prog

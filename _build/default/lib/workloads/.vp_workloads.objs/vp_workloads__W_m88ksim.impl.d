@@ -1,0 +1,1 @@
+lib/workloads/w_m88ksim.ml: Array Common Vp_isa Vp_prog

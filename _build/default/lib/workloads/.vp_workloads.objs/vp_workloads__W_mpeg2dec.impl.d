@@ -1,0 +1,1 @@
+lib/workloads/w_mpeg2dec.ml: Array Common Vp_isa Vp_prog

@@ -1,0 +1,1 @@
+lib/workloads/w_mpeg2dec.mli: Vp_prog

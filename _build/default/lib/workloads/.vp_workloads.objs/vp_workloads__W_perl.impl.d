@@ -1,0 +1,1 @@
+lib/workloads/w_perl.ml: Array Common Vp_isa Vp_prog

@@ -1,0 +1,1 @@
+lib/workloads/w_perl.mli: Vp_prog

@@ -1,0 +1,114 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let dim = 19
+let board_words = dim * dim
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:16 in
+  let board = B.global b ~words:board_words in
+  let influence = B.global b ~words:board_words in
+  let result = B.global b ~words:1 in
+
+  (* Shared helper: stone colour at a point, with boundary check —
+     called from both phases, so its branches appear in multiple hot
+     spots with phase-dependent bias. *)
+  B.func b "stone_at" ~nargs:1 (fun fb args ->
+      let p = args.(0) in
+      let v = B.vreg fb in
+      B.li fb v 0;
+      B.when_ fb (Op.Ge, p, B.K 0) (fun () ->
+          B.when_ fb (Op.Lt, p, B.K board_words) (fun () ->
+              let addr = B.vreg fb in
+              B.alu fb Op.Add addr p (B.K board);
+              B.load fb v ~base:addr ~off:0));
+      B.ret fb (Some v));
+
+  (* Phase 1: territory evaluation — dense sweep with neighbour
+     influence accumulation. *)
+  B.func b "eval_territory" ~nargs:1 (fun fb args ->
+      let sweeps = args.(0) in
+      let s = B.vreg fb in
+      let p = B.vreg fb in
+      let acc = B.vreg fb in
+      let n = B.vreg fb in
+      let total = B.vreg fb in
+      let addr = B.vreg fb in
+      B.li fb total 0;
+      B.for_ fb s ~from:(B.K 0) ~below:(B.V sweeps) (fun () ->
+          B.for_ fb p ~from:(B.K 0) ~below:(B.K board_words) (fun () ->
+              B.li fb acc 0;
+              List.iter
+                (fun delta ->
+                  B.alu fb Op.Add n p (B.K delta);
+                  let v = B.call fb "stone_at" [ n ] in
+                  B.alu fb Op.Add acc acc (B.V v))
+                [ -dim; -1; 1; dim ];
+              B.alu fb Op.Add addr p (B.K influence);
+              B.store fb acc ~base:addr ~off:0;
+              B.alu fb Op.Add total total (B.V acc);
+              B.alu fb Op.And total total (B.K 0xFFFFF)));
+      B.ret fb (Some total));
+
+  (* Phase 2: tactical reading — chain following with data-dependent
+     exits. *)
+  B.func b "read_tactics" ~nargs:1 (fun fb args ->
+      let probes = args.(0) in
+      let t = B.vreg fb in
+      let pos = B.vreg fb in
+      let steps = B.vreg fb in
+      let total = B.vreg fb in
+      let x = B.vreg fb in
+      B.li fb total 0;
+      B.li fb x 0xbeef;
+      B.for_ fb t ~from:(B.K 0) ~below:(B.V probes) (fun () ->
+          Common.lcg_draw fb ~dst:pos ~state:x ~bound:board_words;
+          B.li fb steps 0;
+          B.while_ fb (fun () -> (Op.Lt, steps, B.K 24)) (fun () ->
+              let v = B.call fb "stone_at" [ pos ] in
+              B.when_ fb (Op.Eq, v, B.K 0) (fun () -> B.break_ fb);
+              (* Follow the chain: step direction depends on stone. *)
+              B.if_ fb (Op.Gt, v, B.K 1)
+                (fun () -> B.addi fb pos pos 1)
+                (fun () -> B.addi fb pos pos dim);
+              B.when_ fb (Op.Ge, pos, B.K board_words) (fun () ->
+                  B.alu fb Op.Sub pos pos (B.K board_words));
+              B.addi fb steps steps 1);
+          B.alu fb Op.Add total total (B.V steps);
+          B.alu fb Op.And total total (B.K 0xFFFFF));
+      B.ret fb (Some total));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      (* Random board: 0 empty, 1 black, 2 white-ish values. *)
+      let i = B.vreg fb in
+      let addr = B.vreg fb in
+      let x = B.vreg fb in
+      let v = B.vreg fb in
+      B.li fb x 0x60d;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K board_words) (fun () ->
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:3;
+          B.alu fb Op.Add addr i (B.K board);
+          B.store fb v ~base:addr ~off:0);
+      let move = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      (* Alternate long evaluation and reading phases, one per
+         "move". *)
+      B.for_ fb move ~from:(B.K 0) ~below:(B.K (4 * scale)) (fun () ->
+          let sweeps = B.vreg fb in
+          B.li fb sweeps 14;
+          let t1 = B.call fb "eval_territory" [ sweeps ] in
+          Common.checksum_mix fb ~acc ~value:t1;
+          let probes = B.vreg fb in
+          B.li fb probes 3000;
+          let t2 = B.call fb "read_tactics" [ probes ] in
+          Common.checksum_mix fb ~acc ~value:t2);
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

@@ -1,0 +1,6 @@
+(** 099.go analogue: a board-game engine alternating between long
+    territory-evaluation and tactical-reading phases over a 19x19
+    board.  Both phases share helper routines, producing the Multi
+    branch behaviour the paper observes for go (Section 5.3). *)
+
+val program : scale:int -> Vp_prog.Program.t

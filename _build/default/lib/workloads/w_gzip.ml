@@ -1,0 +1,134 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let input_words = 8192
+let window = 256
+let out_words = 8192
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:57 in
+  let input = B.global b ~words:input_words in
+  let output = B.global b ~words:out_words in
+  let restored = B.global b ~words:input_words in
+  let result = B.global b ~words:1 in
+
+  (* Shared helper with stable behaviour across phases. *)
+  B.func b "crc_update" ~nargs:2 (fun fb args ->
+      let crc = args.(0) in
+      let word = args.(1) in
+      let r = B.vreg fb in
+      let bit = B.vreg fb in
+      B.alu fb Op.Xor r crc (B.V word);
+      let i = B.vreg fb in
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K 4) (fun () ->
+          B.alu fb Op.And bit r (B.K 1);
+          B.alu fb Op.Shr r r (B.K 1);
+          B.when_ fb (Op.Ne, bit, B.K 0) (fun () ->
+              B.alu fb Op.Xor r r (B.K 0xEDB883)));
+      B.ret fb (Some r));
+
+  (* Phase 1: deflate — backwards match search in a sliding window. *)
+  B.func b "deflate" ~nargs:0 (fun fb _ ->
+      let pos = B.vreg fb in
+      let cand = B.vreg fb in
+      let len = B.vreg fb in
+      let best = B.vreg fb in
+      let a = B.vreg fb in
+      let va = B.vreg fb in
+      let vb = B.vreg fb in
+      let crc = B.vreg fb in
+      let outpos = B.vreg fb in
+      B.li fb crc 0xFFFF;
+      B.li fb outpos 0;
+      B.for_ fb pos ~from:(B.K window) ~below:(B.K input_words) (fun () ->
+          B.li fb best 0;
+          (* Try a handful of window candidates. *)
+          B.for_ fb cand ~from:(B.K 1) ~below:(B.K 9) (fun () ->
+              B.li fb len 0;
+              B.while_ fb (fun () -> (Op.Lt, len, B.K 16)) (fun () ->
+                  B.alu fb Op.Add a pos (B.V len) ;
+                  B.when_ fb (Op.Ge, a, B.K input_words) (fun () -> B.break_ fb);
+                  B.alu fb Op.Add a a (B.K input);
+                  B.load fb va ~base:a ~off:0;
+                  B.alu fb Op.Mul a cand (B.K 29);
+                  B.alu fb Op.And a a (B.K (window - 1));
+                  B.alu fb Op.Sub a pos (B.V a);
+                  B.alu fb Op.Add a a (B.V len);
+                  B.alu fb Op.Add a a (B.K input);
+                  B.load fb vb ~base:a ~off:0;
+                  B.alu fb Op.And va va (B.K 0xFF);
+                  B.alu fb Op.And vb vb (B.K 0xFF);
+                  B.when_ fb (Op.Ne, va, B.V vb) (fun () -> B.break_ fb);
+                  B.addi fb len len 1);
+              B.when_ fb (Op.Gt, len, B.V best) (fun () -> B.mov fb best len));
+          (* Emit a token and fold it into the CRC. *)
+          B.alu fb Op.And a outpos (B.K (out_words - 1));
+          B.alu fb Op.Add a a (B.K output);
+          B.store fb best ~base:a ~off:0;
+          B.addi fb outpos outpos 1;
+          let c = B.call fb "crc_update" [ crc; best ] in
+          B.mov fb crc c);
+      B.ret fb (Some crc));
+
+  (* Phase 2: inflate — token decode with copy-back. *)
+  B.func b "inflate" ~nargs:0 (fun fb _ ->
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let tok = B.vreg fb in
+      let crc = B.vreg fb in
+      let v = B.vreg fb in
+      B.li fb crc 0xAAAA;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K out_words) (fun () ->
+          B.alu fb Op.Add a i (B.K output);
+          B.load fb tok ~base:a ~off:0;
+          B.if_ fb (Op.Eq, tok, B.K 0)
+            (fun () ->
+              (* Literal: copy through. *)
+              B.alu fb Op.And a i (B.K (input_words - 1));
+              B.alu fb Op.Add a a (B.K input);
+              B.load fb v ~base:a ~off:0;
+              B.alu fb Op.And a i (B.K (input_words - 1));
+              B.alu fb Op.Add a a (B.K restored);
+              B.store fb v ~base:a ~off:0)
+            (fun () ->
+              (* Match: replay [tok] words. *)
+              let k = B.vreg fb in
+              B.for_ fb k ~from:(B.K 0) ~below:(B.V tok) (fun () ->
+                  B.alu fb Op.Add a i (B.V k);
+                  B.alu fb Op.And a a (B.K (input_words - 1));
+                  B.alu fb Op.Add a a (B.K restored);
+                  B.load fb v ~base:a ~off:0;
+                  B.addi fb v v 1;
+                  B.store fb v ~base:a ~off:0));
+          let c = B.call fb "crc_update" [ crc; tok ] in
+          B.mov fb crc c);
+      B.ret fb (Some crc));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let x = B.vreg fb in
+      let v = B.vreg fb in
+      B.li fb x 0x1dea;
+      (* Compressible input: small alphabet with runs. *)
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K input_words) (fun () ->
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:7;
+          B.alu fb Op.Add a i (B.K input);
+          B.store fb v ~base:a ~off:0);
+      let rep = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb rep ~from:(B.K 0) ~below:(B.K scale) (fun () ->
+          let c1 = B.call fb "deflate" [] in
+          Common.checksum_mix fb ~acc ~value:c1;
+          let c2 = B.call fb "inflate" [] in
+          Common.checksum_mix fb ~acc ~value:c2);
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

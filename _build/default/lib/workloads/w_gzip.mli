@@ -1,0 +1,5 @@
+(** 164.gzip analogue: LZ-style compression with a long match-search
+    phase followed by a decompression phase; a CRC helper runs in both
+    phases with stable bias (a Multi-Same branch source). *)
+
+val program : scale:int -> Vp_prog.Program.t

@@ -1,0 +1,129 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let program ~scale ~width ~height =
+  let pixels = width * height in
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:72 in
+  let image = B.global b ~words:pixels in
+  let coeffs = B.global b ~words:pixels in
+  let out = B.global b ~words:pixels in
+  let result = B.global b ~words:1 in
+
+  (* Phase 1: colour conversion — pure per-pixel arithmetic. *)
+  B.func b "color_convert" ~nargs:0 (fun fb _ ->
+      let i = B.vreg fb in
+      let addr = B.vreg fb in
+      let px = B.vreg fb in
+      let y = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K pixels) (fun () ->
+          B.alu fb Op.Add addr i (B.K image);
+          B.load fb px ~base:addr ~off:0;
+          B.alu fb Op.Mul y px (B.K 77);
+          B.alu fb Op.Shr y y (B.K 8);
+          B.alu fb Op.And y y (B.K 0xFF);
+          B.store fb y ~base:addr ~off:0;
+          B.alu fb Op.Add acc acc (B.V y));
+      B.ret fb (Some acc));
+
+  (* Phase 2: 8x8 blocked transform and quantisation — multiply
+     heavy, exercising the FP unit class of the machine model. *)
+  B.func b "dct_quantize" ~nargs:0 (fun fb _ ->
+      let bx = B.vreg fb in
+      let by = B.vreg fb in
+      let u = B.vreg fb in
+      let v = B.vreg fb in
+      let addr = B.vreg fb in
+      let s = B.vreg fb in
+      let t = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb by ~from:(B.K 0) ~below:(B.K (height / 8)) (fun () ->
+          B.for_ fb bx ~from:(B.K 0) ~below:(B.K (width / 8)) (fun () ->
+              B.for_ fb u ~from:(B.K 0) ~below:(B.K 8) (fun () ->
+                  B.li fb s 0;
+                  B.for_ fb v ~from:(B.K 0) ~below:(B.K 8) (fun () ->
+                      (* addr = ((by*8+u)*width + bx*8+v) *)
+                      B.alu fb Op.Mul addr by (B.K 8);
+                      B.alu fb Op.Add addr addr (B.V u);
+                      B.alu fb Op.Mul addr addr (B.K width);
+                      B.alu fb Op.Mul t bx (B.K 8);
+                      B.alu fb Op.Add addr addr (B.V t);
+                      B.alu fb Op.Add addr addr (B.V v);
+                      B.alu fb Op.Add addr addr (B.K image);
+                      B.load fb t ~base:addr ~off:0;
+                      B.alu fb Op.Fmul t t (B.K 181);
+                      B.alu fb Op.Shr t t (B.K 7);
+                      B.alu fb Op.Fadd s s (B.V t));
+                  (* Quantise the row sum. *)
+                  B.alu fb Op.Fdiv s s (B.K 16);
+                  B.alu fb Op.Mul addr by (B.K 8);
+                  B.alu fb Op.Add addr addr (B.V u);
+                  B.alu fb Op.Mul addr addr (B.K (width / 8));
+                  B.alu fb Op.Add addr addr (B.V bx);
+                  B.alu fb Op.And addr addr (B.K (pixels - 1));
+                  B.alu fb Op.Add addr addr (B.K coeffs);
+                  B.store fb s ~base:addr ~off:0;
+                  B.alu fb Op.Add acc acc (B.V s);
+                  B.alu fb Op.And acc acc (B.K 0xFFFFF))));
+      B.ret fb (Some acc));
+
+  (* Phase 3: entropy coding — run-length with data-dependent
+     branches. *)
+  B.func b "entropy_encode" ~nargs:0 (fun fb _ ->
+      let i = B.vreg fb in
+      let addr = B.vreg fb in
+      let c = B.vreg fb in
+      let run = B.vreg fb in
+      let bits = B.vreg fb in
+      let outpos = B.vreg fb in
+      B.li fb run 0;
+      B.li fb bits 0;
+      B.li fb outpos 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K pixels) (fun () ->
+          B.alu fb Op.Add addr i (B.K coeffs);
+          B.load fb c ~base:addr ~off:0;
+          B.alu fb Op.And c c (B.K 0xFF);
+          B.if_ fb (Op.Eq, c, B.K 0)
+            (fun () -> B.addi fb run run 1)
+            (fun () ->
+              (* Emit (run, value). *)
+              B.alu fb Op.Shl bits run (B.K 4);
+              B.alu fb Op.Or bits bits (B.V c);
+              B.alu fb Op.And bits bits (B.K 0xFFFFF);
+              B.alu fb Op.And addr outpos (B.K (pixels - 1));
+              B.alu fb Op.Add addr addr (B.K out);
+              B.store fb bits ~base:addr ~off:0;
+              B.addi fb outpos outpos 1;
+              B.li fb run 0));
+      B.ret fb (Some outpos));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      let i = B.vreg fb in
+      let addr = B.vreg fb in
+      let x = B.vreg fb in
+      B.li fb x 0xface;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K pixels) (fun () ->
+          Common.lcg_step fb x;
+          B.alu fb Op.Add addr i (B.K image);
+          B.store fb x ~base:addr ~off:0);
+      let rep = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb rep ~from:(B.K 0) ~below:(B.K scale) (fun () ->
+          let r1 = B.call fb "color_convert" [] in
+          Common.checksum_mix fb ~acc ~value:r1;
+          let r2 = B.call fb "dct_quantize" [] in
+          Common.checksum_mix fb ~acc ~value:r2;
+          let r3 = B.call fb "entropy_encode" [] in
+          Common.checksum_mix fb ~acc ~value:r3);
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

@@ -1,0 +1,6 @@
+(** 132.ijpeg analogue: an image-compression pipeline with three
+    sequential whole-image phases — colour conversion, blocked
+    DCT/quantisation (exercising the FP units), and entropy coding
+    with data-dependent branches. *)
+
+val program : scale:int -> width:int -> height:int -> Vp_prog.Program.t

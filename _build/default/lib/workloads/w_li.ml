@@ -1,0 +1,139 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let table_len = 256
+let probe_depth = 12
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:29 in
+  let table = B.global b ~words:table_len in
+  let values = B.global b ~words:table_len in
+  let result = B.global b ~words:1 in
+
+  (* The important callee: a linear-probe symbol lookup whose inner
+     loop dominates execution. *)
+  B.func b "lookup" ~nargs:1 (fun fb args ->
+      let key = args.(0) in
+      let slot = B.vreg fb in
+      let i = B.vreg fb in
+      let addr = B.vreg fb in
+      let stored = B.vreg fb in
+      let found = B.vreg fb in
+      B.alu fb Op.And slot key (B.K (table_len - 1));
+      B.li fb found 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K probe_depth) (fun () ->
+          B.alu fb Op.Add addr slot (B.K table);
+          B.load fb stored ~base:addr ~off:0;
+          B.when_ fb (Op.Eq, stored, B.V key) (fun () ->
+              B.alu fb Op.Add addr slot (B.K values);
+              B.load fb found ~base:addr ~off:0;
+              B.break_ fb);
+          B.addi fb slot slot 1;
+          B.alu fb Op.And slot slot (B.K (table_len - 1)));
+      B.ret fb (Some found));
+
+  (* Hot caller: the recursive expression evaluator (xlisp's xleval).
+     Self-recursion makes it a root function with its own launch
+     point, so execution re-enters its package at every call. *)
+  B.func b "eval_node" ~nargs:2 (fun fb args ->
+      let seed = args.(0) in
+      let depth = args.(1) in
+      B.if_ fb (Op.Le, depth, B.K 0)
+        (fun () ->
+          let v = B.call fb "lookup" [ seed ] in
+          B.ret fb (Some v))
+        (fun () ->
+          let d1 = B.vreg fb in
+          let k1 = B.vreg fb in
+          let k2 = B.vreg fb in
+          let acc = B.vreg fb in
+          B.alu fb Op.Sub d1 depth (B.K 1);
+          B.alu fb Op.Mul k1 seed (B.K 7);
+          B.alu fb Op.And k1 k1 (B.K 0xFFFF);
+          let left = B.call fb "eval_node" [ k1; d1 ] in
+          B.alu fb Op.Mul k2 seed (B.K 11);
+          B.addi fb k2 k2 3;
+          B.alu fb Op.And k2 k2 (B.K 0xFFFF);
+          let right = B.call fb "eval_node" [ k2; d1 ] in
+          let v = B.call fb "lookup" [ seed ] in
+          B.alu fb Op.Add acc left (B.V right);
+          B.alu fb Op.Add acc acc (B.V v);
+          B.ret fb (Some acc)));
+
+  (* Weak caller 1: straight-line assignment path, calls lookup once
+     and does a heavier arithmetic epilogue so the missed execution is
+     noticeable. *)
+  B.func b "eval_setq" ~nargs:1 (fun fb args ->
+      let seed = args.(0) in
+      let v = B.call fb "lookup" [ seed ] in
+      let acc = B.vreg fb in
+      let i = B.vreg fb in
+      B.mov fb acc v;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K 40) (fun () ->
+          B.alu fb Op.Mul acc acc (B.K 17);
+          B.alu fb Op.Add acc acc (B.V i);
+          B.alu fb Op.And acc acc (B.K 0xFFFFF));
+      B.ret fb (Some acc));
+
+  (* Weak caller 2. *)
+  B.func b "eval_define" ~nargs:1 (fun fb args ->
+      let seed = args.(0) in
+      let k = B.vreg fb in
+      B.alu fb Op.Xor k seed (B.K 0x55);
+      let v = B.call fb "lookup" [ k ] in
+      let addr = B.vreg fb in
+      let acc = B.vreg fb in
+      B.alu fb Op.And addr v (B.K (table_len - 1));
+      B.alu fb Op.Add addr addr (B.K values);
+      B.alu fb Op.Add acc v (B.V seed);
+      B.store fb acc ~base:addr ~off:0;
+      B.ret fb (Some acc));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      (* Populate the symbol table. *)
+      let i = B.vreg fb in
+      let addr = B.vreg fb in
+      let x = B.vreg fb in
+      B.li fb x 0x9e37 ;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K table_len) (fun () ->
+          Common.lcg_step fb x;
+          B.alu fb Op.Add addr i (B.K table);
+          B.store fb x ~base:addr ~off:0;
+          B.alu fb Op.Add addr i (B.K values);
+          B.store fb i ~base:addr ~off:0);
+      let iter = B.vreg fb in
+      let sel = B.vreg fb in
+      let acc = B.vreg fb in
+      let seed = B.vreg fb in
+      B.li fb acc 0;
+      B.li fb x 0x1234;
+      B.for_ fb iter ~from:(B.K 0) ~below:(B.K (2_500 * scale)) (fun () ->
+          Common.lcg_draw fb ~dst:sel ~state:x ~bound:100;
+          B.alu fb Op.And seed x (B.K 0xFFFF);
+          (* 98% of iterations take the hot evaluator; two weak
+             callers split the rest.  The weak direction stays under
+             the HSD arc-weight threshold even with saturated
+             counters, so the weak callers are never detected. *)
+          B.if_ fb (Op.Lt, sel, B.K 98)
+            (fun () ->
+              let depth = B.vreg fb in
+              B.li fb depth 3;
+              let v = B.call fb "eval_node" [ seed; depth ] in
+              Common.checksum_mix fb ~acc ~value:v)
+            (fun () ->
+              B.if_ fb (Op.Eq, sel, B.K 98)
+                (fun () ->
+                  let v = B.call fb "eval_setq" [ seed ] in
+                  Common.checksum_mix fb ~acc ~value:v)
+                (fun () ->
+                  let v = B.call fb "eval_define" [ seed ] in
+                  Common.checksum_mix fb ~acc ~value:v)));
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

@@ -1,0 +1,11 @@
+(** 130.li analogue: a lisp-ish evaluator in which one hot caller
+    ([eval_list]) and several weakly executed callers ([eval_setq],
+    [eval_define]) all call the important [lookup] routine.
+
+    Only the hot caller is detected, so [lookup] is partially inlined
+    into its package and never becomes a root function; the weak
+    callers keep calling original code, losing roughly a tenth of
+    execution — the 130.li coverage characteristic the paper reports
+    in Section 5.1. *)
+
+val program : scale:int -> Vp_prog.Program.t

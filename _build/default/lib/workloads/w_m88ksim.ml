@@ -1,0 +1,117 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let section_words = 2048
+let image_words = 4096
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:85 in
+  let section = B.global b ~words:section_words in
+  let image = B.global b ~words:image_words in
+  let result = B.global b ~words:1 in
+
+  (* Two-pass loader: kind 0 relocates (adds a base offset to words
+     that look like addresses), kind 1 copies with a parity checksum.
+     The [kind] test is the flipped-bias branch shared by both
+     phases. *)
+  B.func b "load_section" ~nargs:2 (fun fb args ->
+      let kind = args.(0) in
+      let passes = args.(1) in
+      let p = B.vreg fb in
+      let i = B.vreg fb in
+      let addr = B.vreg fb in
+      let word = B.vreg fb in
+      let dst = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb p ~from:(B.K 0) ~below:(B.V passes) (fun () ->
+          B.for_ fb i ~from:(B.K 0) ~below:(B.K section_words) (fun () ->
+              B.alu fb Op.Add addr i (B.K section);
+              B.load fb word ~base:addr ~off:0;
+              B.if_ fb (Op.Eq, kind, B.K 0)
+                (fun () ->
+                  (* Relocation pass: rebase address-like words. *)
+                  B.alu fb Op.Add word word (B.K 0x1000);
+                  B.alu fb Op.And word word (B.K 0x3FFFFFFF);
+                  B.store fb word ~base:addr ~off:0)
+                (fun () ->
+                  (* Copy pass: move into the simulated memory image. *)
+                  B.alu fb Op.And dst word (B.K (image_words - 1));
+                  B.alu fb Op.Add dst dst (B.K image);
+                  B.store fb word ~base:dst ~off:0;
+                  Common.checksum_mix fb ~acc ~value:word)));
+      B.ret fb (Some acc));
+
+  (* Fetch-decode-execute over the memory image. *)
+  B.func b "simulate" ~nargs:1 (fun fb args ->
+      let steps = args.(0) in
+      let s = B.vreg fb in
+      let pc = B.vreg fb in
+      let addr = B.vreg fb in
+      let insn = B.vreg fb in
+      let opcode = B.vreg fb in
+      let acc = B.vreg fb in
+      let tmp = B.vreg fb in
+      B.li fb acc 1;
+      B.li fb pc 0;
+      B.for_ fb s ~from:(B.K 0) ~below:(B.V steps) (fun () ->
+          B.alu fb Op.And pc pc (B.K (image_words - 1));
+          B.alu fb Op.Add addr pc (B.K image);
+          B.load fb insn ~base:addr ~off:0;
+          B.alu fb Op.And opcode insn (B.K 3);
+          (* Decode tree: four instruction classes. *)
+          B.if_ fb (Op.Le, opcode, B.K 1)
+            (fun () ->
+              B.if_ fb (Op.Eq, opcode, B.K 0)
+                (fun () -> B.alu fb Op.Add acc acc (B.V insn))
+                (fun () -> B.alu fb Op.Xor acc acc (B.V insn)))
+            (fun () ->
+              B.if_ fb (Op.Eq, opcode, B.K 2)
+                (fun () ->
+                  (* Load-class: indirect read. *)
+                  B.alu fb Op.Shr tmp insn (B.K 2);
+                  B.alu fb Op.And tmp tmp (B.K (image_words - 1));
+                  B.alu fb Op.Add tmp tmp (B.K image);
+                  B.load fb tmp ~base:tmp ~off:0;
+                  B.alu fb Op.Add acc acc (B.V tmp))
+                (fun () ->
+                  (* Branch-class: pc redirect. *)
+                  B.alu fb Op.Add pc pc (B.V insn)));
+          B.addi fb pc pc 1;
+          B.alu fb Op.And acc acc (B.K 0xFFFFFF));
+      B.ret fb (Some acc));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      let seed_i = B.vreg fb in
+      let x = B.vreg fb in
+      let addr = B.vreg fb in
+      (* Synthesise the input binary in place. *)
+      B.li fb x 0x2317;
+      B.for_ fb seed_i ~from:(B.K 0) ~below:(B.K section_words) (fun () ->
+          Common.lcg_step fb x;
+          B.alu fb Op.Add addr seed_i (B.K section);
+          B.store fb x ~base:addr ~off:0);
+      let passes = B.vreg fb in
+      B.li fb passes (24 * scale);
+      let kind0 = B.vreg fb in
+      B.li fb kind0 0;
+      let r1 = B.call fb "load_section" [ kind0; passes ] in
+      let kind1 = B.vreg fb in
+      B.li fb kind1 1;
+      let r2 = B.call fb "load_section" [ kind1; passes ] in
+      let steps = B.vreg fb in
+      B.li fb steps (60_000 * scale);
+      let r3 = B.call fb "simulate" [ steps ] in
+      let acc = B.vreg fb in
+      B.mov fb acc r1;
+      Common.checksum_mix fb ~acc ~value:r2;
+      Common.checksum_mix fb ~acc ~value:r3;
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

@@ -1,0 +1,10 @@
+(** 124.m88ksim analogue: a processor simulator that first loads a
+    binary in two passes over its image — relocation, then copy — and
+    then enters a fetch-decode-execute loop.
+
+    The two loader passes run the same hot loop in the same function
+    with a flipped branch bias, so they are detected as two distinct
+    phases sharing one launch point: the scenario the paper names for
+    m88ksim when motivating package linking (Section 5.1). *)
+
+val program : scale:int -> Vp_prog.Program.t

@@ -1,0 +1,105 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let arcs = 4096
+let nodes = 512
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:28 in
+  let arc_cost = B.global b ~words:arcs in
+  let arc_from = B.global b ~words:arcs in
+  let arc_to = B.global b ~words:arcs in
+  let potential = B.global b ~words:nodes in
+  let flow = B.global b ~words:arcs in
+  let result = B.global b ~words:1 in
+
+  (* The simplex engine: mode 0 prices arcs (scan, rare violations);
+     mode 1 pivots (update flows along a cycle).  One function, two
+     behaviours — the mode branch flips bias between phases. *)
+  B.func b "simplex" ~nargs:2 (fun fb args ->
+      let mode = args.(0) in
+      let rounds = args.(1) in
+      let r = B.vreg fb in
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let c = B.vreg fb in
+      let u = B.vreg fb in
+      let v = B.vreg fb in
+      let red = B.vreg fb in
+      let best = B.vreg fb in
+      B.li fb best 0;
+      B.for_ fb r ~from:(B.K 0) ~below:(B.V rounds) (fun () ->
+          B.for_ fb i ~from:(B.K 0) ~below:(B.K arcs) (fun () ->
+              B.if_ fb (Op.Eq, mode, B.K 0)
+                (fun () ->
+                  (* Pricing: reduced cost = cost - pot[from] + pot[to]. *)
+                  B.alu fb Op.Add a i (B.K arc_cost);
+                  B.load fb c ~base:a ~off:0;
+                  B.alu fb Op.Add a i (B.K arc_from);
+                  B.load fb u ~base:a ~off:0;
+                  B.alu fb Op.Add a u (B.K potential);
+                  B.load fb u ~base:a ~off:0;
+                  B.alu fb Op.Add a i (B.K arc_to);
+                  B.load fb v ~base:a ~off:0;
+                  B.alu fb Op.Add a v (B.K potential);
+                  B.load fb v ~base:a ~off:0;
+                  B.alu fb Op.Sub red c (B.V u);
+                  B.alu fb Op.Add red red (B.V v);
+                  (* Violations are rare. *)
+                  B.when_ fb (Op.Lt, red, B.K (-1000)) (fun () ->
+                      B.mov fb best i))
+                (fun () ->
+                  (* Pivot: push flow along a short synthetic cycle. *)
+                  B.alu fb Op.Add a i (B.K flow);
+                  B.load fb c ~base:a ~off:0;
+                  B.alu fb Op.Add c c (B.V best);
+                  B.alu fb Op.And c c (B.K 0xFFFF);
+                  B.store fb c ~base:a ~off:0;
+                  B.alu fb Op.And u i (B.K (nodes - 1));
+                  B.alu fb Op.Add a u (B.K potential);
+                  B.load fb v ~base:a ~off:0;
+                  B.alu fb Op.Xor v v (B.V c);
+                  B.alu fb Op.And v v (B.K 0x3FFF);
+                  B.store fb v ~base:a ~off:0)));
+      B.ret fb (Some best));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let x = B.vreg fb in
+      let v = B.vreg fb in
+      B.li fb x 0xc0de;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K arcs) (fun () ->
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:10_000;
+          B.alu fb Op.Add a i (B.K arc_cost);
+          B.store fb v ~base:a ~off:0;
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:nodes;
+          B.alu fb Op.Add a i (B.K arc_from);
+          B.store fb v ~base:a ~off:0;
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:nodes;
+          B.alu fb Op.Add a i (B.K arc_to);
+          B.store fb v ~base:a ~off:0);
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K nodes) (fun () ->
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:5000;
+          B.alu fb Op.Add a i (B.K potential);
+          B.store fb v ~base:a ~off:0);
+      (* Alternate long pricing and pivot phases. *)
+      let iter = B.vreg fb in
+      let acc = B.vreg fb in
+      let mode = B.vreg fb in
+      let rounds = B.vreg fb in
+      B.li fb acc 0;
+      B.li fb rounds 10;
+      B.for_ fb iter ~from:(B.K 0) ~below:(B.K (4 * scale)) (fun () ->
+          B.alu fb Op.And mode iter (B.K 1);
+          let r = B.call fb "simplex" [ mode; rounds ] in
+          Common.checksum_mix fb ~acc ~value:r);
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

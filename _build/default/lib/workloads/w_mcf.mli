@@ -1,0 +1,7 @@
+(** 181.mcf analogue: network-simplex refinement alternating between
+    an arc-pricing scan and a pivot/update pass.  Both phases live in
+    the same [simplex] root function, steered by a mode flag whose
+    bias flips with the phase — the shared-launch-point situation
+    where the paper reports large linking gains for mcf. *)
+
+val program : scale:int -> Vp_prog.Program.t

@@ -1,0 +1,117 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let frame_dim = 64
+let frame_words = frame_dim * frame_dim
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:80 in
+  let frame = B.global b ~words:frame_words in
+  let reference = B.global b ~words:frame_words in
+  let coeffs = B.global b ~words:frame_words in
+  let result = B.global b ~words:1 in
+
+  (* Intra frame: blocked inverse transform, multiply-heavy. *)
+  B.func b "decode_intra" ~nargs:0 (fun fb _ ->
+      let blk = B.vreg fb in
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let v = B.vreg fb in
+      let s = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb blk ~from:(B.K 0) ~below:(B.K (frame_words / 64)) (fun () ->
+          B.li fb s 0;
+          B.for_ fb i ~from:(B.K 0) ~below:(B.K 64) (fun () ->
+              B.alu fb Op.Mul a blk (B.K 64);
+              B.alu fb Op.Add a a (B.V i);
+              B.alu fb Op.Add a a (B.K coeffs);
+              B.load fb v ~base:a ~off:0;
+              B.alu fb Op.Fmul v v (B.K 2217);
+              B.alu fb Op.Shr v v (B.K 10);
+              B.alu fb Op.Fadd s s (B.V v);
+              B.alu fb Op.And s s (B.K 0xFFFF));
+          B.for_ fb i ~from:(B.K 0) ~below:(B.K 64) (fun () ->
+              B.alu fb Op.Mul a blk (B.K 64);
+              B.alu fb Op.Add a a (B.V i);
+              B.alu fb Op.Add a a (B.K frame);
+              B.alu fb Op.Xor v s (B.V i);
+              B.alu fb Op.And v v (B.K 0xFF);
+              B.store fb v ~base:a ~off:0);
+          B.alu fb Op.Add acc acc (B.V s);
+          B.alu fb Op.And acc acc (B.K 0xFFFFF));
+      B.ret fb (Some acc));
+
+  (* Predicted frame: motion compensation — offset copy plus residual. *)
+  B.func b "decode_predicted" ~nargs:1 (fun fb args ->
+      let motion = args.(0) in
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let src = B.vreg fb in
+      let v = B.vreg fb in
+      let r = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K frame_words) (fun () ->
+          B.alu fb Op.Add src i (B.V motion);
+          B.alu fb Op.And src src (B.K (frame_words - 1));
+          B.alu fb Op.Add src src (B.K reference);
+          B.load fb v ~base:src ~off:0;
+          B.alu fb Op.Add a i (B.K coeffs);
+          B.load fb r ~base:a ~off:0;
+          B.alu fb Op.And r r (B.K 0xF);
+          B.alu fb Op.Add v v (B.V r);
+          B.alu fb Op.And v v (B.K 0xFF);
+          B.alu fb Op.Add a i (B.K frame);
+          B.store fb v ~base:a ~off:0;
+          B.alu fb Op.Add acc acc (B.V v));
+      B.ret fb (Some acc));
+
+  (* Reference update after each frame. *)
+  B.func b "commit_frame" ~nargs:0 (fun fb _ ->
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let v = B.vreg fb in
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K frame_words) (fun () ->
+          B.alu fb Op.Add a i (B.K frame);
+          B.load fb v ~base:a ~off:0;
+          B.alu fb Op.Add a i (B.K reference);
+          B.store fb v ~base:a ~off:0);
+      B.ret fb None);
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let x = B.vreg fb in
+      B.li fb x 0x3d;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K frame_words) (fun () ->
+          Common.lcg_step fb x;
+          B.alu fb Op.Add a i (B.K coeffs);
+          B.store fb x ~base:a ~off:0);
+      let gop = B.vreg fb in
+      let f = B.vreg fb in
+      let acc = B.vreg fb in
+      let motion = B.vreg fb in
+      B.li fb acc 0;
+      (* Groups of pictures: I P P P, with several intra repeats so
+         each phase is long enough to be detected. *)
+      B.for_ fb gop ~from:(B.K 0) ~below:(B.K (2 * scale)) (fun () ->
+          B.for_ fb f ~from:(B.K 0) ~below:(B.K 5) (fun () ->
+              let r = B.call fb "decode_intra" [] in
+              Common.checksum_mix fb ~acc ~value:r);
+          B.call_void fb "commit_frame" [];
+          B.for_ fb f ~from:(B.K 0) ~below:(B.K 15) (fun () ->
+              B.alu fb Op.And motion f (B.K 31);
+              B.addi fb motion motion 1;
+              let r = B.call fb "decode_predicted" [ motion ] in
+              Common.checksum_mix fb ~acc ~value:r;
+              B.call_void fb "commit_frame" []));
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

@@ -1,0 +1,5 @@
+(** mpeg2dec analogue (MediaBench): video decoding with an IDCT-heavy
+    intra-frame phase and a memory-copy-heavy motion-compensation
+    phase, alternating in an I,P,P,P group-of-pictures pattern. *)
+
+val program : scale:int -> Vp_prog.Program.t

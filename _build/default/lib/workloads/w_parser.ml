@@ -1,0 +1,135 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let text_len = 6144
+let dict_len = 512
+let token_cap = 6144
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:90 in
+  let text = B.global b ~words:text_len in
+  let dict = B.global b ~words:dict_len in
+  let tokens = B.global b ~words:token_cap in
+  let result = B.global b ~words:1 in
+
+  (* Binary search in the sorted dictionary. *)
+  B.func b "dict_find" ~nargs:1 (fun fb args ->
+      let key = args.(0) in
+      let lo = B.vreg fb in
+      let hi = B.vreg fb in
+      let mid = B.vreg fb in
+      let a = B.vreg fb in
+      let v = B.vreg fb in
+      let res = B.vreg fb in
+      B.li fb lo 0;
+      B.li fb hi dict_len;
+      B.li fb res (-1);
+      B.while_ fb (fun () -> (Op.Lt, lo, B.V hi)) (fun () ->
+          B.alu fb Op.Add mid lo (B.V hi);
+          B.alu fb Op.Shr mid mid (B.K 1);
+          B.alu fb Op.Add a mid (B.K dict);
+          B.load fb v ~base:a ~off:0;
+          B.if_ fb (Op.Eq, v, B.V key)
+            (fun () ->
+              B.mov fb res mid;
+              B.break_ fb)
+            (fun () ->
+              B.if_ fb (Op.Lt, v, B.V key)
+                (fun () -> B.addi fb lo mid 1)
+                (fun () -> B.mov fb hi mid)));
+      B.ret fb (Some res));
+
+  (* Both phases inside one root: the launch point is shared. *)
+  B.func b "process" ~nargs:1 (fun fb args ->
+      let phase = args.(0) in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      B.if_ fb (Op.Eq, phase, B.K 0)
+        (fun () ->
+          (* Tokenise: character-class branch tree. *)
+          let i = B.vreg fb in
+          let a = B.vreg fb in
+          let ch = B.vreg fb in
+          let tok = B.vreg fb in
+          let npos = B.vreg fb in
+          B.li fb npos 0;
+          B.for_ fb i ~from:(B.K 0) ~below:(B.K text_len) (fun () ->
+              B.alu fb Op.Add a i (B.K text);
+              B.load fb ch ~base:a ~off:0;
+              B.alu fb Op.And ch ch (B.K 0x7F);
+              B.if_ fb (Op.Lt, ch, B.K 32)
+                (fun () -> B.li fb tok 1)  (* whitespace-ish *)
+                (fun () ->
+                  B.if_ fb (Op.Lt, ch, B.K 64)
+                    (fun () ->
+                      B.alu fb Op.And tok ch (B.K 0xF);
+                      B.addi fb tok tok 2)  (* punctuation-ish *)
+                    (fun () ->
+                      B.alu fb Op.And tok ch (B.K 0x3F);
+                      B.addi fb tok tok 20));  (* word-ish *)
+              B.alu fb Op.And a npos (B.K (token_cap - 1));
+              B.alu fb Op.Add a a (B.K tokens);
+              B.store fb tok ~base:a ~off:0;
+              B.addi fb npos npos 1;
+              B.alu fb Op.Add acc acc (B.V tok)))
+        (fun () ->
+          (* Build linkages: match token pairs at widening distances,
+             consulting the dictionary. *)
+          let i = B.vreg fb in
+          let d = B.vreg fb in
+          let a = B.vreg fb in
+          let t1 = B.vreg fb in
+          let t2 = B.vreg fb in
+          B.for_ fb d ~from:(B.K 1) ~below:(B.K 5) (fun () ->
+              B.for_ fb i ~from:(B.K 0) ~below:(B.K (token_cap - 8)) (fun () ->
+                  B.alu fb Op.Add a i (B.K tokens);
+                  B.load fb t1 ~base:a ~off:0;
+                  B.alu fb Op.Add a a (B.V d);
+                  B.load fb t2 ~base:a ~off:0;
+                  B.when_ fb (Op.Eq, t1, B.V t2) (fun () ->
+                      B.alu fb Op.Mul t1 t1 (B.K 67);
+                      B.alu fb Op.And t1 t1 (B.K 0xFFFF);
+                      let hit = B.call fb "dict_find" [ t1 ] in
+                      B.alu fb Op.Add acc acc (B.V hit);
+                      B.alu fb Op.And acc acc (B.K 0xFFFFF)))));
+      B.ret fb (Some acc));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let x = B.vreg fb in
+      let v = B.vreg fb in
+      B.li fb x 0x9afe;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K text_len) (fun () ->
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:128;
+          B.alu fb Op.Add a i (B.K text);
+          B.store fb v ~base:a ~off:0);
+      (* Sorted dictionary: monotone keys. *)
+      let key = B.vreg fb in
+      B.li fb key 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K dict_len) (fun () ->
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:120;
+          B.alu fb Op.Add key key (B.V v);
+          B.addi fb key key 1;
+          B.alu fb Op.Add a i (B.K dict);
+          B.store fb key ~base:a ~off:0);
+      let rep = B.vreg fb in
+      let acc = B.vreg fb in
+      let phase = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb rep ~from:(B.K 0) ~below:(B.K (3 * scale)) (fun () ->
+          B.li fb phase 0;
+          let r1 = B.call fb "process" [ phase ] in
+          Common.checksum_mix fb ~acc ~value:r1;
+          B.li fb phase 1;
+          let r2 = B.call fb "process" [ phase ] in
+          Common.checksum_mix fb ~acc ~value:r2);
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

@@ -1,0 +1,8 @@
+(** 197.parser analogue: natural-language-style parsing in two
+    whole-input phases driven from one [process] root — tokenisation
+    (character-class branch tree) and linkage building (nested token
+    matching with a binary-search dictionary callee).  The shared
+    root gives linking its coverage win, as the paper reports for
+    parser. *)
+
+val program : scale:int -> Vp_prog.Program.t

@@ -1,0 +1,118 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let script_len = 512
+let buffer_len = 64
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:205 in
+  let script = B.global b ~words:script_len in
+  let buffer = B.global b ~words:buffer_len in
+  let result = B.global b ~words:1 in
+
+  (* String commands: scan/transform the buffer. *)
+  B.func b "handle_str" ~nargs:2 (fun fb args ->
+      let op = args.(0) in
+      let arg = args.(1) in
+      let i = B.vreg fb in
+      let addr = B.vreg fb in
+      let ch = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K buffer_len) (fun () ->
+          B.alu fb Op.Add addr i (B.K buffer);
+          B.load fb ch ~base:addr ~off:0;
+          B.if_ fb (Op.Eq, op, B.K 0)
+            (fun () ->
+              (* upcase-ish transform *)
+              B.alu fb Op.Xor ch ch (B.V arg);
+              B.store fb ch ~base:addr ~off:0)
+            (fun () ->
+              (* hash scan *)
+              B.alu fb Op.Mul acc acc (B.K 33);
+              B.alu fb Op.Add acc acc (B.V ch);
+              B.alu fb Op.And acc acc (B.K 0xFFFFF)));
+      B.ret fb (Some acc));
+
+  (* Numeric commands: arithmetic reduction chains. *)
+  B.func b "handle_num" ~nargs:2 (fun fb args ->
+      let op = args.(0) in
+      let arg = args.(1) in
+      let i = B.vreg fb in
+      let acc = B.vreg fb in
+      let t = B.vreg fb in
+      B.mov fb acc arg;
+      B.for_ fb i ~from:(B.K 1) ~below:(B.K 48) (fun () ->
+          B.if_ fb (Op.Eq, op, B.K 2)
+            (fun () ->
+              B.alu fb Op.Mul t acc (B.V i);
+              B.alu fb Op.Add acc acc (B.V t))
+            (fun () ->
+              B.alu fb Op.Div t acc (B.V i);
+              B.alu fb Op.Xor acc acc (B.V t));
+          B.alu fb Op.And acc acc (B.K 0x3FFFFF));
+      B.ret fb (Some acc));
+
+  (* The interpreter loop: the shared root function. *)
+  B.func b "interp" ~nargs:1 (fun fb args ->
+      let reps = args.(0) in
+      let r = B.vreg fb in
+      let pc = B.vreg fb in
+      let addr = B.vreg fb in
+      let cmd = B.vreg fb in
+      let arg = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 7;
+      B.for_ fb r ~from:(B.K 0) ~below:(B.V reps) (fun () ->
+          B.for_ fb pc ~from:(B.K 0) ~below:(B.K script_len) (fun () ->
+              B.alu fb Op.Add addr pc (B.K script);
+              B.load fb cmd ~base:addr ~off:0;
+              B.alu fb Op.And arg acc (B.K 0xFF);
+              B.addi fb arg arg 3;
+              (* Dispatch: string commands are 0-1, numeric 2-3.  The
+                 class test is strongly biased one way per script
+                 half, flipping between phases. *)
+              B.if_ fb (Op.Le, cmd, B.K 1)
+                (fun () ->
+                  let v = B.call fb "handle_str" [ cmd; arg ] in
+                  Common.checksum_mix fb ~acc ~value:v)
+                (fun () ->
+                  let v = B.call fb "handle_num" [ cmd; arg ] in
+                  Common.checksum_mix fb ~acc ~value:v)));
+      B.ret fb (Some acc));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      (* Script: first half string commands, second half numeric. *)
+      let i = B.vreg fb in
+      let addr = B.vreg fb in
+      let cmd = B.vreg fb in
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K script_len) (fun () ->
+          B.alu fb Op.Add addr i (B.K script);
+          B.if_ fb (Op.Lt, i, B.K (script_len / 2))
+            (fun () -> B.alu fb Op.And cmd i (B.K 1))
+            (fun () ->
+              B.alu fb Op.And cmd i (B.K 1);
+              B.addi fb cmd cmd 2);
+          B.store fb cmd ~base:addr ~off:0);
+      (* Buffer contents. *)
+      let x = B.vreg fb in
+      B.li fb x 0x51ef;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K buffer_len) (fun () ->
+          Common.lcg_step fb x;
+          B.alu fb Op.Add addr i (B.K buffer);
+          B.store fb x ~base:addr ~off:0);
+      (* Run the script; each half is one long phase because the
+         interpreter finishes all string commands before reaching the
+         numeric ones. *)
+      let reps = B.vreg fb in
+      B.li fb reps (6 * scale);
+      let v = B.call fb "interp" [ reps ] in
+      B.store_abs fb v result;
+      B.ret fb (Some v);
+      B.halt fb);
+  B.program b ~entry:"main"

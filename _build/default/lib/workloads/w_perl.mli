@@ -1,0 +1,9 @@
+(** 134.perl analogue: a command interpreter whose script begins with
+    a long run of string commands and ends with a long run of numeric
+    commands.
+
+    The command-dispatch loop is the root function of both phases —
+    the paper's canonical example (Section 3.3.4) of one launch point
+    serving several phase packages, resolved by package linking. *)
+
+val program : scale:int -> Vp_prog.Program.t

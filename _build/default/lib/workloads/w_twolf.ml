@@ -1,0 +1,100 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let num_cells = 768
+let num_rows = 32
+let row_cap = 64
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:57 in
+  let cell_x = B.global b ~words:num_cells in
+  let cell_row = B.global b ~words:num_cells in
+  let net_peer = B.global b ~words:num_cells in
+  let row_fill = B.global b ~words:num_rows in
+  let result = B.global b ~words:1 in
+
+  B.func b "refine" ~nargs:2 (fun fb args ->
+      let stage = args.(0) in
+      let rounds = args.(1) in
+      let r = B.vreg fb in
+      let c = B.vreg fb in
+      let a = B.vreg fb in
+      let x1 = B.vreg fb in
+      let x2 = B.vreg fb in
+      let peer = B.vreg fb in
+      let cost = B.vreg fb in
+      let row = B.vreg fb in
+      let fill = B.vreg fb in
+      B.li fb cost 0;
+      B.for_ fb r ~from:(B.K 0) ~below:(B.V rounds) (fun () ->
+          B.if_ fb (Op.Eq, stage, B.K 0)
+            (fun () ->
+              (* Stage 0: half-perimeter net cost over all cells. *)
+              B.for_ fb c ~from:(B.K 0) ~below:(B.K num_cells) (fun () ->
+                  B.alu fb Op.Add a c (B.K net_peer);
+                  B.load fb peer ~base:a ~off:0;
+                  B.alu fb Op.Add a c (B.K cell_x);
+                  B.load fb x1 ~base:a ~off:0;
+                  B.alu fb Op.Add a peer (B.K cell_x);
+                  B.load fb x2 ~base:a ~off:0;
+                  B.alu fb Op.Sub x1 x1 (B.V x2);
+                  B.when_ fb (Op.Lt, x1, B.K 0) (fun () ->
+                      B.alu fb Op.Mul x1 x1 (B.K (-1)));
+                  B.alu fb Op.Add cost cost (B.V x1);
+                  B.alu fb Op.And cost cost (B.K 0xFFFFF)))
+            (fun () ->
+              (* Stage 1: row-overlap penalties with a rebalance. *)
+              B.for_ fb c ~from:(B.K 0) ~below:(B.K num_cells) (fun () ->
+                  B.alu fb Op.Add a c (B.K cell_row);
+                  B.load fb row ~base:a ~off:0;
+                  B.alu fb Op.Add a row (B.K row_fill);
+                  B.load fb fill ~base:a ~off:0;
+                  B.if_ fb (Op.Gt, fill, B.K row_cap)
+                    (fun () ->
+                      (* Overfull: migrate the cell to the next row. *)
+                      B.addi fb row row 1;
+                      B.alu fb Op.And row row (B.K (num_rows - 1));
+                      B.alu fb Op.Add a c (B.K cell_row);
+                      B.store fb row ~base:a ~off:0;
+                      B.addi fb cost cost 7)
+                    (fun () ->
+                      B.addi fb fill fill 1;
+                      B.store fb fill ~base:a ~off:0);
+                  B.alu fb Op.And cost cost (B.K 0xFFFFF))));
+      B.ret fb (Some cost));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let x = B.vreg fb in
+      let v = B.vreg fb in
+      B.li fb x 0x201f;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K num_cells) (fun () ->
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:1000;
+          B.alu fb Op.Add a i (B.K cell_x);
+          B.store fb v ~base:a ~off:0;
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:num_rows;
+          B.alu fb Op.Add a i (B.K cell_row);
+          B.store fb v ~base:a ~off:0;
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:num_cells;
+          B.alu fb Op.Add a i (B.K net_peer);
+          B.store fb v ~base:a ~off:0);
+      let iter = B.vreg fb in
+      let acc = B.vreg fb in
+      let stage = B.vreg fb in
+      let rounds = B.vreg fb in
+      B.li fb acc 0;
+      B.li fb rounds 40;
+      B.for_ fb iter ~from:(B.K 0) ~below:(B.K (4 * scale)) (fun () ->
+          B.alu fb Op.And stage iter (B.K 1);
+          let r = B.call fb "refine" [ stage; rounds ] in
+          Common.checksum_mix fb ~acc ~value:r);
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

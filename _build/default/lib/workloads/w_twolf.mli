@@ -1,0 +1,7 @@
+(** 300.twolf analogue: standard-cell placement refinement alternating
+    between a net-cost evaluation phase and a row-overlap penalty
+    phase, both inside one [refine] root steered by a stage flag —
+    another shared-launch-point workload where linking recovers
+    coverage. *)
+
+val program : scale:int -> Vp_prog.Program.t

@@ -1,0 +1,123 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let buckets = 1024
+let store_words = 4096
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:107 in
+  let keys = B.global b ~words:store_words in
+  let vals = B.global b ~words:store_words in
+  let result = B.global b ~words:1 in
+
+  B.func b "hash_key" ~nargs:1 (fun fb args ->
+      let k = args.(0) in
+      let h = B.vreg fb in
+      B.alu fb Op.Mul h k (B.K 2654435761);
+      B.alu fb Op.Shr h h (B.K 8);
+      B.alu fb Op.And h h (B.K (buckets - 1));
+      B.ret fb (Some h));
+
+  (* Phase 1: insert — open addressing with linear probing. *)
+  B.func b "db_insert" ~nargs:2 (fun fb args ->
+      let key = args.(0) in
+      let value = args.(1) in
+      let h = B.call fb "hash_key" [ key ] in
+      let slot = B.vreg fb in
+      let a = B.vreg fb in
+      let existing = B.vreg fb in
+      let tries = B.vreg fb in
+      B.alu fb Op.Mul slot h (B.K (store_words / buckets));
+      B.li fb tries 0;
+      B.while_ fb (fun () -> (Op.Lt, tries, B.K 32)) (fun () ->
+          B.alu fb Op.And slot slot (B.K (store_words - 1));
+          B.alu fb Op.Add a slot (B.K keys);
+          B.load fb existing ~base:a ~off:0;
+          B.when_ fb (Op.Eq, existing, B.K 0) (fun () ->
+              B.store fb key ~base:a ~off:0;
+              B.alu fb Op.Add a slot (B.K vals);
+              B.store fb value ~base:a ~off:0;
+              B.break_ fb);
+          B.addi fb slot slot 1;
+          B.addi fb tries tries 1);
+      B.ret fb (Some slot));
+
+  (* Phase 2: lookup. *)
+  B.func b "db_lookup" ~nargs:1 (fun fb args ->
+      let key = args.(0) in
+      let h = B.call fb "hash_key" [ key ] in
+      let slot = B.vreg fb in
+      let a = B.vreg fb in
+      let stored = B.vreg fb in
+      let found = B.vreg fb in
+      let tries = B.vreg fb in
+      B.alu fb Op.Mul slot h (B.K (store_words / buckets));
+      B.li fb found 0;
+      B.li fb tries 0;
+      B.while_ fb (fun () -> (Op.Lt, tries, B.K 32)) (fun () ->
+          B.alu fb Op.And slot slot (B.K (store_words - 1));
+          B.alu fb Op.Add a slot (B.K keys);
+          B.load fb stored ~base:a ~off:0;
+          B.when_ fb (Op.Eq, stored, B.V key) (fun () ->
+              B.alu fb Op.Add a slot (B.K vals);
+              B.load fb found ~base:a ~off:0;
+              B.break_ fb);
+          B.when_ fb (Op.Eq, stored, B.K 0) (fun () -> B.break_ fb);
+          B.addi fb slot slot 1;
+          B.addi fb tries tries 1);
+      B.ret fb (Some found));
+
+  (* Phase 3: traversal with field update. *)
+  B.func b "db_traverse" ~nargs:0 (fun fb _ ->
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let k = B.vreg fb in
+      let v = B.vreg fb in
+      let live = B.vreg fb in
+      B.li fb live 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K store_words) (fun () ->
+          B.alu fb Op.Add a i (B.K keys);
+          B.load fb k ~base:a ~off:0;
+          B.when_ fb (Op.Ne, k, B.K 0) (fun () ->
+              B.alu fb Op.Add a i (B.K vals);
+              B.load fb v ~base:a ~off:0;
+              B.alu fb Op.Mul v v (B.K 3);
+              B.alu fb Op.And v v (B.K 0xFFFFF);
+              B.store fb v ~base:a ~off:0;
+              B.addi fb live live 1));
+      B.ret fb (Some live));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      let phase_len = 9_000 * scale in
+      let i = B.vreg fb in
+      let x = B.vreg fb in
+      let k = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb x 0xdb;
+      B.li fb acc 0;
+      (* Bulk insert. *)
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K phase_len) (fun () ->
+          Common.lcg_draw fb ~dst:k ~state:x ~bound:0xFFFF;
+          B.addi fb k k 1;
+          let slot = B.call fb "db_insert" [ k; i ] in
+          Common.checksum_mix fb ~acc ~value:slot);
+      (* Point lookups. *)
+      B.li fb x 0xdb;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K phase_len) (fun () ->
+          Common.lcg_draw fb ~dst:k ~state:x ~bound:0xFFFF;
+          B.addi fb k k 1;
+          let v = B.call fb "db_lookup" [ k ] in
+          Common.checksum_mix fb ~acc ~value:v);
+      (* Traversals. *)
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K (6 * scale)) (fun () ->
+          let live = B.call fb "db_traverse" [] in
+          Common.checksum_mix fb ~acc ~value:live);
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

@@ -1,0 +1,6 @@
+(** 255.vortex analogue: an object database exercised in three
+    sequential phases — bulk insert into a hashed store, point
+    lookups, and a full traversal with field updates — all sharing a
+    hashing helper. *)
+
+val program : scale:int -> Vp_prog.Program.t

@@ -1,0 +1,147 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let cells = 512
+let grid_dim = 64
+let grid_words = grid_dim * grid_dim
+
+let program ~scale =
+  let b = B.create () in
+  let ballast_entry = Common.ballast b ~units:137 in
+  let pos_x = B.global b ~words:cells in
+  let pos_y = B.global b ~words:cells in
+  let nets = B.global b ~words:cells in
+  let grid = B.global b ~words:grid_words in
+  let result = B.global b ~words:1 in
+
+  (* Wirelength contribution of one cell: distance to its net peer. *)
+  B.func b "cell_cost" ~nargs:1 (fun fb args ->
+      let c = args.(0) in
+      let a = B.vreg fb in
+      let peer = B.vreg fb in
+      let x1 = B.vreg fb in
+      let y1 = B.vreg fb in
+      let x2 = B.vreg fb in
+      let y2 = B.vreg fb in
+      let d = B.vreg fb in
+      let zero = B.vreg fb in
+      B.li fb zero 0;
+      B.alu fb Op.Add a c (B.K nets);
+      B.load fb peer ~base:a ~off:0;
+      B.alu fb Op.Add a c (B.K pos_x);
+      B.load fb x1 ~base:a ~off:0;
+      B.alu fb Op.Add a c (B.K pos_y);
+      B.load fb y1 ~base:a ~off:0;
+      B.alu fb Op.Add a peer (B.K pos_x);
+      B.load fb x2 ~base:a ~off:0;
+      B.alu fb Op.Add a peer (B.K pos_y);
+      B.load fb y2 ~base:a ~off:0;
+      B.alu fb Op.Sub d x1 (B.V x2);
+      B.when_ fb (Op.Lt, d, B.K 0) (fun () -> B.alu fb Op.Sub d zero (B.V d));
+      let dy = B.vreg fb in
+      B.alu fb Op.Sub dy y1 (B.V y2);
+      B.when_ fb (Op.Lt, dy, B.K 0) (fun () -> B.alu fb Op.Sub dy zero (B.V dy));
+      B.alu fb Op.Add d d (B.V dy);
+      B.ret fb (Some d));
+
+  (* Phase 1: annealing placement. *)
+  B.func b "place" ~nargs:1 (fun fb args ->
+      let moves = args.(0) in
+      let m = B.vreg fb in
+      let x = B.vreg fb in
+      let c = B.vreg fb in
+      let a = B.vreg fb in
+      let old_x = B.vreg fb in
+      let new_x = B.vreg fb in
+      let before = B.vreg fb in
+      let after = B.vreg fb in
+      let accepted = B.vreg fb in
+      B.li fb x 0x7ace;
+      B.li fb accepted 0;
+      B.for_ fb m ~from:(B.K 0) ~below:(B.V moves) (fun () ->
+          Common.lcg_draw fb ~dst:c ~state:x ~bound:cells;
+          let b1 = B.call fb "cell_cost" [ c ] in
+          B.mov fb before b1;
+          (* Propose a horizontal move. *)
+          B.alu fb Op.Add a c (B.K pos_x);
+          B.load fb old_x ~base:a ~off:0;
+          Common.lcg_draw fb ~dst:new_x ~state:x ~bound:grid_dim;
+          B.store fb new_x ~base:a ~off:0;
+          let a1 = B.call fb "cell_cost" [ c ] in
+          B.mov fb after a1;
+          (* Accept improvements; reject (and undo) the rest — a
+             near-50/50 branch, the vpr signature. *)
+          B.if_ fb (Op.Le, after, B.V before)
+            (fun () -> B.addi fb accepted accepted 1)
+            (fun () ->
+              B.alu fb Op.Add a c (B.K pos_x);
+              B.store fb old_x ~base:a ~off:0));
+      B.ret fb (Some accepted));
+
+  (* Phase 2: wavefront routing over the congestion grid. *)
+  B.func b "route" ~nargs:1 (fun fb args ->
+      let waves = args.(0) in
+      let w = B.vreg fb in
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let v = B.vreg fb in
+      let n = B.vreg fb in
+      let total = B.vreg fb in
+      B.li fb total 0;
+      B.for_ fb w ~from:(B.K 0) ~below:(B.V waves) (fun () ->
+          B.for_ fb i ~from:(B.K 0) ~below:(B.K grid_words) (fun () ->
+              B.alu fb Op.Add a i (B.K grid);
+              B.load fb v ~base:a ~off:0;
+              (* Expand the wave where cost is low. *)
+              B.if_ fb (Op.Lt, v, B.K 8)
+                (fun () ->
+                  B.alu fb Op.Add n i (B.K 1);
+                  B.alu fb Op.And n n (B.K (grid_words - 1));
+                  B.alu fb Op.Add n n (B.K grid);
+                  B.load fb n ~base:n ~off:0;
+                  B.alu fb Op.Add v v (B.V n);
+                  B.alu fb Op.And v v (B.K 0xF);
+                  B.store fb v ~base:a ~off:0;
+                  B.addi fb total total 1)
+                (fun () ->
+                  B.alu fb Op.Shr v v (B.K 1);
+                  B.store fb v ~base:a ~off:0)));
+      B.ret fb (Some total));
+
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* One cold pass over the init/ballast code: executed, never hot. *)
+      let ballast_seed = B.vreg fb in
+      B.li fb ballast_seed 1;
+      B.call_void fb ballast_entry [ ballast_seed ];
+      let i = B.vreg fb in
+      let a = B.vreg fb in
+      let x = B.vreg fb in
+      let v = B.vreg fb in
+      B.li fb x 0x5eed;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K cells) (fun () ->
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:grid_dim;
+          B.alu fb Op.Add a i (B.K pos_x);
+          B.store fb v ~base:a ~off:0;
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:grid_dim;
+          B.alu fb Op.Add a i (B.K pos_y);
+          B.store fb v ~base:a ~off:0;
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:cells;
+          B.alu fb Op.Add a i (B.K nets);
+          B.store fb v ~base:a ~off:0);
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K grid_words) (fun () ->
+          Common.lcg_draw fb ~dst:v ~state:x ~bound:16;
+          B.alu fb Op.Add a i (B.K grid);
+          B.store fb v ~base:a ~off:0);
+      let moves = B.vreg fb in
+      let waves = B.vreg fb in
+      B.li fb moves (25_000 * scale);
+      B.li fb waves (24 * scale);
+      let r1 = B.call fb "place" [ moves ] in
+      let r2 = B.call fb "route" [ waves ] in
+      let acc = B.vreg fb in
+      B.mov fb acc r1;
+      Common.checksum_mix fb ~acc ~value:r2;
+      B.store_abs fb acc result;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

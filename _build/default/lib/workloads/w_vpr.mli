@@ -1,0 +1,5 @@
+(** 175.vpr analogue: FPGA place-and-route with a simulated-annealing
+    placement phase (unbiased accept/reject branches) followed by a
+    wavefront routing phase over a grid. *)
+
+val program : scale:int -> Vp_prog.Program.t

@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Format List Option Printf QCheck QCheck_alcotest String Vp_exec Vp_isa Vp_prog Vp_test_support Vp_workloads

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Fun List Option QCheck QCheck_alcotest Vp_cfg Vp_isa Vp_prog Vp_test_support

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Format Hashtbl Lazy List Option Printf String Vacuum Vp_cpu Vp_exec Vp_hsd Vp_package Vp_phase Vp_prog Vp_region Vp_test_support Vp_workloads

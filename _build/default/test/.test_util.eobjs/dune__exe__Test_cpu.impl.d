@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest List Printf QCheck QCheck_alcotest Vp_cpu Vp_exec Vp_isa Vp_prog Vp_test_support

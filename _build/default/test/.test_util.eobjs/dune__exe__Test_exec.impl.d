@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Vp_exec Vp_isa Vp_prog Vp_test_support

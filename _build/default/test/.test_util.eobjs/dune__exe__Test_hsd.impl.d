@@ -1,0 +1,1 @@
+test/test_hsd.ml: Alcotest List Printf QCheck QCheck_alcotest Vp_exec Vp_hsd Vp_isa Vp_prog Vp_test_support Vp_util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Format List Vacuum Vp_exec Vp_hsd Vp_opt Vp_package Vp_prog Vp_test_support

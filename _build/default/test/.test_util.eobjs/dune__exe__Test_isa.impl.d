@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Fmt List QCheck QCheck_alcotest Vp_isa

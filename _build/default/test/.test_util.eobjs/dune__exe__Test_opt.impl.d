@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Vp_exec Vp_hsd Vp_isa Vp_opt Vp_package Vp_phase Vp_prog Vp_region Vp_test_support Vp_util

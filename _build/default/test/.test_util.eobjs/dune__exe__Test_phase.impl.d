@@ -1,0 +1,1 @@
+test/test_phase.ml: Alcotest Gen Hashtbl List QCheck QCheck_alcotest Vp_hsd Vp_phase

@@ -1,0 +1,1 @@
+test/test_prog.ml: Alcotest Array List Option QCheck QCheck_alcotest Vp_isa Vp_prog Vp_test_support

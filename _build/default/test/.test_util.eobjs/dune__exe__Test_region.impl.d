@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Fun List Option QCheck QCheck_alcotest Vp_cfg Vp_hsd Vp_isa Vp_prog Vp_region Vp_test_support

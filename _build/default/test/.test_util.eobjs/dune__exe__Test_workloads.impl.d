@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest List Option Printf String Vp_cfg Vp_exec Vp_hsd Vp_phase Vp_prog Vp_workloads

@@ -1,0 +1,1 @@
+test/support/gen.ml: Array List Printf Vp_isa Vp_prog Vp_util

@@ -1,0 +1,1 @@
+test/support/gen.mli: Vp_prog

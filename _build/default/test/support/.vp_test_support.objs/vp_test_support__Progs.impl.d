@@ -1,0 +1,1 @@
+test/support/progs.ml: Array List Vp_isa Vp_prog Vp_util

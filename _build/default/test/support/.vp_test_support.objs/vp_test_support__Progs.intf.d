@@ -1,0 +1,1 @@
+test/support/progs.mli: Vp_prog

@@ -1,0 +1,13 @@
+(** Random phased-program generation for whole-pipeline fuzzing.
+
+    Programs are structurally diverse — acyclic call graphs with
+    optional self-recursion, nested counted loops, data-dependent
+    diamonds, shared global state — and always terminate: loop bounds
+    are constants and recursion carries an explicit decreasing depth
+    argument.  A main driver alternates between two phase loops
+    exercising different callees, so the Hot Spot Detector sees real
+    phase behaviour. *)
+
+val random_phased : seed:int -> Vp_prog.Program.t
+(** Deterministic in [seed].  Dynamic size is bounded to a few hundred
+    thousand instructions. *)

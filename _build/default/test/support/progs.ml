@@ -1,0 +1,179 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+
+let sum_to_n n =
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let acc = B.vreg fb in
+      let i = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K n) (fun () ->
+          B.alu fb Op.Add acc acc (B.V i));
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"
+
+let factorial n =
+  let b = B.create () in
+  B.func b "fact" ~nargs:1 (fun fb args ->
+      let x = args.(0) in
+      B.if_ fb (Op.Le, x, B.K 1)
+        (fun () ->
+          let one = B.vreg fb in
+          B.li fb one 1;
+          B.ret fb (Some one))
+        (fun () ->
+          let xm1 = B.vreg fb in
+          B.alu fb Op.Sub xm1 x (B.K 1);
+          let sub = B.call fb "fact" [ xm1 ] in
+          let r = B.vreg fb in
+          B.alu fb Op.Mul r x (B.V sub);
+          B.ret fb (Some r)));
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let arg = B.vreg fb in
+      B.li fb arg n;
+      let r = B.call fb "fact" [ arg ] in
+      B.ret fb (Some r);
+      B.halt fb);
+  B.program b ~entry:"main"
+
+let call_chain v =
+  let b = B.create () in
+  B.func b "gamma" ~nargs:1 (fun fb args ->
+      let r = B.vreg fb in
+      B.alu fb Op.Add r args.(0) (B.K 100);
+      B.ret fb (Some r));
+  B.func b "beta" ~nargs:1 (fun fb args ->
+      let r = B.call fb "gamma" [ args.(0) ] in
+      let r2 = B.vreg fb in
+      B.alu fb Op.Mul r2 r (B.K 2);
+      B.ret fb (Some r2));
+  B.func b "alpha" ~nargs:1 (fun fb args ->
+      let r = B.call fb "beta" [ args.(0) ] in
+      let r2 = B.vreg fb in
+      B.alu fb Op.Add r2 r (B.K 1);
+      B.ret fb (Some r2));
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let x = B.vreg fb in
+      B.li fb x v;
+      let r = B.call fb "alpha" [ x ] in
+      B.ret fb (Some r);
+      B.halt fb);
+  B.program b ~entry:"main"
+
+let spill_heavy n =
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      (* Allocate well past the physical temporary budget. *)
+      let vals = List.init 30 (fun i ->
+          let v = B.vreg fb in
+          B.li fb v (i + 1);
+          v)
+      in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      List.iteri
+        (fun i v -> if i < n then B.alu fb Op.Add acc acc (B.V v))
+        vals;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"
+
+let two_phase ~iters_per_phase ~repeats =
+  let b = B.create () in
+  let cell = B.global b ~words:1 in
+  B.func b "phase_a" ~nargs:1 (fun fb args ->
+      let acc = B.vreg fb in
+      let i = B.vreg fb in
+      B.mov fb acc args.(0);
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K iters_per_phase) (fun () ->
+          B.alu fb Op.Add acc acc (B.V i);
+          B.alu fb Op.Xor acc acc (B.K 3));
+      B.ret fb (Some acc));
+  B.func b "phase_b" ~nargs:1 (fun fb args ->
+      let acc = B.vreg fb in
+      let i = B.vreg fb in
+      B.mov fb acc args.(0);
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K iters_per_phase) (fun () ->
+          B.alu fb Op.Mul acc acc (B.K 3);
+          B.alu fb Op.And acc acc (B.K 0xFFFF));
+      B.ret fb (Some acc));
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let acc = B.vreg fb in
+      let r = B.vreg fb in
+      B.li fb acc 1;
+      B.for_ fb r ~from:(B.K 0) ~below:(B.K repeats) (fun () ->
+          let a = B.call fb "phase_a" [ acc ] in
+          B.mov fb acc a;
+          let c = B.call fb "phase_b" [ acc ] in
+          B.mov fb acc c);
+      B.store_abs fb acc cell;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"
+
+let biased_branch ~iters ~bias_mod =
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let acc = B.vreg fb in
+      let i = B.vreg fb in
+      let m = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K iters) (fun () ->
+          B.alu fb Op.Rem m i (B.K bias_mod);
+          (* Taken-biased when bias_mod is large: the common case jumps
+             to the else arm. *)
+          B.if_ fb (Op.Eq, m, B.K 0)
+            (fun () -> B.alu fb Op.Add acc acc (B.K 10))
+            (fun () -> B.alu fb Op.Add acc acc (B.K 1)));
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"
+
+let global_rw () =
+  let b = B.create () in
+  let src = B.global_init b [ 5; 6; 7 ] in
+  let dst = B.global b ~words:3 in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let acc = B.vreg fb in
+      let v = B.vreg fb in
+      B.li fb acc 0;
+      List.iter
+        (fun k ->
+          B.load_abs fb v (src + k);
+          B.alu fb Op.Mul v v (B.K 2);
+          B.store_abs fb v (dst + k);
+          B.load_abs fb v (dst + k);
+          B.alu fb Op.Add acc acc (B.V v))
+        [ 0; 1; 2 ];
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"
+
+let random_arith ~seed =
+  let rng = Vp_util.Rng.create ~seed in
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let nvals = 8 + Vp_util.Rng.int rng 30 in
+      let vals = Array.init nvals (fun i ->
+          let v = B.vreg fb in
+          B.li fb v (Vp_util.Rng.int_in rng (-100) 100 * (i + 1));
+          v)
+      in
+      let safe_ops = [| Op.Add; Op.Sub; Op.Mul; Op.And; Op.Or; Op.Xor; Op.Slt |] in
+      for _ = 1 to 60 do
+        let op = safe_ops.(Vp_util.Rng.int rng (Array.length safe_ops)) in
+        let d = vals.(Vp_util.Rng.int rng nvals) in
+        let s1 = vals.(Vp_util.Rng.int rng nvals) in
+        let s2 =
+          if Vp_util.Rng.bool rng 0.5 then B.V vals.(Vp_util.Rng.int rng nvals)
+          else B.K (Vp_util.Rng.int_in rng (-50) 50)
+        in
+        B.alu fb op d s1 s2
+      done;
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      Array.iter (fun v -> B.alu fb Op.Xor acc acc (B.V v)) vals;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"

@@ -1,0 +1,34 @@
+(** Small builder programs shared by the test suites.  Every program's
+    entry function leaves its interesting result in the return-value
+    register before halting, so tests can check [outcome.result]. *)
+
+val sum_to_n : int -> Vp_prog.Program.t
+(** Loop-based sum of 0..n-1. *)
+
+val factorial : int -> Vp_prog.Program.t
+(** Self-recursive factorial — exercises call/return, frame handling
+    and call-graph recursion detection. *)
+
+val call_chain : int -> Vp_prog.Program.t
+(** main -> alpha -> beta -> gamma; gamma adds a constant; the result
+    threads back up.  Argument is the value passed in. *)
+
+val spill_heavy : int -> Vp_prog.Program.t
+(** Sums [n] values held in more virtual registers than there are
+    physical temporaries, forcing stack-slot allocation. *)
+
+val two_phase : iters_per_phase:int -> repeats:int -> Vp_prog.Program.t
+(** Alternates between two distinct hot loops (different functions)
+    [repeats] times; the canonical phased workload for detector and
+    pipeline tests. *)
+
+val biased_branch : iters:int -> bias_mod:int -> Vp_prog.Program.t
+(** One loop with a branch taken on multiples of [bias_mod] — handy
+    for profile-accuracy checks. *)
+
+val global_rw : unit -> Vp_prog.Program.t
+(** Writes then reads initialised global data. *)
+
+val random_arith : seed:int -> Vp_prog.Program.t
+(** A randomly generated straight-line arithmetic program over many
+    virtual registers; used for differential property tests. *)

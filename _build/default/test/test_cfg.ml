@@ -1,0 +1,260 @@
+(* Tests for vp_cfg: CFG recovery from images, dominators, natural
+   loops, liveness and the call graph. *)
+
+module Instr = Vp_isa.Instr
+module Op = Vp_isa.Op
+module Reg = Vp_isa.Reg
+module Program = Vp_prog.Program
+module Image = Vp_prog.Image
+module Cfg = Vp_cfg.Cfg
+module Dom = Vp_cfg.Dom
+module Loops = Vp_cfg.Loops
+module Liveness = Vp_cfg.Liveness
+module Callgraph = Vp_cfg.Callgraph
+module Progs = Vp_test_support.Progs
+module B = Vp_prog.Builder
+
+let cfg_of p name =
+  let img = Program.layout p in
+  let sym = Option.get (Image.find_sym img name) in
+  Cfg.recover img sym
+
+let test_recover_loop_shape () =
+  let cfg = cfg_of (Progs.sum_to_n 10) "main" in
+  (* A for-loop yields at least: prologue, init, head, body, inc, exit
+     chain, epilogue. *)
+  Alcotest.(check bool) "several blocks" true (Cfg.num_blocks cfg >= 5);
+  (* Exactly one conditional branch: the loop test. *)
+  let branches =
+    List.init (Cfg.num_blocks cfg) (fun b -> Cfg.branch_addr cfg b)
+    |> List.filter_map Fun.id
+  in
+  Alcotest.(check int) "one cond branch" 1 (List.length branches);
+  (* There must be a back edge: the loop. *)
+  Alcotest.(check bool) "back edge" true (Cfg.back_edges cfg <> [])
+
+let test_recover_block_partition () =
+  let cfg = cfg_of (Progs.sum_to_n 10) "main" in
+  let sym = Cfg.sym cfg in
+  (* Blocks tile the function exactly. *)
+  let total = List.init (Cfg.num_blocks cfg) (Cfg.len cfg) |> List.fold_left ( + ) 0 in
+  Alcotest.(check int) "blocks tile range" sym.Image.len total;
+  for b = 0 to Cfg.num_blocks cfg - 1 do
+    (* At most one control instruction, and only at the end. *)
+    let is = Cfg.instrs cfg b in
+    List.iteri
+      (fun i ins ->
+        if i < List.length is - 1 then
+          Alcotest.(check bool) "control only last" false (Instr.is_control ins))
+      is
+  done
+
+let test_block_at_lookup () =
+  let cfg = cfg_of (Progs.sum_to_n 10) "main" in
+  let sym = Cfg.sym cfg in
+  for addr = sym.Image.start to sym.Image.start + sym.Image.len - 1 do
+    match Cfg.block_at cfg addr with
+    | Some b ->
+      Alcotest.(check bool) "addr within block" true
+        (addr >= Cfg.start cfg b && addr < Cfg.start cfg b + Cfg.len cfg b)
+    | None -> Alcotest.fail "address not covered"
+  done;
+  Alcotest.(check (option int)) "outside range" None
+    (Cfg.block_at cfg (sym.Image.start + sym.Image.len))
+
+let test_arcs_consistency () =
+  let cfg = cfg_of (Progs.two_phase ~iters_per_phase:5 ~repeats:2) "main" in
+  (* Every succ arc appears as a pred arc of its destination. *)
+  List.iter
+    (fun (a : Cfg.arc) ->
+      Alcotest.(check bool) "succ has matching pred" true
+        (List.exists (fun (p : Cfg.arc) -> p = a) (Cfg.preds cfg a.Cfg.dst)))
+    (Cfg.arcs cfg);
+  (* Conditional branch blocks have exactly two successors (taken +
+     fallthrough) when both targets are intra-function. *)
+  for b = 0 to Cfg.num_blocks cfg - 1 do
+    match Cfg.terminator cfg b with
+    | Some (Instr.Br _) ->
+      Alcotest.(check int) "br has two succs" 2 (List.length (Cfg.succs cfg b))
+    | Some (Instr.Jmp _) ->
+      Alcotest.(check int) "jmp has one succ" 1 (List.length (Cfg.succs cfg b))
+    | _ -> ()
+  done
+
+let test_call_sites () =
+  let cfg = cfg_of (Progs.call_chain 1) "beta" in
+  let img = Cfg.image cfg in
+  let sites = Cfg.call_sites cfg in
+  Alcotest.(check int) "one call" 1 (List.length sites);
+  let _, callee = List.hd sites in
+  match Image.sym_at img callee with
+  | Some s -> Alcotest.(check string) "calls gamma" "gamma" s.Image.name
+  | None -> Alcotest.fail "callee not found"
+
+let test_dominators_linear () =
+  let cfg = cfg_of (Progs.call_chain 1) "gamma" in
+  let dom = Dom.compute cfg in
+  (* Straight-line function: every block dominated by entry. *)
+  for b = 0 to Cfg.num_blocks cfg - 1 do
+    if Dom.reachable dom b then
+      Alcotest.(check bool) "entry dominates" true (Dom.dominates dom 0 b)
+  done;
+  Alcotest.(check (option int)) "entry idom" None (Dom.idom dom 0)
+
+let test_dominators_loop () =
+  let cfg = cfg_of (Progs.sum_to_n 10) "main" in
+  let dom = Dom.compute cfg in
+  let back = Cfg.back_edges cfg in
+  List.iter
+    (fun (src, dst) ->
+      Alcotest.(check bool) "loop header dominates latch" true (Dom.dominates dom dst src))
+    back
+
+let test_natural_loops () =
+  let cfg = cfg_of (Progs.sum_to_n 10) "main" in
+  let loops = Loops.compute cfg in
+  Alcotest.(check int) "one loop" 1 (List.length (Loops.loops loops));
+  let l = List.hd (Loops.loops loops) in
+  Alcotest.(check bool) "body nonempty" true (List.length l.Loops.body >= 2);
+  Alcotest.(check bool) "header in body" true (List.mem l.Loops.header l.Loops.body);
+  (* Depth is 1 inside, 0 at entry. *)
+  Alcotest.(check int) "entry depth" 0 (Loops.depth loops 0);
+  List.iter
+    (fun b -> Alcotest.(check bool) "body depth >= 1" true (Loops.depth loops b >= 1))
+    l.Loops.body
+
+let test_nested_loops_depth () =
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let i = B.vreg fb in
+      let j = B.vreg fb in
+      let acc = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K 10) (fun () ->
+          B.for_ fb j ~from:(B.K 0) ~below:(B.K 10) (fun () ->
+              B.alu fb Op.Add acc acc (B.V j)));
+      B.ret fb (Some acc);
+      B.halt fb);
+  let cfg = cfg_of (B.program b ~entry:"main") "main" in
+  let loops = Loops.compute cfg in
+  Alcotest.(check int) "two loops" 2 (List.length (Loops.loops loops));
+  let max_depth =
+    List.init (Cfg.num_blocks cfg) (Loops.depth loops) |> List.fold_left max 0
+  in
+  Alcotest.(check int) "max depth two" 2 max_depth
+
+let test_liveness_straightline () =
+  let cfg = cfg_of (Progs.call_chain 1) "gamma" in
+  let live = Liveness.compute cfg in
+  (* sp is live everywhere in a framed function. *)
+  Alcotest.(check bool) "sp live at entry" true (List.mem Reg.sp (Liveness.live_in live 0))
+
+let test_liveness_arg_flows_to_use () =
+  (* gamma uses its argument: a0 must be live-in at the prologue. *)
+  let cfg = cfg_of (Progs.call_chain 1) "gamma" in
+  let live = Liveness.compute cfg in
+  Alcotest.(check bool) "a0 live at entry" true
+    (List.mem (Reg.arg 0) (Liveness.live_in live 0))
+
+let test_liveness_dead_value () =
+  (* A register defined and never used afterwards is not live-out of
+     its defining block. *)
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let dead = B.vreg fb in
+      let live_v = B.vreg fb in
+      B.li fb dead 42;
+      B.li fb live_v 1;
+      B.ret fb (Some live_v);
+      B.halt fb);
+  let cfg = cfg_of (B.program b ~entry:"main") "main" in
+  let live = Liveness.compute cfg in
+  (* Find the block containing the li of 42; the dead temp (t0=r8)
+     must not be live at function exit blocks.  We check the weaker,
+     robust property: r8 is not live-in at the epilogue. *)
+  let epilogue = Cfg.num_blocks cfg - 1 in
+  Alcotest.(check bool) "dead temp not live at epilogue" true
+    (not (List.mem (Reg.of_int 8) (Liveness.live_in live epilogue)))
+
+let test_live_across_arc () =
+  let cfg = cfg_of (Progs.sum_to_n 10) "main" in
+  let live = Liveness.compute cfg in
+  List.iter
+    (fun (a : Cfg.arc) ->
+      Alcotest.(check (list int)) "live across = live-in of dst"
+        (List.map Reg.to_int (Liveness.live_in live a.Cfg.dst))
+        (List.map Reg.to_int (Liveness.live_across live a)))
+    (Cfg.arcs cfg)
+
+let test_callgraph_structure () =
+  let img = Program.layout (Progs.call_chain 1) in
+  let cg = Callgraph.of_image img in
+  Alcotest.(check int) "four functions" 4 (List.length (Callgraph.functions cg));
+  let callees = List.map (fun e -> e.Callgraph.callee) (Callgraph.callees cg "main") in
+  Alcotest.(check (list string)) "main calls alpha" [ "alpha" ] callees;
+  Alcotest.(check int) "gamma has one caller" 1 (List.length (Callgraph.callers cg "gamma"));
+  Alcotest.(check bool) "no recursion" false (Callgraph.is_self_recursive cg "beta");
+  Alcotest.(check (list (pair string string))) "no back edges" []
+    (Callgraph.back_edges cg ~entry:"main")
+
+let test_callgraph_recursion () =
+  let img = Program.layout (Progs.factorial 5) in
+  let cg = Callgraph.of_image img in
+  Alcotest.(check bool) "fact self-recursive" true (Callgraph.is_self_recursive cg "fact");
+  Alcotest.(check (list (pair string string))) "back edge fact->fact"
+    [ ("fact", "fact") ]
+    (Callgraph.back_edges cg ~entry:"main")
+
+(* Property: recovered blocks always tile the function and arcs stay
+   in-bounds, over random programs. *)
+let prop_recovery_tiles =
+  QCheck.Test.make ~name:"recovery tiles random functions" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let img = Program.layout (Progs.random_arith ~seed) in
+      List.for_all
+        (fun sym ->
+          let cfg = Cfg.recover img sym in
+          let n = Cfg.num_blocks cfg in
+          let total = List.init n (Cfg.len cfg) |> List.fold_left ( + ) 0 in
+          total = sym.Image.len
+          && List.for_all
+               (fun (a : Cfg.arc) -> a.Cfg.src < n && a.Cfg.dst < n)
+               (Cfg.arcs cfg))
+        (Image.functions img))
+
+let () =
+  Alcotest.run "vp_cfg"
+    [
+      ( "recovery",
+        [
+          Alcotest.test_case "loop shape" `Quick test_recover_loop_shape;
+          Alcotest.test_case "block partition" `Quick test_recover_block_partition;
+          Alcotest.test_case "block_at" `Quick test_block_at_lookup;
+          Alcotest.test_case "arc consistency" `Quick test_arcs_consistency;
+          Alcotest.test_case "call sites" `Quick test_call_sites;
+          QCheck_alcotest.to_alcotest prop_recovery_tiles;
+        ] );
+      ( "dominators",
+        [
+          Alcotest.test_case "linear" `Quick test_dominators_linear;
+          Alcotest.test_case "loop" `Quick test_dominators_loop;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "natural loops" `Quick test_natural_loops;
+          Alcotest.test_case "nested depth" `Quick test_nested_loops_depth;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "straight line" `Quick test_liveness_straightline;
+          Alcotest.test_case "arg flows" `Quick test_liveness_arg_flows_to_use;
+          Alcotest.test_case "dead value" `Quick test_liveness_dead_value;
+          Alcotest.test_case "live across arc" `Quick test_live_across_arc;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "structure" `Quick test_callgraph_structure;
+          Alcotest.test_case "recursion" `Quick test_callgraph_recursion;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Tests for vp_exec: architectural semantics end-to-end through the
+   builder, layout and emulator. *)
+
+module Program = Vp_prog.Program
+module Image = Vp_prog.Image
+module Emulator = Vp_exec.Emulator
+module State = Vp_exec.State
+module Progs = Vp_test_support.Progs
+
+let run p = Emulator.run (Program.layout p)
+
+let test_sum_loop () =
+  let o = run (Progs.sum_to_n 100) in
+  Alcotest.(check bool) "halted" true o.Emulator.halted;
+  Alcotest.(check int) "sum 0..99" 4950 o.Emulator.result
+
+let test_sum_zero_iterations () =
+  let o = run (Progs.sum_to_n 0) in
+  Alcotest.(check int) "empty loop" 0 o.Emulator.result
+
+let test_factorial_recursion () =
+  let o = run (Progs.factorial 10) in
+  Alcotest.(check int) "10!" 3628800 o.Emulator.result
+
+let test_factorial_base_case () =
+  let o = run (Progs.factorial 1) in
+  Alcotest.(check int) "1!" 1 o.Emulator.result
+
+let test_deep_recursion_stack () =
+  let o = run (Progs.factorial 200) in
+  (* The value overflows; what matters is that 200 nested frames work. *)
+  Alcotest.(check bool) "halted" true o.Emulator.halted
+
+let test_call_chain () =
+  let o = run (Progs.call_chain 5) in
+  (* gamma: 5+100=105; beta: 210; alpha: 211 *)
+  Alcotest.(check int) "chained" 211 o.Emulator.result
+
+let test_spill_correctness () =
+  let o = run (Progs.spill_heavy 30) in
+  Alcotest.(check int) "sum with spills" (30 * 31 / 2) o.Emulator.result
+
+let test_global_rw () =
+  let o = run (Progs.global_rw ()) in
+  Alcotest.(check int) "globals" (2 * (5 + 6 + 7)) o.Emulator.result
+
+let test_two_phase_runs () =
+  let o = run (Progs.two_phase ~iters_per_phase:50 ~repeats:3) in
+  Alcotest.(check bool) "halted" true o.Emulator.halted;
+  Alcotest.(check bool) "substantial work" true (o.Emulator.instructions > 1000)
+
+let test_fuel_exhaustion () =
+  (* An infinite loop: while (0 == 0). *)
+  let module B = Vp_prog.Builder in
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let z = B.vreg fb in
+      B.li fb z 0;
+      B.while_ fb (fun () -> (Vp_isa.Op.Eq, z, B.K 0)) (fun () -> ());
+      B.halt fb);
+  let o = Emulator.run ~fuel:10_000 (Program.layout (B.program b ~entry:"main")) in
+  Alcotest.(check bool) "not halted" false o.Emulator.halted;
+  Alcotest.(check int) "fuel consumed" 10_000 o.Emulator.instructions
+
+let test_memory_fault () =
+  let module B = Vp_prog.Builder in
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let v = B.vreg fb in
+      B.load_abs fb v 999_999_999;
+      B.halt fb);
+  let img = Program.layout (B.program b ~entry:"main") in
+  Alcotest.(check bool) "fault raised" true
+    (try
+       ignore (Emulator.run img);
+       false
+     with State.Fault _ -> true)
+
+(* Builder control-flow surface not exercised by the shared programs:
+   break/continue, raw labels and frame locals. *)
+let test_builder_break_continue () =
+  let module B = Vp_prog.Builder in
+  let module Op = Vp_isa.Op in
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let acc = B.vreg fb in
+      let i = B.vreg fb in
+      let m = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K 100) (fun () ->
+          B.when_ fb (Op.Eq, i, B.K 7) (fun () -> B.break_ fb);
+          B.alu fb Op.Rem m i (B.K 2);
+          B.when_ fb (Op.Eq, m, B.K 0) (fun () -> B.continue_ fb);
+          B.alu fb Op.Add acc acc (B.V i));
+      B.ret fb (Some acc);
+      B.halt fb);
+  let o = Emulator.run (Program.layout (B.program b ~entry:"main")) in
+  (* Odd values below 7: 1 + 3 + 5. *)
+  Alcotest.(check int) "break/continue semantics" 9 o.Emulator.result
+
+let test_builder_raw_labels () =
+  (* An irregular shape built from goto/branch/place_label: a bottom-
+     tested loop. *)
+  let module B = Vp_prog.Builder in
+  let module Op = Vp_isa.Op in
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let acc = B.vreg fb in
+      let i = B.vreg fb in
+      B.li fb acc 0;
+      B.li fb i 0;
+      let head = B.new_label fb in
+      B.place_label fb head;
+      B.alu fb Op.Add acc acc (B.V i);
+      B.addi fb i i 1;
+      B.branch fb (Op.Lt, i, B.K 10) head;
+      let out = B.new_label fb in
+      B.goto fb out;
+      (* Dead code the goto skips. *)
+      B.li fb acc 999;
+      B.place_label fb out;
+      B.ret fb (Some acc);
+      B.halt fb);
+  let o = Emulator.run (Program.layout (B.program b ~entry:"main")) in
+  Alcotest.(check int) "bottom-tested loop" 45 o.Emulator.result
+
+let test_builder_frame_locals () =
+  let module B = Vp_prog.Builder in
+  let module Op = Vp_isa.Op in
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let buf = B.local fb ~words:8 in
+      let base = B.vreg fb in
+      let i = B.vreg fb in
+      let v = B.vreg fb in
+      let acc = B.vreg fb in
+      B.local_addr fb base buf;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K 8) (fun () ->
+          B.alu fb Op.Mul v i (B.V i);
+          B.alu fb Op.Add v v (B.K 1);
+          let slot = B.vreg fb in
+          B.alu fb Op.Add slot base (B.V i);
+          B.store fb v ~base:slot ~off:0);
+      B.li fb acc 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K 8) (fun () ->
+          let slot = B.vreg fb in
+          B.alu fb Op.Add slot base (B.V i);
+          B.load fb v ~base:slot ~off:0;
+          B.alu fb Op.Add acc acc (B.V v));
+      B.ret fb (Some acc);
+      B.halt fb);
+  let o = Emulator.run (Program.layout (B.program b ~entry:"main")) in
+  (* sum of i^2 + 1 for i in 0..7 = 140 + 8. *)
+  Alcotest.(check int) "frame-local array" 148 o.Emulator.result
+
+let test_branch_observation () =
+  let img = Program.layout (Progs.biased_branch ~iters:1000 ~bias_mod:10) in
+  let seen = ref 0 in
+  let taken_count = ref 0 in
+  let o =
+    Emulator.run
+      ~on_branch:(fun ~pc:_ ~taken ->
+        incr seen;
+        if taken then incr taken_count)
+      img
+  in
+  Alcotest.(check int) "observer count matches outcome" o.Emulator.cond_branches !seen;
+  Alcotest.(check bool) "some taken" true (!taken_count > 0);
+  Alcotest.(check bool) "some not taken" true (!taken_count < !seen)
+
+let test_aggregate_profile_bias () =
+  let img = Program.layout (Progs.biased_branch ~iters:1000 ~bias_mod:10) in
+  let table = Emulator.aggregate_branch_profile img in
+  (* Find the if-branch: it executes 1000 times, taken 900 (the 'else'
+     arm is the common direction). *)
+  let found = ref false in
+  Hashtbl.iter
+    (fun _pc (executed, taken) ->
+      if executed = 1000 && taken = 900 then found := true)
+    table;
+  Alcotest.(check bool) "biased branch profiled" true !found
+
+let test_event_stream_consistency () =
+  let img = Program.layout (Progs.sum_to_n 20) in
+  let events = ref [] in
+  let o = Emulator.run ~on_event:(fun e -> events := e :: !events) img in
+  let events = List.rev !events in
+  Alcotest.(check int) "one event per instruction" o.Emulator.instructions
+    (List.length events);
+  (* next_pc chains: each event's next_pc equals the next event's pc. *)
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check int) "pc chain" b.Emulator.pc a.Emulator.next_pc;
+      chain rest
+    | _ -> ()
+  in
+  chain events
+
+let test_package_instruction_accounting () =
+  (* Redirect the entry through appended code and check the counters. *)
+  let img = Program.layout (Progs.sum_to_n 5) in
+  let entry_instr = Image.fetch img img.Image.entry in
+  let img2, base =
+    Image.append img ~name:"pkg" [| entry_instr; Vp_isa.Instr.Jmp { target = Vp_isa.Instr.Addr (img.Image.entry + 1) } |]
+  in
+  let img3 =
+    Image.patch img2 [ (img2.Image.entry, Vp_isa.Instr.Jmp { target = Vp_isa.Instr.Addr base }) ]
+  in
+  let o = Emulator.run img3 in
+  Alcotest.(check bool) "halted" true o.Emulator.halted;
+  Alcotest.(check int) "package instructions" 2 o.Emulator.package_instructions
+
+let test_checksum_stability () =
+  let a = run (Progs.two_phase ~iters_per_phase:20 ~repeats:2) in
+  let b = run (Progs.two_phase ~iters_per_phase:20 ~repeats:2) in
+  Alcotest.(check int) "deterministic checksum" a.Emulator.checksum b.Emulator.checksum;
+  let c = run (Progs.two_phase ~iters_per_phase:21 ~repeats:2) in
+  Alcotest.(check bool) "different program, different checksum" true
+    (a.Emulator.checksum <> c.Emulator.checksum)
+
+let prop_random_programs_halt =
+  QCheck.Test.make ~name:"random arithmetic programs halt deterministically" ~count:40
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let img = Program.layout (Progs.random_arith ~seed) in
+      let a = Emulator.run img in
+      let b = Emulator.run img in
+      a.Emulator.halted && a.Emulator.checksum = b.Emulator.checksum
+      && a.Emulator.result = b.Emulator.result)
+
+let prop_spill_sum_matches_closed_form =
+  QCheck.Test.make ~name:"spill-heavy sums match closed form" ~count:20
+    QCheck.(int_range 1 30)
+    (fun n ->
+      let o = Emulator.run (Program.layout (Progs.spill_heavy n)) in
+      o.Emulator.result = n * (n + 1) / 2)
+
+let () =
+  Alcotest.run "vp_exec"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "sum loop" `Quick test_sum_loop;
+          Alcotest.test_case "zero iterations" `Quick test_sum_zero_iterations;
+          Alcotest.test_case "factorial" `Quick test_factorial_recursion;
+          Alcotest.test_case "factorial base" `Quick test_factorial_base_case;
+          Alcotest.test_case "deep recursion" `Quick test_deep_recursion_stack;
+          Alcotest.test_case "call chain" `Quick test_call_chain;
+          Alcotest.test_case "spills" `Quick test_spill_correctness;
+          Alcotest.test_case "globals" `Quick test_global_rw;
+          Alcotest.test_case "two-phase runs" `Quick test_two_phase_runs;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+          Alcotest.test_case "memory fault" `Quick test_memory_fault;
+          Alcotest.test_case "package accounting" `Quick test_package_instruction_accounting;
+          Alcotest.test_case "checksum stability" `Quick test_checksum_stability;
+        ] );
+      ( "builder-control",
+        [
+          Alcotest.test_case "break/continue" `Quick test_builder_break_continue;
+          Alcotest.test_case "raw labels" `Quick test_builder_raw_labels;
+          Alcotest.test_case "frame locals" `Quick test_builder_frame_locals;
+        ] );
+      ( "observation",
+        [
+          Alcotest.test_case "branch observer" `Quick test_branch_observation;
+          Alcotest.test_case "aggregate profile" `Quick test_aggregate_profile_bias;
+          Alcotest.test_case "event stream" `Quick test_event_stream_consistency;
+          QCheck_alcotest.to_alcotest prop_random_programs_halt;
+          QCheck_alcotest.to_alcotest prop_spill_sum_matches_closed_form;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Tests for vp_isa: register conventions, operation semantics,
+   instruction classification and dataflow summaries. *)
+
+module Reg = Vp_isa.Reg
+module Op = Vp_isa.Op
+module Instr = Vp_isa.Instr
+
+let reg = Alcotest.testable (Fmt.of_to_string Reg.name) Reg.equal
+
+let test_reg_conventions () =
+  Alcotest.(check int) "zero is r0" 0 (Reg.to_int Reg.zero);
+  Alcotest.(check int) "sp is r1" 1 (Reg.to_int Reg.sp);
+  Alcotest.(check int) "ra is r2" 2 (Reg.to_int Reg.ra);
+  Alcotest.check reg "ret value is a0" (Reg.arg 0) Reg.ret_value;
+  Alcotest.(check int) "temp count" (32 - 8) (List.length Reg.temps);
+  Alcotest.(check bool) "a0 not temp" false (Reg.is_temp (Reg.arg 0));
+  Alcotest.(check bool) "t0 is temp" true (Reg.is_temp (Reg.of_int 8))
+
+let test_reg_bounds () =
+  Alcotest.check_raises "of_int 32" (Invalid_argument "Reg.of_int") (fun () ->
+      ignore (Reg.of_int 32));
+  Alcotest.check_raises "of_int -1" (Invalid_argument "Reg.of_int") (fun () ->
+      ignore (Reg.of_int (-1)));
+  Alcotest.check_raises "arg 5" (Invalid_argument "Reg.arg") (fun () ->
+      ignore (Reg.arg 5))
+
+let test_reg_names_unique () =
+  let names = List.init 32 (fun i -> Reg.name (Reg.of_int i)) in
+  Alcotest.(check int) "all distinct" 32 (List.length (List.sort_uniq compare names))
+
+let test_alu_semantics () =
+  let check op a b expect =
+    Alcotest.(check int) (Op.alu_name op) expect (Op.eval_alu op a b)
+  in
+  check Op.Add 3 4 7;
+  check Op.Sub 3 4 (-1);
+  check Op.Mul 3 4 12;
+  check Op.Div 12 4 3;
+  check Op.Div 7 0 0;
+  check Op.Rem 7 3 1;
+  check Op.Rem 7 0 0;
+  check Op.And 12 10 8;
+  check Op.Or 12 10 14;
+  check Op.Xor 12 10 6;
+  check Op.Shl 1 4 16;
+  check Op.Shr (-16) 2 (-4);
+  check Op.Slt 1 2 1;
+  check Op.Slt 2 1 0;
+  check Op.Fadd 3 4 7;
+  check Op.Fmul 3 4 12;
+  check Op.Fdiv 12 4 3
+
+let test_cond_semantics () =
+  let check c a b expect =
+    Alcotest.(check bool) (Op.cond_name c) expect (Op.eval_cond c a b)
+  in
+  check Op.Eq 1 1 true;
+  check Op.Ne 1 1 false;
+  check Op.Lt 1 2 true;
+  check Op.Le 2 2 true;
+  check Op.Gt 2 1 true;
+  check Op.Ge 1 2 false
+
+let test_negate_cond_involutive () =
+  List.iter
+    (fun c ->
+      Alcotest.(check string) "double negation" (Op.cond_name c)
+        (Op.cond_name (Op.negate_cond (Op.negate_cond c))))
+    Op.all_cond
+
+let prop_negate_cond_complements =
+  QCheck.Test.make ~name:"negated condition complements" ~count:500
+    QCheck.(triple (int_bound 5) (int_range (-50) 50) (int_range (-50) 50))
+    (fun (ci, a, b) ->
+      let c = List.nth Op.all_cond ci in
+      Op.eval_cond c a b <> Op.eval_cond (Op.negate_cond c) a b)
+
+let test_fu_assignment () =
+  Alcotest.(check string) "add on ialu" "ialu" (Op.fu_name (Op.alu_fu Op.Add));
+  Alcotest.(check string) "mul on fp" "fp" (Op.fu_name (Op.alu_fu Op.Mul));
+  Alcotest.(check string) "div long" "long_fp" (Op.fu_name (Op.alu_fu Op.Div));
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Op.alu_name op ^ " latency positive")
+        true
+        (Op.alu_latency op >= 1))
+    Op.all_alu
+
+let t0 = Reg.of_int 8
+let t1 = Reg.of_int 9
+
+let test_instr_classification () =
+  let br = Instr.Br { cond = Op.Eq; src1 = t0; src2 = t1; target = Instr.Addr 0 } in
+  let call = Instr.Call { target = Instr.Addr 4 } in
+  Alcotest.(check bool) "br is cond" true (Instr.is_cond_branch br);
+  Alcotest.(check bool) "call not cond" false (Instr.is_cond_branch call);
+  Alcotest.(check bool) "call is control" true (Instr.is_control call);
+  Alcotest.(check bool) "ret is control" true (Instr.is_control Instr.Ret);
+  Alcotest.(check bool) "alu not control" false
+    (Instr.is_control (Instr.Li { dst = t0; imm = 1 }));
+  Alcotest.(check bool) "load is mem" true
+    (Instr.is_mem (Instr.Load { dst = t0; base = t1; offset = 0 }))
+
+let test_instr_target_rewriting () =
+  let br = Instr.Br { cond = Op.Eq; src1 = t0; src2 = t1; target = Instr.Label "x" } in
+  let resolved = Instr.resolve (fun _ -> 99) br in
+  (match Instr.target resolved with
+  | Some (Instr.Addr 99) -> ()
+  | _ -> Alcotest.fail "resolve failed");
+  let moved = Instr.retarget (fun a -> a + 1) resolved in
+  (match Instr.target moved with
+  | Some (Instr.Addr 100) -> ()
+  | _ -> Alcotest.fail "retarget failed");
+  (* retarget leaves labels alone *)
+  let still = Instr.retarget (fun a -> a + 1) br in
+  match Instr.target still with
+  | Some (Instr.Label "x") -> ()
+  | _ -> Alcotest.fail "label disturbed"
+
+let test_instr_with_target_invalid () =
+  Alcotest.check_raises "ret has no target"
+    (Invalid_argument "Instr.with_target: instruction has no target") (fun () ->
+      ignore (Instr.with_target Instr.Ret (Instr.Addr 0)))
+
+let test_instr_defs_uses () =
+  let alu = Instr.Alu { op = Op.Add; dst = t0; src1 = t1; src2 = Instr.Reg Reg.sp } in
+  Alcotest.(check (list int)) "alu defs" [ 8 ]
+    (List.map Reg.to_int (Instr.defs alu));
+  Alcotest.(check (list int)) "alu uses" [ 9; 1 ]
+    (List.map Reg.to_int (Instr.uses alu));
+  let call = Instr.Call { target = Instr.Addr 0 } in
+  Alcotest.(check bool) "call defs ra" true (List.mem Reg.ra (Instr.defs call));
+  Alcotest.(check bool) "call uses sp" true (List.mem Reg.sp (Instr.uses call));
+  Alcotest.(check bool) "ret uses ra" true (List.mem Reg.ra (Instr.uses Instr.Ret));
+  let store = Instr.Store { src = t0; base = t1; offset = 4 } in
+  Alcotest.(check int) "store defs nothing" 0 (List.length (Instr.defs store))
+
+let test_instr_printing () =
+  let i = Instr.Alu { op = Op.Add; dst = t0; src1 = t1; src2 = Instr.Imm 5 } in
+  Alcotest.(check string) "alu text" "add t0, t1, #5" (Instr.to_string i);
+  let br = Instr.Br { cond = Op.Lt; src1 = t0; src2 = t1; target = Instr.Addr 16 } in
+  Alcotest.(check string) "br text" "blt t0, t1, 0x10" (Instr.to_string br)
+
+let prop_shift_masking_total =
+  QCheck.Test.make ~name:"shifts never raise" ~count:1000
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      let _ = Op.eval_alu Op.Shl a b in
+      let _ = Op.eval_alu Op.Shr a b in
+      true)
+
+let () =
+  Alcotest.run "vp_isa"
+    [
+      ( "reg",
+        [
+          Alcotest.test_case "conventions" `Quick test_reg_conventions;
+          Alcotest.test_case "bounds" `Quick test_reg_bounds;
+          Alcotest.test_case "names unique" `Quick test_reg_names_unique;
+        ] );
+      ( "op",
+        [
+          Alcotest.test_case "alu semantics" `Quick test_alu_semantics;
+          Alcotest.test_case "cond semantics" `Quick test_cond_semantics;
+          Alcotest.test_case "negate involutive" `Quick test_negate_cond_involutive;
+          Alcotest.test_case "fu assignment" `Quick test_fu_assignment;
+          QCheck_alcotest.to_alcotest prop_negate_cond_complements;
+          QCheck_alcotest.to_alcotest prop_shift_masking_total;
+        ] );
+      ( "instr",
+        [
+          Alcotest.test_case "classification" `Quick test_instr_classification;
+          Alcotest.test_case "target rewriting" `Quick test_instr_target_rewriting;
+          Alcotest.test_case "with_target invalid" `Quick test_instr_with_target_invalid;
+          Alcotest.test_case "defs/uses" `Quick test_instr_defs_uses;
+          Alcotest.test_case "printing" `Quick test_instr_printing;
+        ] );
+    ]

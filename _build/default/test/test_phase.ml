@@ -1,0 +1,191 @@
+(* Tests for vp_phase: similarity criteria, redundant-snapshot
+   filtering into phases, and Figure 9 branch categorisation. *)
+
+module Snapshot = Vp_hsd.Snapshot
+module Similarity = Vp_phase.Similarity
+module Phase_log = Vp_phase.Phase_log
+module Categorize = Vp_phase.Categorize
+
+let entry pc executed taken = { Snapshot.pc; executed; taken }
+
+let snap ?(id = 0) ?(at = 0) ?(until = 1000) branches =
+  { Snapshot.id; detected_at = at; ended_at = until; branches }
+
+let test_identical_same () =
+  let a = snap [ entry 10 100 90; entry 20 100 10 ] in
+  Alcotest.(check bool) "identical" true (Similarity.same a a)
+
+let test_disjoint_different () =
+  let a = snap [ entry 10 100 90 ] in
+  let b = snap [ entry 99 100 90 ] in
+  Alcotest.(check bool) "disjoint" false (Similarity.same a b)
+
+let test_missing_fraction_boundary () =
+  (* 10 branches in a; b misses exactly 3 of them: 30% missing means
+     different (the paper's "30% or more"). *)
+  let mk n = List.init n (fun i -> entry (10 * (i + 1)) 100 50) in
+  let a = snap (mk 10) in
+  let b = snap (mk 7) in
+  Alcotest.(check (float 1e-9)) "fraction" 0.3 (Similarity.missing_fraction a b);
+  Alcotest.(check bool) "30%% missing differs" false (Similarity.same a b);
+  (* 2 of 10 missing: same phase. *)
+  let c = snap (mk 8) in
+  Alcotest.(check bool) "20%% missing same" true (Similarity.same a c)
+
+let test_asymmetric_missing () =
+  (* b has many extra branches: a's branches all present in b, but
+     most of b's are missing from a. *)
+  let a = snap [ entry 10 100 50; entry 20 100 50 ] in
+  let b = snap (List.init 10 (fun i -> entry (10 * (i + 1)) 100 50)) in
+  Alcotest.(check (float 1e-9)) "a covered" 0.0 (Similarity.missing_fraction a b);
+  Alcotest.(check bool) "different by reverse direction" false (Similarity.same a b)
+
+let test_bias_flip_different () =
+  let a = snap [ entry 10 100 95; entry 20 100 50 ] in
+  let b = snap [ entry 10 100 5; entry 20 100 50 ] in
+  Alcotest.(check int) "one flip" 1 (Similarity.bias_flips a b);
+  Alcotest.(check bool) "flip differs" false (Similarity.same a b);
+  (* Tolerating one flip makes them the same. *)
+  let lax = { Similarity.default with Similarity.max_bias_flips = 1 } in
+  Alcotest.(check bool) "lax same" true (Similarity.same ~config:lax a b)
+
+let test_unbiased_swing_not_flip () =
+  (* Moving between unbiased and biased is not a flip. *)
+  let a = snap [ entry 10 100 95 ] in
+  let b = snap [ entry 10 100 60 ] in
+  Alcotest.(check int) "no flip" 0 (Similarity.bias_flips a b);
+  Alcotest.(check bool) "same" true (Similarity.same a b)
+
+let phase_a id at = snap ~id ~at ~until:(at + 100) [ entry 10 100 90; entry 20 100 10 ]
+let phase_b id at = snap ~id ~at ~until:(at + 100) [ entry 50 100 90; entry 60 100 10 ]
+
+let test_phase_log_grouping () =
+  let log =
+    Phase_log.build
+      [ phase_a 0 0; phase_a 1 100; phase_b 2 200; phase_a 3 300; phase_b 4 400 ]
+  in
+  Alcotest.(check int) "raw" 5 (Phase_log.raw_count log);
+  Alcotest.(check int) "unique" 2 (Phase_log.unique_count log);
+  let phases = Phase_log.phases log in
+  Alcotest.(check int) "phase 0 occurrences" 3
+    (List.length (List.nth phases 0).Phase_log.occurrences);
+  Alcotest.(check int) "phase 1 occurrences" 2
+    (List.length (List.nth phases 1).Phase_log.occurrences)
+
+let test_phase_log_timeline () =
+  let log =
+    Phase_log.build [ phase_a 0 0; phase_a 1 100; phase_b 2 200; phase_a 3 300 ]
+  in
+  let tl = Phase_log.timeline log in
+  (* Adjacent same-phase intervals merge: AABA -> A B A. *)
+  Alcotest.(check (list (triple int int int))) "merged timeline"
+    [ (0, 200, 0); (200, 300, 1); (300, 400, 0) ]
+    tl;
+  Alcotest.(check int) "transitions" 2 (Phase_log.transitions log)
+
+let test_phase_log_extent () =
+  let log = Phase_log.build [ phase_a 0 0; phase_a 1 100 ] in
+  let p = List.hd (Phase_log.phases log) in
+  Alcotest.(check int) "extent sums occurrences" 200 (Phase_log.extent p)
+
+let test_phase_log_empty () =
+  let log = Phase_log.build [] in
+  Alcotest.(check int) "no phases" 0 (Phase_log.unique_count log);
+  Alcotest.(check int) "no transitions" 0 (Phase_log.transitions log)
+
+let test_categorize_single () =
+  Alcotest.(check string) "unique biased" "unique biased"
+    (Categorize.category_name (Categorize.of_branch [ 0.95 ]));
+  Alcotest.(check string) "unique biased low" "unique biased"
+    (Categorize.category_name (Categorize.of_branch [ 0.02 ]));
+  Alcotest.(check string) "unique unbiased" "unique unbiased"
+    (Categorize.category_name (Categorize.of_branch [ 0.5 ]))
+
+let test_categorize_multi () =
+  let name fs = Categorize.category_name (Categorize.of_branch fs) in
+  Alcotest.(check string) "high swing" "multi high" (name [ 0.95; 0.05 ]);
+  Alcotest.(check string) "low swing" "multi low" (name [ 0.95; 0.45 ]);
+  Alcotest.(check string) "same" "multi same" (name [ 0.95; 0.92 ]);
+  Alcotest.(check string) "no bias" "multi no bias" (name [ 0.5; 0.6 ])
+
+let test_classify_across_phases () =
+  (* Branch 10 appears in both phases with flipped bias; branch 20 in
+     one phase only. *)
+  let a = snap ~id:0 [ entry 10 100 95; entry 20 100 90 ] in
+  let b = snap ~id:1 ~at:1000 ~until:2000 [ entry 10 100 5; entry 99 100 50 ] in
+  let log = Phase_log.build [ a; b ] in
+  Alcotest.(check int) "two phases" 2 (Phase_log.unique_count log);
+  let classes = Categorize.classify log in
+  let find pc = List.assoc pc classes in
+  Alcotest.(check string) "10 multi high" "multi high"
+    (Categorize.category_name (find 10));
+  Alcotest.(check string) "20 unique biased" "unique biased"
+    (Categorize.category_name (find 20));
+  Alcotest.(check string) "99 unique unbiased" "unique unbiased"
+    (Categorize.category_name (find 99))
+
+let test_weighted_sums_to_100 () =
+  let a = snap ~id:0 [ entry 10 100 95 ] in
+  let b = snap ~id:1 ~at:1000 ~until:2000 [ entry 10 100 5 ] in
+  let log = Phase_log.build [ a; b ] in
+  let dynamic = Hashtbl.create 4 in
+  Hashtbl.replace dynamic 10 (700, 350);
+  Hashtbl.replace dynamic 42 (300, 10);
+  (* 42 never appeared in a hot spot. *)
+  let ws = Categorize.weighted log ~dynamic in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 ws in
+  Alcotest.(check (float 1e-6)) "sums to 100" 100.0 total;
+  Alcotest.(check (float 1e-6)) "multi high weight" 70.0
+    (List.assoc Categorize.Multi_high ws);
+  Alcotest.(check (float 1e-6)) "uncaptured weight" 30.0
+    (List.assoc Categorize.Uncaptured ws)
+
+(* Property: phase-log grouping never loses snapshots, and every class
+   member matches its representative. *)
+let prop_phase_log_partition =
+  QCheck.Test.make ~name:"phase log partitions recordings" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 20) (int_bound 3))
+    (fun choices ->
+      let mk i choice =
+        snap ~id:i ~at:(i * 100) ~until:((i + 1) * 100)
+          [ entry (1000 * (choice + 1)) 100 90; entry ((1000 * (choice + 1)) + 1) 100 20 ]
+      in
+      let snaps = List.mapi mk choices in
+      let log = Phase_log.build snaps in
+      let total_members =
+        List.fold_left
+          (fun acc p -> acc + List.length p.Phase_log.occurrences)
+          0 (Phase_log.phases log)
+      in
+      total_members = List.length snaps
+      && Phase_log.unique_count log
+         = List.length (List.sort_uniq compare choices))
+
+let () =
+  Alcotest.run "vp_phase"
+    [
+      ( "similarity",
+        [
+          Alcotest.test_case "identical" `Quick test_identical_same;
+          Alcotest.test_case "disjoint" `Quick test_disjoint_different;
+          Alcotest.test_case "missing boundary" `Quick test_missing_fraction_boundary;
+          Alcotest.test_case "asymmetric missing" `Quick test_asymmetric_missing;
+          Alcotest.test_case "bias flip" `Quick test_bias_flip_different;
+          Alcotest.test_case "unbiased swing" `Quick test_unbiased_swing_not_flip;
+        ] );
+      ( "phase_log",
+        [
+          Alcotest.test_case "grouping" `Quick test_phase_log_grouping;
+          Alcotest.test_case "timeline" `Quick test_phase_log_timeline;
+          Alcotest.test_case "extent" `Quick test_phase_log_extent;
+          Alcotest.test_case "empty" `Quick test_phase_log_empty;
+          QCheck_alcotest.to_alcotest prop_phase_log_partition;
+        ] );
+      ( "categorize",
+        [
+          Alcotest.test_case "single" `Quick test_categorize_single;
+          Alcotest.test_case "multi" `Quick test_categorize_multi;
+          Alcotest.test_case "across phases" `Quick test_classify_across_phases;
+          Alcotest.test_case "weighted" `Quick test_weighted_sums_to_100;
+        ] );
+    ]

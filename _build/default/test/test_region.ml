@@ -1,0 +1,270 @@
+(* Tests for vp_region: marking from snapshots, the inference
+   fix-point, heuristic growth, and the identify driver. *)
+
+module Instr = Vp_isa.Instr
+module Op = Vp_isa.Op
+module Program = Vp_prog.Program
+module Image = Vp_prog.Image
+module Cfg = Vp_cfg.Cfg
+module Snapshot = Vp_hsd.Snapshot
+module T = Vp_region.Temperature
+module Region = Vp_region.Region
+module Marking = Vp_region.Marking
+module Inference = Vp_region.Inference
+module Growth = Vp_region.Growth
+module Identify = Vp_region.Identify
+module B = Vp_prog.Builder
+module Progs = Vp_test_support.Progs
+
+let entry pc executed taken = { Snapshot.pc; executed; taken }
+
+let snap branches =
+  { Snapshot.id = 0; detected_at = 0; ended_at = 1000; branches }
+
+(* A loop whose body holds a strongly taken-biased branch: the "then"
+   arm (fall-through) is rare. *)
+let loop_with_rare_arm () =
+  let b = B.create () in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let acc = B.vreg fb in
+      let i = B.vreg fb in
+      let m = B.vreg fb in
+      B.li fb acc 0;
+      B.for_ fb i ~from:(B.K 0) ~below:(B.K 100) (fun () ->
+          B.alu fb Op.Rem m i (B.K 50);
+          B.if_ fb (Op.Eq, m, B.K 0)
+            (fun () -> B.alu fb Op.Add acc acc (B.K 1000))
+            (fun () -> B.alu fb Op.Add acc acc (B.K 1)));
+      B.ret fb (Some acc);
+      B.halt fb);
+  Program.layout (B.program b ~entry:"main")
+
+(* All conditional-branch addresses of a function, ascending. *)
+let branch_addrs cfg =
+  List.init (Cfg.num_blocks cfg) (Cfg.branch_addr cfg) |> List.filter_map Fun.id
+
+let main_cfg img =
+  Cfg.recover img (Option.get (Image.find_sym img "main"))
+
+let arc_to cfg mf b kind =
+  List.find (fun (a : Cfg.arc) -> a.Cfg.kind = kind) (Cfg.succs cfg b)
+  |> fun a -> (a, Region.arc_temp mf a)
+
+let test_marking_sets_block_and_arcs () =
+  let img = loop_with_rare_arm () in
+  let cfg = main_cfg img in
+  let branches = branch_addrs cfg in
+  Alcotest.(check int) "two cond branches" 2 (List.length branches);
+  let if_pc = List.nth branches 1 in
+  (* Strongly taken-biased: 98/100; fall-through weight 2 is cold. *)
+  let region = Region.create img (snap [ entry if_pc 100 98 ]) in
+  Marking.mark region;
+  let mf = Option.get (Region.find_func region "main") in
+  let b = Option.get (Cfg.block_at cfg if_pc) in
+  Alcotest.(check bool) "branch block hot" true (T.is_hot (Region.temp mf b));
+  Alcotest.(check int) "weight" 100 (Region.weight mf b);
+  (match Region.taken_prob mf b with
+  | Some p -> Alcotest.(check (float 1e-9)) "taken prob" 0.98 p
+  | None -> Alcotest.fail "no taken probability");
+  let _, t_taken = arc_to cfg mf b Cfg.Taken in
+  let _, t_ft = arc_to cfg mf b Cfg.Fallthrough in
+  Alcotest.(check string) "taken arc hot" "hot" (T.name t_taken);
+  Alcotest.(check string) "ft arc cold" "cold" (T.name t_ft)
+
+let test_marking_weight_threshold_rule () =
+  (* 80/20 with large counts: the 20% direction still exceeds the
+     execution threshold (16) and is hot. *)
+  let img = loop_with_rare_arm () in
+  let cfg = main_cfg img in
+  let if_pc = List.nth (branch_addrs cfg) 1 in
+  let region = Region.create img (snap [ entry if_pc 400 320 ]) in
+  Marking.mark region;
+  let mf = Option.get (Region.find_func region "main") in
+  let b = Option.get (Cfg.block_at cfg if_pc) in
+  let _, t_ft = arc_to cfg mf b Cfg.Fallthrough in
+  Alcotest.(check string) "20% with weight 80 is hot" "hot" (T.name t_ft)
+
+let test_inference_propagates () =
+  let img = loop_with_rare_arm () in
+  let cfg = main_cfg img in
+  let if_pc = List.nth (branch_addrs cfg) 1 in
+  let head_pc = List.nth (branch_addrs cfg) 0 in
+  let region = Region.create img (snap [ entry if_pc 100 98 ]) in
+  Marking.mark region;
+  let rounds = Inference.run region in
+  Alcotest.(check bool) "some rounds" true (rounds >= 1);
+  let mf = Option.get (Region.find_func region "main") in
+  let if_b = Option.get (Cfg.block_at cfg if_pc) in
+  let then_b =
+    (List.find (fun (a : Cfg.arc) -> a.Cfg.kind = Cfg.Fallthrough) (Cfg.succs cfg if_b)).Cfg.dst
+  in
+  let else_b =
+    (List.find (fun (a : Cfg.arc) -> a.Cfg.kind = Cfg.Taken) (Cfg.succs cfg if_b)).Cfg.dst
+  in
+  Alcotest.(check string) "rare then arm cold" "cold" (T.name (Region.temp mf then_b));
+  Alcotest.(check string) "common else arm hot" "hot" (T.name (Region.temp mf else_b));
+  (* The loop-head branch was missing from the snapshot but is
+     recovered by inference. *)
+  let head_b = Option.get (Cfg.block_at cfg head_pc) in
+  Alcotest.(check string) "loop head inferred hot" "hot" (T.name (Region.temp mf head_b));
+  (* Exit arcs exist: at least the loop exit and the cold then arm. *)
+  Alcotest.(check bool) "has exit arcs" true (Region.exit_arcs mf <> []);
+  Alcotest.(check int) "no conflicts" 0 (Region.conflicts region)
+
+let test_inference_idempotent () =
+  let img = loop_with_rare_arm () in
+  let cfg = main_cfg img in
+  let if_pc = List.nth (branch_addrs cfg) 1 in
+  let region = Region.create img (snap [ entry if_pc 100 98 ]) in
+  Marking.mark region;
+  let _ = Inference.run region in
+  let mf = Option.get (Region.find_func region "main") in
+  let before = List.init (Cfg.num_blocks cfg) (fun b -> T.name (Region.temp mf b)) in
+  let rounds = Inference.run region in
+  Alcotest.(check int) "idempotent single round" 1 rounds;
+  let after = List.init (Cfg.num_blocks cfg) (fun b -> T.name (Region.temp mf b)) in
+  Alcotest.(check (list string)) "unchanged" before after
+
+let test_inference_off_skips_branch_blocks () =
+  let img = loop_with_rare_arm () in
+  let cfg = main_cfg img in
+  let if_pc = List.nth (branch_addrs cfg) 1 in
+  let head_pc = List.nth (branch_addrs cfg) 0 in
+  let region = Region.create img (snap [ entry if_pc 100 98 ]) in
+  Marking.mark region;
+  let _ = Inference.run ~block_inference:false region in
+  let mf = Option.get (Region.find_func region "main") in
+  let head_b = Option.get (Cfg.block_at cfg head_pc) in
+  Alcotest.(check string) "loop head stays unknown without inference" "unknown"
+    (T.name (Region.temp mf head_b))
+
+let test_call_rule_pulls_callee () =
+  (* Snapshot only contains main's loop-head branch; the hot loop body
+     calls phase_a, whose prologue must become hot. *)
+  let img = Program.layout (Progs.two_phase ~iters_per_phase:10 ~repeats:5) in
+  let cfg = main_cfg img in
+  let head_pc = List.hd (branch_addrs cfg) in
+  let region = Region.create img (snap [ entry head_pc 100 2 ]) in
+  Marking.mark region;
+  let _ = Inference.run region in
+  (match Region.find_func region "phase_a" with
+  | Some mf ->
+    Alcotest.(check string) "callee prologue hot" "hot"
+      (T.name (Region.temp mf (Cfg.entry (Region.cfg mf))))
+  | None -> Alcotest.fail "phase_a not pulled into region");
+  match Region.find_func region "phase_b" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "phase_b not pulled into region"
+
+let test_growth_unknown_arc_adoption () =
+  (* Two hot blocks joined by an unknown arc: growth adopts it. *)
+  let img = loop_with_rare_arm () in
+  let cfg = main_cfg img in
+  let if_pc = List.nth (branch_addrs cfg) 1 in
+  let region = Region.create img (snap [ entry if_pc 100 98 ]) in
+  Marking.mark region;
+  let mf = Option.get (Region.find_func region "main") in
+  (* Manually mark the else successor hot without touching the arc. *)
+  let if_b = Option.get (Cfg.block_at cfg if_pc) in
+  let taken_arc =
+    List.find (fun (a : Cfg.arc) -> a.Cfg.kind = Cfg.Taken) (Cfg.succs cfg if_b)
+  in
+  (* Reset-free check: the arc is already hot from marking, so pick
+     the else block's own out-arc instead. *)
+  let else_b = taken_arc.Cfg.dst in
+  let _ = Region.set_temp mf else_b T.Hot in
+  let out = List.hd (Cfg.succs cfg else_b) in
+  let _ = Region.set_temp mf out.Cfg.dst T.Hot in
+  Alcotest.(check string) "arc unknown before" "unknown"
+    (T.name (Region.arc_temp mf out));
+  let _ = Growth.grow region in
+  Alcotest.(check string) "arc adopted" "hot" (T.name (Region.arc_temp mf out))
+
+let test_growth_adds_predecessor () =
+  let img = loop_with_rare_arm () in
+  let cfg = main_cfg img in
+  let if_pc = List.nth (branch_addrs cfg) 1 in
+  let region = Region.create img (snap [ entry if_pc 100 98 ]) in
+  Marking.mark region;
+  let _ = Inference.run region in
+  let mf = Option.get (Region.find_func region "main") in
+  let hot_before = List.length (Region.hot_blocks mf) in
+  let adopted = Growth.grow ~max_blocks:1 region in
+  let hot_after = List.length (Region.hot_blocks mf) in
+  (* The return value also counts arc-only connector adoptions, so it
+     bounds the block delta from above. *)
+  Alcotest.(check bool) "adopted bounds delta" true (adopted >= hot_after - hot_before);
+  Alcotest.(check bool) "blocks grew" true (hot_after >= hot_before)
+
+let test_growth_respects_budget () =
+  let img = loop_with_rare_arm () in
+  let cfg = main_cfg img in
+  let if_pc = List.nth (branch_addrs cfg) 1 in
+  let mk max_blocks =
+    let region = Region.create img (snap [ entry if_pc 100 98 ]) in
+    Marking.mark region;
+    let _ = Inference.run region in
+    Growth.grow ~max_blocks region
+  in
+  Alcotest.(check bool) "bigger budget adopts at least as much" true (mk 5 >= mk 1)
+
+let test_identify_end_to_end () =
+  let img = Program.layout (Progs.two_phase ~iters_per_phase:10 ~repeats:5) in
+  let cfg = main_cfg img in
+  let head_pc = List.hd (branch_addrs cfg) in
+  let region, stats =
+    Identify.identify_with_stats img (snap [ entry head_pc 100 2 ])
+  in
+  Alcotest.(check bool) "several functions" true (stats.Identify.functions >= 3);
+  Alcotest.(check bool) "hot blocks" true (stats.Identify.hot_blocks > 0);
+  Alcotest.(check int) "selected counts agree" stats.Identify.selected_instructions
+    (Region.selected_instructions region);
+  Alcotest.(check bool) "selected nonzero" true (stats.Identify.selected_instructions > 0)
+
+(* Property: marking + inference never produce conflicts on snapshots
+   drawn from real branch addresses, and hot blocks always stay a
+   subset of all blocks. *)
+let prop_inference_no_conflicts =
+  QCheck.Test.make ~name:"inference conflict-free on real snapshots" ~count:30
+    QCheck.(pair (int_range 10 400) (int_range 1 399))
+    (fun (executed, taken_raw) ->
+      let taken = min executed taken_raw in
+      let img = loop_with_rare_arm () in
+      let cfg = main_cfg img in
+      let pcs = branch_addrs cfg in
+      let branches = List.map (fun pc -> entry pc executed taken) pcs in
+      let region = Region.create img (snap branches) in
+      Marking.mark region;
+      let _ = Inference.run region in
+      let _ = Growth.grow region in
+      Region.conflicts region = 0)
+
+let () =
+  Alcotest.run "vp_region"
+    [
+      ( "marking",
+        [
+          Alcotest.test_case "blocks and arcs" `Quick test_marking_sets_block_and_arcs;
+          Alcotest.test_case "weight threshold rule" `Quick
+            test_marking_weight_threshold_rule;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "propagates" `Quick test_inference_propagates;
+          Alcotest.test_case "idempotent" `Quick test_inference_idempotent;
+          Alcotest.test_case "off skips branch blocks" `Quick
+            test_inference_off_skips_branch_blocks;
+          Alcotest.test_case "call rule" `Quick test_call_rule_pulls_callee;
+          QCheck_alcotest.to_alcotest prop_inference_no_conflicts;
+        ] );
+      ( "growth",
+        [
+          Alcotest.test_case "unknown arc adoption" `Quick test_growth_unknown_arc_adoption;
+          Alcotest.test_case "adds predecessor" `Quick test_growth_adds_predecessor;
+          Alcotest.test_case "respects budget" `Quick test_growth_respects_budget;
+        ] );
+      ( "identify",
+        [
+          Alcotest.test_case "end to end" `Quick test_identify_end_to_end;
+        ] );
+    ]

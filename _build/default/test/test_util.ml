@@ -1,0 +1,203 @@
+(* Tests for vp_util: PRNG determinism, saturating counters, stats and
+   table rendering. *)
+
+module Rng = Vp_util.Rng
+module Counter = Vp_util.Counter
+module Stats = Vp_util.Stats
+module Tabular = Vp_util.Tabular
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:42 in
+  let b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create ~seed:1 in
+  let b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 5)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:7 in
+  let _ = Rng.next a in
+  let b = Rng.copy a in
+  Alcotest.(check int) "copy continues identically" (Rng.next a) (Rng.next b)
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs from parent" true (Rng.next a <> Rng.next b)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in [0,10)" true (v >= 0 && v < 10);
+    let w = Rng.int_in r (-5) 5 in
+    Alcotest.(check bool) "in [-5,5]" true (w >= -5 && w <= 5);
+    let f = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_bool_probability () =
+  let r = Rng.create ~seed:11 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bool r 0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p close to 0.3" true (abs_float (f -. 0.3) < 0.02)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:5 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (list int)) "still a permutation" (List.init 50 (fun i -> i))
+    (Array.to_list sorted)
+
+let test_counter_basic () =
+  let c = Counter.create ~bits:9 in
+  Counter.record c ~taken:true;
+  Counter.record c ~taken:false;
+  Counter.record c ~taken:true;
+  Alcotest.(check int) "executed" 3 (Counter.executed c);
+  Alcotest.(check int) "taken" 2 (Counter.taken c);
+  Alcotest.(check (float 0.01)) "fraction" (2.0 /. 3.0) (Counter.taken_fraction c)
+
+let test_counter_saturation_preserves_fraction () =
+  let c = Counter.create ~bits:9 in
+  for i = 1 to 5000 do
+    Counter.record c ~taken:(i mod 4 <> 0)
+  done;
+  Alcotest.(check bool) "executed bounded" true
+    (Counter.executed c <= Counter.max_value c);
+  Alcotest.(check bool) "halvings happened" true (Counter.halvings c > 0);
+  let f = Counter.taken_fraction c in
+  Alcotest.(check bool) "fraction near 0.75" true (abs_float (f -. 0.75) < 0.05)
+
+let test_counter_reset () =
+  let c = Counter.create ~bits:4 in
+  for _ = 1 to 100 do
+    Counter.record c ~taken:true
+  done;
+  Counter.reset c;
+  Alcotest.(check int) "executed zero" 0 (Counter.executed c);
+  Alcotest.(check int) "halvings zero" 0 (Counter.halvings c)
+
+let test_stats_mean_geomean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (Stats.mean []);
+  Alcotest.(check (float 1e-6)) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean empty" 0.0 (Stats.geomean [])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile xs 100.0)
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-9)) "constant" 0.0 (Stats.stddev [ 3.0; 3.0; 3.0 ]);
+  Alcotest.(check (float 1e-6)) "spread" (sqrt (2.0 /. 3.0))
+    (Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_stats_ratio_pct () =
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Stats.ratio 1 2);
+  Alcotest.(check (float 1e-9)) "ratio zero den" 0.0 (Stats.ratio 1 0);
+  Alcotest.(check (float 1e-9)) "pct" 25.0 (Stats.pct 1 4)
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [ 0.5; 1.5; 1.6; 3.5; 9.0; -1.0 ] in
+  Alcotest.(check (list int)) "buckets" [ 2; 2; 0; 2 ] (Array.to_list h)
+
+let test_tabular_render () =
+  let t = Tabular.create ~header:[ ("name", Tabular.Left); ("val", Tabular.Right) ] in
+  Tabular.add_row t [ "alpha"; "1" ];
+  Tabular.add_row t [ "b"; "22" ];
+  Tabular.add_separator t;
+  Tabular.add_row t [ "short" ];
+  let s = Tabular.render t in
+  Alcotest.(check bool) "contains alpha" true (contains s "alpha");
+  let lines = String.split_on_char '\n' s in
+  let widths = List.map String.length lines in
+  List.iter (fun w -> Alcotest.(check int) "uniform width" (List.hd widths) w) widths
+
+let test_tabular_too_many_cells () =
+  let t = Tabular.create ~header:[ ("a", Tabular.Left) ] in
+  Alcotest.check_raises "too many cells" (Invalid_argument "Tabular.add_row: too many cells")
+    (fun () -> Tabular.add_row t [ "x"; "y" ])
+
+let test_tabular_cells () =
+  Alcotest.(check string) "float" "3.1" (Tabular.cell_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.142" (Tabular.cell_float ~decimals:3 3.14159);
+  Alcotest.(check string) "pct" "81.5" (Tabular.cell_pct 81.49)
+
+(* Property tests. *)
+
+let prop_counter_never_exceeds_max =
+  QCheck.Test.make ~name:"counter stays within width" ~count:200
+    QCheck.(pair (int_bound 2000) (int_range 2 12))
+    (fun (n, bits) ->
+      let c = Counter.create ~bits in
+      for i = 1 to n do
+        Counter.record c ~taken:(i mod 3 = 0)
+      done;
+      Counter.executed c <= Counter.max_value c
+      && Counter.taken c <= Counter.executed c)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let p25 = Stats.percentile xs 25.0 in
+      let p75 = Stats.percentile xs 75.0 in
+      p25 <= p75)
+
+let () =
+  Alcotest.run "vp_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "different seeds" `Quick test_rng_different_seeds;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "bool probability" `Quick test_rng_bool_probability;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+        ] );
+      ( "counter",
+        [
+          Alcotest.test_case "basic" `Quick test_counter_basic;
+          Alcotest.test_case "saturation" `Quick test_counter_saturation_preserves_fraction;
+          Alcotest.test_case "reset" `Quick test_counter_reset;
+          QCheck_alcotest.to_alcotest prop_counter_never_exceeds_max;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/geomean" `Quick test_stats_mean_geomean;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "ratio/pct" `Quick test_stats_ratio_pct;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone;
+        ] );
+      ( "tabular",
+        [
+          Alcotest.test_case "render" `Quick test_tabular_render;
+          Alcotest.test_case "too many cells" `Quick test_tabular_too_many_cells;
+          Alcotest.test_case "cells" `Quick test_tabular_cells;
+        ] );
+    ]
