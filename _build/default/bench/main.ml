@@ -5,10 +5,17 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- fig8    # one experiment
      dune exec bench/main.exe -- --quick # A-inputs only, shorter micro runs
+     dune exec bench/main.exe -- --jobs 4 fig8   # 4 domains
 
    Experiments: table1 table2 fig8 table3 fig9 fig10
    baseline-aggregate ablation-bbb ablation-growth ablation-sink
-   ablation-superblock micro. *)
+   ablation-superblock micro.
+
+   The workload x configuration matrix is executed up front by
+   Vacuum.Engine on a domain pool (--jobs N, default = the machine's
+   domain count); tables are then rendered from the engine's caches,
+   so stdout is byte-identical for every --jobs value.  The per-task
+   timing summary goes to stderr. *)
 
 module Registry = Vp_workloads.Registry
 module Program = Vp_prog.Program
@@ -17,6 +24,7 @@ module Tabular = Vp_util.Tabular
 module Stats = Vp_util.Stats
 module Phase_log = Vp_phase.Phase_log
 module Categorize = Vp_phase.Categorize
+module Engine = Vacuum.Engine
 
 (* The four configurations of Figures 8 and 10, in the paper's bar
    order: inference x linking. *)
@@ -29,43 +37,47 @@ let configurations =
   ]
 
 (* ------------------------------------------------------------------ *)
-(* Cached pipeline artefacts: one profile per workload, one rewrite per
-   workload x configuration, shared by all experiments. *)
+(* Pipeline artefacts — one profile per workload, one rewrite per
+   workload x configuration, shared by all experiments — live in the
+   engine's caches, populated in parallel before the tables render. *)
 
-let images : (string, Vp_prog.Image.t) Hashtbl.t = Hashtbl.create 32
-let profiles : (string, Vacuum.Driver.profile) Hashtbl.t = Hashtbl.create 32
-let rewrites : (string * string, Vacuum.Driver.rewrite) Hashtbl.t = Hashtbl.create 64
-let coverages : (string * string, Vacuum.Coverage.t) Hashtbl.t = Hashtbl.create 64
+let engine = ref (Engine.create ~jobs:1 ())
 
-let memo table key compute =
-  match Hashtbl.find_opt table key with
-  | Some v -> v
-  | None ->
-    let v = compute () in
-    Hashtbl.replace table key v;
-    v
-
-let image_of w =
-  memo images (Registry.name w) (fun () -> Program.layout (w.Registry.program ()))
-
-let profile_of w =
-  memo profiles (Registry.name w) (fun () -> Vacuum.Driver.profile (image_of w))
+let spec_of w =
+  {
+    Engine.name = Registry.name w;
+    load = (fun () -> Program.layout (w.Registry.program ()));
+  }
 
 let config_of ~inference ~linking = Vacuum.Config.experiment ~inference ~linking
 
+let cell_of ~inference ~linking =
+  {
+    Engine.key = Printf.sprintf "%b%b" inference linking;
+    config = config_of ~inference ~linking;
+  }
+
+let image_of w = Engine.image !engine (spec_of w)
+
+(* A truncated profiling run would silently undercount coverage and
+   speedup; fail loudly instead (the driver has already logged it). *)
+let fail_truncated name =
+  Printf.eprintf
+    "bench: profile of %s exhausted its fuel before halting; results would \
+     reflect a partial run (raise Config.fuel)\n"
+    name;
+  exit 2
+
+let profile_of w =
+  let p = Engine.profile !engine (spec_of w) in
+  if p.Vacuum.Driver.truncated then fail_truncated (Registry.name w);
+  p
+
 let rewrite_of w ~inference ~linking =
-  let key = (Registry.name w, Printf.sprintf "%b%b" inference linking) in
-  memo rewrites key (fun () ->
-      Vacuum.Driver.rewrite_of_profile
-        ~config:(config_of ~inference ~linking)
-        (profile_of w))
+  Engine.rewrite !engine (spec_of w) (cell_of ~inference ~linking)
 
 let coverage_of w ~inference ~linking =
-  let key = (Registry.name w, Printf.sprintf "%b%b" inference linking) in
-  memo coverages key (fun () ->
-      Vacuum.Coverage.measure
-        ~config:(config_of ~inference ~linking)
-        (rewrite_of w ~inference ~linking))
+  Engine.coverage !engine (spec_of w) (cell_of ~inference ~linking)
 
 (* ------------------------------------------------------------------ *)
 
@@ -222,15 +234,13 @@ let fig10 workloads =
     (fun w ->
       let config = config_of ~inference:true ~linking:true in
       let baseline =
-        Vp_cpu.Pipeline.simulate ~config:config.Vacuum.Config.cpu (image_of w)
+        Engine.baseline !engine (spec_of w) ~cpu:config.Vacuum.Config.cpu
       in
       let cells =
         List.mapi
           (fun i (inference, linking, _) ->
-            let r = rewrite_of w ~inference ~linking in
             let optimized =
-              Vp_cpu.Pipeline.simulate ~config:config.Vacuum.Config.cpu
-                (Vacuum.Driver.rewritten_image r)
+              Engine.optimized !engine (spec_of w) (cell_of ~inference ~linking)
             in
             let s = Vp_cpu.Pipeline.speedup ~baseline ~optimized in
             per_config.(i) <- s :: per_config.(i);
@@ -277,6 +287,8 @@ let ablation_bbb workloads =
         Vacuum.Config.with_detector small_bbb Vacuum.Config.default
       in
       let profile = Vacuum.Driver.profile ~config:base_config (image_of w) in
+      if profile.Vacuum.Driver.truncated then
+        fail_truncated (Registry.name w ^ " [small-bbb]");
       let coverage inference =
         let config =
           Vacuum.Config.with_detector small_bbb
@@ -378,11 +390,10 @@ let baseline_aggregate workloads =
       let profile = profile_of w in
       let config = config_of ~inference:true ~linking:true in
       let agg = Vacuum.Aggregate.rewrite ~config profile in
-      let phase = rewrite_of w ~inference:true ~linking:true in
       let agg_cov = Vacuum.Coverage.measure ~config agg in
       let phase_cov = coverage_of w ~inference:true ~linking:true in
       let baseline =
-        Vp_cpu.Pipeline.simulate ~config:config.Vacuum.Config.cpu (image_of w)
+        Engine.baseline !engine (spec_of w) ~cpu:config.Vacuum.Config.cpu
       in
       let time r =
         Vp_cpu.Pipeline.speedup ~baseline
@@ -391,7 +402,12 @@ let baseline_aggregate workloads =
                (Vacuum.Driver.rewritten_image r))
       in
       let agg_speed = time agg in
-      let phase_speed = time phase in
+      let phase_speed =
+        Vp_cpu.Pipeline.speedup ~baseline
+          ~optimized:
+            (Engine.optimized !engine (spec_of w)
+               (cell_of ~inference:true ~linking:true))
+      in
       agg_speeds := agg_speed :: !agg_speeds;
       phase_speeds := phase_speed :: !phase_speeds;
       Tabular.add_row t
@@ -436,7 +452,7 @@ let ablation_superblock workloads =
       let paper_cfg = config_of ~inference:true ~linking:true in
       let sb_cfg = { paper_cfg with Vacuum.Config.opt = Vp_opt.Opt.default } in
       let baseline =
-        Vp_cpu.Pipeline.simulate ~config:paper_cfg.Vacuum.Config.cpu (image_of w)
+        Engine.baseline !engine (spec_of w) ~cpu:paper_cfg.Vacuum.Config.cpu
       in
       let time config =
         let r = Vacuum.Driver.rewrite_of_profile ~config profile in
@@ -499,7 +515,7 @@ let ablation_sink workloads =
         r_plain.Vacuum.Driver.packages;
       let r_sink = Vacuum.Driver.rewrite_of_profile ~config:sink_cfg profile in
       let baseline =
-        Vp_cpu.Pipeline.simulate ~config:base.Vacuum.Config.cpu (image_of w)
+        Engine.baseline !engine (spec_of w) ~cpu:base.Vacuum.Config.cpu
       in
       let time r =
         Vp_cpu.Pipeline.speedup ~baseline
@@ -606,8 +622,40 @@ let micro ~quick =
 
 (* ------------------------------------------------------------------ *)
 
+(* What each experiment needs pre-computed by the engine: the matrix
+   rewrites/coverages, and the timing simulations. *)
+let needs = function
+  | "fig8" | "table3" | "ablation-sink" -> (true, false)
+  | "fig10" | "baseline-aggregate" | "ablation-superblock" -> (true, true)
+  | _ -> (false, false)
+
+let jobs_value n =
+  match int_of_string_opt n with
+  | Some j -> Some j
+  | None ->
+    Printf.eprintf "bench: --jobs expects an integer, got %S\n" n;
+    exit 2
+
+let parse_jobs args =
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | [ "--jobs" ] ->
+      Printf.eprintf "bench: --jobs expects an integer\n";
+      exit 2
+    | "--jobs" :: n :: rest -> (jobs_value n, List.rev_append acc rest)
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      ( jobs_value (String.sub arg 7 (String.length arg - 7)),
+        List.rev_append acc rest )
+    | arg :: rest -> go (arg :: acc) rest
+  in
+  go [] args
+
 let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
   let args = List.tl (Array.to_list Sys.argv) in
+  let jobs_opt, args = parse_jobs args in
+  let jobs = Option.value ~default:(Vp_util.Pool.default_jobs ()) jobs_opt in
   let quick = List.mem "--quick" args in
   let selected = List.filter (fun a -> a <> "--quick") args in
   let workloads =
@@ -638,6 +686,35 @@ let () =
       "ablation-superblock"; "micro";
     ]
   in
-  match selected with
-  | [] -> List.iter run all
-  | picks -> List.iter run picks
+  let picks = match selected with [] -> all | picks -> picks in
+  (* Reject unknown experiments before the engine does minutes of
+     profiling work. *)
+  List.iter
+    (fun pick ->
+      if not (List.mem pick all) then begin
+        Printf.eprintf "unknown experiment %s\n" pick;
+        exit 1
+      end)
+    picks;
+  (* Populate the engine caches in parallel before any table renders;
+     the DAG covers the union of what the picked experiments read. *)
+  engine := Engine.create ~jobs ();
+  let rewrites, timing =
+    List.fold_left
+      (fun (r, t) pick ->
+        let r', t' = needs pick in
+        (r || r', t || t'))
+      (false, false) picks
+  in
+  Engine.run ~rewrites ~timing !engine
+    ~specs:(List.map spec_of workloads)
+    ~cells:
+      (List.map
+         (fun (inference, linking, _) -> cell_of ~inference ~linking)
+         configurations)
+    ();
+  (match Engine.truncated_profiles !engine with
+  | [] -> ()
+  | name :: _ -> fail_truncated name);
+  List.iter run picks;
+  Format.eprintf "@.%a" Engine.pp_summary !engine

@@ -36,6 +36,15 @@ let no_linking =
 let timing =
   Arg.(value & flag & info [ "timing" ] ~doc:"Run the cycle-level timing model.")
 
+let jobs_arg =
+  let doc =
+    "Evaluate up to $(docv) workloads in parallel on separate domains \
+     (default: the machine's recommended domain count)."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs n = if n <= 0 then Vp_util.Pool.default_jobs () else n
+
 let config_of ~inference ~linking =
   Vacuum.Config.experiment ~inference ~linking
 
@@ -151,18 +160,33 @@ let extract_cmd =
 (* --- report --- *)
 
 let report_cmd =
-  let run spec no_inf no_link timing =
-    let w = find_workload spec in
-    let img = Program.layout (w.Registry.program ()) in
-    let config = config_of ~inference:(not no_inf) ~linking:(not no_link) in
-    let report =
-      Vacuum.Report.evaluate ~config ~timing ~name:(Registry.name w) img
+  let workloads_arg =
+    let doc =
+      "Workload as BENCH or BENCH/INPUT (repeatable; see `vpack list`)."
     in
-    Format.printf "%a@." Vacuum.Report.pp report
+    Arg.(
+      non_empty & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  in
+  let run specs no_inf no_link timing jobs =
+    let ws = List.map find_workload specs in
+    let config = config_of ~inference:(not no_inf) ~linking:(not no_link) in
+    (* Each evaluation is an isolated profile/rewrite/simulate chain;
+       run them on a domain pool and print in request order. *)
+    let reports =
+      Vp_util.Pool.map ~jobs:(resolve_jobs jobs)
+        (fun w ->
+          let img = Program.layout (w.Registry.program ()) in
+          Vacuum.Report.evaluate ~config ~timing ~name:(Registry.name w) img)
+        ws
+    in
+    List.iter (fun report -> Format.printf "%a@." Vacuum.Report.pp report) reports
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Full evaluation of one workload (coverage, expansion, optional timing).")
-    Term.(const run $ workload_arg $ no_inference $ no_linking $ timing)
+    (Cmd.info "report"
+       ~doc:
+         "Full evaluation of one or more workloads (coverage, expansion, \
+          optional timing), in parallel under --jobs.")
+    Term.(const run $ workloads_arg $ no_inference $ no_linking $ timing $ jobs_arg)
 
 (* --- asm / disasm --- *)
 
@@ -269,6 +293,8 @@ let machine_cmd =
     Term.(const run $ const ())
 
 let () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
   let doc = "Vacuum Packing: phase-based post-link optimization" in
   let info = Cmd.info "vpack" ~version:"1.0.0" ~doc in
   exit

@@ -1,1 +1,1 @@
-lib/core/coverage.ml: Config Driver Vp_exec Vp_util
+lib/core/coverage.ml: Config Driver Logs Vp_exec Vp_util

@@ -1,1 +1,1 @@
-lib/core/driver.ml: Config Hashtbl List Option Printf Vp_exec Vp_hsd Vp_opt Vp_package Vp_phase Vp_prog Vp_region
+lib/core/driver.ml: Config Hashtbl List Logs Option Printf Vp_exec Vp_hsd Vp_opt Vp_package Vp_phase Vp_prog Vp_region

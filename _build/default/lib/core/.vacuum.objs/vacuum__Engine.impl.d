@@ -1,0 +1,1 @@
+lib/core/engine.ml: Config Coverage Driver Format Fun Hashtbl List Mutex Printf Stdlib String Unix Vp_cpu Vp_exec Vp_prog Vp_util

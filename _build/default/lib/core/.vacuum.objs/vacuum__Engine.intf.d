@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Coverage Driver Format Vp_cpu Vp_prog

@@ -11,6 +11,12 @@ let measure ?(config = Config.default) (r : Driver.rewrite) =
     Emulator.run ~fuel:config.Config.fuel ~mem_words:config.Config.mem_words
       (Driver.rewritten_image r)
   in
+  if not outcome.Emulator.halted then
+    Logs.warn (fun m ->
+        m
+          "coverage run truncated: fuel (%d) exhausted after %d instructions \
+           on the rewritten binary"
+          config.Config.fuel outcome.Emulator.instructions);
   let original = r.Driver.source.Driver.outcome in
   {
     coverage_pct =

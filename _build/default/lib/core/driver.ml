@@ -5,6 +5,10 @@ module Identify = Vp_region.Identify
 module Build = Vp_package.Build
 module Emit = Vp_package.Emit
 
+let src = Logs.Src.create "vacuum.driver" ~doc:"Vacuum pipeline driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
 type profile = {
   image : Vp_prog.Image.t;
   outcome : Emulator.outcome;
@@ -12,6 +16,7 @@ type profile = {
   log : Phase_log.t;
   aggregate : (int, int * int) Hashtbl.t;
   detections : int;
+  truncated : bool;
 }
 
 type region_info = {
@@ -46,6 +51,13 @@ let profile ?(config = Config.default) image =
       ~on_branch image
   in
   let snapshots = Detector.snapshots detector in
+  let truncated = not outcome.Emulator.halted in
+  if truncated then
+    Log.warn (fun m ->
+        m
+          "profile truncated: fuel (%d) exhausted after %d instructions; \
+           coverage and speedup would reflect a partial run"
+          config.Config.fuel outcome.Emulator.instructions);
   {
     image;
     outcome;
@@ -53,6 +65,7 @@ let profile ?(config = Config.default) image =
     log = Phase_log.build ~similarity:config.Config.similarity snapshots;
     aggregate;
     detections = Detector.detections detector;
+    truncated;
   }
 
 let rewrite_of_profile ?(config = Config.default) source =

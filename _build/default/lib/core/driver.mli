@@ -16,6 +16,10 @@ type profile = {
   aggregate : (int, int * int) Hashtbl.t;
       (** per-branch whole-run (executed, taken) *)
   detections : int;  (** raw hardware detections *)
+  truncated : bool;
+      (** the profiling run exhausted its fuel before halting; any
+          metric derived from this profile reflects a partial run.  A
+          [Logs] warning is emitted when this is set. *)
 }
 
 type region_info = {

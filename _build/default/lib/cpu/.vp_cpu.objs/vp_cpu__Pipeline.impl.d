@@ -1,1 +1,1 @@
-lib/cpu/pipeline.ml: Array Cache Config Format Hashtbl List Option Predictor Vp_exec Vp_isa
+lib/cpu/pipeline.ml: Array Cache Config Format Hashtbl List Option Predictor Printf Vp_exec Vp_isa

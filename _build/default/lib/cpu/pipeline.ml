@@ -107,8 +107,16 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
     List.iter
       (fun r -> reg_ready.(Reg.to_int r) <- !cycle + latency)
       (Instr.defs e.Emulator.instr);
-    (* Control flow: fetch redirects and mispredictions. *)
+    (* Control flow: fetch redirects and mispredictions.  Every
+       conditional branch must consult the predictor and fire
+       [on_branch_progress]: the emulator and the HSD count every
+       [Br], so skipping any here would silently shift phase
+       attribution in {!simulate_phases}. *)
     (match e.Emulator.instr with
+    | Instr.Br { target = Instr.Label l; _ } ->
+      invalid_arg
+        (Printf.sprintf "Pipeline: unresolved label %s in branch at 0x%x" l
+           e.Emulator.pc)
     | Instr.Br { target = Instr.Addr target; _ } ->
       let correct = Predictor.predict_branch pred ~pc:e.Emulator.pc ~taken:e.Emulator.taken in
       if not correct then
@@ -121,7 +129,6 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
       (match on_branch_progress with
       | Some f -> f ~cycles:!cycle ~instructions:!instructions
       | None -> ())
-    | Instr.Br _ -> ()
     | Instr.Jmp _ -> fetch_ready := max !fetch_ready (!cycle + 1)
     | Instr.Call _ ->
       Predictor.call_push pred ~return_addr:(e.Emulator.pc + 1);

@@ -10,6 +10,7 @@ type t = {
   mutable since_refresh : int;
   mutable since_clear : int;
   mutable recorded_rev : raw list;
+  mutable recorded_count : int;  (* List.length recorded_rev, kept O(1) *)
   mutable raw_detections : int;
 }
 
@@ -28,6 +29,7 @@ let create ?(config = Config.default) ?(history_size = 0) ?(same = fun _ _ -> fa
     since_refresh = 0;
     since_clear = 0;
     recorded_rev = [];
+    recorded_count = 0;
     raw_detections = 0;
   }
 
@@ -73,10 +75,12 @@ let on_branch t ~pc ~taken =
   if t.hdc = 0 then begin
     t.raw_detections <- t.raw_detections + 1;
     let entries = Bbb.snapshot_entries t.bbb in
-    if entries <> [] && not (in_history t entries) then
+    if entries <> [] && not (in_history t entries) then begin
       t.recorded_rev <-
-        { id = List.length t.recorded_rev; detected_at = t.branches; entries }
+        { id = t.recorded_count; detected_at = t.branches; entries }
         :: t.recorded_rev;
+      t.recorded_count <- t.recorded_count + 1
+    end;
     rearm t
   end
   else begin
@@ -104,4 +108,4 @@ let snapshots t =
 let branches_seen t = t.branches
 let hdc_value t = t.hdc
 let detections t = t.raw_detections
-let recordings t = List.length t.recorded_rev
+let recordings t = t.recorded_count

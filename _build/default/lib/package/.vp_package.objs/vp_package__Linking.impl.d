@@ -1,1 +1,1 @@
-lib/package/linking.ml: Array List Pkg
+lib/package/linking.ml: Array Hashtbl List Logs Pkg

@@ -47,17 +47,18 @@ let linearize (p : Pkg.t) =
 
 (* Like [linearize], but also returns each block label's offset. *)
 let linearize_with_offsets p =
-  let offsets = ref [] in
-  let rec go pos = function
-    | [] -> []
+  let rec go pos chunks offsets = function
+    | [] -> (List.concat (List.rev chunks), List.rev offsets)
     | b :: rest ->
       let next = match rest with nxt :: _ -> Some nxt.Pkg.label | [] -> None in
       let instrs = block_instrs b ~next in
-      offsets := (b.Pkg.label, pos) :: !offsets;
-      instrs @ go (pos + List.length instrs) rest
+      go
+        (pos + List.length instrs)
+        (instrs :: chunks)
+        ((b.Pkg.label, pos) :: offsets)
+        rest
   in
-  let instrs = go 0 p.Pkg.blocks in
-  (instrs, List.rev !offsets)
+  go 0 [] [] p.Pkg.blocks
 
 let emit ?(linking = true) ?(transform = fun ~protected:_ p -> p) image pkgs =
   let groups = Linking.group_packages ~linking pkgs in
@@ -77,12 +78,14 @@ let emit ?(linking = true) ?(transform = fun ~protected:_ p -> p) image pkgs =
         transform ~protected p)
       linked
   in
-  (* First pass: linearise everything and assign global addresses. *)
+  (* First pass: linearise everything and assign global addresses,
+     accumulating sections in reverse (appending per package is
+     quadratic). *)
   let base = Image.size image in
   let table = Hashtbl.create 256 in
   let sections =
     List.fold_left
-      (fun (sections, pos) p ->
+      (fun (sections_rev, pos) p ->
         let instrs, offsets = linearize_with_offsets p in
         List.iter
           (fun (label, off) ->
@@ -90,23 +93,26 @@ let emit ?(linking = true) ?(transform = fun ~protected:_ p -> p) image pkgs =
               invalid_arg (Printf.sprintf "Emit: duplicate label %s" label);
             Hashtbl.replace table label (pos + off))
           offsets;
-        (sections @ [ (p, instrs) ], pos + List.length instrs))
+        ((p, instrs) :: sections_rev, pos + List.length instrs))
       ([], base) final
-    |> fst
+    |> fst |> List.rev
   in
   let lookup label =
     match Hashtbl.find_opt table label with
     | Some a -> a
     | None -> invalid_arg (Printf.sprintf "Emit: undefined label %s" label)
   in
-  (* Second pass: resolve and append per-package symbols. *)
-  let image', total =
-    List.fold_left
-      (fun (img, total) ((p : Pkg.t), instrs) ->
-        let code = Array.of_list (List.map (Instr.resolve lookup) instrs) in
-        let img', _ = Image.append img ~name:p.Pkg.id code in
-        (img', total + Array.length code))
-      (image, 0) sections
+  (* Second pass: resolve everything, then append all per-package
+     symbols in one batch. *)
+  let resolved =
+    List.map
+      (fun ((p : Pkg.t), instrs) ->
+        (p.Pkg.id, Array.of_list (List.map (Instr.resolve lookup) instrs)))
+      sections
+  in
+  let image', _starts = Image.append_many image resolved in
+  let total =
+    List.fold_left (fun acc (_, code) -> acc + Array.length code) 0 resolved
   in
   (* Launch points: left-most package of each group claims each entry
      address first. *)

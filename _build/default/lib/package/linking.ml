@@ -26,87 +26,181 @@ let rank_of_ratios = function
 
 (* A site with a cold direction links to the first package rightward
    (wrapping, excluding the source) holding a copy of the cold target
-   under the identical inline context. *)
-let links_for_ordering ordered =
-  let n = List.length ordered in
-  let arr = Array.of_list ordered in
-  let links = ref [] in
-  Array.iteri
-    (fun i p ->
-      List.iter
+   under the identical inline context.
+
+   The ordering search re-ranks the same package set under many
+   candidate orders, so the [Pkg.copy_label] scans — the expensive,
+   order-independent part — are memoised once per group: for each
+   linkable site, [copies] records each package's copy label (indexed
+   by the package's position in the base array). *)
+type site_memo = {
+  site : Pkg.site;
+  copies : string option array;  (* by base index; [None] at the owner *)
+}
+
+(* Per base package index, its linkable sites in declaration order. *)
+let memoize_sites arr =
+  let n = Array.length arr in
+  Array.mapi
+    (fun i (p : Pkg.t) ->
+      List.filter_map
         (fun (site : Pkg.site) ->
           match (site.Pkg.cold_exit, site.Pkg.cold_target, site.Pkg.bias) with
           | Some _, Some target, (Pkg.T | Pkg.F) ->
-            let rec scan k =
-              if k >= n - 1 then ()
-              else
-                let q = arr.((i + 1 + k) mod n) in
-                (match Pkg.copy_label q site.Pkg.site_context target with
-                | Some to_label ->
-                  links :=
-                    {
-                      from_pkg = p.Pkg.id;
-                      site;
-                      to_pkg = q.Pkg.id;
-                      to_label;
-                    }
-                    :: !links
-                | None -> scan (k + 1))
+            let copies =
+              Array.init n (fun j ->
+                  if j = i then None
+                  else Pkg.copy_label arr.(j) site.Pkg.site_context target)
             in
-            scan 0
-          | _ -> ())
+            Some { site; copies }
+          | _ -> None)
         p.Pkg.sites)
-    arr;
+    arr
+
+(* Resolve links for one candidate order ([perm] maps position to base
+   index), walking packages in candidate order so the link list is
+   identical to a direct scan of the reordered list. *)
+let links_for_permutation arr site_memos perm =
+  let n = Array.length perm in
+  let links = ref [] in
+  Array.iteri
+    (fun posn i ->
+      List.iter
+        (fun m ->
+          let rec scan k =
+            if k >= n - 1 then ()
+            else
+              let j = perm.((posn + 1 + k) mod n) in
+              match m.copies.(j) with
+              | Some to_label ->
+                links :=
+                  {
+                    from_pkg = arr.(i).Pkg.id;
+                    site = m.site;
+                    to_pkg = arr.(j).Pkg.id;
+                    to_label;
+                  }
+                  :: !links
+              | None -> scan (k + 1)
+          in
+          scan 0)
+        site_memos.(i))
+    perm;
   List.rev !links
 
-let rank_of_ordering ordered =
-  let links = links_for_ordering ordered in
-  let incoming p =
-    List.length (List.filter (fun l -> l.to_pkg = p.Pkg.id) links)
+let rank_of_links arr branch_counts perm links =
+  let n = Array.length arr in
+  let incoming = Array.make n 0 in
+  let index_of_id =
+    let tbl = Hashtbl.create n in
+    Array.iteri (fun i (p : Pkg.t) -> Hashtbl.replace tbl p.Pkg.id i) arr;
+    fun id -> Hashtbl.find tbl id
   in
+  List.iter
+    (fun l -> let j = index_of_id l.to_pkg in incoming.(j) <- incoming.(j) + 1)
+    links;
   let ratios =
-    List.map
-      (fun p ->
-        let branches = Pkg.branch_count p in
-        if branches = 0 then 0.0
-        else float_of_int (incoming p) /. float_of_int branches)
-      ordered
+    Array.to_list
+      (Array.map
+         (fun i ->
+           if branch_counts.(i) = 0 then 0.0
+           else float_of_int incoming.(i) /. float_of_int branch_counts.(i))
+         perm)
   in
-  (rank_of_ratios ratios, links)
+  rank_of_ratios ratios
 
+let identity_perm n = Array.init n (fun i -> i)
+
+let links_for_ordering ordered =
+  let arr = Array.of_list ordered in
+  links_for_permutation arr (memoize_sites arr) (identity_perm (Array.length arr))
+
+(* Index permutations, leftmost element varying slowest; the head is
+   the identity, which makes the fold below keep input order on ties. *)
 let rec permutations = function
   | [] -> [ [] ]
   | l ->
     List.concat_map
       (fun x ->
-        let rest = List.filter (fun y -> y != x) l in
+        let rest = List.filter (fun y -> y <> x) l in
         List.map (fun p -> x :: p) (permutations rest))
       l
 
+(* Beyond the exhaustive-search cap, build the order greedily: at each
+   position try every remaining package (rest kept in input order) and
+   keep the one whose completed ordering ranks highest. *)
+let greedy_perm eval n =
+  let chosen_rev = ref [] in
+  let remaining = ref (List.init n (fun i -> i)) in
+  for _ = 1 to n do
+    let best =
+      List.fold_left
+        (fun best cand ->
+          let perm =
+            Array.of_list
+              (List.rev_append !chosen_rev
+                 (cand :: List.filter (fun j -> j <> cand) !remaining))
+          in
+          let rank, _ = eval perm in
+          match best with
+          | Some (best_rank, _) when best_rank >= rank -> best
+          | _ -> Some (rank, cand))
+        None !remaining
+    in
+    let cand = match best with Some (_, c) -> c | None -> assert false in
+    chosen_rev := cand :: !chosen_rev;
+    remaining := List.filter (fun j -> j <> cand) !remaining
+  done;
+  Array.of_list (List.rev !chosen_rev)
+
+let max_exhaustive = 6
+
 let best_ordering pkgs =
+  let arr = Array.of_list pkgs in
+  let n = Array.length arr in
+  let site_memos = memoize_sites arr in
+  let branch_counts = Array.map Pkg.branch_count arr in
+  let eval perm =
+    let links = links_for_permutation arr site_memos perm in
+    (rank_of_links arr branch_counts perm links, links)
+  in
   let candidates =
-    if List.length pkgs <= 6 then permutations pkgs else [ pkgs ]
+    if n <= max_exhaustive then
+      List.map Array.of_list (permutations (List.init n (fun i -> i)))
+    else begin
+      Logs.warn (fun m ->
+          m
+            "Linking: %d packages share root %s; permutation search is capped \
+             at %d, falling back to greedy rank-based ordering"
+            n arr.(0).Pkg.root max_exhaustive);
+      [ identity_perm n; greedy_perm eval n ]
+    end
   in
   let scored =
     List.map
-      (fun ordering ->
-        let rank, links = rank_of_ordering ordering in
-        (rank, ordering, links))
+      (fun perm ->
+        let rank, links = eval perm in
+        (rank, perm, links))
       candidates
   in
-  List.fold_left
-    (fun (best_rank, best_ord, best_links) (rank, ord, links) ->
-      if rank > best_rank then (rank, ord, links) else (best_rank, best_ord, best_links))
-    (match scored with
-    | first :: _ -> first
-    | [] -> (0.0, pkgs, []))
-    scored
+  let best_rank, best_perm, best_links =
+    List.fold_left
+      (fun (best_rank, best_perm, best_links) (rank, perm, links) ->
+        if rank > best_rank then (rank, perm, links)
+        else (best_rank, best_perm, best_links))
+      (match scored with
+      | first :: _ -> first
+      | [] -> (0.0, identity_perm n, []))
+      scored
+  in
+  (best_rank, Array.to_list (Array.map (fun i -> arr.(i)) best_perm), best_links)
 
 let group_packages ?(linking = true) pkgs =
   let roots =
-    List.fold_left
-      (fun acc p -> if List.mem p.Pkg.root acc then acc else acc @ [ p.Pkg.root ])
-      [] pkgs
+    List.rev
+      (List.fold_left
+         (fun acc p -> if List.mem p.Pkg.root acc then acc else p.Pkg.root :: acc)
+         [] pkgs)
   in
   List.map
     (fun root ->

@@ -34,21 +34,39 @@ let resolved i =
   | Some (Instr.Label _) -> false
   | Some (Instr.Addr _) | None -> true
 
-let append t ~name code =
-  Array.iter
-    (fun i ->
-      if not (resolved i) then
-        invalid_arg "Image.append: unresolved label in appended code")
-    code;
-  let start = size t in
+let append_many t sections =
+  List.iter
+    (fun (_, code) ->
+      Array.iter
+        (fun i ->
+          if not (resolved i) then
+            invalid_arg "Image.append: unresolved label in appended code")
+        code)
+    sections;
+  (* One concatenation and one symbol-list extension for the whole
+     batch: appending n sections one by one is quadratic in both the
+     code array and the symbol list. *)
+  let starts_rev, syms_rev, _ =
+    List.fold_left
+      (fun (starts, syms, pos) (name, code) ->
+        ( pos :: starts,
+          { name; start = pos; len = Array.length code } :: syms,
+          pos + Array.length code ))
+      ([], [], size t) sections
+  in
   let image =
     {
       t with
-      code = Array.append t.code code;
-      syms = t.syms @ [ { name; start; len = Array.length code } ];
+      code = Array.concat (t.code :: List.map snd sections);
+      syms = t.syms @ List.rev syms_rev;
     }
   in
-  (image, start)
+  (image, List.rev starts_rev)
+
+let append t ~name code =
+  match append_many t [ (name, code) ] with
+  | image, [ start ] -> (image, start)
+  | _ -> assert false
 
 let patch t patches =
   let code = Array.copy t.code in

@@ -43,6 +43,12 @@ val append : t -> name:string -> Vp_isa.Instr.t array -> t * int
     section's start address.  The code must contain only resolved
     ([Addr]) targets. *)
 
+val append_many : t -> (string * Vp_isa.Instr.t array) list -> t * int list
+(** Append a batch of named sections in order, with a single code
+    concatenation and symbol-table extension; returns the image and
+    each section's start address.  Appending one by one with {!append}
+    is quadratic in the batch size. *)
+
 val patch : t -> (int * Vp_isa.Instr.t) list -> t
 (** Replace the instructions at the given addresses. *)
 

@@ -1,0 +1,131 @@
+(* A hand-rolled domain pool on Domain/Mutex/Condition (OCaml 5).
+
+   Two modes share one interface:
+
+   - [jobs <= 1]: no domains are spawned; [submit] runs the task
+     immediately on the calling domain, so a DAG drains depth-first in
+     submission order.  This is the reference sequential schedule.
+   - [jobs > 1]: [jobs] worker domains pull tasks from a FIFO queue.
+     Tasks may [submit] further tasks (DAG continuations); [wait]
+     blocks until the transitive closure has drained.
+
+   Determinism is the caller's contract: tasks must write to disjoint
+   slots and be pure up to their own isolated state, so the gather
+   (e.g. [map], which stores by index) is schedule-independent. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  drained : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable pending : int;  (* queued + running *)
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopped do
+      Condition.wait t.work_available t.mutex
+    done;
+    if Queue.is_empty t.queue then (* stopped and drained *)
+      Mutex.unlock t.mutex
+    else begin
+      let task = Queue.pop t.queue in
+      Mutex.unlock t.mutex;
+      task ();
+      Mutex.lock t.mutex;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.drained;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(jobs = default_jobs ()) () =
+  let t =
+    {
+      jobs = Stdlib.max 1 jobs;
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      drained = Condition.create ();
+      queue = Queue.create ();
+      pending = 0;
+      stopped = false;
+      domains = [];
+    }
+  in
+  if t.jobs > 1 then
+    t.domains <- List.init t.jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let jobs t = t.jobs
+
+let submit t task =
+  (* A task must capture its own errors into a result slot; anything
+     that escapes is swallowed here so one task can neither kill a
+     worker domain nor wedge [wait]. *)
+  let guarded () = try task () with _ -> () in
+  if t.jobs <= 1 then guarded ()
+  else begin
+    Mutex.lock t.mutex;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    t.pending <- t.pending + 1;
+    Queue.push guarded t.queue;
+    Condition.signal t.work_available;
+    Mutex.unlock t.mutex
+  end
+
+let wait t =
+  if t.jobs > 1 then begin
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.drained t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end
+
+let shutdown t =
+  if t.jobs > 1 then begin
+    Mutex.lock t.mutex;
+    t.stopped <- true;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let run ~jobs tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let results : _ option array = Array.make n None in
+  let errors : exn option array = Array.make n None in
+  let pool = create ~jobs () in
+  Array.iteri
+    (fun i task ->
+      submit pool (fun () ->
+          match task () with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e))
+    tasks;
+  wait pool;
+  shutdown pool;
+  (* Deterministic gather: results in submission order; the earliest
+     failed slot's exception is re-raised regardless of schedule. *)
+  Array.iter (function Some e -> raise e | None -> ()) errors;
+  Array.to_list
+    (Array.mapi
+       (fun i -> function
+         | Some v -> v
+         | None -> invalid_arg (Printf.sprintf "Pool.run: task %d lost" i))
+       results)
+
+let map ~jobs f items = run ~jobs (List.map (fun x () -> f x) items)

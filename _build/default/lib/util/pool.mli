@@ -1,0 +1,45 @@
+(** A fixed-size domain pool (hand-rolled on [Domain]/[Mutex]/
+    [Condition]) with a deterministic gather.
+
+    With [jobs <= 1] no domains are spawned and [submit] runs the task
+    immediately on the calling domain — the reference sequential
+    schedule.  With [jobs > 1], [jobs] worker domains drain a FIFO
+    queue; tasks may submit continuation tasks, forming a DAG.
+
+    Determinism contract: tasks must be pure up to their own isolated
+    state and write results to disjoint slots, so gathered results are
+    independent of the schedule.  {!run} and {!map} return results in
+    submission order under any [jobs]. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] workers (default {!default_jobs}); values
+    [<= 1] select the in-caller sequential mode. *)
+
+val jobs : t -> int
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue a task.  Tasks must capture their own errors — an escaping
+    exception is swallowed, never propagated.  May be called from
+    within a running task.  Raises [Invalid_argument] after
+    {!shutdown}. *)
+
+val wait : t -> unit
+(** Block until every submitted task (including tasks submitted by
+    tasks) has finished. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, drain the queue, and join the workers.
+    Idempotent; a no-op in sequential mode. *)
+
+val run : jobs:int -> (unit -> 'a) list -> 'a list
+(** Run independent thunks on a fresh pool; results in input order.
+    If any task raised, re-raises the exception of the earliest failed
+    task (by input position) after all tasks finish. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f l] is [run ~jobs (List.map (fun x () -> f x) l)]. *)

@@ -1,1 +1,1 @@
-test/test_package.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Vp_cfg Vp_exec Vp_hsd Vp_isa Vp_package Vp_phase Vp_prog Vp_region Vp_test_support Vp_util
+test/test_package.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Sys Vp_cfg Vp_exec Vp_hsd Vp_isa Vp_package Vp_phase Vp_prog Vp_region Vp_test_support Vp_util

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Gen List QCheck QCheck_alcotest String Vp_util
+test/test_util.ml: Alcotest Array Atomic Domain Gen List Printf QCheck QCheck_alcotest String Vp_util

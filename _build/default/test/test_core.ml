@@ -172,6 +172,92 @@ let test_aggregate_rewrite_equivalence () =
   Alcotest.(check bool) "equivalent" true c.Coverage.equivalent;
   Alcotest.(check bool) "covers execution" true (c.Coverage.coverage_pct > 70.0)
 
+let test_profile_truncation_flag () =
+  let img = Program.layout (Progs.two_phase ~iters_per_phase:3000 ~repeats:3) in
+  let config = Config.with_detector Vp_hsd.Config.tiny Config.default in
+  let full = Driver.profile ~config img in
+  Alcotest.(check bool) "full run not truncated" false full.Driver.truncated;
+  let starved = Driver.profile ~config:{ config with Config.fuel = 500 } img in
+  Alcotest.(check bool) "starved run truncated" true starved.Driver.truncated;
+  Alcotest.(check bool) "outcome not halted" false
+    starved.Driver.outcome.Emulator.halted;
+  Alcotest.(check bool) "fuel bounds instructions" true
+    (starved.Driver.outcome.Emulator.instructions <= 500)
+
+let test_engine_reports_truncation () =
+  let config =
+    { (Config.with_detector Vp_hsd.Config.tiny Config.default) with Config.fuel = 500 }
+  in
+  let engine = Vacuum.Engine.create ~jobs:1 ~profile_config:config () in
+  let spec =
+    {
+      Vacuum.Engine.name = "starved";
+      load = (fun () -> Program.layout (Progs.two_phase ~iters_per_phase:3000 ~repeats:3));
+    }
+  in
+  ignore (Vacuum.Engine.profile engine spec);
+  Alcotest.(check (list string))
+    "starved spec reported" [ "starved" ]
+    (Vacuum.Engine.truncated_profiles engine)
+
+(* The engine's determinism contract: whatever the jobs count, every
+   cached artefact — coverage, architectural checksums, cycle-accurate
+   timing — is identical to the sequential reference schedule. *)
+let engine_fingerprint jobs =
+  let module Engine = Vacuum.Engine in
+  let detector = Vp_hsd.Config.tiny in
+  let engine =
+    Engine.create ~jobs
+      ~profile_config:(Config.with_detector detector Config.default)
+      ()
+  in
+  let specs =
+    [
+      {
+        Engine.name = "two-phase";
+        load = (fun () -> Program.layout (Progs.two_phase ~iters_per_phase:3000 ~repeats:3));
+      };
+      {
+        Engine.name = "two-phase-short";
+        load = (fun () -> Program.layout (Progs.two_phase ~iters_per_phase:2000 ~repeats:2));
+      };
+    ]
+  in
+  let cells =
+    List.map
+      (fun (inference, linking) ->
+        {
+          Engine.key = Printf.sprintf "%b%b" inference linking;
+          config = Config.with_detector detector (Config.experiment ~inference ~linking);
+        })
+      [ (true, true); (true, false) ]
+  in
+  Engine.run ~rewrites:true ~timing:true engine ~specs ~cells ();
+  List.concat_map
+    (fun spec ->
+      let b = Engine.baseline engine spec ~cpu:(List.hd cells).Engine.config.Config.cpu in
+      Printf.sprintf "%s baseline %d cycles %d instrs" spec.Engine.name
+        b.Vp_cpu.Pipeline.cycles b.Vp_cpu.Pipeline.instructions
+      :: List.concat_map
+           (fun cell ->
+             let c = Engine.coverage engine spec cell in
+             let s = Engine.optimized engine spec cell in
+             [
+               Printf.sprintf "%s/%s coverage %.6f equivalent %b checksum %d"
+                 spec.Engine.name cell.Engine.key c.Coverage.coverage_pct
+                 c.Coverage.equivalent c.Coverage.outcome.Emulator.checksum;
+               Printf.sprintf "%s/%s optimized %d cycles %d instrs"
+                 spec.Engine.name cell.Engine.key s.Vp_cpu.Pipeline.cycles
+                 s.Vp_cpu.Pipeline.instructions;
+             ])
+           cells)
+    specs
+
+let test_engine_parallel_matches_sequential () =
+  let sequential = engine_fingerprint 1 in
+  let parallel = engine_fingerprint 4 in
+  Alcotest.(check (list string)) "jobs=4 matches jobs=1" sequential parallel
+
 let test_driver_on_builder_program () =
   (* The pipeline also works on plain builder programs with the tiny
      detector, end to end through the public API. *)
@@ -193,6 +279,13 @@ let () =
           Alcotest.test_case "rewrite structure" `Slow test_rewrite_structure;
           Alcotest.test_case "builder program" `Quick test_driver_on_builder_program;
           Alcotest.test_case "hardware history" `Slow test_hardware_history_reduces_recordings;
+          Alcotest.test_case "truncation flag" `Quick test_profile_truncation_flag;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "reports truncation" `Quick test_engine_reports_truncation;
+          Alcotest.test_case "parallel matches sequential" `Quick
+            test_engine_parallel_matches_sequential;
         ] );
       ( "metrics",
         [

@@ -178,6 +178,43 @@ let test_simulate_phases_partitions () =
         (s.Pipeline.seg_ipc > 0.0 && s.Pipeline.seg_ipc <= 8.0))
     segs
 
+let test_pipeline_rejects_unresolved_branch () =
+  (* A never-taken branch with an unresolved [Label] target: the
+     emulator runs fine (target_addr is only needed when taken), but
+     the timing model must refuse rather than silently skip the
+     predictor and progress callback, which would desync phase
+     attribution. *)
+  let module Instr = Vp_isa.Instr in
+  let module Op = Vp_isa.Op in
+  let module Reg = Vp_isa.Reg in
+  let img =
+    {
+      Vp_prog.Image.code =
+        [|
+          Instr.Li { dst = Reg.ret_value; imm = 1 };
+          Instr.Br
+            {
+              cond = Op.Lt;
+              src1 = Reg.zero;
+              src2 = Reg.zero;
+              target = Instr.Label "nowhere";
+            };
+          Instr.Halt;
+        |];
+      syms = [ { Vp_prog.Image.name = "main"; start = 0; len = 3 } ];
+      entry = 0;
+      orig_limit = 3;
+      data_init = [];
+      data_break = 0;
+    }
+  in
+  let outcome = Vp_exec.Emulator.run img in
+  Alcotest.(check bool) "emulator completes" true
+    outcome.Vp_exec.Emulator.halted;
+  Alcotest.check_raises "pipeline rejects"
+    (Invalid_argument "Pipeline: unresolved label nowhere in branch at 0x1")
+    (fun () -> ignore (Pipeline.simulate img))
+
 let test_speedup_ratio () =
   let img = Program.layout (Progs.sum_to_n 1000) in
   let s = Pipeline.simulate img in
@@ -220,6 +257,8 @@ let () =
             test_pipeline_dependent_chain_slower;
           Alcotest.test_case "speedup ratio" `Quick test_speedup_ratio;
           Alcotest.test_case "per-phase attribution" `Quick test_simulate_phases_partitions;
+          Alcotest.test_case "rejects unresolved branch" `Quick
+            test_pipeline_rejects_unresolved_branch;
           QCheck_alcotest.to_alcotest prop_pipeline_cycles_at_least_instructions_over_width;
         ] );
     ]

@@ -1,10 +1,11 @@
-(* Tests for vp_util: PRNG determinism, saturating counters, stats and
-   table rendering. *)
+(* Tests for vp_util: PRNG determinism, saturating counters, stats,
+   table rendering, and the domain pool. *)
 
 module Rng = Vp_util.Rng
 module Counter = Vp_util.Counter
 module Stats = Vp_util.Stats
 module Tabular = Vp_util.Tabular
+module Pool = Vp_util.Pool
 
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
@@ -144,7 +145,83 @@ let test_tabular_cells () =
   Alcotest.(check string) "float decimals" "3.142" (Tabular.cell_float ~decimals:3 3.14159);
   Alcotest.(check string) "pct" "81.5" (Tabular.cell_pct 81.49)
 
+let test_pool_map_ordered_gather () =
+  let xs = List.init 100 (fun i -> i) in
+  let expected = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d preserves order" jobs)
+        expected
+        (Pool.map ~jobs (fun x -> x * x) xs))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_run_empty () =
+  Alcotest.(check (list int)) "no tasks" [] (Pool.run ~jobs:4 []);
+  Alcotest.(check (list int)) "no tasks seq" [] (Pool.run ~jobs:1 [])
+
+let test_pool_earliest_exception_wins () =
+  (* Tasks at indices 3 and 5 fail; whatever the schedule, the index-3
+     exception is the one reported. *)
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "jobs=%d first failure" jobs)
+        (Failure "boom 3")
+        (fun () ->
+          ignore
+            (Pool.map ~jobs
+               (fun x ->
+                 if x = 3 || x = 5 then failwith (Printf.sprintf "boom %d" x)
+                 else x)
+               (List.init 8 (fun i -> i)))))
+    [ 1; 4 ]
+
+let test_pool_dag_submission () =
+  (* Tasks submitting continuation tasks: wait covers the transitive
+     closure. *)
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs () in
+      let hits = Atomic.make 0 in
+      for _ = 1 to 10 do
+        Pool.submit pool (fun () ->
+            Atomic.incr hits;
+            Pool.submit pool (fun () -> Atomic.incr hits))
+      done;
+      Pool.wait pool;
+      Pool.shutdown pool;
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d all tasks ran" jobs)
+        20 (Atomic.get hits))
+    [ 1; 3 ]
+
+let test_pool_parallel_actually_concurrent () =
+  (* With 2 workers, two tasks that each wait for the other's side
+     effect can only finish if they really run concurrently. *)
+  let pool = Pool.create ~jobs:2 () in
+  let a = Atomic.make false in
+  let b = Atomic.make false in
+  let spin mine other =
+    Atomic.set mine true;
+    while not (Atomic.get other) do
+      Domain.cpu_relax ()
+    done
+  in
+  Pool.submit pool (fun () -> spin a b);
+  Pool.submit pool (fun () -> spin b a);
+  Pool.wait pool;
+  Pool.shutdown pool;
+  Alcotest.(check bool) "both ran" true (Atomic.get a && Atomic.get b)
+
 (* Property tests. *)
+
+let prop_pool_map_equals_list_map =
+  QCheck.Test.make ~name:"Pool.map agrees with List.map for any jobs" ~count:50
+    QCheck.(pair (int_range 1 8) (small_list small_int))
+    (fun (jobs, xs) ->
+      Pool.map ~jobs (fun x -> (2 * x) + 1) xs
+      = List.map (fun x -> (2 * x) + 1) xs)
 
 let prop_counter_never_exceeds_max =
   QCheck.Test.make ~name:"counter stays within width" ~count:200
@@ -199,5 +276,16 @@ let () =
           Alcotest.test_case "render" `Quick test_tabular_render;
           Alcotest.test_case "too many cells" `Quick test_tabular_too_many_cells;
           Alcotest.test_case "cells" `Quick test_tabular_cells;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordered gather" `Quick test_pool_map_ordered_gather;
+          Alcotest.test_case "empty run" `Quick test_pool_run_empty;
+          Alcotest.test_case "earliest exception" `Quick
+            test_pool_earliest_exception_wins;
+          Alcotest.test_case "dag submission" `Quick test_pool_dag_submission;
+          Alcotest.test_case "concurrent workers" `Quick
+            test_pool_parallel_actually_concurrent;
+          QCheck_alcotest.to_alcotest prop_pool_map_equals_list_map;
         ] );
     ]

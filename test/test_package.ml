@@ -418,6 +418,119 @@ let test_code_expansion_is_moderate () =
     (Printf.sprintf "expansion %.1f%% < 100%%" expansion)
     true (expansion < 100.0)
 
+let test_append_many_linear_time () =
+  (* Regression for the quadratic append path: growing an image by ~1k
+     package sections must stay cheap.  The old per-section [append]
+     recopied the whole code array and the whole symbol list each
+     time. *)
+  let img = Program.layout (Progs.sum_to_n 100) in
+  let sections =
+    List.init 1000 (fun i ->
+        (Printf.sprintf "sec%04d" i, Array.make 64 Instr.Halt))
+  in
+  let t0 = Sys.time () in
+  let grown, starts = Image.append_many img sections in
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check int) "all sections placed" 1000 (List.length starts);
+  (match Image.validate grown with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  List.iteri
+    (fun i s ->
+      Alcotest.(check int)
+        (Printf.sprintf "section %d contiguous" i)
+        (Image.size img + (64 * i))
+        s)
+    starts;
+  (* Singleton batches agree with the one-at-a-time interface. *)
+  let one, start = Image.append img ~name:"solo" (Array.make 8 Instr.Halt) in
+  Alcotest.(check int) "append start" (Image.size img) start;
+  Alcotest.(check int) "append size" (Image.size img + 8) (Image.size one);
+  Alcotest.(check bool)
+    (Printf.sprintf "1000 sections appended in %.3f s" elapsed)
+    true (elapsed < 1.0)
+
+(* Eight packages sharing one root: past the exhaustive-search cap of
+   six, [group_packages] must fall back to the greedy rank-based
+   ordering instead of silently keeping input order.  Even-numbered
+   packages specialise the fall-through direction (hot copy of 200,
+   cold exit to 300); odd ones the taken direction — so every link
+   crosses parities, and the all-evens-first input order ranks 4.0
+   while interleavings rank strictly higher. *)
+let mk_link_pkg i =
+  let id = Printf.sprintf "pkg%d" i in
+  let f_side = i mod 2 = 0 in
+  let hot_orig = if f_side then 200 else 300 in
+  let cold_target = if f_side then 300 else 200 in
+  let b = id ^ "$b" and hot = id ^ "$h" and x = id ^ "$x" in
+  {
+    Pkg.id;
+    region_id = i;
+    root = "f";
+    blocks =
+      [
+        mini_block ~orig:99 b []
+          (Pkg.Branch
+             {
+               cond = Op.Ge;
+               src1 = t0;
+               src2 = t1;
+               taken = (if f_side then x else hot);
+               fall = (if f_side then hot else x);
+             });
+        mini_block ~orig:hot_orig hot [] Pkg.Return;
+        mini_block ~exit_:true x [] (Pkg.Exit_jump cold_target);
+      ];
+    entries = [ (b, 99) ];
+    sites =
+      [
+        {
+          Pkg.orig_pc = 100;
+          site_context = [];
+          block_label = b;
+          bias = (if f_side then Pkg.F else Pkg.T);
+          cold_exit = Some x;
+          cold_target = Some cold_target;
+        };
+      ];
+  }
+
+let test_large_group_greedy_fallback () =
+  let pkgs = List.map mk_link_pkg [ 0; 2; 4; 6; 1; 3; 5; 7 ] in
+  match Linking.group_packages pkgs with
+  | [ g ] ->
+    Alcotest.(check string) "root" "f" g.Linking.root;
+    Alcotest.(check (list string))
+      "ordering is a permutation of the input"
+      (List.sort compare (List.map (fun (p : Pkg.t) -> p.Pkg.id) pkgs))
+      (List.sort compare (List.map (fun (p : Pkg.t) -> p.Pkg.id) g.Linking.ordered));
+    Alcotest.(check int) "every site linked" 8 (List.length g.Linking.links);
+    let parity id = int_of_string (String.sub id 3 1) mod 2 in
+    List.iter
+      (fun (l : Linking.link) ->
+        Alcotest.(check bool) "link crosses specialisations" true
+          (parity l.Linking.from_pkg <> parity l.Linking.to_pkg))
+      g.Linking.links;
+    Alcotest.(check bool)
+      (Printf.sprintf "greedy rank %.2f beats input order's 4.0" g.Linking.rank)
+      true
+      (g.Linking.rank > 4.0);
+    let final = Linking.apply [ g ] in
+    List.iter
+      (fun (p : Pkg.t) ->
+        let exit_block =
+          List.find (fun (b : Pkg.block) -> b.Pkg.is_exit) p.Pkg.blocks
+        in
+        match exit_block.Pkg.term with
+        | Pkg.Goto l ->
+          Alcotest.(check bool)
+            (p.Pkg.id ^ " exit retargeted cross-package")
+            true
+            (String.sub l 0 (String.index l '$') <> p.Pkg.id)
+        | _ -> Alcotest.failf "%s exit not linked" p.Pkg.id)
+      final
+  | gs -> Alcotest.failf "expected one group, got %d" (List.length gs)
+
 let prop_rewrite_equivalence_random =
   QCheck.Test.make ~name:"rewritten binaries compute identical results" ~count:10
     QCheck.(pair (int_range 500 2500) (int_range 2 4))
@@ -458,5 +571,12 @@ let () =
           Alcotest.test_case "group rank and apply" `Quick test_group_rank_and_apply;
           Alcotest.test_case "no linking keeps exits" `Quick test_no_linking_keeps_exits;
           Alcotest.test_case "leftmost claims launch" `Quick test_emit_leftmost_claims_launch;
+          Alcotest.test_case "greedy fallback past cap" `Quick
+            test_large_group_greedy_fallback;
+        ] );
+      ( "emit",
+        [
+          Alcotest.test_case "append 1k sections fast" `Quick
+            test_append_many_linear_time;
         ] );
     ]
