@@ -6,6 +6,8 @@
      dune exec bench/main.exe -- fig8    # one experiment
      dune exec bench/main.exe -- --quick # A-inputs only, shorter micro runs
      dune exec bench/main.exe -- --jobs 4 fig8   # 4 domains
+     dune exec bench/main.exe -- --quick micro --json bench.json
+                                         # machine-readable estimates
 
    Experiments: table1 table2 fig8 table3 fig9 fig10
    baseline-aggregate ablation-bbb ablation-growth ablation-sink
@@ -537,6 +539,10 @@ let ablation_sink workloads =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the pipeline stages. *)
 
+(* (stage name, ns/run, r^2) rows from the last [micro] run, kept for
+   the --json export. *)
+let micro_results : (string * float * float option) list ref = ref []
+
 let micro ~quick =
   heading "Micro-benchmarks (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -597,14 +603,25 @@ let micro ~quick =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  (* Hashtbl.iter order depends on internal hashing; sort by stage
+     name so the table (and the JSON export) is stable run to run. *)
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let nanos =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> e
+          | _ -> nan
+        in
+        let r2 = Analyze.OLS.r_square ols_result in
+        (name, nanos, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  micro_results := rows;
   let t = Tabular.create ~header:[ ("stage", Tabular.Left); ("time/run", Tabular.Right); ("r^2", Tabular.Right) ] in
-  Hashtbl.iter
-    (fun name ols_result ->
-      let nanos =
-        match Analyze.OLS.estimates ols_result with
-        | Some (e :: _) -> e
-        | _ -> nan
-      in
+  List.iter
+    (fun (name, nanos, r2) ->
       let pretty =
         if nanos > 1e9 then Printf.sprintf "%.2f s" (nanos /. 1e9)
         else if nanos > 1e6 then Printf.sprintf "%.2f ms" (nanos /. 1e6)
@@ -612,12 +629,10 @@ let micro ~quick =
         else Printf.sprintf "%.0f ns" nanos
       in
       let r2 =
-        match Analyze.OLS.r_square ols_result with
-        | Some r -> Printf.sprintf "%.4f" r
-        | None -> "-"
+        match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"
       in
       Tabular.add_row t [ name; pretty; r2 ])
-    results;
+    rows;
   Tabular.print t
 
 (* ------------------------------------------------------------------ *)
@@ -629,32 +644,90 @@ let needs = function
   | "fig10" | "baseline-aggregate" | "ablation-superblock" -> (true, true)
   | _ -> (false, false)
 
-let jobs_value n =
-  match int_of_string_opt n with
-  | Some j -> Some j
-  | None ->
-    Printf.eprintf "bench: --jobs expects an integer, got %S\n" n;
-    exit 2
-
-let parse_jobs args =
+(* Pull "--name VALUE" or "--name=VALUE" out of the argument list. *)
+let parse_valued ~name args =
+  let flag = "--" ^ name in
+  let prefix = flag ^ "=" in
+  let plen = String.length prefix in
   let rec go acc = function
     | [] -> (None, List.rev acc)
-    | [ "--jobs" ] ->
-      Printf.eprintf "bench: --jobs expects an integer\n";
+    | [ arg ] when arg = flag ->
+      Printf.eprintf "bench: %s expects a value\n" flag;
       exit 2
-    | "--jobs" :: n :: rest -> (jobs_value n, List.rev_append acc rest)
-    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
-      ( jobs_value (String.sub arg 7 (String.length arg - 7)),
-        List.rev_append acc rest )
+    | arg :: v :: rest when arg = flag -> (Some v, List.rev_append acc rest)
+    | arg :: rest
+      when String.length arg > plen && String.sub arg 0 plen = prefix ->
+      (Some (String.sub arg plen (String.length arg - plen)),
+       List.rev_append acc rest)
     | arg :: rest -> go (arg :: acc) rest
   in
   go [] args
+
+let parse_jobs args =
+  match parse_valued ~name:"jobs" args with
+  | None, rest -> (None, rest)
+  | Some n, rest -> (
+    match int_of_string_opt n with
+    | Some j -> (Some j, rest)
+    | None ->
+      Printf.eprintf "bench: --jobs expects an integer, got %S\n" n;
+      exit 2)
+
+(* ------------------------------------------------------------------ *)
+(* --json FILE: machine-readable export of the micro estimates and the
+   engine's per-task wall-clock timings (hand-rolled writer — the tree
+   is tiny and the build carries no JSON library). *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let write_json ~path ~engine_metrics =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema\": \"vacuum-bench/1\",\n";
+  out "  \"micro\": [";
+  List.iteri
+    (fun i (name, nanos, r2) ->
+      out "%s\n    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}"
+        (if i = 0 then "" else ",")
+        (json_escape name) (json_float nanos)
+        (match r2 with Some r -> json_float r | None -> "null"))
+    !micro_results;
+  out "\n  ],\n";
+  out "  \"tasks\": [";
+  List.iteri
+    (fun i m ->
+      out
+        "%s\n    {\"kind\": \"%s\", \"label\": \"%s\", \"wall_s\": %s, \
+         \"instructions\": %d}"
+        (if i = 0 then "" else ",")
+        (json_escape m.Engine.kind) (json_escape m.Engine.label)
+        (json_float m.Engine.wall_s) m.Engine.instructions)
+    engine_metrics;
+  out "\n  ]\n}\n";
+  close_out oc
 
 let () =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning);
   let args = List.tl (Array.to_list Sys.argv) in
   let jobs_opt, args = parse_jobs args in
+  let json_path, args = parse_valued ~name:"json" args in
   let jobs = Option.value ~default:(Vp_util.Pool.default_jobs ()) jobs_opt in
   let quick = List.mem "--quick" args in
   let selected = List.filter (fun a -> a <> "--quick") args in
@@ -717,4 +790,7 @@ let () =
   | [] -> ()
   | name :: _ -> fail_truncated name);
   List.iter run picks;
+  (match json_path with
+  | Some path -> write_json ~path ~engine_metrics:(Engine.metrics !engine)
+  | None -> ());
   Format.eprintf "@.%a" Engine.pp_summary !engine

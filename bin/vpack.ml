@@ -240,15 +240,15 @@ let diag_cmd =
     let bump tbl k =
       Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
     in
-    let on_event (e : Emulator.event) =
-      if e.Emulator.next_pc >= 0 then begin
-        let from_pkg = e.Emulator.pc >= limit in
-        let to_pkg = e.Emulator.next_pc >= limit in
-        if from_pkg && not to_pkg then bump exits (e.Emulator.pc, e.Emulator.next_pc);
-        if (not from_pkg) && to_pkg then bump entries (e.Emulator.pc, e.Emulator.next_pc)
+    let on_retire ~pc ~taken:_ ~next_pc ~mem_addr:_ =
+      if next_pc >= 0 then begin
+        let from_pkg = pc >= limit in
+        let to_pkg = next_pc >= limit in
+        if from_pkg && not to_pkg then bump exits (pc, next_pc);
+        if (not from_pkg) && to_pkg then bump entries (pc, next_pc)
       end
     in
-    let o = Emulator.run ~on_event rimg in
+    let o = Emulator.run_decoded ~on_retire (Vp_exec.Decode.of_image rimg) in
     Printf.printf "coverage %.1f%% (%d/%d instructions in packages)\n"
       (Vp_util.Stats.pct o.Emulator.package_instructions o.Emulator.instructions)
       o.Emulator.package_instructions o.Emulator.instructions;

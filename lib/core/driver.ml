@@ -38,18 +38,24 @@ let profile ?(config = Config.default) image =
     Detector.create ~config:config.Config.detector
       ~history_size:config.Config.history_size ~same ()
   in
-  let aggregate = Hashtbl.create 512 in
+  (* pc-indexed counters sized by the image: the per-branch profiling
+     cost is two array bumps and the detector call — no hashing, no
+     tuple allocation.  The classic table shape is rebuilt once below
+     for the aggregate-profile consumers (fig9, the aggregate
+     baseline). *)
+  let n = Vp_prog.Image.size image in
+  let executed = Array.make n 0 in
+  let takens = Array.make n 0 in
   let on_branch ~pc ~taken =
     Detector.on_branch detector ~pc ~taken;
-    let executed, takens =
-      Option.value ~default:(0, 0) (Hashtbl.find_opt aggregate pc)
-    in
-    Hashtbl.replace aggregate pc (executed + 1, if taken then takens + 1 else takens)
+    executed.(pc) <- executed.(pc) + 1;
+    if taken then takens.(pc) <- takens.(pc) + 1
   in
   let outcome =
     Emulator.run ~fuel:config.Config.fuel ~mem_words:config.Config.mem_words
       ~on_branch image
   in
+  let aggregate = Emulator.branch_counts_to_table executed takens in
   let snapshots = Detector.snapshots detector in
   let truncated = not outcome.Emulator.halted in
   if truncated then

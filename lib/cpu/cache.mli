@@ -9,8 +9,20 @@ val access : t -> addr:int -> bool
 (** True on hit; a miss installs the line (allocate-on-miss, LRU
     victim). *)
 
+val line_index : t -> int -> int
+(** The line number [addr] maps to.  Lets a client model a line
+    buffer: a repeat access to the line it just accessed is a
+    guaranteed hit (nothing can have evicted it in between) and may
+    be skipped without changing any future hit/miss or eviction
+    decision — collapsing a contiguous same-line run to its first
+    access preserves the per-set order of last touches. *)
+
 val accesses : t -> int
 val misses : t -> int
 val miss_rate : t -> float
 
 val reset_stats : t -> unit
+
+val reset : t -> unit
+(** Back to the post-{!create} state: every line invalid, stats
+    zeroed.  For pools that reuse the arrays across simulations. *)

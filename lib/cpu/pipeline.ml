@@ -2,6 +2,7 @@ module Instr = Vp_isa.Instr
 module Op = Vp_isa.Op
 module Reg = Vp_isa.Reg
 module Emulator = Vp_exec.Emulator
+module Decode = Vp_exec.Decode
 
 type stats = {
   cycles : int;
@@ -17,18 +18,69 @@ type stats = {
   data_stall_cycles : int;
 }
 
+(* Unchecked array access in the retire path: [pc] was validated by
+   the emulator before retiring, the decoded tables have one entry per
+   pc ([uses_off]/[defs_off] have [n + 1]), register numbers are in
+   [0, Reg.count) by construction, and FU indices are in [0, 4). *)
+external ( .!() ) : 'a array -> int -> 'a = "%array_unsafe_get"
+external ( .!()<- ) : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
+
+(* Monomorphic int max: [Stdlib.max] is polymorphic and goes through
+   the generic comparison — a real function call at least once per
+   retired instruction on this path. *)
+let imax (a : int) (b : int) = if a >= b then a else b
+
 let fu_index = function
   | Op.Ialu -> 0
   | Op.Fp | Op.Long_fp -> 1
   | Op.Mem -> 2
   | Op.Control -> 3
 
+(* Domain-local pool of timing models (three caches + predictor).
+   Their tag/LRU/counter arrays are ~160 KB per simulation and live on
+   the major heap; reusing them across runs replaces that churn with a
+   cheap reset.  Same steal-on-use discipline as [State]'s arena: the
+   slot is emptied while the models are live, so a re-entrant
+   simulation on the same domain simply allocates fresh ones. *)
+let model_pool :
+    (Config.t * (Cache.t * Cache.t * Cache.t * Predictor.t)) option ref
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let take_models (config : Config.t) =
+  let slot = Domain.DLS.get model_pool in
+  match !slot with
+  | Some (key, ((l1i, l1d, l2, pred) as models)) when key == config ->
+    slot := None;
+    Cache.reset l1i;
+    Cache.reset l1d;
+    Cache.reset l2;
+    Predictor.reset pred;
+    models
+  | _ ->
+    ( Cache.create config.Config.l1i,
+      Cache.create config.Config.l1d,
+      Cache.create config.Config.l2,
+      Predictor.create config )
+
+let release_models config models =
+  Domain.DLS.get model_pool := Some (config, models)
+
 let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_progress
     image =
-  let l1i = Cache.create config.Config.l1i in
-  let l1d = Cache.create config.Config.l1d in
-  let l2 = Cache.create config.Config.l2 in
-  let pred = Predictor.create config in
+  let d = Decode.of_image image in
+  (* Per-pc tables, decoded once: the retire callback below reads
+     these flat arrays instead of matching on boxed [Instr.t] and
+     rebuilding use/def lists every retirement. *)
+  let tag = d.Decode.tag in
+  let btarget = d.Decode.target in
+  let base_latency = d.Decode.latency in
+  let uses_off = d.Decode.uses_off in
+  let uses = d.Decode.uses in
+  let defs_off = d.Decode.defs_off in
+  let defs = d.Decode.defs in
+  let fu_of_pc = Array.map fu_index d.Decode.fu in
+  let ((l1i, l1d, l2, pred) as models) = take_models config in
   let fu_limit =
     [|
       config.Config.ialu_units;
@@ -37,6 +89,14 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
       config.Config.branch_units;
     |]
   in
+  (* Captured as immediate ints so the retire closure does not chase
+     the config record on every instruction. *)
+  let instr_bytes = config.Config.instr_bytes in
+  let word_bytes = config.Config.word_bytes in
+  let issue_width = config.Config.issue_width in
+  let l2_latency = config.Config.l2_latency in
+  let memory_latency = config.Config.memory_latency in
+  let branch_resolution = config.Config.branch_resolution in
   let fu_used = Array.make 4 0 in
   let reg_ready = Array.make Reg.count 0 in
   let cycle = ref 0 in
@@ -46,6 +106,15 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
   let data_stalls = ref 0 in
   let taken_redirects = ref 0 in
   let instructions = ref 0 in
+  (* Line buffers, as in a real fetch/load unit: a repeat access to
+     the line the cache just served is a guaranteed hit (no other
+     access to that cache intervened, so nothing evicted it) and is
+     not replayed.  Skipping these replays provably leaves every
+     hit/miss count and LRU victim unchanged (see {!Cache.line_index}),
+     and it removes a model call from the common sequential-fetch and
+     stack-traffic paths. *)
+  let fetch_line = ref (-1) in
+  let data_line = ref (-1) in
   let advance_to c =
     if c > !cycle then begin
       cycle := c;
@@ -53,25 +122,33 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
       Array.fill fu_used 0 4 0
     end
   in
-  (* Memory-hierarchy charge for one access; returns extra latency. *)
-  let hierarchy cache addr =
-    if Cache.access cache ~addr then 0
-    else if Cache.access l2 ~addr then config.Config.l2_latency
-    else config.Config.l2_latency + config.Config.memory_latency
+  (* Extra latency after an L1 miss; the L1-hit fast path is inlined
+     at the call sites so the per-instruction cost is one [Cache.access]
+     call, not a closure call wrapping it. *)
+  let l2_penalty addr =
+    if Cache.access l2 ~addr then l2_latency
+    else l2_latency + memory_latency
   in
-  let on_event (e : Emulator.event) =
+  let on_retire ~pc ~taken ~next_pc ~mem_addr =
     incr instructions;
     (* Fetch: I-cache access for this instruction's line. *)
-    let fetch_pen = hierarchy l1i (e.Emulator.pc * config.Config.instr_bytes) in
-    if fetch_pen > 0 then fetch_ready := max !fetch_ready (!cycle + fetch_pen);
-    (* Earliest issue: fetch and operands. *)
-    let op_ready =
-      List.fold_left
-        (fun acc r -> max acc reg_ready.(Reg.to_int r))
-        0
-        (Instr.uses e.Emulator.instr)
-    in
-    let earliest = max !fetch_ready op_ready in
+    let fetch_addr = pc * instr_bytes in
+    let line = Cache.line_index l1i fetch_addr in
+    if line <> !fetch_line then begin
+      fetch_line := line;
+      if not (Cache.access l1i ~addr:fetch_addr) then begin
+        let fetch_pen = l2_penalty fetch_addr in
+        fetch_ready := imax !fetch_ready (!cycle + fetch_pen)
+      end
+    end;
+    (* Earliest issue: fetch and operands (decoded use set). *)
+    let op_ready = ref 0 in
+    for i = uses_off.!(pc) to uses_off.!(pc + 1) - 1 do
+      let r = reg_ready.!(Reg.to_int uses.!(i)) in
+      if r > !op_ready then op_ready := r
+    done;
+    let op_ready = !op_ready in
+    let earliest = imax !fetch_ready op_ready in
     if earliest > !cycle then begin
       (if !fetch_ready >= op_ready then
          fetch_stalls := !fetch_stalls + (earliest - !cycle)
@@ -79,85 +156,107 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
       advance_to earliest
     end;
     (* Structural hazards: issue width and FU availability. *)
-    let fu = fu_index (Instr.fu e.Emulator.instr) in
+    let fu = fu_of_pc.!(pc) in
     while
-      !width_used >= config.Config.issue_width || fu_used.(fu) >= fu_limit.(fu)
+      !width_used >= issue_width || fu_used.!(fu) >= fu_limit.!(fu)
     do
       advance_to (!cycle + 1)
     done;
-    fu_used.(fu) <- fu_used.(fu) + 1;
+    fu_used.!(fu) <- fu_used.!(fu) + 1;
     incr width_used;
-    (* Result latency, plus D-cache behaviour for memory operations. *)
+    (* Result latency, plus D-cache behaviour for memory operations
+       ([mem_addr] is -1 for non-memory instructions). *)
+    let t = tag.!(pc) in
     let latency =
-      match e.Emulator.instr with
-      | Instr.Load _ ->
-        let pen =
-          match e.Emulator.mem_addr with
-          | Some a -> hierarchy l1d (a * config.Config.word_bytes)
-          | None -> 0
-        in
-        Instr.latency e.Emulator.instr + pen
-      | Instr.Store _ ->
-        (match e.Emulator.mem_addr with
-        | Some a -> ignore (hierarchy l1d (a * config.Config.word_bytes))
-        | None -> ());
-        Instr.latency e.Emulator.instr
-      | i -> Instr.latency i
+      if t = Decode.tag_load then
+        base_latency.!(pc)
+        + (if mem_addr >= 0 then begin
+             let a = mem_addr * word_bytes in
+             let line = Cache.line_index l1d a in
+             if line = !data_line then 0
+             else begin
+               data_line := line;
+               if Cache.access l1d ~addr:a then 0 else l2_penalty a
+             end
+           end
+           else 0)
+      else begin
+        if t = Decode.tag_store && mem_addr >= 0 then begin
+          let a = mem_addr * word_bytes in
+          let line = Cache.line_index l1d a in
+          if line <> !data_line then begin
+            data_line := line;
+            if not (Cache.access l1d ~addr:a) then ignore (l2_penalty a)
+          end
+        end;
+        base_latency.!(pc)
+      end
     in
-    List.iter
-      (fun r -> reg_ready.(Reg.to_int r) <- !cycle + latency)
-      (Instr.defs e.Emulator.instr);
+    for i = defs_off.!(pc) to defs_off.!(pc + 1) - 1 do
+      reg_ready.!(Reg.to_int defs.!(i)) <- !cycle + latency
+    done;
     (* Control flow: fetch redirects and mispredictions.  Every
        conditional branch must consult the predictor and fire
        [on_branch_progress]: the emulator and the HSD count every
        [Br], so skipping any here would silently shift phase
        attribution in {!simulate_phases}. *)
-    (match e.Emulator.instr with
-    | Instr.Br { target = Instr.Label l; _ } ->
-      invalid_arg
-        (Printf.sprintf "Pipeline: unresolved label %s in branch at 0x%x" l
-           e.Emulator.pc)
-    | Instr.Br { target = Instr.Addr target; _ } ->
-      let correct = Predictor.predict_branch pred ~pc:e.Emulator.pc ~taken:e.Emulator.taken in
+    if t = Decode.tag_br then begin
+      let correct = Predictor.predict_branch pred ~pc ~taken in
       if not correct then
-        fetch_ready := max !fetch_ready (!cycle + config.Config.branch_resolution)
-      else if e.Emulator.taken then begin
-        let btb_hit = Predictor.btb_lookup pred ~pc:e.Emulator.pc ~target in
+        fetch_ready := imax !fetch_ready (!cycle + branch_resolution)
+      else if taken then begin
+        let btb_hit = Predictor.btb_lookup pred ~pc ~target:btarget.!(pc) in
         incr taken_redirects;
-        fetch_ready := max !fetch_ready (!cycle + if btb_hit then 1 else 2)
+        fetch_ready := imax !fetch_ready (!cycle + if btb_hit then 1 else 2)
       end;
-      (match on_branch_progress with
+      match on_branch_progress with
       | Some f -> f ~cycles:!cycle ~instructions:!instructions
-      | None -> ())
-    | Instr.Jmp _ -> fetch_ready := max !fetch_ready (!cycle + 1)
-    | Instr.Call _ ->
-      Predictor.call_push pred ~return_addr:(e.Emulator.pc + 1);
-      fetch_ready := max !fetch_ready (!cycle + 1)
-    | Instr.Ret ->
-      let correct = Predictor.ret_predict pred ~actual:e.Emulator.next_pc in
+      | None -> ()
+    end
+    else if t = Decode.tag_jmp then fetch_ready := imax !fetch_ready (!cycle + 1)
+    else if t = Decode.tag_call then begin
+      Predictor.call_push pred ~return_addr:(pc + 1);
+      fetch_ready := imax !fetch_ready (!cycle + 1)
+    end
+    else if t = Decode.tag_ret then begin
+      let correct = Predictor.ret_predict pred ~actual:next_pc in
       fetch_ready :=
-        max !fetch_ready
-          (!cycle + if correct then 1 else config.Config.branch_resolution)
-    | _ -> ())
+        imax !fetch_ready
+          (!cycle + if correct then 1 else branch_resolution)
+    end
+    else if t = Decode.tag_br_unresolved then
+      (* Reachable only when not taken — a taken unresolved branch
+         already faulted inside the emulator. *)
+      match Instr.target d.Decode.code.(pc) with
+      | Some (Instr.Label l) ->
+        invalid_arg
+          (Printf.sprintf "Pipeline: unresolved label %s in branch at 0x%x" l pc)
+      | _ -> assert false
   in
-  let (_ : Emulator.outcome) = Emulator.run ?fuel ?mem_words ~on_event image in
+  let (_ : Emulator.outcome) =
+    Emulator.run_decoded ?fuel ?mem_words ~on_retire d
+  in
   let pstats = Predictor.stats pred in
   let total_cycles = !cycle + 1 in
-  {
-    cycles = total_cycles;
-    instructions = !instructions;
-    ipc =
-      (if total_cycles = 0 then 0.0
-       else float_of_int !instructions /. float_of_int total_cycles);
-    branch_mispredicts = pstats.Predictor.mispredictions;
-    ras_mispredicts = pstats.Predictor.ras_misses;
-    taken_redirects = !taken_redirects;
-    icache_misses = Cache.misses l1i;
-    dcache_misses = Cache.misses l1d;
-    l2_misses = Cache.misses l2;
-    fetch_stall_cycles = !fetch_stalls;
-    data_stall_cycles = !data_stalls;
-  }
+  let result =
+    {
+      cycles = total_cycles;
+      instructions = !instructions;
+      ipc =
+        (if total_cycles = 0 then 0.0
+         else float_of_int !instructions /. float_of_int total_cycles);
+      branch_mispredicts = pstats.Predictor.mispredictions;
+      ras_mispredicts = pstats.Predictor.ras_misses;
+      taken_redirects = !taken_redirects;
+      icache_misses = Cache.misses l1i;
+      dcache_misses = Cache.misses l1d;
+      l2_misses = Cache.misses l2;
+      fetch_stall_cycles = !fetch_stalls;
+      data_stall_cycles = !data_stalls;
+    }
+  in
+  release_models config models;
+  result
 
 let simulate ?config ?fuel ?mem_words image =
   simulate_internal ?config ?fuel ?mem_words image

@@ -4,7 +4,9 @@ type t = {
   counters : int array;  (* 2-bit saturating *)
   btb_tags : int array;
   btb_targets : int array;
+  btb_mask : int;  (* entries - 1 when a power of two, else -1 *)
   ras : int array;
+  ras_mask : int;  (* entries - 1 when a power of two, else -1 *)
   mutable ras_top : int;  (* number of valid entries, wraps *)
   mutable n_branches : int;
   mutable n_mispredictions : int;
@@ -23,6 +25,13 @@ type stats = {
   ras_misses : int;
 }
 
+let pow2_mask n = if n > 0 && n land (n - 1) = 0 then n - 1 else -1
+
+(* Unchecked array access: every index below is masked (or
+   mod-reduced) into the table's range first. *)
+external ( .!() ) : 'a array -> int -> 'a = "%array_unsafe_get"
+external ( .!()<- ) : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
+
 let create (cfg : Config.t) =
   let table_size = 1 lsl cfg.Config.gshare_history_bits in
   {
@@ -31,7 +40,9 @@ let create (cfg : Config.t) =
     counters = Array.make table_size 1;
     btb_tags = Array.make cfg.Config.btb_entries (-1);
     btb_targets = Array.make cfg.Config.btb_entries 0;
+    btb_mask = pow2_mask cfg.Config.btb_entries;
     ras = Array.make cfg.Config.ras_entries 0;
+    ras_mask = pow2_mask cfg.Config.ras_entries;
     ras_top = 0;
     n_branches = 0;
     n_mispredictions = 0;
@@ -41,12 +52,27 @@ let create (cfg : Config.t) =
     n_ras_misses = 0;
   }
 
+(* Post-{!create} state, reusing the arrays (see {!Cache.reset}). *)
+let reset t =
+  t.history <- 0;
+  Array.fill t.counters 0 (Array.length t.counters) 1;
+  Array.fill t.btb_tags 0 (Array.length t.btb_tags) (-1);
+  Array.fill t.btb_targets 0 (Array.length t.btb_targets) 0;
+  Array.fill t.ras 0 (Array.length t.ras) 0;
+  t.ras_top <- 0;
+  t.n_branches <- 0;
+  t.n_mispredictions <- 0;
+  t.n_btb_lookups <- 0;
+  t.n_btb_misses <- 0;
+  t.n_returns <- 0;
+  t.n_ras_misses <- 0
+
 let predict_branch t ~pc ~taken =
   t.n_branches <- t.n_branches + 1;
   let index = (pc lxor t.history) land t.history_mask in
-  let counter = t.counters.(index) in
+  let counter = t.counters.!(index) in
   let prediction = counter >= 2 in
-  t.counters.(index) <-
+  t.counters.!(index) <-
     (if taken then min 3 (counter + 1) else max 0 (counter - 1));
   t.history <- ((t.history lsl 1) lor if taken then 1 else 0) land t.history_mask;
   let correct = prediction = taken in
@@ -55,29 +81,32 @@ let predict_branch t ~pc ~taken =
 
 let btb_lookup t ~pc ~target =
   t.n_btb_lookups <- t.n_btb_lookups + 1;
-  let n = Array.length t.btb_tags in
-  let slot = pc mod n in
-  let hit = t.btb_tags.(slot) = pc && t.btb_targets.(slot) = target in
+  let slot =
+    if t.btb_mask >= 0 then pc land t.btb_mask
+    else pc mod Array.length t.btb_tags
+  in
+  let hit = t.btb_tags.!(slot) = pc && t.btb_targets.!(slot) = target in
   if not hit then begin
     t.n_btb_misses <- t.n_btb_misses + 1;
-    t.btb_tags.(slot) <- pc;
-    t.btb_targets.(slot) <- target
+    t.btb_tags.!(slot) <- pc;
+    t.btb_targets.!(slot) <- target
   end;
   hit
 
+let ras_slot t i =
+  if t.ras_mask >= 0 then i land t.ras_mask else i mod Array.length t.ras
+
 let call_push t ~return_addr =
-  let n = Array.length t.ras in
-  t.ras.(t.ras_top mod n) <- return_addr;
+  t.ras.!(ras_slot t t.ras_top) <- return_addr;
   t.ras_top <- t.ras_top + 1
 
 let ret_predict t ~actual =
   t.n_returns <- t.n_returns + 1;
-  let n = Array.length t.ras in
   let correct =
     if t.ras_top = 0 then false
     else begin
       t.ras_top <- t.ras_top - 1;
-      t.ras.(t.ras_top mod n) = actual
+      t.ras.!(ras_slot t t.ras_top) = actual
     end
   in
   if not correct then t.n_ras_misses <- t.n_ras_misses + 1;

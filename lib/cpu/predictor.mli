@@ -29,3 +29,7 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val reset : t -> unit
+(** Back to the post-{!create} state, reusing the arrays (see
+    {!Cache.reset}). *)

@@ -1,0 +1,166 @@
+module Instr = Vp_isa.Instr
+module Op = Vp_isa.Op
+module Reg = Vp_isa.Reg
+module Image = Vp_prog.Image
+
+type t = {
+  image : Image.t;
+  code : Instr.t array;
+  tag : int array;
+  dst : Reg.t array;
+  src1 : Reg.t array;
+  src2 : Reg.t array;
+  imm : int array;
+  alu_op : Op.alu array;
+  cond : Op.cond array;
+  target : int array;
+  fu : Op.fu array;
+  latency : int array;
+  uses_off : int array;
+  uses : Reg.t array;
+  defs_off : int array;
+  defs : Reg.t array;
+}
+
+let tag_alu_reg = 0
+let tag_alu_imm = 1
+let tag_li = 2
+let tag_la = 3
+let tag_load = 4
+let tag_store = 5
+let tag_br = 6
+let tag_jmp = 7
+let tag_call = 8
+let tag_ret = 9
+let tag_nop = 10
+let tag_halt = 11
+let tag_la_unresolved = 12
+let tag_br_unresolved = 13
+let tag_jmp_unresolved = 14
+let tag_call_unresolved = 15
+
+let decode (image : Image.t) =
+  let code = image.Image.code in
+  let n = Array.length code in
+  let tag = Array.make n tag_nop in
+  let dst = Array.make n Reg.zero in
+  let src1 = Array.make n Reg.zero in
+  let src2 = Array.make n Reg.zero in
+  let imm = Array.make n 0 in
+  let alu_op = Array.make n Op.Add in
+  let cond = Array.make n Op.Eq in
+  let target = Array.make n (-1) in
+  let fu = Array.make n Op.Ialu in
+  let latency = Array.make n 1 in
+  let uses_off = Array.make (n + 1) 0 in
+  let defs_off = Array.make (n + 1) 0 in
+  for pc = 0 to n - 1 do
+    uses_off.(pc + 1) <- uses_off.(pc) + List.length (Instr.uses code.(pc));
+    defs_off.(pc + 1) <- defs_off.(pc) + List.length (Instr.defs code.(pc))
+  done;
+  let uses = Array.make uses_off.(n) Reg.zero in
+  let defs = Array.make defs_off.(n) Reg.zero in
+  for pc = 0 to n - 1 do
+    let i = code.(pc) in
+    List.iteri (fun k r -> uses.(uses_off.(pc) + k) <- r) (Instr.uses i);
+    List.iteri (fun k r -> defs.(defs_off.(pc) + k) <- r) (Instr.defs i);
+    fu.(pc) <- Instr.fu i;
+    latency.(pc) <- Instr.latency i;
+    match i with
+    | Instr.Alu { op; dst = d; src1 = s1; src2 = Instr.Reg s2 } ->
+      tag.(pc) <- tag_alu_reg;
+      alu_op.(pc) <- op;
+      dst.(pc) <- d;
+      src1.(pc) <- s1;
+      src2.(pc) <- s2
+    | Instr.Alu { op; dst = d; src1 = s1; src2 = Instr.Imm k } ->
+      tag.(pc) <- tag_alu_imm;
+      alu_op.(pc) <- op;
+      dst.(pc) <- d;
+      src1.(pc) <- s1;
+      imm.(pc) <- k
+    | Instr.Li { dst = d; imm = k } ->
+      tag.(pc) <- tag_li;
+      dst.(pc) <- d;
+      imm.(pc) <- k
+    | Instr.La { dst = d; target = Instr.Addr a } ->
+      tag.(pc) <- tag_la;
+      dst.(pc) <- d;
+      target.(pc) <- a
+    | Instr.La { dst = d; target = Instr.Label _ } ->
+      tag.(pc) <- tag_la_unresolved;
+      dst.(pc) <- d
+    | Instr.Load { dst = d; base; offset } ->
+      tag.(pc) <- tag_load;
+      dst.(pc) <- d;
+      src1.(pc) <- base;
+      imm.(pc) <- offset
+    | Instr.Store { src; base; offset } ->
+      tag.(pc) <- tag_store;
+      dst.(pc) <- src;
+      src1.(pc) <- base;
+      imm.(pc) <- offset
+    | Instr.Br { cond = c; src1 = s1; src2 = s2; target = tgt } -> (
+      cond.(pc) <- c;
+      src1.(pc) <- s1;
+      src2.(pc) <- s2;
+      match tgt with
+      | Instr.Addr a ->
+        tag.(pc) <- tag_br;
+        target.(pc) <- a
+      | Instr.Label _ -> tag.(pc) <- tag_br_unresolved)
+    | Instr.Jmp { target = Instr.Addr a } ->
+      tag.(pc) <- tag_jmp;
+      target.(pc) <- a
+    | Instr.Jmp { target = Instr.Label _ } -> tag.(pc) <- tag_jmp_unresolved
+    | Instr.Call { target = Instr.Addr a } ->
+      tag.(pc) <- tag_call;
+      target.(pc) <- a
+    | Instr.Call { target = Instr.Label _ } -> tag.(pc) <- tag_call_unresolved
+    | Instr.Ret -> tag.(pc) <- tag_ret
+    | Instr.Nop -> tag.(pc) <- tag_nop
+    | Instr.Halt -> tag.(pc) <- tag_halt
+  done;
+  {
+    image;
+    code;
+    tag;
+    dst;
+    src1;
+    src2;
+    imm;
+    alu_op;
+    cond;
+    target;
+    fu;
+    latency;
+    uses_off;
+    uses;
+    defs_off;
+    defs;
+  }
+
+(* One-slot domain-local memo keyed by physical image identity: the
+   pipelines decode the same immutable image over and over (timing
+   model after functional run, repeated benchmark iterations), and a
+   decoded form is pure data derived from it. *)
+let memo : (Image.t * t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let of_image (image : Image.t) =
+  let slot = Domain.DLS.get memo in
+  match !slot with
+  | Some (key, d) when key == image -> d
+  | _ ->
+    let d = decode image in
+    slot := Some (image, d);
+    d
+
+let size t = Array.length t.tag
+
+let slice_pc off payload t pc =
+  if pc < 0 || pc >= size t then invalid_arg "Decode: pc outside image";
+  List.init (off.(pc + 1) - off.(pc)) (fun k -> payload.(off.(pc) + k))
+
+let uses_pc t pc = slice_pc t.uses_off t.uses t pc
+let defs_pc t pc = slice_pc t.defs_off t.defs t pc

@@ -1,0 +1,86 @@
+(** Predecoded image: the flat, allocation-free execution form.
+
+    {!of_image} lowers an image's [Instr.t array] into parallel int
+    arrays once, at load time, so the emulator's retire loop and the
+    timing model touch nothing but unboxed array cells.  Operands
+    ([Reg.t] is an immediate int), ALU opcodes and branch conditions
+    (constant constructors) all live in flat arrays; variable-length
+    per-instruction register sets ([Instr.uses]/[Instr.defs], which
+    allocate lists on every call) are frozen into CSR-style
+    offset+payload arrays.
+
+    Unresolved [Label] targets are NOT a decode-time error: the
+    emulator only faults on them when the instruction actually
+    executes (and, for a conditional branch, only when taken), and
+    decode preserves exactly that behaviour via the [*_unresolved]
+    tags, whose execution re-reads the boxed instruction to build the
+    same error message lazily. *)
+
+type t = {
+  image : Vp_prog.Image.t;  (** the image this was decoded from *)
+  code : Vp_isa.Instr.t array;  (** [image.code] — error messages, events *)
+  tag : int array;  (** one of the [tag_*] constants below *)
+  dst : Vp_isa.Reg.t array;  (** destination; the stored register for [Store] *)
+  src1 : Vp_isa.Reg.t array;  (** first source; base register for [Load]/[Store] *)
+  src2 : Vp_isa.Reg.t array;  (** register second operand ([tag_alu_reg], [tag_br]) *)
+  imm : int array;  (** immediate operand, or [Load]/[Store] offset *)
+  alu_op : Vp_isa.Op.alu array;
+  cond : Vp_isa.Op.cond array;
+  target : int array;  (** resolved control/[La] target address; -1 otherwise *)
+  fu : Vp_isa.Op.fu array;  (** functional-unit class, per pc *)
+  latency : int array;  (** base result latency, per pc *)
+  uses_off : int array;  (** length [size + 1]; pc's uses are [uses_off.(pc), uses_off.(pc+1)) *)
+  uses : Vp_isa.Reg.t array;
+  defs_off : int array;  (** length [size + 1]; same layout as [uses_off] *)
+  defs : Vp_isa.Reg.t array;
+}
+
+(** {2 Instruction tags}
+
+    Grouped so that resolved control flow is contiguous
+    ([tag_br .. tag_halt]) and every unresolved-label variant sits at
+    or above [tag_la_unresolved]. *)
+
+val tag_alu_reg : int  (** [Alu] with a register second operand *)
+
+val tag_alu_imm : int  (** [Alu] with an immediate second operand *)
+
+val tag_li : int
+
+val tag_la : int
+
+val tag_load : int
+
+val tag_store : int
+
+val tag_br : int
+
+val tag_jmp : int
+
+val tag_call : int
+
+val tag_ret : int
+
+val tag_nop : int
+
+val tag_halt : int
+
+val tag_la_unresolved : int
+
+val tag_br_unresolved : int
+
+val tag_jmp_unresolved : int
+
+val tag_call_unresolved : int
+
+val of_image : Vp_prog.Image.t -> t
+(** Lower the image.  O(size); performs all list/variant traversal up
+    front so execution never does. *)
+
+val size : t -> int
+
+val uses_pc : t -> int -> Vp_isa.Reg.t list
+(** The decoded use set of one pc, as a list (test/debug helper; the
+    hot paths read the CSR arrays directly). *)
+
+val defs_pc : t -> int -> Vp_isa.Reg.t list

@@ -29,7 +29,150 @@ let operand_value st = function
   | Instr.Reg r -> State.reg st r
   | Instr.Imm n -> n
 
-let run ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch ?on_event image =
+(* Unchecked array access inside the decoded hot loop: [pc] is
+   validated against the image size at the top of each iteration, and
+   every decoded table has exactly one entry per pc. *)
+external ( .!() ) : 'a array -> int -> 'a = "%array_unsafe_get"
+
+(* Cold path: an unresolved-label instruction actually executed.
+   Re-read the boxed instruction to rebuild the exact message
+   {!target_addr} would have produced. *)
+let unresolved code pc =
+  match Instr.target code.(pc) with
+  | Some (Instr.Label l) ->
+    invalid_arg (Printf.sprintf "Emulator: unresolved label %s" l)
+  | _ -> assert false
+
+let run_decoded ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
+    ?on_event ?on_retire (d : Decode.t) =
+  let st = State.create ~mem_words d.Decode.image in
+  let instructions = ref 0 in
+  let package_instructions = ref 0 in
+  let cond_branches = ref 0 in
+  let halted = ref false in
+  let orig_limit = d.Decode.image.Image.orig_limit in
+  let tag = d.Decode.tag in
+  let dst = d.Decode.dst in
+  let src1 = d.Decode.src1 in
+  let src2 = d.Decode.src2 in
+  let imm = d.Decode.imm in
+  let alu_op = d.Decode.alu_op in
+  let cond = d.Decode.cond in
+  let target = d.Decode.target in
+  let code = d.Decode.code in
+  let size = Array.length tag in
+  (* Per-instruction scratch, allocated once for the whole run: the
+     retire loop writes plain ints and bools here instead of
+     allocating an event record or a [mem_addr] option. *)
+  let taken = ref false in
+  let mem_addr = ref (-1) in
+  let next = ref 0 in
+  while (not !halted) && !instructions < fuel do
+    let pc = State.pc st in
+    if pc < 0 || pc >= size then
+      invalid_arg (Printf.sprintf "Emulator: pc 0x%x outside image" pc);
+    incr instructions;
+    if pc >= orig_limit then incr package_instructions;
+    taken := false;
+    mem_addr := -1;
+    next := pc + 1;
+    (match tag.!(pc) with
+    | 0 (* Alu, register operand *) ->
+      State.set_reg st dst.!(pc)
+        (Op.eval_alu alu_op.!(pc) (State.reg st src1.!(pc))
+           (State.reg st src2.!(pc)))
+    | 1 (* Alu, immediate operand *) ->
+      State.set_reg st dst.!(pc)
+        (Op.eval_alu alu_op.!(pc) (State.reg st src1.!(pc)) imm.!(pc))
+    | 2 (* Li *) -> State.set_reg st dst.!(pc) imm.!(pc)
+    | 3 (* La *) -> State.set_reg st dst.!(pc) target.!(pc)
+    | 4 (* Load *) ->
+      let addr = State.reg st src1.!(pc) + imm.!(pc) in
+      mem_addr := addr;
+      State.set_reg st dst.!(pc) (State.mem st addr)
+    | 5 (* Store *) ->
+      let addr = State.reg st src1.!(pc) + imm.!(pc) in
+      mem_addr := addr;
+      let v = State.reg st dst.!(pc) in
+      State.set_mem st addr v;
+      (* ra spills hold code addresses; keep them out of the digest so
+         original and rewritten binaries stay comparable. *)
+      if not (Reg.equal dst.!(pc) Reg.ra) then State.bump_store_digest st addr v
+    | 6 (* Br *) ->
+      incr cond_branches;
+      let t =
+        Op.eval_cond cond.!(pc) (State.reg st src1.!(pc)) (State.reg st src2.!(pc))
+      in
+      taken := t;
+      if t then next := target.!(pc);
+      (match on_branch with Some f -> f ~pc ~taken:t | None -> ())
+    | 7 (* Jmp *) ->
+      taken := true;
+      next := target.!(pc)
+    | 8 (* Call *) ->
+      taken := true;
+      State.set_reg st Reg.ra (pc + 1);
+      next := target.!(pc)
+    | 9 (* Ret *) ->
+      taken := true;
+      let ra = State.reg st Reg.ra in
+      if ra = State.halt_address then begin
+        halted := true;
+        next := State.halt_address
+      end
+      else next := ra
+    | 10 (* Nop *) -> ()
+    | 11 (* Halt *) ->
+      halted := true;
+      next := State.halt_address
+    | 13 (* Br, unresolved label: fault only when taken *) ->
+      incr cond_branches;
+      let t =
+        Op.eval_cond cond.!(pc) (State.reg st src1.!(pc)) (State.reg st src2.!(pc))
+      in
+      taken := t;
+      if t then unresolved code pc;
+      (match on_branch with Some f -> f ~pc ~taken:t | None -> ())
+    | _ (* La/Jmp/Call with an unresolved label *) -> unresolved code pc);
+    (match on_event with
+    | Some f ->
+      f
+        {
+          pc;
+          instr = code.(pc);
+          taken = !taken;
+          next_pc = !next;
+          mem_addr = (if !mem_addr < 0 then None else Some !mem_addr);
+        }
+    | None -> ());
+    (match on_retire with
+    | Some f -> f ~pc ~taken:!taken ~next_pc:!next ~mem_addr:!mem_addr
+    | None -> ());
+    if not !halted then State.set_pc st !next
+  done;
+  let outcome =
+    {
+      instructions = !instructions;
+      package_instructions = !package_instructions;
+      cond_branches = !cond_branches;
+      halted = !halted;
+      checksum = State.checksum st;
+      result = State.reg st Reg.ret_value;
+      final_pc = State.pc st;
+    }
+  in
+  (* The state never escapes this function; recycle its memory array. *)
+  State.release st;
+  outcome
+
+let run ?fuel ?mem_words ?on_branch ?on_event image =
+  run_decoded ?fuel ?mem_words ?on_branch ?on_event (Decode.of_image image)
+
+(* The original boxed interpreter, kept verbatim as the executable
+   specification: the differential tests re-run every workload through
+   it and require bit-identical outcomes from the decoded core. *)
+let run_reference ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
+    ?on_event image =
   let st = State.create ~mem_words image in
   let instructions = ref 0 in
   let package_instructions = ref 0 in
@@ -62,8 +205,6 @@ let run ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch ?on_event image
       mem_addr := Some addr;
       let v = State.reg st src in
       State.set_mem st addr v;
-      (* ra spills hold code addresses; keep them out of the digest so
-         original and rewritten binaries stay comparable. *)
       if not (Reg.equal src Reg.ra) then State.bump_store_digest st addr v
     | Instr.Br { cond; src1; src2; target } ->
       incr cond_branches;
@@ -106,13 +247,23 @@ let run ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch ?on_event image
     final_pc = State.pc st;
   }
 
-let aggregate_branch_profile ?fuel ?mem_words image =
+let branch_counts_to_table executed takens =
   let table = Hashtbl.create 256 in
-  let on_branch ~pc ~taken =
-    let executed, takens =
-      Option.value ~default:(0, 0) (Hashtbl.find_opt table pc)
-    in
-    Hashtbl.replace table pc (executed + 1, if taken then takens + 1 else takens)
-  in
-  let (_ : outcome) = run ?fuel ?mem_words ~on_branch image in
+  Array.iteri
+    (fun pc e -> if e > 0 then Hashtbl.replace table pc (e, takens.(pc)))
+    executed;
   table
+
+let aggregate_branch_profile ?fuel ?mem_words image =
+  let d = Decode.of_image image in
+  (* pc-indexed counters instead of a hashtable: the per-branch cost
+     is two array bumps, and the table shape is recovered once at the
+     end for the callers that want it. *)
+  let executed = Array.make (Decode.size d) 0 in
+  let takens = Array.make (Decode.size d) 0 in
+  let on_branch ~pc ~taken =
+    executed.(pc) <- executed.(pc) + 1;
+    if taken then takens.(pc) <- takens.(pc) + 1
+  in
+  let (_ : outcome) = run_decoded ?fuel ?mem_words ~on_branch d in
+  branch_counts_to_table executed takens

@@ -1,16 +1,19 @@
 (** Functional (architectural) emulation of a binary image.
 
-    The emulator retires one instruction at a time and exposes two
-    observation channels:
+    The emulator retires one instruction at a time over the predecoded
+    form ({!Decode}) and exposes three observation channels:
 
     - [on_branch] fires at every conditional-branch retirement with
       the branch's static address and its outcome — exactly the event
       stream the Hot Spot Detector consumes;
-    - [on_event] fires at every retirement with full detail (used by
-      the trace-driven timing model).
+    - [on_retire] fires at every retirement with plain int arguments —
+      the allocation-free channel the trace-driven timing model uses;
+    - [on_event] fires at every retirement with a boxed {!event}
+      record (legacy tracing interface; allocates one record per
+      retired instruction).
 
-    Both are optional and the fast path allocates nothing when
-    [on_event] is absent. *)
+    All are optional; with only [on_branch] and [on_retire] the retire
+    loop performs no per-instruction heap allocation. *)
 
 type event = {
   pc : int;
@@ -39,10 +42,45 @@ val run :
   outcome
 (** Execute from the image entry until [Halt], a return to
     {!State.halt_address}, or fuel exhaustion (default fuel 200M).
-    Raises {!State.Fault} on out-of-range memory access and
-    [Invalid_argument] on a jump outside the image. *)
+    Decodes the image first; callers that run the same image many
+    times should decode once and use {!run_decoded}.  Raises
+    {!State.Fault} on out-of-range memory access and
+    [Invalid_argument] on a jump outside the image or an executed
+    unresolved label. *)
+
+val run_decoded :
+  ?fuel:int ->
+  ?mem_words:int ->
+  ?on_branch:(pc:int -> taken:bool -> unit) ->
+  ?on_event:(event -> unit) ->
+  ?on_retire:(pc:int -> taken:bool -> next_pc:int -> mem_addr:int -> unit) ->
+  Decode.t ->
+  outcome
+(** {!run} over a predecoded image.  [on_retire] is the
+    allocation-free equivalent of [on_event]: [mem_addr] is the
+    effective address of a load/store and [-1] for every other
+    instruction (no address in this machine is negative). *)
+
+val run_reference :
+  ?fuel:int ->
+  ?mem_words:int ->
+  ?on_branch:(pc:int -> taken:bool -> unit) ->
+  ?on_event:(event -> unit) ->
+  Vp_prog.Image.t ->
+  outcome
+(** The original boxed interpreter over [Instr.t], kept as the
+    executable specification of {!run}: it allocates per instruction
+    and is only used by differential tests, which require outcomes,
+    checksums and observation streams bit-identical to {!run}'s. *)
+
+val branch_counts_to_table :
+  int array -> int array -> (int, int * int) Hashtbl.t
+(** [branch_counts_to_table executed takens] recovers the classic
+    per-pc [(executed, taken)] table from a pair of pc-indexed
+    counter arrays, keeping only pcs with [executed > 0]. *)
 
 val aggregate_branch_profile :
   ?fuel:int -> ?mem_words:int -> Vp_prog.Image.t -> (int, int * int) Hashtbl.t
 (** Whole-run (executed, taken) counts per static conditional branch —
-    the traditional aggregate profile the paper contrasts against. *)
+    the traditional aggregate profile the paper contrasts against.
+    Accumulated in pc-indexed arrays, not a per-branch hashtable. *)

@@ -9,53 +9,120 @@ type t = {
   stack_floor : int;
   mutable program_counter : int;
   mutable digest : int;
+  dirty : int array;
+  mutable n_dirty : int;  (* -1 once the journal overflows *)
 }
 
 let halt_address = -1
+
+(* Unchecked array access for the per-instruction paths.  Register
+   indices are in range by construction ([Reg.t] is a validated
+   private int, [regs] has [Reg.count] slots); memory and journal
+   indices are explicitly range-checked before the access. *)
+external ( .!() ) : 'a array -> int -> 'a = "%array_unsafe_get"
+external ( .!()<- ) : 'a array -> int -> 'a -> unit = "%array_unsafe_set"
 
 (* Addresses at or above the floor are stack: private scratch whose
    stores (spills, frame locals) are not part of observable behaviour. *)
 let stack_floor_of mem_words = mem_words - min (mem_words / 4) (1 lsl 16)
 
+(* Dirty-word journal: while it has not overflowed, every memory word
+   that is currently nonzero has its address recorded in
+   [dirty.(0 .. n_dirty - 1)].  Words only become nonzero through
+   {!set_mem} (or the data initialisers in {!create}), both of which
+   append to the journal on a zero-to-nonzero transition.  Reusing a
+   released memory array then only has to re-zero the journaled words
+   instead of memsetting the whole multi-megabyte array. *)
+let dirty_cap = 1 lsl 16
+
+(* Domain-local arena: the memory array is megabytes per state and
+   every emulation run used to allocate a fresh one, making the
+   allocator and major GC the dominant cost of short runs.  A run
+   whose state provably dies (the emulator's own states) hands the
+   whole state back via {!release}; the next {!create} on this domain
+   steals its memory array and scrubs it via the journal.
+   Steal-on-create empties the slot first, so two live states can
+   never alias one array, even if a callback starts a nested run. *)
+let arena : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let take_arena mem_words =
+  let slot = Domain.DLS.get arena in
+  match !slot with
+  | Some old when Array.length old.memory = mem_words ->
+    slot := None;
+    let m = old.memory in
+    if old.n_dirty < 0 then Array.fill m 0 mem_words 0
+    else
+      for i = 0 to old.n_dirty - 1 do
+        m.!(old.dirty.!(i)) <- 0
+      done;
+    (m, old.dirty)
+  | _ -> (Array.make mem_words 0, Array.make dirty_cap 0)
+
+let release t = Domain.DLS.get arena := Some t
+
+let journal t addr =
+  if t.n_dirty >= 0 then begin
+    if t.n_dirty < dirty_cap then begin
+      t.dirty.!(t.n_dirty) <- addr;
+      t.n_dirty <- t.n_dirty + 1
+    end
+    else t.n_dirty <- -1
+  end
+
 let create ~mem_words image =
   let regs = Array.make Reg.count 0 in
   regs.(Reg.to_int Reg.sp) <- mem_words;
   regs.(Reg.to_int Reg.ra) <- halt_address;
-  let memory = Array.make mem_words 0 in
+  let memory, dirty = take_arena mem_words in
+  let t =
+    {
+      regs;
+      memory;
+      stack_floor = stack_floor_of mem_words;
+      program_counter = image.Image.entry;
+      digest = 0;
+      dirty;
+      n_dirty = 0;
+    }
+  in
   List.iter
     (fun (addr, v) ->
       if addr < 0 || addr >= mem_words then
         raise (Fault (Printf.sprintf "data initialiser at %d out of range" addr));
+      if memory.(addr) = 0 && v <> 0 then journal t addr;
       memory.(addr) <- v)
     image.Image.data_init;
-  {
-    regs;
-    memory;
-    stack_floor = stack_floor_of mem_words;
-    program_counter = image.Image.entry;
-    digest = 0;
-  }
+  t
 
 let pc t = t.program_counter
 let set_pc t v = t.program_counter <- v
 
 let reg t r =
   let i = Reg.to_int r in
-  if i = 0 then 0 else t.regs.(i)
+  if i = 0 then 0 else t.regs.!(i)
 
 let set_reg t r v =
   let i = Reg.to_int r in
-  if i <> 0 then t.regs.(i) <- v
+  if i <> 0 then t.regs.!(i) <- v
 
 let mem t addr =
   if addr < 0 || addr >= Array.length t.memory then
     raise (Fault (Printf.sprintf "load from %d out of range (pc=0x%x)" addr t.program_counter))
-  else t.memory.(addr)
+  else t.memory.!(addr)
 
 let set_mem t addr v =
   if addr < 0 || addr >= Array.length t.memory then
     raise (Fault (Printf.sprintf "store to %d out of range (pc=0x%x)" addr t.program_counter))
-  else t.memory.(addr) <- v
+  else begin
+    (* Zero-to-nonzero transition: this word must be journaled so the
+       arena can scrub it.  Already-nonzero words are in the journal
+       by the invariant above, and writing zero leaves nothing to
+       scrub. *)
+    if t.memory.!(addr) = 0 && v <> 0 then journal t addr;
+    t.memory.!(addr) <- v
+  end
 
 let mem_words t = Array.length t.memory
 

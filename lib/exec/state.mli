@@ -12,7 +12,16 @@ val halt_address : int
 val create : mem_words:int -> Vp_prog.Image.t -> t
 (** Fresh state: pc at the image entry, sp at the top of memory, ra at
     {!halt_address}, memory initialised from the image's data
-    initialisers. *)
+    initialisers.  The memory array is taken from this domain's arena
+    when a matching one was {!release}d, avoiding a multi-megabyte
+    allocation per run. *)
+
+val release : t -> unit
+(** Return [t]'s memory array to the domain-local arena for the next
+    {!create} to reuse.  The reuser re-zeroes only the words [t]
+    actually dirtied (tracked in a journal), not the whole array.
+    Only call when [t] is provably dead — the emulator does so when a
+    run completes; states created directly need not bother. *)
 
 val pc : t -> int
 val set_pc : t -> int -> unit

@@ -69,7 +69,8 @@ let on_branch t ~pc ~taken =
   let verdict = Bbb.record t.bbb ~pc ~taken in
   let hdc_max = Config.hdc_max t.cfg in
   (match verdict with
-  | Bbb.Candidate -> t.hdc <- Stdlib.max 0 (t.hdc - t.cfg.Config.hdc_dec)
+  | Bbb.Candidate -> let v = t.hdc - t.cfg.Config.hdc_dec in
+    t.hdc <- (if v > 0 then v else 0)
   | Bbb.Non_candidate | Bbb.Dropped ->
     t.hdc <- Stdlib.min hdc_max (t.hdc + t.cfg.Config.hdc_inc));
   if t.hdc = 0 then begin

@@ -221,6 +221,26 @@ let test_speedup_ratio () =
   Alcotest.(check (float 1e-9)) "self speedup" 1.0
     (Pipeline.speedup ~baseline:s ~optimized:s)
 
+(* The retire path must not allocate per instruction: a 10x longer
+   simulation allocates the same constant amount (caches, predictor,
+   decoded tables are per-call or memoized, not per-retirement). *)
+let test_simulate_allocation_flat () =
+  let img =
+    Program.layout (Progs.two_phase ~iters_per_phase:100_000 ~repeats:2)
+  in
+  ignore (Pipeline.simulate ~fuel:1_000 img);
+  let words f =
+    let before = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. before
+  in
+  let short = words (fun () -> ignore (Pipeline.simulate ~fuel:10_000 img)) in
+  let long = words (fun () -> ignore (Pipeline.simulate ~fuel:100_000 img)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation flat (short %.0f, long %.0f)" short long)
+    true
+    (long -. short < 10_000.)
+
 let prop_pipeline_cycles_at_least_instructions_over_width =
   QCheck.Test.make ~name:"cycles bounded below by width limit" ~count:20
     QCheck.(int_range 10 2000)
@@ -259,6 +279,8 @@ let () =
           Alcotest.test_case "per-phase attribution" `Quick test_simulate_phases_partitions;
           Alcotest.test_case "rejects unresolved branch" `Quick
             test_pipeline_rejects_unresolved_branch;
+          Alcotest.test_case "zero per-instruction allocation" `Quick
+            test_simulate_allocation_flat;
           QCheck_alcotest.to_alcotest prop_pipeline_cycles_at_least_instructions_over_width;
         ] );
     ]

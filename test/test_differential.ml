@@ -1,0 +1,109 @@
+(* Differential tests: the decoded execution core against the boxed
+   reference interpreter.  Every registry A-input workload runs through
+   both [Emulator.run_reference] (the original instruction-at-a-time
+   interpreter, kept as the executable specification) and the decoded
+   [Emulator.run]; the two must agree on every outcome field, on the
+   hot-spot detector's snapshot stream, and on the whole-run aggregate
+   branch profile. *)
+
+module Registry = Vp_workloads.Registry
+module Program = Vp_prog.Program
+module Emulator = Vp_exec.Emulator
+module Detector = Vp_hsd.Detector
+module Snapshot = Vp_hsd.Snapshot
+
+let a_workloads = List.filter (fun w -> w.Registry.input = "A") Registry.all
+
+(* Both cores get the same fuel; a truncated run is still a valid
+   differential as long as both truncate at the same instruction. *)
+let fuel = 2_000_000
+
+(* One instrumented run: detector snapshots plus the classic
+   hashtable aggregate, built the same way for both cores. *)
+let observe runner image =
+  let detector = Detector.create ~config:Vp_hsd.Config.default () in
+  let agg : (int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let on_branch ~pc ~taken =
+    Detector.on_branch detector ~pc ~taken;
+    let e, t = Option.value ~default:(0, 0) (Hashtbl.find_opt agg pc) in
+    Hashtbl.replace agg pc (e + 1, if taken then t + 1 else t)
+  in
+  let outcome = runner ~fuel ~on_branch image in
+  (outcome, Detector.snapshots detector, agg)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let check_outcome name (a : Emulator.outcome) (b : Emulator.outcome) =
+  Alcotest.(check int) (name ^ ": instructions") a.Emulator.instructions
+    b.Emulator.instructions;
+  Alcotest.(check int)
+    (name ^ ": package instructions")
+    a.Emulator.package_instructions b.Emulator.package_instructions;
+  Alcotest.(check int) (name ^ ": cond branches") a.Emulator.cond_branches
+    b.Emulator.cond_branches;
+  Alcotest.(check bool) (name ^ ": halted") a.Emulator.halted b.Emulator.halted;
+  Alcotest.(check int) (name ^ ": checksum") a.Emulator.checksum
+    b.Emulator.checksum;
+  Alcotest.(check int) (name ^ ": result") a.Emulator.result b.Emulator.result;
+  Alcotest.(check int) (name ^ ": final pc") a.Emulator.final_pc
+    b.Emulator.final_pc
+
+let test_workload w () =
+  let name = Registry.name w in
+  let image = Program.layout (w.Registry.program ()) in
+  let ref_outcome, ref_snaps, ref_agg =
+    observe
+      (fun ~fuel ~on_branch image -> Emulator.run_reference ~fuel ~on_branch image)
+      image
+  in
+  let dec_outcome, dec_snaps, dec_agg =
+    observe (fun ~fuel ~on_branch image -> Emulator.run ~fuel ~on_branch image)
+      image
+  in
+  check_outcome name ref_outcome dec_outcome;
+  Alcotest.(check int)
+    (name ^ ": snapshot count")
+    (List.length ref_snaps) (List.length dec_snaps);
+  Alcotest.(check bool)
+    (name ^ ": snapshot streams identical")
+    true
+    (ref_snaps = dec_snaps);
+  Alcotest.(check bool)
+    (name ^ ": aggregate profiles identical")
+    true
+    (sorted_bindings ref_agg = sorted_bindings dec_agg)
+
+(* The full driver path (decoded core + pc-indexed profile counters)
+   against a reference-interpreter reconstruction of the same
+   aggregate, on one real workload end to end. *)
+let test_driver_profile_matches_reference () =
+  let w = Option.get (Registry.find ~bench:"134.perl" ~input:"A") in
+  let image = Program.layout (w.Registry.program ()) in
+  let p = Vacuum.Driver.profile image in
+  let agg : (int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let on_branch ~pc ~taken =
+    let e, t = Option.value ~default:(0, 0) (Hashtbl.find_opt agg pc) in
+    Hashtbl.replace agg pc (e + 1, if taken then t + 1 else t)
+  in
+  let outcome = Emulator.run_reference ~on_branch image in
+  check_outcome "driver profile" outcome p.Vacuum.Driver.outcome;
+  Alcotest.(check bool)
+    "driver aggregate matches reference interpreter" true
+    (sorted_bindings agg = sorted_bindings p.Vacuum.Driver.aggregate)
+
+let () =
+  Alcotest.run "vp_differential"
+    [
+      ( "decoded vs reference",
+        List.map
+          (fun w ->
+            Alcotest.test_case (Registry.name w) `Quick (test_workload w))
+          a_workloads );
+      ( "driver",
+        [
+          Alcotest.test_case "profile matches reference" `Quick
+            test_driver_profile_matches_reference;
+        ] );
+    ]

@@ -218,6 +218,119 @@ let test_checksum_stability () =
   Alcotest.(check bool) "different program, different checksum" true
     (a.Emulator.checksum <> c.Emulator.checksum)
 
+(* ------------------------------------------------------------------ *)
+(* The decoded form. *)
+
+module Decode = Vp_exec.Decode
+module Instr = Vp_isa.Instr
+module Reg = Vp_isa.Reg
+
+let test_decode_tables_match_instr () =
+  let img = Program.layout (Progs.two_phase ~iters_per_phase:5 ~repeats:2) in
+  let d = Decode.of_image img in
+  Alcotest.(check int) "size" (Array.length img.Image.code) (Decode.size d);
+  Array.iteri
+    (fun pc i ->
+      let regs l = List.map Reg.to_int l in
+      Alcotest.(check (list int))
+        (Printf.sprintf "uses at pc %d" pc)
+        (regs (Instr.uses i))
+        (regs (Decode.uses_pc d pc));
+      Alcotest.(check (list int))
+        (Printf.sprintf "defs at pc %d" pc)
+        (regs (Instr.defs i))
+        (regs (Decode.defs_pc d pc));
+      Alcotest.(check int)
+        (Printf.sprintf "latency at pc %d" pc)
+        (Instr.latency i) d.Decode.latency.(pc);
+      Alcotest.(check bool)
+        (Printf.sprintf "fu at pc %d" pc)
+        true
+        (Instr.fu i = d.Decode.fu.(pc)))
+    img.Image.code
+
+let test_decode_memoizes_on_identity () =
+  let img = Program.layout (Progs.sum_to_n 10) in
+  let d1 = Decode.of_image img in
+  let d2 = Decode.of_image img in
+  Alcotest.(check bool) "same physical image, same decode" true (d1 == d2)
+
+(* Unresolved [Label] targets must fault lazily — exactly when the
+   instruction executes and (for branches) only when taken, matching
+   the boxed interpreter's behaviour. *)
+let unresolved_branch_image ~taken =
+  let r = Reg.of_int 8 in
+  {
+    Image.code =
+      [|
+        Instr.Li { dst = r; imm = (if taken then 0 else 1) };
+        Instr.Br
+          {
+            cond = Vp_isa.Op.Eq;
+            src1 = r;
+            src2 = Reg.zero;
+            target = Instr.Label "nowhere";
+          };
+        Instr.Halt;
+      |];
+    syms = [ { Image.name = "main"; start = 0; len = 3 } ];
+    entry = 0;
+    orig_limit = 3;
+    data_init = [];
+    data_break = 0;
+  }
+
+let test_unresolved_branch_not_taken_runs () =
+  let o = Emulator.run (unresolved_branch_image ~taken:false) in
+  Alcotest.(check bool) "halted" true o.Emulator.halted;
+  Alcotest.(check int) "branch counted" 1 o.Emulator.cond_branches
+
+let test_unresolved_branch_taken_faults () =
+  Alcotest.check_raises "taken unresolved branch"
+    (Invalid_argument "Emulator: unresolved label nowhere") (fun () ->
+      ignore (Emulator.run (unresolved_branch_image ~taken:true)))
+
+let test_unresolved_jmp_faults () =
+  let img =
+    {
+      Image.code = [| Instr.Jmp { target = Instr.Label "gone" }; Instr.Halt |];
+      syms = [ { Image.name = "main"; start = 0; len = 2 } ];
+      entry = 0;
+      orig_limit = 2;
+      data_init = [];
+      data_break = 0;
+    }
+  in
+  Alcotest.check_raises "unresolved jmp"
+    (Invalid_argument "Emulator: unresolved label gone") (fun () ->
+      ignore (Emulator.run img))
+
+(* The hot loop must not allocate per retired instruction: minor-heap
+   allocation for a 10x longer run stays flat (the decoded form is
+   memoized, the memory array comes from the arena, and the loop's
+   scratch is unboxed). *)
+let minor_words_during f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let test_run_allocation_flat () =
+  let img =
+    Program.layout (Progs.two_phase ~iters_per_phase:100_000 ~repeats:2)
+  in
+  (* Warm the decode memo and the state arena. *)
+  ignore (Emulator.run ~fuel:1_000 img);
+  let short = minor_words_during (fun () -> ignore (Emulator.run ~fuel:10_000 img)) in
+  let long =
+    minor_words_during (fun () -> ignore (Emulator.run ~fuel:100_000 img))
+  in
+  (* 90k extra instructions; even one boxed word each would show up as
+     ~90k words.  Allow generous constant slack. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "allocation flat (short %.0f, long %.0f)" short long)
+    true
+    (long -. short < 10_000.)
+
 let prop_random_programs_halt =
   QCheck.Test.make ~name:"random arithmetic programs halt deterministically" ~count:40
     QCheck.(int_range 0 100_000)
@@ -262,6 +375,20 @@ let () =
           Alcotest.test_case "break/continue" `Quick test_builder_break_continue;
           Alcotest.test_case "raw labels" `Quick test_builder_raw_labels;
           Alcotest.test_case "frame locals" `Quick test_builder_frame_locals;
+        ] );
+      ( "decode",
+        [
+          Alcotest.test_case "tables match Instr" `Quick
+            test_decode_tables_match_instr;
+          Alcotest.test_case "memoized by identity" `Quick
+            test_decode_memoizes_on_identity;
+          Alcotest.test_case "unresolved branch not taken" `Quick
+            test_unresolved_branch_not_taken_runs;
+          Alcotest.test_case "unresolved branch taken" `Quick
+            test_unresolved_branch_taken_faults;
+          Alcotest.test_case "unresolved jmp" `Quick test_unresolved_jmp_faults;
+          Alcotest.test_case "zero per-instruction allocation" `Quick
+            test_run_allocation_flat;
         ] );
       ( "observation",
         [
