@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- --jobs 4 fig8   # 4 domains
      dune exec bench/main.exe -- --quick micro --json bench.json
                                          # machine-readable estimates
+     dune exec bench/main.exe -- --trace bench-trace.json fig8
+                                         # vp-obs-trace/1 span/counter log
 
    Experiments: table1 table2 fig8 table3 fig9 fig10
    baseline-aggregate ablation-bbb ablation-growth ablation-sink
@@ -236,7 +238,7 @@ let fig10 workloads =
     (fun w ->
       let config = config_of ~inference:true ~linking:true in
       let baseline =
-        Engine.baseline !engine (spec_of w) ~cpu:config.Vacuum.Config.cpu
+        Engine.baseline !engine (spec_of w) ~cpu:(Vacuum.Config.cpu config)
       in
       let cells =
         List.mapi
@@ -343,15 +345,10 @@ let ablation_growth workloads =
           (fun i (_, max_blocks, max_connector) ->
             let base = config_of ~inference:true ~linking:true in
             let config =
-              {
-                base with
-                Vacuum.Config.identify =
-                  {
-                    base.Vacuum.Config.identify with
-                    Vp_region.Identify.max_blocks;
-                    max_connector;
-                  };
-              }
+              Vacuum.Config.map_identify
+                (fun identify ->
+                  { identify with Vp_region.Identify.max_blocks; max_connector })
+                base
             in
             let c =
               Vacuum.Coverage.measure ~config
@@ -395,12 +392,12 @@ let baseline_aggregate workloads =
       let agg_cov = Vacuum.Coverage.measure ~config agg in
       let phase_cov = coverage_of w ~inference:true ~linking:true in
       let baseline =
-        Engine.baseline !engine (spec_of w) ~cpu:config.Vacuum.Config.cpu
+        Engine.baseline !engine (spec_of w) ~cpu:(Vacuum.Config.cpu config)
       in
       let time r =
         Vp_cpu.Pipeline.speedup ~baseline
           ~optimized:
-            (Vp_cpu.Pipeline.simulate ~config:config.Vacuum.Config.cpu
+            (Vp_cpu.Pipeline.simulate ~config:(Vacuum.Config.cpu config)
                (Vacuum.Driver.rewritten_image r))
       in
       let agg_speed = time agg in
@@ -452,15 +449,15 @@ let ablation_superblock workloads =
     (fun w ->
       let profile = profile_of w in
       let paper_cfg = config_of ~inference:true ~linking:true in
-      let sb_cfg = { paper_cfg with Vacuum.Config.opt = Vp_opt.Opt.default } in
+      let sb_cfg = Vacuum.Config.with_opt Vp_opt.Opt.default paper_cfg in
       let baseline =
-        Engine.baseline !engine (spec_of w) ~cpu:paper_cfg.Vacuum.Config.cpu
+        Engine.baseline !engine (spec_of w) ~cpu:(Vacuum.Config.cpu paper_cfg)
       in
       let time config =
         let r = Vacuum.Driver.rewrite_of_profile ~config profile in
         Vp_cpu.Pipeline.speedup ~baseline
           ~optimized:
-            (Vp_cpu.Pipeline.simulate ~config:config.Vacuum.Config.cpu
+            (Vp_cpu.Pipeline.simulate ~config:(Vacuum.Config.cpu config)
                (Vacuum.Driver.rewritten_image r))
       in
       let a = time paper_cfg in
@@ -503,7 +500,7 @@ let ablation_sink workloads =
       let profile = profile_of w in
       let base = config_of ~inference:true ~linking:true in
       let sink_cfg =
-        { base with Vacuum.Config.opt = Vp_opt.Opt.with_sinking }
+        Vacuum.Config.with_opt Vp_opt.Opt.with_sinking base
       in
       (* Count what the pass does on the linked packages. *)
       let r_plain = rewrite_of w ~inference:true ~linking:true in
@@ -517,12 +514,12 @@ let ablation_sink workloads =
         r_plain.Vacuum.Driver.packages;
       let r_sink = Vacuum.Driver.rewrite_of_profile ~config:sink_cfg profile in
       let baseline =
-        Engine.baseline !engine (spec_of w) ~cpu:base.Vacuum.Config.cpu
+        Engine.baseline !engine (spec_of w) ~cpu:(Vacuum.Config.cpu base)
       in
       let time r =
         Vp_cpu.Pipeline.speedup ~baseline
           ~optimized:
-            (Vp_cpu.Pipeline.simulate ~config:base.Vacuum.Config.cpu
+            (Vp_cpu.Pipeline.simulate ~config:(Vacuum.Config.cpu base)
                (Vacuum.Driver.rewritten_image r))
       in
       Tabular.add_row t
@@ -696,7 +693,7 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let write_json ~path ~engine_metrics =
+let write_json ~path ~engine_metrics ~counters =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"schema\": \"vacuum-bench/1\",\n";
@@ -719,6 +716,14 @@ let write_json ~path ~engine_metrics =
         (json_escape m.Engine.kind) (json_escape m.Engine.label)
         (json_float m.Engine.wall_s) m.Engine.instructions)
     engine_metrics;
+  out "\n  ],\n";
+  out "  \"counters\": [";
+  List.iteri
+    (fun i (name, value) ->
+      out "%s\n    {\"name\": \"%s\", \"value\": %d}"
+        (if i = 0 then "" else ",")
+        (json_escape name) value)
+    counters;
   out "\n  ]\n}\n";
   close_out oc
 
@@ -728,6 +733,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let jobs_opt, args = parse_jobs args in
   let json_path, args = parse_valued ~name:"json" args in
+  let trace_path, args = parse_valued ~name:"trace" args in
   let jobs = Option.value ~default:(Vp_util.Pool.default_jobs ()) jobs_opt in
   let quick = List.mem "--quick" args in
   let selected = List.filter (fun a -> a <> "--quick") args in
@@ -771,7 +777,15 @@ let () =
     picks;
   (* Populate the engine caches in parallel before any table renders;
      the DAG covers the union of what the picked experiments read. *)
-  engine := Engine.create ~jobs ();
+  let obs =
+    match trace_path with
+    | Some _ -> Vp_obs.create ()
+    | None -> Vp_obs.disabled
+  in
+  engine :=
+    Engine.create ~jobs
+      ~profile_config:(Vacuum.Config.with_obs obs Vacuum.Config.default)
+      ~obs ();
   let rewrites, timing =
     List.fold_left
       (fun (r, t) pick ->
@@ -790,7 +804,13 @@ let () =
   | [] -> ()
   | name :: _ -> fail_truncated name);
   List.iter run picks;
+  (match trace_path with
+  | Some path -> Vp_obs.Sink.write_trace obs ~path
+  | None -> ());
   (match json_path with
-  | Some path -> write_json ~path ~engine_metrics:(Engine.metrics !engine)
+  | Some path ->
+    write_json ~path
+      ~engine_metrics:(Engine.metrics !engine)
+      ~counters:(Vp_obs.Sink.counters obs)
   | None -> ());
   Format.eprintf "@.%a" Engine.pp_summary !engine

@@ -9,6 +9,24 @@ module Emulator = Vp_exec.Emulator
 
 open Cmdliner
 
+(* Accept the exact Table 1 bench name or any unambiguous suffix:
+   "134.perl" and "perl" both name 134.perl. *)
+let resolve_bench bench =
+  if List.mem bench Registry.benches then Some bench
+  else
+    let matches name =
+      match String.index_opt name '.' with
+      | Some i -> String.sub name (i + 1) (String.length name - i - 1) = bench
+      | None -> false
+    in
+    match List.filter matches Registry.benches with
+    | [ name ] -> Some name
+    | [] -> None
+    | _ :: _ :: _ as multi ->
+      Printf.eprintf "ambiguous workload %s (matches %s)\n" bench
+        (String.concat ", " multi);
+      exit 1
+
 let find_workload spec =
   let bench, input =
     match String.index_opt spec '/' with
@@ -17,7 +35,9 @@ let find_workload spec =
         String.sub spec (i + 1) (String.length spec - i - 1) )
     | None -> (spec, "A")
   in
-  match Registry.find ~bench ~input with
+  match
+    Option.bind (resolve_bench bench) (fun bench -> Registry.find ~bench ~input)
+  with
   | Some w -> w
   | None ->
     Printf.eprintf "unknown workload %s (try `vpack list`)\n" spec;
@@ -159,6 +179,13 @@ let extract_cmd =
 
 (* --- report --- *)
 
+let trace_arg =
+  let doc =
+    "Record pipeline spans and counters and write a JSON-lines trace \
+     (schema vp-obs-trace/1, one object per line) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let report_cmd =
   let workloads_arg =
     let doc =
@@ -167,9 +194,15 @@ let report_cmd =
     Arg.(
       non_empty & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
   in
-  let run specs no_inf no_link timing jobs =
+  let run specs no_inf no_link timing jobs trace =
     let ws = List.map find_workload specs in
-    let config = config_of ~inference:(not no_inf) ~linking:(not no_link) in
+    let obs =
+      match trace with Some _ -> Vp_obs.create () | None -> Vp_obs.disabled
+    in
+    let config =
+      Vacuum.Config.with_obs obs
+        (config_of ~inference:(not no_inf) ~linking:(not no_link))
+    in
     (* Each evaluation is an isolated profile/rewrite/simulate chain;
        run them on a domain pool and print in request order. *)
     let reports =
@@ -179,14 +212,79 @@ let report_cmd =
           Vacuum.Report.evaluate ~config ~timing ~name:(Registry.name w) img)
         ws
     in
-    List.iter (fun report -> Format.printf "%a@." Vacuum.Report.pp report) reports
+    List.iter (fun report -> Format.printf "%a@." Vacuum.Report.pp report) reports;
+    match trace with
+    | None -> ()
+    | Some path ->
+      Vp_obs.Sink.write_trace obs ~path;
+      Printf.printf "trace: %d spans, %d counters -> %s\n"
+        (List.length (Vp_obs.Sink.spans obs))
+        (List.length (Vp_obs.Sink.counters obs))
+        path
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Full evaluation of one or more workloads (coverage, expansion, \
           optional timing), in parallel under --jobs.")
-    Term.(const run $ workloads_arg $ no_inference $ no_linking $ timing $ jobs_arg)
+    Term.(
+      const run $ workloads_arg $ no_inference $ no_linking $ timing $ jobs_arg
+      $ trace_arg)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run spec no_inf no_link timing trace =
+    let w = find_workload spec in
+    let obs = Vp_obs.create () in
+    let config =
+      Vacuum.Config.with_obs obs
+        (config_of ~inference:(not no_inf) ~linking:(not no_link))
+    in
+    let img = Program.layout (w.Registry.program ()) in
+    let report =
+      Vacuum.Report.evaluate ~config ~timing ~name:(Registry.name w) img
+    in
+    Format.printf "%a@." Vacuum.Report.pp report;
+    Printf.printf "\npipeline spans (%s):\n" (Registry.name w);
+    Vp_util.Tabular.print (Vp_obs.Sink.span_table obs);
+    Printf.printf "\npipeline counters:\n";
+    Vp_util.Tabular.print (Vp_obs.Sink.counter_table obs);
+    (match Vp_obs.Sink.dropped_spans obs with
+    | 0 -> ()
+    | n -> Printf.printf "(%d spans dropped to ring wrap-around)\n" n);
+    match trace with
+    | None -> ()
+    | Some path -> Vp_obs.Sink.write_trace obs ~path
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Evaluate one workload with the observability recorder enabled and \
+          print per-stage span and counter tables.")
+    Term.(
+      const run $ workload_arg $ no_inference $ no_linking $ timing $ trace_arg)
+
+(* --- trace-check --- *)
+
+let trace_check_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file to validate.")
+  in
+  let run file =
+    match Vp_obs.Sink.validate_file ~path:file with
+    | Ok n -> Printf.printf "%s: valid vp-obs-trace/1, %d lines\n" file n
+    | Error e ->
+      Printf.eprintf "%s: invalid trace: %s\n" file e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a --trace file against the vp-obs-trace/1 schema.")
+    Term.(const run $ file_arg)
 
 (* --- asm / disasm --- *)
 
@@ -297,10 +395,17 @@ let () =
   Logs.set_level (Some Logs.Warning);
   let doc = "Vacuum Packing: phase-based post-link optimization" in
   let info = Cmd.info "vpack" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            list_cmd; run_cmd; phases_cmd; extract_cmd; report_cmd; diag_cmd;
-            asm_cmd; disasm_cmd; machine_cmd;
-          ]))
+  let cmd =
+    Cmd.group info
+      [
+        list_cmd; run_cmd; phases_cmd; extract_cmd; report_cmd; stats_cmd;
+        trace_check_cmd; diag_cmd; asm_cmd; disasm_cmd; machine_cmd;
+      ]
+  in
+  (* Pipeline failures carry a structured payload; render it and exit
+     cleanly instead of dumping a backtrace. *)
+  match Cmd.eval ~catch:false cmd with
+  | code -> exit code
+  | exception Vacuum.Error.Error e ->
+    Format.eprintf "vpack: %a@." Vacuum.Error.pp e;
+    exit 3

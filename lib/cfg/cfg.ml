@@ -133,7 +133,7 @@ let recover image (s : Image.sym) =
       fallthrough ()
     | Instr.Ret | Instr.Halt -> ()
     | Instr.Br _ | Instr.Jmp _ | Instr.Call _ ->
-      invalid_arg "Cfg.recover: unresolved label in image"
+      Vp_util.Error.failf ~stage:"cfg" "recover: unresolved label in image"
     | Instr.Alu _ | Instr.Li _ | Instr.La _ | Instr.Load _ | Instr.Store _
     | Instr.Nop ->
       fallthrough ()

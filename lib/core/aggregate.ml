@@ -7,12 +7,12 @@ let snapshot_of_profile ?(min_share = 0.001) (p : Driver.profile) =
     max 1 (int_of_float (min_share *. float_of_int total))
   in
   let branches =
-    Hashtbl.fold
-      (fun pc (executed, taken) acc ->
+    Vp_exec.Branch_profile.fold
+      (fun ~pc ~executed ~taken acc ->
         if executed >= floor_count then { Snapshot.pc; executed; taken } :: acc
         else acc)
       p.Driver.aggregate []
-    |> List.sort (fun (a : Snapshot.entry) b -> compare a.Snapshot.pc b.Snapshot.pc)
+    |> List.rev
   in
   { Snapshot.id = 0; detected_at = 0; ended_at = total; branches }
 
@@ -32,17 +32,16 @@ let rewrite ?(config = Config.default) ?(min_share = 0.001) p =
   let total = p.Driver.outcome.Emulator.cond_branches in
   let floor_count = max 1 (int_of_float (min_share *. float_of_int total)) in
   let config =
-    {
-      config with
-      Config.identify =
+    Config.map_identify
+      (fun identify ->
         {
-          config.Config.identify with
+          identify with
           Vp_region.Identify.marking =
             {
-              config.Config.identify.Vp_region.Identify.marking with
+              identify.Vp_region.Identify.marking with
               Vp_region.Marking.hot_arc_weight_threshold = floor_count;
             };
-        };
-    }
+        })
+      config
   in
   Driver.rewrite_of_profile ~config (as_single_phase ~min_share p)

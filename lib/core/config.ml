@@ -8,20 +8,28 @@ type t = {
   cpu : Vp_cpu.Config.t;
   mem_words : int;
   fuel : int;
+  obs : Vp_obs.t;
 }
 
-let default =
+let v ?(detector = Vp_hsd.Config.default) ?(history_size = 0)
+    ?(similarity = Vp_phase.Similarity.default)
+    ?(identify = Vp_region.Identify.default) ?(linking = true)
+    ?(opt = Vp_opt.Opt.default) ?(cpu = Vp_cpu.Config.default)
+    ?(mem_words = 1 lsl 20) ?(fuel = 200_000_000) ?(obs = Vp_obs.disabled) () =
   {
-    detector = Vp_hsd.Config.default;
-    history_size = 0;
-    similarity = Vp_phase.Similarity.default;
-    identify = Vp_region.Identify.default;
-    linking = true;
-    opt = Vp_opt.Opt.default;
-    cpu = Vp_cpu.Config.default;
-    mem_words = 1 lsl 20;
-    fuel = 200_000_000;
+    detector;
+    history_size;
+    similarity;
+    identify;
+    linking;
+    opt;
+    cpu;
+    mem_words;
+    fuel;
+    obs;
   }
+
+let default = v ()
 
 let experiment ~inference ~linking =
   {
@@ -39,4 +47,25 @@ let experiment_name ~inference ~linking =
     (if inference then "with" else "no")
     (if linking then "with" else "no")
 
+let detector t = t.detector
+let history_size t = t.history_size
+let similarity t = t.similarity
+let identify t = t.identify
+let linking t = t.linking
+let opt t = t.opt
+let cpu t = t.cpu
+let mem_words t = t.mem_words
+let fuel t = t.fuel
+let obs t = t.obs
 let with_detector detector t = { t with detector }
+let with_history_size history_size t = { t with history_size }
+let with_similarity similarity t = { t with similarity }
+let with_identify identify t = { t with identify }
+let with_linking linking t = { t with linking }
+let with_opt opt t = { t with opt }
+let with_cpu cpu t = { t with cpu }
+let with_mem_words mem_words t = { t with mem_words }
+let with_fuel fuel t = { t with fuel }
+let with_obs obs t = { t with obs }
+
+let map_identify f t = { t with identify = f t.identify }

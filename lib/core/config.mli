@@ -1,24 +1,35 @@
 (** End-to-end Vacuum Packing configuration.
 
+    The type is abstract: build one with {!v} (every field defaulted)
+    or {!experiment}, derive variants with the [with_*] setters, and
+    read fields through the accessors.  Downstream code never
+    constructs the record literally, so adding a field — like the
+    {!obs} recorder — is not a breaking change.
+
     The four configurations evaluated in Figures 8 and 10 are the
     cross product of hot-block inference and package linking; build
     them with {!experiment}. *)
 
-type t = {
-  detector : Vp_hsd.Config.t;
-  history_size : int;  (** hardware snapshot history (0 = record all) *)
-  similarity : Vp_phase.Similarity.config;
-  identify : Vp_region.Identify.config;
-  linking : bool;
-  opt : Vp_opt.Opt.config;
-  cpu : Vp_cpu.Config.t;
-  mem_words : int;
-  fuel : int;
-}
+type t
+
+val v :
+  ?detector:Vp_hsd.Config.t ->
+  ?history_size:int ->
+  ?similarity:Vp_phase.Similarity.config ->
+  ?identify:Vp_region.Identify.config ->
+  ?linking:bool ->
+  ?opt:Vp_opt.Opt.config ->
+  ?cpu:Vp_cpu.Config.t ->
+  ?mem_words:int ->
+  ?fuel:int ->
+  ?obs:Vp_obs.t ->
+  unit ->
+  t
+(** Every argument defaults to the corresponding {!default} field. *)
 
 val default : t
-(** Table 2 detector, inference and linking on, layout and scheduling
-    on. *)
+(** [v ()]: Table 2 detector, inference and linking on, layout and
+    scheduling on, observability disabled. *)
 
 val experiment : inference:bool -> linking:bool -> t
 (** One of the four Figure 8 / Figure 10 configurations.  Uses the
@@ -27,5 +38,39 @@ val experiment : inference:bool -> linking:bool -> t
 
 val experiment_name : inference:bool -> linking:bool -> string
 
+(** {1 Accessors} *)
+
+val detector : t -> Vp_hsd.Config.t
+val history_size : t -> int
+(** Hardware snapshot history (0 = record all). *)
+
+val similarity : t -> Vp_phase.Similarity.config
+val identify : t -> Vp_region.Identify.config
+val linking : t -> bool
+val opt : t -> Vp_opt.Opt.config
+val cpu : t -> Vp_cpu.Config.t
+val mem_words : t -> int
+val fuel : t -> int
+
+val obs : t -> Vp_obs.t
+(** The observability recorder the pipeline reports through;
+    {!Vp_obs.disabled} by default. *)
+
+(** {1 Functional setters} *)
+
 val with_detector : Vp_hsd.Config.t -> t -> t
 (** Replace the detector model (tests use the tiny configuration). *)
+
+val with_history_size : int -> t -> t
+val with_similarity : Vp_phase.Similarity.config -> t -> t
+val with_identify : Vp_region.Identify.config -> t -> t
+val with_linking : bool -> t -> t
+val with_opt : Vp_opt.Opt.config -> t -> t
+val with_cpu : Vp_cpu.Config.t -> t -> t
+val with_mem_words : int -> t -> t
+val with_fuel : int -> t -> t
+val with_obs : Vp_obs.t -> t -> t
+
+val map_identify : (Vp_region.Identify.config -> Vp_region.Identify.config) -> t -> t
+(** Rewrite the identify sub-configuration in place — the common case
+    for experiment variants that tweak one nested knob. *)

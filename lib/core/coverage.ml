@@ -7,8 +7,13 @@ type t = {
 }
 
 let measure ?(config = Config.default) (r : Driver.rewrite) =
+  let obs = Config.obs config in
+  Vp_obs.Span.record obs "coverage"
+    ~work:(fun c -> c.outcome.Emulator.instructions)
+  @@ fun () ->
   let outcome =
-    Emulator.run ~fuel:config.Config.fuel ~mem_words:config.Config.mem_words
+    Emulator.run ~fuel:(Config.fuel config)
+      ~mem_words:(Config.mem_words config)
       (Driver.rewritten_image r)
   in
   if not outcome.Emulator.halted then
@@ -16,7 +21,7 @@ let measure ?(config = Config.default) (r : Driver.rewrite) =
         m
           "coverage run truncated: fuel (%d) exhausted after %d instructions \
            on the rewritten binary"
-          config.Config.fuel outcome.Emulator.instructions);
+          (Config.fuel config) outcome.Emulator.instructions);
   let original = r.Driver.source.Driver.outcome in
   {
     coverage_pct =

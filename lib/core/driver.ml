@@ -3,7 +3,10 @@ module Detector = Vp_hsd.Detector
 module Phase_log = Vp_phase.Phase_log
 module Identify = Vp_region.Identify
 module Build = Vp_package.Build
+module Linking = Vp_package.Linking
 module Emit = Vp_package.Emit
+module Span = Vp_obs.Span
+module Counter = Vp_obs.Counter
 
 let src = Logs.Src.create "vacuum.driver" ~doc:"Vacuum pipeline driver"
 
@@ -14,7 +17,7 @@ type profile = {
   outcome : Emulator.outcome;
   snapshots : Vp_hsd.Snapshot.t list;
   log : Phase_log.t;
-  aggregate : (int, int * int) Hashtbl.t;
+  aggregate : Vp_exec.Branch_profile.t;
   detections : int;
   truncated : bool;
 }
@@ -33,16 +36,20 @@ type rewrite = {
 }
 
 let profile ?(config = Config.default) image =
-  let same = Vp_phase.Similarity.same ~config:config.Config.similarity in
+  let obs = Config.obs config in
+  Span.record obs "profile"
+    ~work:(fun p -> p.outcome.Emulator.instructions)
+  @@ fun () ->
+  let same = Vp_phase.Similarity.same ~config:(Config.similarity config) in
   let detector =
-    Detector.create ~config:config.Config.detector
-      ~history_size:config.Config.history_size ~same ()
+    Detector.create ~config:(Config.detector config)
+      ~history_size:(Config.history_size config) ~same ()
   in
   (* pc-indexed counters sized by the image: the per-branch profiling
      cost is two array bumps and the detector call — no hashing, no
-     tuple allocation.  The classic table shape is rebuilt once below
-     for the aggregate-profile consumers (fig9, the aggregate
-     baseline). *)
+     tuple allocation.  The same arrays back the aggregate-profile
+     consumers (fig9, the aggregate baseline) via
+     {!Vp_exec.Branch_profile}. *)
   let n = Vp_prog.Image.size image in
   let executed = Array.make n 0 in
   let takens = Array.make n 0 in
@@ -52,51 +59,98 @@ let profile ?(config = Config.default) image =
     if taken then takens.(pc) <- takens.(pc) + 1
   in
   let outcome =
-    Emulator.run ~fuel:config.Config.fuel ~mem_words:config.Config.mem_words
-      ~on_branch image
+    Emulator.run ~fuel:(Config.fuel config)
+      ~mem_words:(Config.mem_words config) ~on_branch image
   in
-  let aggregate = Emulator.branch_counts_to_table executed takens in
+  let aggregate = Vp_exec.Branch_profile.of_counts ~executed ~takens in
   let snapshots = Detector.snapshots detector in
+  Counter.bump obs "detector.detections" (Detector.detections detector);
+  Counter.bump obs "detector.rearms" (Detector.rearms detector);
+  Counter.bump obs "detector.recordings" (Detector.recordings detector);
+  Counter.bump obs "detector.history_suppressed"
+    (Detector.history_suppressed detector);
+  let log, filter_stats =
+    Phase_log.build_with_stats ~similarity:(Config.similarity config) snapshots
+  in
+  Counter.bump obs "phases.merged" filter_stats.Phase_log.merged;
+  Counter.bump obs "phases.unique" filter_stats.Phase_log.new_classes;
+  Counter.bump obs "phases.rejected_missing"
+    filter_stats.Phase_log.rejected_missing;
+  Counter.bump obs "phases.rejected_bias_flips"
+    filter_stats.Phase_log.rejected_bias_flips;
   let truncated = not outcome.Emulator.halted in
   if truncated then
     Log.warn (fun m ->
         m
           "profile truncated: fuel (%d) exhausted after %d instructions; \
            coverage and speedup would reflect a partial run"
-          config.Config.fuel outcome.Emulator.instructions);
+          (Config.fuel config) outcome.Emulator.instructions);
   {
     image;
     outcome;
     snapshots;
-    log = Phase_log.build ~similarity:config.Config.similarity snapshots;
+    log;
     aggregate;
     detections = Detector.detections detector;
     truncated;
   }
 
 let rewrite_of_profile ?(config = Config.default) source =
+  let obs = Config.obs config in
   let regions =
+    Span.record obs "regions" ~work:(List.length) @@ fun () ->
     List.map
       (fun (phase : Phase_log.phase) ->
         let region, stats =
-          Identify.identify_with_stats ~config:config.Config.identify source.image
+          Identify.identify_with_stats ~config:(Config.identify config)
+            source.image
             phase.Phase_log.representative
         in
         { phase; region; stats })
       (Phase_log.phases source.log)
   in
+  List.iter
+    (fun info ->
+      Counter.bump obs "identify.hot_blocks" info.stats.Identify.hot_blocks;
+      Counter.bump obs "identify.inference_rounds"
+        info.stats.Identify.inference_rounds;
+      Counter.bump obs "identify.grown_blocks" info.stats.Identify.grown_blocks)
+    regions;
   let packages =
+    Span.record obs "packages" ~work:(List.length) @@ fun () ->
     List.concat_map
       (fun info ->
         Build.build info.region
           ~prefix:(Printf.sprintf "pkg$p%d" info.phase.Phase_log.id))
       regions
   in
+  List.iter
+    (fun (p : Vp_package.Pkg.t) ->
+      Counter.bump obs "build.blocks" (List.length p.Vp_package.Pkg.blocks);
+      Counter.bump obs "build.exit_blocks"
+        (List.length
+           (List.filter
+              (fun (b : Vp_package.Pkg.block) -> b.Vp_package.Pkg.is_exit)
+              p.Vp_package.Pkg.blocks)))
+    packages;
+  let groups, link_stats =
+    Span.record obs "link"
+      ~work:(fun (_, s) -> s.Linking.orderings_ranked)
+    @@ fun () ->
+    Linking.group_packages_with_stats ~linking:(Config.linking config) packages
+  in
+  Counter.bump obs "link.groups" link_stats.Linking.groups;
+  Counter.bump obs "link.linked_groups" link_stats.Linking.linked_groups;
+  Counter.bump obs "link.orderings_ranked" link_stats.Linking.orderings_ranked;
+  Counter.bump obs "link.greedy_fallbacks" link_stats.Linking.greedy_fallbacks;
+  Counter.bump obs "link.links" link_stats.Linking.links_resolved;
   let transform ~protected pkg =
-    Vp_opt.Opt.transform ~config:config.Config.opt ~protected pkg
+    Vp_opt.Opt.transform ~config:(Config.opt config) ~protected pkg
   in
   let emitted =
-    Emit.emit ~linking:config.Config.linking ~transform source.image packages
+    Span.record obs "emit"
+      ~work:(fun e -> e.Emit.package_instructions)
+    @@ fun () -> Emit.of_groups ~transform source.image groups
   in
   { source; regions; packages; emitted }
 

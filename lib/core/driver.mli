@@ -13,7 +13,7 @@ type profile = {
   outcome : Vp_exec.Emulator.outcome;  (** the profiled original run *)
   snapshots : Vp_hsd.Snapshot.t list;
   log : Vp_phase.Phase_log.t;
-  aggregate : (int, int * int) Hashtbl.t;
+  aggregate : Vp_exec.Branch_profile.t;
       (** per-branch whole-run (executed, taken) *)
   detections : int;  (** raw hardware detections *)
   truncated : bool;

@@ -16,6 +16,7 @@ type metric = {
 type t = {
   jobs : int;
   profile_config : Config.t;
+  obs : Vp_obs.t;
   lock : Mutex.t;
   images : (string, Vp_prog.Image.t) Hashtbl.t;
   profiles : (string, Driver.profile) Hashtbl.t;
@@ -30,10 +31,12 @@ type t = {
   mutable dag_wall_s : float;
 }
 
-let create ?(jobs = Pool.default_jobs ()) ?(profile_config = Config.default) () =
+let create ?(jobs = Pool.default_jobs ()) ?(profile_config = Config.default)
+    ?(obs = Vp_obs.disabled) () =
   {
     jobs = Stdlib.max 1 jobs;
     profile_config;
+    obs;
     lock = Mutex.create ();
     images = Hashtbl.create 32;
     profiles = Hashtbl.create 32;
@@ -77,10 +80,11 @@ let memo t table ~kind ~label ~instructions key compute =
     let t0 = now () in
     let v = compute () in
     let wall_s = now () -. t0 in
+    let work = instructions v in
+    Vp_obs.Span.note t.obs (kind ^ ":" ^ label) ~wall_s ~work;
     locked t (fun () ->
         Hashtbl.replace table key v;
-        t.metrics <-
-          { kind; label; wall_s; instructions = instructions v } :: t.metrics);
+        t.metrics <- { kind; label; wall_s; instructions = work } :: t.metrics);
     v
 
 let image t spec =
@@ -129,7 +133,7 @@ let optimized t spec cell =
     (spec.name, cell.key)
     (fun () ->
       Pipeline.simulate
-        ~config:cell.config.Config.cpu
+        ~config:(Config.cpu cell.config)
         (Driver.rewritten_image (rewrite t spec cell)))
 
 let truncated_profiles t =
@@ -144,6 +148,7 @@ let truncated_profiles t =
 
 let run ?(rewrites = true) ?(timing = false) t ~specs ~cells () =
   let t0 = now () in
+  let hits0, misses0 = locked t (fun () -> (t.hits, t.misses)) in
   let errors = ref [] in
   let guard label f () =
     try f ()
@@ -161,7 +166,7 @@ let run ?(rewrites = true) ?(timing = false) t ~specs ~cells () =
                   (* The machine model is uniform across cells. *)
                   Pool.submit pool
                     (guard (spec.name ^ " [baseline]") (fun () ->
-                         ignore (baseline t spec ~cpu:cell.config.Config.cpu)))
+                         ignore (baseline t spec ~cpu:(Config.cpu cell.config))))
                 | [] -> ());
              if rewrites then
                List.iter
@@ -185,6 +190,9 @@ let run ?(rewrites = true) ?(timing = false) t ~specs ~cells () =
   Pool.wait pool;
   Pool.shutdown pool;
   t.dag_wall_s <- t.dag_wall_s +. (now () -. t0);
+  let hits1, misses1 = locked t (fun () -> (t.hits, t.misses)) in
+  Vp_obs.Counter.bump t.obs "engine.memo_hits" (hits1 - hits0);
+  Vp_obs.Counter.bump t.obs "engine.memo_misses" (misses1 - misses0);
   (* Deterministic error surfacing: re-raise the failure with the
      lexicographically first task label, whatever the schedule was. *)
   match List.sort compare !errors with

@@ -1,0 +1,1 @@
+include Vp_util.Error

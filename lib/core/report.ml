@@ -29,8 +29,8 @@ let evaluate_profile ?(config = Config.default) ?(timing = true) ~name
     name;
     config_name =
       Config.experiment_name
-        ~inference:config.Config.identify.Vp_region.Identify.block_inference
-        ~linking:config.Config.linking;
+        ~inference:(Config.identify config).Vp_region.Identify.block_inference
+        ~linking:(Config.linking config);
     instructions = profile.Driver.outcome.Emulator.instructions;
     raw_detections = profile.Driver.detections;
     recordings = List.length profile.Driver.snapshots;

@@ -7,10 +7,22 @@ type t = {
 }
 
 let measure ?(config = Config.default) (r : Driver.rewrite) =
-  let time image =
-    Pipeline.simulate ~config:config.Config.cpu ~fuel:config.Config.fuel
-      ~mem_words:config.Config.mem_words image
+  let obs = Config.obs config in
+  let time name image =
+    Vp_obs.Span.record obs name ~work:(fun s -> s.Pipeline.instructions)
+    @@ fun () ->
+    Pipeline.simulate ~config:(Config.cpu config) ~fuel:(Config.fuel config)
+      ~mem_words:(Config.mem_words config) image
   in
-  let baseline = time r.Driver.source.Driver.image in
-  let optimized = time (Driver.rewritten_image r) in
+  let baseline = time "timing:baseline" r.Driver.source.Driver.image in
+  let optimized = time "timing:optimized" (Driver.rewritten_image r) in
+  List.iter
+    (fun (tag, (s : Pipeline.stats)) ->
+      Vp_obs.Counter.bump obs
+        ("cpu." ^ tag ^ ".fetch_line_buffer_hits")
+        s.Pipeline.fetch_line_buffer_hits;
+      Vp_obs.Counter.bump obs
+        ("cpu." ^ tag ^ ".data_line_buffer_hits")
+        s.Pipeline.data_line_buffer_hits)
+    [ ("baseline", baseline); ("optimized", optimized) ];
   { baseline; optimized; speedup = Pipeline.speedup ~baseline ~optimized }

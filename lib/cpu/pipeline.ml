@@ -16,6 +16,8 @@ type stats = {
   l2_misses : int;
   fetch_stall_cycles : int;
   data_stall_cycles : int;
+  fetch_line_buffer_hits : int;
+  data_line_buffer_hits : int;
 }
 
 (* Unchecked array access in the retire path: [pc] was validated by
@@ -115,6 +117,8 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
      stack-traffic paths. *)
   let fetch_line = ref (-1) in
   let data_line = ref (-1) in
+  let fetch_lb_hits = ref 0 in
+  let data_lb_hits = ref 0 in
   let advance_to c =
     if c > !cycle then begin
       cycle := c;
@@ -134,7 +138,8 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
     (* Fetch: I-cache access for this instruction's line. *)
     let fetch_addr = pc * instr_bytes in
     let line = Cache.line_index l1i fetch_addr in
-    if line <> !fetch_line then begin
+    if line = !fetch_line then incr fetch_lb_hits
+    else begin
       fetch_line := line;
       if not (Cache.access l1i ~addr:fetch_addr) then begin
         let fetch_pen = l2_penalty fetch_addr in
@@ -173,7 +178,10 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
         + (if mem_addr >= 0 then begin
              let a = mem_addr * word_bytes in
              let line = Cache.line_index l1d a in
-             if line = !data_line then 0
+             if line = !data_line then begin
+               incr data_lb_hits;
+               0
+             end
              else begin
                data_line := line;
                if Cache.access l1d ~addr:a then 0 else l2_penalty a
@@ -184,7 +192,8 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
         if t = Decode.tag_store && mem_addr >= 0 then begin
           let a = mem_addr * word_bytes in
           let line = Cache.line_index l1d a in
-          if line <> !data_line then begin
+          if line = !data_line then incr data_lb_hits
+          else begin
             data_line := line;
             if not (Cache.access l1d ~addr:a) then ignore (l2_penalty a)
           end
@@ -229,8 +238,8 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
          already faulted inside the emulator. *)
       match Instr.target d.Decode.code.(pc) with
       | Some (Instr.Label l) ->
-        invalid_arg
-          (Printf.sprintf "Pipeline: unresolved label %s in branch at 0x%x" l pc)
+        Vp_util.Error.failf ~stage:"pipeline" ~label:l ~pc
+          "unresolved label %s in branch at 0x%x" l pc
       | _ -> assert false
   in
   let (_ : Emulator.outcome) =
@@ -253,6 +262,8 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
       l2_misses = Cache.misses l2;
       fetch_stall_cycles = !fetch_stalls;
       data_stall_cycles = !data_stalls;
+      fetch_line_buffer_hits = !fetch_lb_hits;
+      data_line_buffer_hits = !data_lb_hits;
     }
   in
   release_models config models;

@@ -21,6 +21,10 @@ type stats = {
   l2_misses : int;
   fetch_stall_cycles : int;
   data_stall_cycles : int;
+  fetch_line_buffer_hits : int;
+      (** fetches absorbed by the I-side line buffer (no cache access) *)
+  data_line_buffer_hits : int;
+      (** loads/stores absorbed by the D-side line buffer *)
 }
 
 val simulate :

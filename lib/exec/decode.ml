@@ -159,7 +159,7 @@ let of_image (image : Image.t) =
 let size t = Array.length t.tag
 
 let slice_pc off payload t pc =
-  if pc < 0 || pc >= size t then invalid_arg "Decode: pc outside image";
+  if pc < 0 || pc >= size t then Vp_util.Error.failf ~stage:"decode" ~pc "pc 0x%x outside image" pc;
   List.init (off.(pc + 1) - off.(pc)) (fun k -> payload.(off.(pc) + k))
 
 let uses_pc t pc = slice_pc t.uses_off t.uses t pc

@@ -23,7 +23,7 @@ type outcome = {
 
 let target_addr = function
   | Instr.Addr a -> a
-  | Instr.Label l -> invalid_arg (Printf.sprintf "Emulator: unresolved label %s" l)
+  | Instr.Label l -> Vp_util.Error.failf ~stage:"emulator" ~label:l "unresolved label %s" l
 
 let operand_value st = function
   | Instr.Reg r -> State.reg st r
@@ -40,7 +40,7 @@ external ( .!() ) : 'a array -> int -> 'a = "%array_unsafe_get"
 let unresolved code pc =
   match Instr.target code.(pc) with
   | Some (Instr.Label l) ->
-    invalid_arg (Printf.sprintf "Emulator: unresolved label %s" l)
+    Vp_util.Error.failf ~stage:"emulator" ~label:l "unresolved label %s" l
   | _ -> assert false
 
 let run_decoded ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
@@ -70,7 +70,7 @@ let run_decoded ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
   while (not !halted) && !instructions < fuel do
     let pc = State.pc st in
     if pc < 0 || pc >= size then
-      invalid_arg (Printf.sprintf "Emulator: pc 0x%x outside image" pc);
+      Vp_util.Error.failf ~stage:"emulator" ~pc "pc 0x%x outside image" pc;
     incr instructions;
     if pc >= orig_limit then incr package_instructions;
     taken := false;
@@ -184,7 +184,7 @@ let run_reference ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
   while (not !halted) && !instructions < fuel do
     let pc = State.pc st in
     if pc < 0 || pc >= size then
-      invalid_arg (Printf.sprintf "Emulator: pc 0x%x outside image" pc);
+      Vp_util.Error.failf ~stage:"emulator" ~pc "pc 0x%x outside image" pc;
     let instr = code.(pc) in
     incr instructions;
     if pc >= orig_limit then incr package_instructions;
@@ -247,13 +247,6 @@ let run_reference ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
     final_pc = State.pc st;
   }
 
-let branch_counts_to_table executed takens =
-  let table = Hashtbl.create 256 in
-  Array.iteri
-    (fun pc e -> if e > 0 then Hashtbl.replace table pc (e, takens.(pc)))
-    executed;
-  table
-
 let aggregate_branch_profile ?fuel ?mem_words image =
   let d = Decode.of_image image in
   (* pc-indexed counters instead of a hashtable: the per-branch cost
@@ -266,4 +259,4 @@ let aggregate_branch_profile ?fuel ?mem_words image =
     if taken then takens.(pc) <- takens.(pc) + 1
   in
   let (_ : outcome) = run_decoded ?fuel ?mem_words ~on_branch d in
-  branch_counts_to_table executed takens
+  Branch_profile.of_counts ~executed ~takens

@@ -73,14 +73,8 @@ val run_reference :
     and is only used by differential tests, which require outcomes,
     checksums and observation streams bit-identical to {!run}'s. *)
 
-val branch_counts_to_table :
-  int array -> int array -> (int, int * int) Hashtbl.t
-(** [branch_counts_to_table executed takens] recovers the classic
-    per-pc [(executed, taken)] table from a pair of pc-indexed
-    counter arrays, keeping only pcs with [executed > 0]. *)
-
 val aggregate_branch_profile :
-  ?fuel:int -> ?mem_words:int -> Vp_prog.Image.t -> (int, int * int) Hashtbl.t
+  ?fuel:int -> ?mem_words:int -> Vp_prog.Image.t -> Branch_profile.t
 (** Whole-run (executed, taken) counts per static conditional branch —
     the traditional aggregate profile the paper contrasts against.
     Accumulated in pc-indexed arrays, not a per-branch hashtable. *)

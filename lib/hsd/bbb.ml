@@ -14,7 +14,7 @@ type verdict = Candidate | Non_candidate | Dropped
 let create (config : Config.t) =
   (match Config.validate config with
   | Ok () -> ()
-  | Error e -> invalid_arg ("Bbb.create: " ^ e));
+  | Error e -> Vp_util.Error.failf ~stage:"detector" "Bbb.create: %s" e);
   let slots =
     Array.init (Config.capacity config) (fun _ ->
         {

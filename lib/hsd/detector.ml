@@ -12,13 +12,15 @@ type t = {
   mutable recorded_rev : raw list;
   mutable recorded_count : int;  (* List.length recorded_rev, kept O(1) *)
   mutable raw_detections : int;
+  mutable rearms : int;
+  mutable history_hits : int;
 }
 
 let create ?(config = Config.default) ?(history_size = 0) ?(same = fun _ _ -> false)
     () =
   (match Config.validate config with
   | Ok () -> ()
-  | Error e -> invalid_arg ("Detector.create: " ^ e));
+  | Error e -> Vp_util.Error.failf ~stage:"detector" "Detector.create: %s" e);
   {
     cfg = config;
     bbb = Bbb.create config;
@@ -31,6 +33,8 @@ let create ?(config = Config.default) ?(history_size = 0) ?(same = fun _ _ -> fa
     recorded_rev = [];
     recorded_count = 0;
     raw_detections = 0;
+    rearms = 0;
+    history_hits = 0;
   }
 
 let config t = t.cfg
@@ -57,6 +61,7 @@ let in_history t entries =
       (take t.history_size t.recorded_rev)
 
 let rearm t =
+  t.rearms <- t.rearms + 1;
   Bbb.clear t.bbb;
   t.hdc <- Config.hdc_max t.cfg;
   t.since_refresh <- 0;
@@ -76,12 +81,14 @@ let on_branch t ~pc ~taken =
   if t.hdc = 0 then begin
     t.raw_detections <- t.raw_detections + 1;
     let entries = Bbb.snapshot_entries t.bbb in
-    if entries <> [] && not (in_history t entries) then begin
-      t.recorded_rev <-
-        { id = t.recorded_count; detected_at = t.branches; entries }
-        :: t.recorded_rev;
-      t.recorded_count <- t.recorded_count + 1
-    end;
+    (if entries <> [] then
+       if in_history t entries then t.history_hits <- t.history_hits + 1
+       else begin
+         t.recorded_rev <-
+           { id = t.recorded_count; detected_at = t.branches; entries }
+           :: t.recorded_rev;
+         t.recorded_count <- t.recorded_count + 1
+       end);
     rearm t
   end
   else begin
@@ -110,3 +117,5 @@ let branches_seen t = t.branches
 let hdc_value t = t.hdc
 let detections t = t.raw_detections
 let recordings t = t.recorded_count
+let rearms t = t.rearms
+let history_suppressed t = t.history_hits

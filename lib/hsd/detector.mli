@@ -53,3 +53,11 @@ val detections : t -> int
 
 val recordings : t -> int
 (** Snapshots actually recorded (= length of {!snapshots}). *)
+
+val rearms : t -> int
+(** Detector resets: one per detection, plus one per clear-interval
+    expiry with nothing detected. *)
+
+val history_suppressed : t -> int
+(** Detections whose snapshot matched the hardware history and was
+    therefore not recorded. *)

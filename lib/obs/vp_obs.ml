@@ -1,0 +1,430 @@
+(* Recorder internals.  Everything behind [on]: the disabled recorder
+   has empty storage and every entry point tests [on] first, so the
+   instrumented pipeline costs one branch per call site when
+   observability is off. *)
+
+type counters = {
+  mutable cnames : string array;
+  mutable cvals : int array;
+  mutable ccount : int;
+  cindex : (string, int) Hashtbl.t;
+}
+
+(* Per-domain open-span stack: spans nest within one domain; tasks on
+   other domains get their own stack, so concurrent stages never see
+   each other's nesting. *)
+type frame = {
+  mutable fname : string;
+  mutable fstart : float;
+  mutable fminor : float;
+  mutable fmajor : float;
+}
+
+type dstack = { frames : frame array; mutable depth : int }
+
+let max_nesting = 64
+
+type t = {
+  on : bool;
+  lock : Mutex.t;
+  (* Completed-span ring, parallel arrays; slot = seq mod capacity. *)
+  capacity : int;
+  rnames : string array;
+  rdepth : int array;
+  rstart : float array;
+  rwall : float array;
+  rwork : int array;
+  rminor : float array;
+  rmajor : float array;
+  mutable total : int;  (* spans ever appended; next seq *)
+  mutable extra_dropped : int;  (* dropped counts inherited by merge *)
+  counters : counters;
+  stack : dstack Domain.DLS.key;
+}
+
+let make ~on ~capacity =
+  {
+    on;
+    lock = Mutex.create ();
+    capacity;
+    rnames = Array.make capacity "";
+    rdepth = Array.make capacity 0;
+    rstart = Array.make capacity 0.0;
+    rwall = Array.make capacity 0.0;
+    rwork = Array.make capacity 0;
+    rminor = Array.make capacity 0.0;
+    rmajor = Array.make capacity 0.0;
+    total = 0;
+    extra_dropped = 0;
+    counters =
+      { cnames = [||]; cvals = [||]; ccount = 0; cindex = Hashtbl.create 32 };
+    stack =
+      Domain.DLS.new_key (fun () ->
+          {
+            frames =
+              Array.init max_nesting (fun _ ->
+                  { fname = ""; fstart = 0.0; fminor = 0.0; fmajor = 0.0 });
+            depth = 0;
+          });
+  }
+
+let disabled = make ~on:false ~capacity:1
+let create ?(span_capacity = 4096) () = make ~on:true ~capacity:span_capacity
+let enabled t = t.on
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let append t ~name ~depth ~start_s ~wall_s ~work ~minor ~major =
+  locked t (fun () ->
+      let slot = t.total mod t.capacity in
+      t.rnames.(slot) <- name;
+      t.rdepth.(slot) <- depth;
+      t.rstart.(slot) <- start_s;
+      t.rwall.(slot) <- wall_s;
+      t.rwork.(slot) <- work;
+      t.rminor.(slot) <- minor;
+      t.rmajor.(slot) <- major;
+      t.total <- t.total + 1)
+
+module Counter = struct
+  type id = int
+
+  let register_unlocked t name =
+    let c = t.counters in
+    match Hashtbl.find_opt c.cindex name with
+    | Some id -> id
+    | None ->
+      if c.ccount = Array.length c.cvals then begin
+        let cap = Stdlib.max 16 (2 * c.ccount) in
+        let cnames = Array.make cap "" in
+        let cvals = Array.make cap 0 in
+        Array.blit c.cnames 0 cnames 0 c.ccount;
+        Array.blit c.cvals 0 cvals 0 c.ccount;
+        c.cnames <- cnames;
+        c.cvals <- cvals
+      end;
+      let id = c.ccount in
+      c.cnames.(id) <- name;
+      c.cvals.(id) <- 0;
+      c.ccount <- id + 1;
+      Hashtbl.replace c.cindex name id;
+      id
+
+  let register t name =
+    if not t.on then 0 else locked t (fun () -> register_unlocked t name)
+
+  let incr t id = if t.on then t.counters.cvals.(id) <- t.counters.cvals.(id) + 1
+  let add t id n = if t.on then t.counters.cvals.(id) <- t.counters.cvals.(id) + n
+  let value t id = if t.on then t.counters.cvals.(id) else 0
+
+  (* The flush entry point: one locked read-modify-write, so concurrent
+     tasks (engine workers) can flush the same counter name without
+     losing updates — counter sums stay schedule-independent. *)
+  let bump t name n =
+    if t.on && n <> 0 then
+      locked t (fun () ->
+          let id = register_unlocked t name in
+          t.counters.cvals.(id) <- t.counters.cvals.(id) + n)
+end
+
+module Span = struct
+  type token = int
+  (* 0 = null; otherwise the frame's stack position + 1 on the
+     entering domain. *)
+
+  let null = 0
+
+  let enter t name =
+    if not t.on then null
+    else begin
+      let st = Domain.DLS.get t.stack in
+      if st.depth >= max_nesting then null
+      else begin
+        let f = st.frames.(st.depth) in
+        f.fname <- name;
+        f.fminor <- Gc.minor_words ();
+        f.fmajor <- (Gc.quick_stat ()).Gc.major_words;
+        f.fstart <- Unix.gettimeofday ();
+        st.depth <- st.depth + 1;
+        st.depth
+      end
+    end
+
+  let exit ?(work = 0) t token =
+    if t.on && token > 0 then begin
+      let st = Domain.DLS.get t.stack in
+      if token <= st.depth then begin
+        let stop = Unix.gettimeofday () in
+        let minor = Gc.minor_words () in
+        let major = (Gc.quick_stat ()).Gc.major_words in
+        (* Pop down to this frame; unclosed children (a raise skipped
+           their exit) are discarded with their parent's extent. *)
+        let f = st.frames.(token - 1) in
+        st.depth <- token - 1;
+        append t ~name:f.fname ~depth:(token - 1) ~start_s:f.fstart
+          ~wall_s:(stop -. f.fstart) ~work ~minor:(minor -. f.fminor)
+          ~major:(major -. f.fmajor)
+      end
+    end
+
+  let record ?work t name f =
+    if not t.on then f ()
+    else begin
+      let token = enter t name in
+      match f () with
+      | v ->
+        exit ?work:(Option.map (fun w -> w v) work) t token;
+        v
+      | exception e ->
+        exit ~work:(-1) t token;
+        raise e
+    end
+
+  let note t name ~wall_s ~work =
+    if t.on then
+      append t ~name ~depth:0 ~start_s:(Unix.gettimeofday () -. wall_s) ~wall_s
+        ~work ~minor:0.0 ~major:0.0
+end
+
+type span = {
+  name : string;
+  depth : int;
+  seq : int;
+  start_s : float;
+  wall_s : float;
+  work : int;
+  minor_words : float;
+  major_words : float;
+}
+
+module Sink = struct
+  let spans t =
+    if not t.on then []
+    else
+      locked t (fun () ->
+          let kept = Stdlib.min t.total t.capacity in
+          List.init kept (fun i ->
+              let seq = t.total - kept + i in
+              let slot = seq mod t.capacity in
+              {
+                name = t.rnames.(slot);
+                depth = t.rdepth.(slot);
+                seq;
+                start_s = t.rstart.(slot);
+                wall_s = t.rwall.(slot);
+                work = t.rwork.(slot);
+                minor_words = t.rminor.(slot);
+                major_words = t.rmajor.(slot);
+              }))
+
+  let counters t =
+    if not t.on then []
+    else
+      locked t (fun () ->
+          let c = t.counters in
+          List.init c.ccount (fun i -> (c.cnames.(i), c.cvals.(i)))
+          |> List.sort compare)
+
+  let dropped_spans t =
+    if not t.on then 0
+    else
+      locked t (fun () -> t.extra_dropped + Stdlib.max 0 (t.total - t.capacity))
+
+  let summary t =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun s ->
+        let count, work =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt tbl s.name)
+        in
+        Hashtbl.replace tbl s.name (count + 1, work + s.work))
+      (spans t);
+    Hashtbl.fold (fun name (count, work) acc -> (name, count, work) :: acc) tbl []
+    |> List.sort compare
+
+  let merge_into ~dst src =
+    if dst.on && src.on && dst != src then begin
+      let src_spans = spans src in
+      let src_counters = counters src in
+      let src_dropped = dropped_spans src in
+      List.iter
+        (fun s ->
+          append dst ~name:s.name ~depth:s.depth ~start_s:s.start_s
+            ~wall_s:s.wall_s ~work:s.work ~minor:s.minor_words
+            ~major:s.major_words)
+        src_spans;
+      List.iter (fun (name, v) -> Counter.bump dst name v) src_counters;
+      locked dst (fun () -> dst.extra_dropped <- dst.extra_dropped + src_dropped)
+    end
+
+  (* Human tables: spans in chronological (start) order, indented by
+     nesting depth; counters sorted by name. *)
+  let span_table t =
+    let tab =
+      Vp_util.Tabular.create
+        ~header:
+          [
+            ("span", Vp_util.Tabular.Left);
+            ("wall", Vp_util.Tabular.Right);
+            ("work", Vp_util.Tabular.Right);
+            ("minor words", Vp_util.Tabular.Right);
+            ("major words", Vp_util.Tabular.Right);
+          ]
+    in
+    let by_start =
+      List.sort
+        (fun a b -> compare (a.start_s, a.seq) (b.start_s, b.seq))
+        (spans t)
+    in
+    List.iter
+      (fun s ->
+        Vp_util.Tabular.add_row tab
+          [
+            String.make (2 * s.depth) ' ' ^ s.name;
+            Printf.sprintf "%.3f ms" (1e3 *. s.wall_s);
+            (if s.work = 0 then "-" else string_of_int s.work);
+            Printf.sprintf "%.0f" s.minor_words;
+            Printf.sprintf "%.0f" s.major_words;
+          ])
+      by_start;
+    tab
+
+  let counter_table t =
+    let tab =
+      Vp_util.Tabular.create
+        ~header:
+          [ ("counter", Vp_util.Tabular.Left); ("value", Vp_util.Tabular.Right) ]
+    in
+    List.iter
+      (fun (name, v) -> Vp_util.Tabular.add_row tab [ name; string_of_int v ])
+      (counters t);
+    tab
+
+  (* ---- JSON-lines trace (schema vp-obs-trace/1) ---- *)
+
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let json_float f = if Float.is_finite f then Printf.sprintf "%.6f" f else "0"
+
+  let write_trace t ~path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Printf.fprintf oc
+          "{\"type\": \"meta\", \"schema\": \"vp-obs-trace/1\", \
+           \"dropped_spans\": %d}\n"
+          (dropped_spans t);
+        List.iter
+          (fun s ->
+            Printf.fprintf oc
+              "{\"type\": \"span\", \"name\": \"%s\", \"depth\": %d, \"seq\": \
+               %d, \"start_s\": %s, \"wall_s\": %s, \"work\": %d, \
+               \"minor_words\": %s, \"major_words\": %s}\n"
+              (json_escape s.name) s.depth s.seq (json_float s.start_s)
+              (json_float s.wall_s) s.work (json_float s.minor_words)
+              (json_float s.major_words))
+          (spans t);
+        List.iter
+          (fun (name, v) ->
+            Printf.fprintf oc
+              "{\"type\": \"counter\", \"name\": \"%s\", \"value\": %d}\n"
+              (json_escape name) v)
+          (counters t))
+
+  (* ---- validation ---- *)
+
+  (* Pragmatic line checker matched to our own writer: one object per
+     line, a [type] tag, and the schema's required keys all present.
+     Not a general JSON parser — the trace format is fully under this
+     module's control. *)
+
+  let required_keys = function
+    | "meta" -> Some [ "schema"; "dropped_spans" ]
+    | "span" ->
+      Some
+        [
+          "name"; "depth"; "seq"; "start_s"; "wall_s"; "work"; "minor_words";
+          "major_words";
+        ]
+    | "counter" -> Some [ "name"; "value" ]
+    | _ -> None
+
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+
+  let type_of_line line =
+    let tag = "\"type\": \"" in
+    match String.index_opt line '"' with
+    | None -> None
+    | Some _ ->
+      let tl = String.length tag in
+      let rec find i =
+        if i + tl > String.length line then None
+        else if String.sub line i tl = tag then
+          let rest = i + tl in
+          match String.index_from_opt line rest '"' with
+          | Some j -> Some (String.sub line rest (j - rest))
+          | None -> None
+        else find (i + 1)
+      in
+      find 0
+
+  let validate_line line =
+    let line = String.trim line in
+    let n = String.length line in
+    if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then
+      Error "not a single-line JSON object"
+    else
+      match type_of_line line with
+      | None -> Error "missing \"type\" tag"
+      | Some ty -> (
+        match required_keys ty with
+        | None -> Error (Printf.sprintf "unknown record type %S" ty)
+        | Some keys -> (
+          match
+            List.find_opt
+              (fun k -> not (contains ~needle:(Printf.sprintf "\"%s\":" k) line))
+              keys
+          with
+          | Some missing ->
+            Error (Printf.sprintf "%s record lacks key %S" ty missing)
+          | None -> Ok ()))
+
+  let validate_file ~path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go n =
+          match input_line ic with
+          | exception End_of_file -> Ok n
+          | line -> (
+            match validate_line line with
+            | Error e -> Error (Printf.sprintf "line %d: %s" (n + 1) e)
+            | Ok () ->
+              if n = 0 && type_of_line (String.trim line) <> Some "meta" then
+                Error "line 1: expected the meta record first"
+              else go (n + 1))
+        in
+        match go 0 with
+        | Ok 0 -> Error "empty trace"
+        | r -> r)
+end

@@ -1,0 +1,143 @@
+(** Low-overhead pipeline observability: stage spans and counters.
+
+    A {!t} is a {e recorder}.  The pipeline threads one recorder (via
+    {!Vacuum.Config}) through every stage; stages wrap their work in
+    {!Span.record} and flush stage statistics into named {!Counter}s.
+    The {!disabled} recorder turns every operation into an early-out on
+    one immutable boolean, so instrumented code paths cost nothing when
+    observability is off — in particular the decoded execution core
+    stays allocation-free (it is never instrumented directly; spans
+    wrap it from outside and take their work figure from the
+    emulator's outcome).
+
+    {b Storage.}  Completed spans go into a ring of parallel arrays
+    preallocated at {!create} time; when the ring wraps, the oldest
+    spans are dropped and counted ({!Sink.dropped_spans}).  Counters
+    are a registry of plain [int] cells; {!Counter.incr} is an array
+    store.
+
+    {b Domains.}  Ring appends and counter registration are guarded by
+    a mutex, and the open-span stack is domain-local, so concurrent
+    tasks (the {!Vacuum.Engine} DAG) can share one enabled recorder:
+    counter {e sums} and the per-name span summary are deterministic
+    for any schedule, while raw span order and wall-clock readings are
+    not.  {!Counter.incr}/{!Counter.add} are unsynchronised plain
+    stores — single-writer per counter, or flush domain-local tallies
+    with one [add] per stage as the pipeline does. *)
+
+type t
+(** A recorder; either {!disabled} or created by {!create}. *)
+
+val disabled : t
+(** The shared no-op recorder: every operation returns immediately and
+    records nothing.  This is the default everywhere. *)
+
+val create : ?span_capacity:int -> unit -> t
+(** A fresh enabled recorder.  [span_capacity] (default [4096]) bounds
+    the span ring; the counter registry grows on demand. *)
+
+val enabled : t -> bool
+
+(** Stage counters: named monotone integers. *)
+module Counter : sig
+  type id
+  (** Index into the recorder's counter registry. *)
+
+  val register : t -> string -> id
+  (** Idempotent: registering the same name twice returns the same
+      cell.  On {!disabled} returns a dummy id whose updates are
+      dropped. *)
+
+  val incr : t -> id -> unit
+  (** One plain array store; no lock, no allocation. *)
+
+  val add : t -> id -> int -> unit
+  val value : t -> id -> int
+
+  val bump : t -> string -> int -> unit
+  (** [register] + [add] under the recorder's mutex — the flush entry
+      point for cold once-per-stage tallies.  Unlike {!incr}/{!add},
+      safe from concurrently running tasks. *)
+end
+
+(** Nestable stage spans. *)
+module Span : sig
+  type token
+  (** An open span, held by the caller between {!enter} and {!exit}. *)
+
+  val null : token
+  (** The token {!enter} returns on a disabled recorder; {!exit}
+      ignores it. *)
+
+  val enter : t -> string -> token
+  (** Open a span.  Nesting is tracked per domain: a span entered
+      while another is open on the same domain records one level
+      deeper. *)
+
+  val exit : ?work:int -> t -> token -> unit
+  (** Close the span and append it to the ring with its wall-clock
+      seconds, minor/major allocation words, and [work] (default [0];
+      the pipeline reports retired instructions here). *)
+
+  val record : ?work:('a -> int) -> t -> string -> (unit -> 'a) -> 'a
+  (** [record t name f] = [enter] / [f ()] / [exit], exception-safe;
+      [work] maps the result to the span's work figure.  A span whose
+      [f] raises is recorded with work [-1]. *)
+
+  val note : t -> string -> wall_s:float -> work:int -> unit
+  (** Append an already-measured span (depth 0) — the adapter for
+      externally-timed metrics such as the engine's task table. *)
+end
+
+(** One completed span, as exported by {!Sink}. *)
+type span = {
+  name : string;
+  depth : int;  (** nesting level at entry, 0 = top *)
+  seq : int;
+      (** global completion index; after ring wrap-around the oldest
+          surviving span's [seq] equals {!Sink.dropped_spans} *)
+  start_s : float;  (** [Unix.gettimeofday] at entry *)
+  wall_s : float;
+  work : int;  (** caller-defined; retired instructions for run spans *)
+  minor_words : float;  (** minor-heap words allocated inside the span *)
+  major_words : float;
+}
+
+(** Export: tables, JSON-lines traces, deterministic summaries. *)
+module Sink : sig
+  val spans : t -> span list
+  (** Completed spans in completion order (oldest first, post-wrap). *)
+
+  val counters : t -> (string * int) list
+  (** Counter values sorted by name. *)
+
+  val dropped_spans : t -> int
+  (** Spans lost to ring wrap-around. *)
+
+  val summary : t -> (string * int * int) list
+  (** Per span name, sorted: (name, completions, total work).  Unlike
+      {!spans} this is schedule-independent, hence comparable across
+      [--jobs] values. *)
+
+  val merge_into : dst:t -> t -> unit
+  (** Fold a recorder into [dst]: spans appended in order, counters
+      added by name, dropped counts accumulated.  Merging into or from
+      {!disabled} is a no-op. *)
+
+  val span_table : t -> Vp_util.Tabular.t
+  val counter_table : t -> Vp_util.Tabular.t
+
+  val write_trace : t -> path:string -> unit
+  (** JSON-lines trace file (schema [vp-obs-trace/1], documented in
+      DESIGN.md): a meta line, then one object per span in completion
+      order, then one per counter sorted by name. *)
+
+  val validate_line : string -> (unit, string) result
+  (** Check one trace line against the schema (object shape, [type]
+      tag, required keys). *)
+
+  val validate_file : path:string -> (int, string) result
+  (** Validate every line of a trace file; [Ok n] is the number of
+      lines checked.  Fails on an empty file, a missing meta line, or
+      any malformed line. *)
+end

@@ -98,7 +98,7 @@ let rec copy_function st ~ctx ~path ~fname ~is_root ~ret_term =
       (* A control transfer with no recovered arc (target outside the
          function): treat as an exit to nowhere; cannot happen on
          builder-produced images. *)
-      invalid_arg "Build.copy_function: dangling control transfer"
+      Vp_util.Error.failf ~stage:"build" "copy_function: dangling control transfer"
   in
   List.iter
     (fun b ->
@@ -191,7 +191,7 @@ let rec copy_function st ~ctx ~path ~fname ~is_root ~ret_term =
               | Some arc ->
                 let lbl, t = make_exit st view ctx arc in
                 (lbl, Some t)
-              | None -> invalid_arg "Build: call without continuation"
+              | None -> Vp_util.Error.failf ~stage:"build" "call without continuation"
             in
             Pkg.Call_orig { callee = callee_entry; next = next_lbl })
         | Some Instr.Ret -> ret_term
@@ -199,7 +199,7 @@ let rec copy_function st ~ctx ~path ~fname ~is_root ~ret_term =
         | Some (Instr.Br { target = Instr.Label _; _ })
         | Some (Instr.Jmp { target = Instr.Label _ })
         | Some (Instr.Call { target = Instr.Label _ }) ->
-          invalid_arg "Build: unresolved label in image"
+          Vp_util.Error.failf ~stage:"build" "unresolved label in image"
         | Some _ | None -> (
           (* Straight-line block: fall through. *)
           match find_arc cfg b Cfg.Fallthrough with
@@ -208,7 +208,7 @@ let rec copy_function st ~ctx ~path ~fname ~is_root ~ret_term =
           | Some arc ->
             let lbl, _ = make_exit st view ctx arc in
             Pkg.Goto lbl
-          | None -> invalid_arg "Build: block without successor")
+          | None -> Vp_util.Error.failf ~stage:"build" "block without successor")
       in
       let term = mk_term () in
       st.blocks_rev <-

@@ -60,8 +60,7 @@ let linearize_with_offsets p =
   in
   go 0 [] [] p.Pkg.blocks
 
-let emit ?(linking = true) ?(transform = fun ~protected:_ p -> p) image pkgs =
-  let groups = Linking.group_packages ~linking pkgs in
+let of_groups ?(transform = fun ~protected:_ p -> p) image groups =
   let links = List.concat_map (fun g -> g.Linking.links) groups in
   let linked = Linking.apply groups in
   (* Blocks targeted by cross-package links have predecessors the
@@ -90,7 +89,7 @@ let emit ?(linking = true) ?(transform = fun ~protected:_ p -> p) image pkgs =
         List.iter
           (fun (label, off) ->
             if Hashtbl.mem table label then
-              invalid_arg (Printf.sprintf "Emit: duplicate label %s" label);
+              Vp_util.Error.failf ~stage:"emit" ~label "duplicate label %s" label;
             Hashtbl.replace table label (pos + off))
           offsets;
         ((p, instrs) :: sections_rev, pos + List.length instrs))
@@ -100,7 +99,7 @@ let emit ?(linking = true) ?(transform = fun ~protected:_ p -> p) image pkgs =
   let lookup label =
     match Hashtbl.find_opt table label with
     | Some a -> a
-    | None -> invalid_arg (Printf.sprintf "Emit: undefined label %s" label)
+    | None -> Vp_util.Error.failf ~stage:"emit" ~label "undefined label %s" label
   in
   (* Second pass: resolve everything, then append all per-package
      symbols in one batch. *)
@@ -140,7 +139,7 @@ let emit ?(linking = true) ?(transform = fun ~protected:_ p -> p) image pkgs =
   in
   (match Image.validate image'' with
   | Ok () -> ()
-  | Error e -> invalid_arg ("Emit: invalid rewritten image: " ^ e));
+  | Error e -> Vp_util.Error.failf ~stage:"emit" "invalid rewritten image: %s" e);
   {
     image = image'';
     packages = final;
@@ -148,3 +147,6 @@ let emit ?(linking = true) ?(transform = fun ~protected:_ p -> p) image pkgs =
     launch_patches;
     package_instructions = total;
   }
+
+let emit ?linking ?transform image pkgs =
+  of_groups ?transform image (Linking.group_packages ?linking pkgs)

@@ -20,18 +20,28 @@ type result = {
   package_instructions : int;  (** emitted package code size *)
 }
 
+val of_groups :
+  ?transform:(protected:string list -> Pkg.t -> Pkg.t) ->
+  Vp_prog.Image.t ->
+  Linking.group list ->
+  result
+(** Emit already-grouped packages (see
+    {!Linking.group_packages_with_stats}); the pipeline uses this to
+    separate the linking stage from emission.  [transform] runs on
+    each package after link resolution and before linearisation — the
+    optimizer hook (layout, scheduling, superblock formation).
+    [protected] names the package's blocks that are targets of
+    cross-package links: they have unseen predecessors and must
+    survive with their label and entry semantics intact.  Raises
+    [Vp_util.Error.Error] if the rewritten image fails validation. *)
+
 val emit :
   ?linking:bool ->
   ?transform:(protected:string list -> Pkg.t -> Pkg.t) ->
   Vp_prog.Image.t ->
   Pkg.t list ->
   result
-(** [transform] runs on each package after link resolution and before
-    linearisation — the optimizer hook (layout, scheduling, superblock
-    formation).  [protected] names the package's blocks that are
-    targets of cross-package links: they have unseen predecessors and
-    must survive with their label and entry semantics intact.  Raises
-    [Invalid_argument] if the rewritten image fails validation. *)
+(** [Linking.group_packages] followed by {!of_groups}. *)
 
 val linearize : Pkg.t -> Vp_isa.Instr.t list
 (** The instruction stream of one package with still-symbolic internal

@@ -155,6 +155,17 @@ let greedy_perm eval n =
 
 let max_exhaustive = 6
 
+type stats = {
+  groups : int;
+  linked_groups : int;
+  orderings_ranked : int;
+  greedy_fallbacks : int;
+  links_resolved : int;
+}
+
+let empty_stats =
+  { groups = 0; linked_groups = 0; orderings_ranked = 0; greedy_fallbacks = 0; links_resolved = 0 }
+
 let best_ordering pkgs =
   let arr = Array.of_list pkgs in
   let n = Array.length arr in
@@ -164,8 +175,9 @@ let best_ordering pkgs =
     let links = links_for_permutation arr site_memos perm in
     (rank_of_links arr branch_counts perm links, links)
   in
+  let greedy = n > max_exhaustive in
   let candidates =
-    if n <= max_exhaustive then
+    if not greedy then
       List.map Array.of_list (permutations (List.init n (fun i -> i)))
     else begin
       Logs.warn (fun m ->
@@ -193,23 +205,51 @@ let best_ordering pkgs =
       | [] -> (0.0, identity_perm n, []))
       scored
   in
-  (best_rank, Array.to_list (Array.map (fun i -> arr.(i)) best_perm), best_links)
+  ( best_rank,
+    Array.to_list (Array.map (fun i -> arr.(i)) best_perm),
+    best_links,
+    List.length candidates,
+    greedy )
 
-let group_packages ?(linking = true) pkgs =
+let group_packages_with_stats ?(linking = true) pkgs =
   let roots =
     List.rev
       (List.fold_left
          (fun acc p -> if List.mem p.Pkg.root acc then acc else p.Pkg.root :: acc)
          [] pkgs)
   in
-  List.map
-    (fun root ->
-      let members = List.filter (fun p -> p.Pkg.root = root) pkgs in
-      if linking && List.length members > 1 then
-        let rank, ordered, links = best_ordering members in
-        { root; ordered; links; rank }
-      else { root; ordered = members; links = []; rank = 0.0 })
-    roots
+  let stats = ref empty_stats in
+  let groups =
+    List.map
+      (fun root ->
+        let members = List.filter (fun p -> p.Pkg.root = root) pkgs in
+        let g =
+          if linking && List.length members > 1 then begin
+            let rank, ordered, links, ranked, greedy = best_ordering members in
+            stats :=
+              {
+                !stats with
+                linked_groups = !stats.linked_groups + 1;
+                orderings_ranked = !stats.orderings_ranked + ranked;
+                greedy_fallbacks =
+                  (!stats.greedy_fallbacks + if greedy then 1 else 0);
+              };
+            { root; ordered; links; rank }
+          end
+          else { root; ordered = members; links = []; rank = 0.0 }
+        in
+        stats :=
+          {
+            !stats with
+            groups = !stats.groups + 1;
+            links_resolved = !stats.links_resolved + List.length g.links;
+          };
+        g)
+      roots
+  in
+  (groups, !stats)
+
+let group_packages ?linking pkgs = fst (group_packages_with_stats ?linking pkgs)
 
 (* Retarget the exit blocks chosen by links. *)
 let apply groups =

@@ -37,6 +37,18 @@ val group_packages : ?linking:bool -> Pkg.t list -> group list
     by rank.  With [linking] off, groups keep natural order and carry
     no links. *)
 
+type stats = {
+  groups : int;
+  linked_groups : int;  (** groups that ran the ordering search *)
+  orderings_ranked : int;  (** candidate orderings evaluated *)
+  greedy_fallbacks : int;  (** groups past the exhaustive-search cap *)
+  links_resolved : int;  (** cross-package links resolved *)
+}
+
+val group_packages_with_stats :
+  ?linking:bool -> Pkg.t list -> group list * stats
+(** {!group_packages} plus where the ordering search spent its work. *)
+
 val apply : group list -> Pkg.t list
 (** Retarget each linked site's exit block to its cross-package
     destination; returns all packages in emission order. *)

@@ -33,7 +33,7 @@ let biased threshold f = f >= threshold || f <= 1.0 -. threshold
 
 let of_branch ?(bias_threshold = 0.9) fractions =
   match fractions with
-  | [] -> invalid_arg "Categorize.of_branch: no phases"
+  | [] -> Vp_util.Error.failf ~stage:"categorize" "of_branch: no phases"
   | [ f ] -> if biased bias_threshold f then Unique_biased else Unique_unbiased
   | fs ->
     if not (List.exists (biased bias_threshold) fs) then Multi_no_bias
@@ -68,8 +68,8 @@ let weighted ?bias_threshold log ~dynamic =
   List.iter (fun (pc, c) -> Hashtbl.replace category_of pc c) categories;
   let totals = Hashtbl.create 8 in
   let grand = ref 0 in
-  Hashtbl.iter
-    (fun pc (executed, _) ->
+  Vp_exec.Branch_profile.iter
+    (fun ~pc ~executed ~taken:_ ->
       let c =
         Option.value ~default:Uncaptured (Hashtbl.find_opt category_of pc)
       in

@@ -38,9 +38,10 @@ type weights = (category * float) list
 val weighted :
   ?bias_threshold:float ->
   Phase_log.t ->
-  dynamic:(int, int * int) Hashtbl.t ->
+  dynamic:Vp_exec.Branch_profile.t ->
   weights
-(** [dynamic] maps static branch pc to whole-run (executed, taken) —
-    from {!Vp_exec.Emulator.aggregate_branch_profile}. *)
+(** [dynamic] is the whole-run (executed, taken) profile — from
+    {!Vp_exec.Emulator.aggregate_branch_profile} or
+    [Driver.profile.aggregate]. *)
 
 val pp_weights : Format.formatter -> weights -> unit

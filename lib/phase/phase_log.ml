@@ -8,20 +8,40 @@ type phase = {
 
 type t = { phases : phase list; schedule : (int * int * int) list; raw : int }
 
-let build ?(similarity = Similarity.default) snapshots =
+type stats = {
+  raw : int;
+  merged : int;
+  new_classes : int;
+  rejected_missing : int;
+  rejected_bias_flips : int;
+}
+
+let build_with_stats ?(similarity = Similarity.default) snapshots =
   let classes : (int * Snapshot.t * Snapshot.t list ref) list ref = ref [] in
   let schedule_rev = ref [] in
+  let merged = ref 0 in
+  let rejected_missing = ref 0 in
+  let rejected_bias = ref 0 in
   List.iter
     (fun snap ->
       let assigned =
         List.find_opt
-          (fun (_, rep, _) -> Similarity.same ~config:similarity snap rep)
+          (fun (_, rep, _) ->
+            match Similarity.verdict ~config:similarity snap rep with
+            | Similarity.Same -> true
+            | Similarity.Too_many_missing ->
+              incr rejected_missing;
+              false
+            | Similarity.Too_many_bias_flips ->
+              incr rejected_bias;
+              false)
           !classes
       in
       let id =
         match assigned with
         | Some (id, _, members) ->
           members := snap :: !members;
+          incr merged;
           id
         | None ->
           let id = List.length !classes in
@@ -36,7 +56,17 @@ let build ?(similarity = Similarity.default) snapshots =
         { id; representative = rep; occurrences = List.rev !members })
       !classes
   in
-  { phases; schedule = List.rev !schedule_rev; raw = List.length snapshots }
+  let raw = List.length snapshots in
+  ( { phases; schedule = List.rev !schedule_rev; raw },
+    {
+      raw;
+      merged = !merged;
+      new_classes = List.length phases;
+      rejected_missing = !rejected_missing;
+      rejected_bias_flips = !rejected_bias;
+    } )
+
+let build ?similarity snapshots = fst (build_with_stats ?similarity snapshots)
 
 let phases t = t.phases
 
@@ -50,7 +80,7 @@ let timeline t =
   in
   merge t.schedule
 
-let raw_count t = t.raw
+let raw_count (t : t) = t.raw
 let unique_count t = List.length t.phases
 
 let extent p =
@@ -65,7 +95,7 @@ let transitions t =
   in
   count tl
 
-let pp fmt t =
+let pp fmt (t : t) =
   Format.fprintf fmt "@[<v>%d raw recordings, %d unique phases@," t.raw
     (unique_count t);
   List.iter

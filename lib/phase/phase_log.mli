@@ -18,6 +18,22 @@ type t
 
 val build : ?similarity:Similarity.config -> Vp_hsd.Snapshot.t list -> t
 
+type stats = {
+  raw : int;  (** snapshots fed in *)
+  merged : int;  (** snapshots folded into an existing class *)
+  new_classes : int;  (** = {!unique_count} of the result *)
+  rejected_missing : int;
+      (** class comparisons failed on the missing-branch fraction *)
+  rejected_bias_flips : int;
+      (** class comparisons failed on biased-branch flips *)
+}
+(** Where the software filter spent its decisions.  The rejection
+    counts are per {e comparison} (a snapshot opening class [n] was
+    rejected against all [n] earlier representatives). *)
+
+val build_with_stats :
+  ?similarity:Similarity.config -> Vp_hsd.Snapshot.t list -> t * stats
+
 val phases : t -> phase list
 (** Unique phases in first-detection order. *)
 

@@ -29,7 +29,15 @@ let bias_flips ?(threshold = 0.9) a b =
         | _ -> acc))
     0 a.Snapshot.branches
 
-let same ?(config = default) a b =
-  missing_fraction a b < config.missing_fraction
-  && missing_fraction b a < config.missing_fraction
-  && bias_flips ~threshold:config.bias_threshold a b <= config.max_bias_flips
+type verdict = Same | Too_many_missing | Too_many_bias_flips
+
+let verdict ?(config = default) a b =
+  if
+    missing_fraction a b >= config.missing_fraction
+    || missing_fraction b a >= config.missing_fraction
+  then Too_many_missing
+  else if bias_flips ~threshold:config.bias_threshold a b > config.max_bias_flips
+  then Too_many_bias_flips
+  else Same
+
+let same ?config a b = verdict ?config a b = Same

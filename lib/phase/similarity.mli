@@ -22,4 +22,13 @@ val missing_fraction : Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> float
 val bias_flips : ?threshold:float -> Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> int
 (** Branches biased in both snapshots with opposite directions. *)
 
+type verdict = Same | Too_many_missing | Too_many_bias_flips
+(** Why two snapshots are (not) the same phase: the first criterion
+    that fails, in the paper's order — missing-branch fraction first,
+    then biased-branch flips. *)
+
+val verdict :
+  ?config:config -> Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> verdict
+
 val same : ?config:config -> Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> bool
+(** [same a b = (verdict a b = Same)]. *)

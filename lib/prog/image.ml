@@ -15,7 +15,7 @@ let size t = Array.length t.code
 
 let fetch t addr =
   if addr < 0 || addr >= size t then
-    invalid_arg (Printf.sprintf "Image.fetch: address 0x%x out of range" addr)
+    Vp_util.Error.failf ~stage:"image" ~pc:addr "fetch: address 0x%x out of range" addr
   else t.code.(addr)
 
 let in_range t addr = addr >= 0 && addr < size t
@@ -40,7 +40,7 @@ let append_many t sections =
       Array.iter
         (fun i ->
           if not (resolved i) then
-            invalid_arg "Image.append: unresolved label in appended code")
+            Vp_util.Error.failf ~stage:"image" "append: unresolved label in appended code")
         code)
     sections;
   (* One concatenation and one symbol-list extension for the whole
@@ -73,7 +73,7 @@ let patch t patches =
   List.iter
     (fun (addr, i) ->
       if addr < 0 || addr >= Array.length code then
-        invalid_arg (Printf.sprintf "Image.patch: address 0x%x out of range" addr);
+        Vp_util.Error.failf ~stage:"image" ~pc:addr "patch: address 0x%x out of range" addr;
       code.(addr) <- i)
     patches;
   { t with code }

@@ -14,7 +14,7 @@ let check_unique what names =
     | _ -> None
   in
   match dup sorted with
-  | Some n -> invalid_arg (Printf.sprintf "Program: duplicate %s %s" what n)
+  | Some n -> Vp_util.Error.failf ~stage:"program" "duplicate %s %s" what n
   | None -> ()
 
 let v ?(data_init = []) ?(data_break = 16) ~entry funcs =
@@ -25,7 +25,7 @@ let v ?(data_init = []) ?(data_break = 16) ~entry funcs =
   check_unique "label" labels;
   check_unique "label/function name" (labels @ List.map Func.name funcs);
   if not (List.exists (fun f -> Func.name f = entry) funcs) then
-    invalid_arg (Printf.sprintf "Program: entry function %s undefined" entry);
+    Vp_util.Error.failf ~stage:"program" ~label:entry "entry function %s undefined" entry;
   { funcs; entry; data_init; data_break }
 
 let find_func t name = List.find_opt (fun f -> Func.name f = name) t.funcs
@@ -52,7 +52,7 @@ let layout t =
   let lookup name =
     match Hashtbl.find_opt table name with
     | Some a -> a
-    | None -> invalid_arg (Printf.sprintf "Program.layout: undefined label %s" name)
+    | None -> Vp_util.Error.failf ~stage:"program" ~label:name "layout: undefined label %s" name
   in
   (* Second pass: emit resolved instructions. *)
   let code = Array.make !addr Instr.Nop in

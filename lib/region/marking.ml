@@ -21,18 +21,18 @@ let mark_entry config region (e : Snapshot.entry) =
   let image = Region.image region in
   match Image.sym_at image e.Snapshot.pc with
   | None ->
-    invalid_arg (Printf.sprintf "Marking.mark: branch 0x%x outside any symbol" e.Snapshot.pc)
+    Vp_util.Error.failf ~stage:"marking" ~pc:e.Snapshot.pc "branch 0x%x outside any symbol" e.Snapshot.pc
   | Some sym ->
     let mf = Region.add_func region sym.Image.name in
     let cfg = Region.cfg mf in
     let b =
       match Cfg.block_at cfg e.Snapshot.pc with
       | Some b -> b
-      | None -> invalid_arg "Marking.mark: branch address not in recovered CFG"
+      | None -> Vp_util.Error.failf ~stage:"marking" "branch address not in recovered CFG"
     in
     if Cfg.branch_addr cfg b <> Some e.Snapshot.pc then
-      invalid_arg
-        (Printf.sprintf "Marking.mark: 0x%x does not terminate block %d" e.Snapshot.pc b);
+      Vp_util.Error.failf ~stage:"marking" ~pc:e.Snapshot.pc
+        "0x%x does not terminate block %d" e.Snapshot.pc b;
     let _ = Region.set_temp mf b Temperature.Hot in
     Region.add_weight mf b e.Snapshot.executed;
     Region.set_taken_prob mf b (Snapshot.taken_fraction e);

@@ -36,7 +36,7 @@ let add_func t name =
     let sym =
       match Image.find_sym t.image name with
       | Some s -> s
-      | None -> invalid_arg (Printf.sprintf "Region.add_func: unknown symbol %s" name)
+      | None -> Vp_util.Error.failf ~stage:"region" ~label:name "add_func: unknown symbol %s" name
     in
     let cfg = Cfg.recover t.image sym in
     let n = Cfg.num_blocks cfg in

@@ -1,0 +1,33 @@
+type t = {
+  stage : string;
+  what : string;
+  pc : int option;
+  label : string option;
+  workload : string option;
+}
+
+exception Error of t
+
+let failf ?pc ?label ?workload ~stage fmt =
+  Printf.ksprintf
+    (fun what -> raise (Error { stage; what; pc; label; workload }))
+    fmt
+
+let in_workload workload f =
+  try f () with
+  | Error ({ workload = None; _ } as e) ->
+    raise (Error { e with workload = Some workload })
+
+let pp ppf e =
+  Format.fprintf ppf "%s: %s" e.stage e.what;
+  let ctx =
+    List.filter_map Fun.id
+      [
+        Option.map (Printf.sprintf "pc 0x%x") e.pc;
+        Option.map (Printf.sprintf "label %s") e.label;
+        Option.map (Printf.sprintf "workload %s") e.workload;
+      ]
+  in
+  if ctx <> [] then Format.fprintf ppf " (%s)" (String.concat ", " ctx)
+
+let to_string e = Format.asprintf "%a" pp e

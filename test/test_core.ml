@@ -24,12 +24,12 @@ let perl_profile = lazy (Driver.profile (Lazy.force perl_image))
 let test_config_experiments () =
   let c = Config.experiment ~inference:false ~linking:true in
   Alcotest.(check bool) "inference off" false
-    c.Config.identify.Vp_region.Identify.block_inference;
-  Alcotest.(check bool) "linking on" true c.Config.linking;
+    (Config.identify c).Vp_region.Identify.block_inference;
+  Alcotest.(check bool) "linking on" true (Config.linking c);
   Alcotest.(check string) "name" "no inference, with linking"
     (Config.experiment_name ~inference:false ~linking:true);
   let tiny = Config.with_detector Vp_hsd.Config.tiny Config.default in
-  Alcotest.(check int) "detector swapped" 1 tiny.Config.detector.Vp_hsd.Config.sets
+  Alcotest.(check int) "detector swapped" 1 (Config.detector tiny).Vp_hsd.Config.sets
 
 let test_profile_contents () =
   let p = Lazy.force perl_profile in
@@ -38,10 +38,10 @@ let test_profile_contents () =
   Alcotest.(check bool) "phases found" true
     (Vp_phase.Phase_log.unique_count p.Driver.log >= 2);
   Alcotest.(check bool) "aggregate profile populated" true
-    (Hashtbl.length p.Driver.aggregate > 5);
+    (Vp_exec.Branch_profile.branches p.Driver.aggregate > 5);
   (* Aggregate counts match the emulator's branch total. *)
-  let total = Hashtbl.fold (fun _ (e, _) acc -> acc + e) p.Driver.aggregate 0 in
-  Alcotest.(check int) "aggregate total" p.Driver.outcome.Emulator.cond_branches total
+  Alcotest.(check int) "aggregate total" p.Driver.outcome.Emulator.cond_branches
+    (Vp_exec.Branch_profile.total_executed p.Driver.aggregate)
 
 let test_rewrite_structure () =
   let r = Driver.rewrite_of_profile (Lazy.force perl_profile) in
@@ -133,7 +133,7 @@ let test_hardware_history_reduces_recordings () =
   let img = Lazy.force perl_image in
   let base = Driver.profile img in
   let with_history =
-    Driver.profile ~config:{ Config.default with Config.history_size = 4 } img
+    Driver.profile ~config:(Config.with_history_size 4 Config.default) img
   in
   Alcotest.(check bool)
     (Printf.sprintf "history reduces recordings (%d -> %d)"
@@ -157,7 +157,9 @@ let test_aggregate_snapshot () =
     (fun e ->
       Alcotest.(check bool) "above floor" true
         (e.S.executed >= max 1 (int_of_float (0.001 *. float_of_int total)));
-      let executed, taken = Hashtbl.find p.Driver.aggregate e.S.pc in
+      let executed, taken =
+        Option.get (Vp_exec.Branch_profile.find p.Driver.aggregate e.S.pc)
+      in
       Alcotest.(check int) "exact executed" executed e.S.executed;
       Alcotest.(check int) "exact taken" taken e.S.taken)
     snap.S.branches;
@@ -177,7 +179,7 @@ let test_profile_truncation_flag () =
   let config = Config.with_detector Vp_hsd.Config.tiny Config.default in
   let full = Driver.profile ~config img in
   Alcotest.(check bool) "full run not truncated" false full.Driver.truncated;
-  let starved = Driver.profile ~config:{ config with Config.fuel = 500 } img in
+  let starved = Driver.profile ~config:(Config.with_fuel 500 config) img in
   Alcotest.(check bool) "starved run truncated" true starved.Driver.truncated;
   Alcotest.(check bool) "outcome not halted" false
     starved.Driver.outcome.Emulator.halted;
@@ -186,7 +188,7 @@ let test_profile_truncation_flag () =
 
 let test_engine_reports_truncation () =
   let config =
-    { (Config.with_detector Vp_hsd.Config.tiny Config.default) with Config.fuel = 500 }
+    Config.with_fuel 500 (Config.with_detector Vp_hsd.Config.tiny Config.default)
   in
   let engine = Vacuum.Engine.create ~jobs:1 ~profile_config:config () in
   let spec =
@@ -235,7 +237,7 @@ let engine_fingerprint jobs =
   Engine.run ~rewrites:true ~timing:true engine ~specs ~cells ();
   List.concat_map
     (fun spec ->
-      let b = Engine.baseline engine spec ~cpu:(List.hd cells).Engine.config.Config.cpu in
+      let b = Engine.baseline engine spec ~cpu:(Config.cpu (List.hd cells).Engine.config) in
       Printf.sprintf "%s baseline %d cycles %d instrs" spec.Engine.name
         b.Vp_cpu.Pipeline.cycles b.Vp_cpu.Pipeline.instructions
       :: List.concat_map

@@ -212,7 +212,14 @@ let test_pipeline_rejects_unresolved_branch () =
   Alcotest.(check bool) "emulator completes" true
     outcome.Vp_exec.Emulator.halted;
   Alcotest.check_raises "pipeline rejects"
-    (Invalid_argument "Pipeline: unresolved label nowhere in branch at 0x1")
+    (Vp_util.Error.Error
+       {
+         stage = "pipeline";
+         what = "unresolved label nowhere in branch at 0x1";
+         pc = Some 1;
+         label = Some "nowhere";
+         workload = None;
+       })
     (fun () -> ignore (Pipeline.simulate img))
 
 let test_speedup_ratio () =

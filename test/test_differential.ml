@@ -73,7 +73,18 @@ let test_workload w () =
   Alcotest.(check bool)
     (name ^ ": aggregate profiles identical")
     true
-    (sorted_bindings ref_agg = sorted_bindings dec_agg)
+    (sorted_bindings ref_agg = sorted_bindings dec_agg);
+  (* The pc-indexed Branch_profile agrees with the classic hashtable
+     aggregate on the same run. *)
+  let bp = Emulator.aggregate_branch_profile ~fuel image in
+  Alcotest.(check bool)
+    (name ^ ": Branch_profile matches hashtable")
+    true
+    (Vp_exec.Branch_profile.bindings bp = sorted_bindings ref_agg);
+  Alcotest.(check int)
+    (name ^ ": Branch_profile total")
+    ref_outcome.Emulator.cond_branches
+    (Vp_exec.Branch_profile.total_executed bp)
 
 (* The full driver path (decoded core + pc-indexed profile counters)
    against a reference-interpreter reconstruction of the same
@@ -91,7 +102,7 @@ let test_driver_profile_matches_reference () =
   check_outcome "driver profile" outcome p.Vacuum.Driver.outcome;
   Alcotest.(check bool)
     "driver aggregate matches reference interpreter" true
-    (sorted_bindings agg = sorted_bindings p.Vacuum.Driver.aggregate)
+    (sorted_bindings agg = Vp_exec.Branch_profile.bindings p.Vacuum.Driver.aggregate)
 
 let () =
   Alcotest.run "vp_differential"

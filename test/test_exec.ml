@@ -170,14 +170,14 @@ let test_branch_observation () =
 
 let test_aggregate_profile_bias () =
   let img = Program.layout (Progs.biased_branch ~iters:1000 ~bias_mod:10) in
-  let table = Emulator.aggregate_branch_profile img in
+  let profile = Emulator.aggregate_branch_profile img in
   (* Find the if-branch: it executes 1000 times, taken 900 (the 'else'
      arm is the common direction). *)
   let found = ref false in
-  Hashtbl.iter
-    (fun _pc (executed, taken) ->
+  Vp_exec.Branch_profile.iter
+    (fun ~pc:_ ~executed ~taken ->
       if executed = 1000 && taken = 900 then found := true)
-    table;
+    profile;
   Alcotest.(check bool) "biased branch profiled" true !found
 
 let test_event_stream_consistency () =
@@ -287,7 +287,14 @@ let test_unresolved_branch_not_taken_runs () =
 
 let test_unresolved_branch_taken_faults () =
   Alcotest.check_raises "taken unresolved branch"
-    (Invalid_argument "Emulator: unresolved label nowhere") (fun () ->
+    (Vp_util.Error.Error
+       {
+         stage = "emulator";
+         what = "unresolved label nowhere";
+         pc = None;
+         label = Some "nowhere";
+         workload = None;
+       }) (fun () ->
       ignore (Emulator.run (unresolved_branch_image ~taken:true)))
 
 let test_unresolved_jmp_faults () =
@@ -302,7 +309,14 @@ let test_unresolved_jmp_faults () =
     }
   in
   Alcotest.check_raises "unresolved jmp"
-    (Invalid_argument "Emulator: unresolved label gone") (fun () ->
+    (Vp_util.Error.Error
+       {
+         stage = "emulator";
+         what = "unresolved label gone";
+         pc = None;
+         label = Some "gone";
+         workload = None;
+       }) (fun () ->
       ignore (Emulator.run img))
 
 (* The hot loop must not allocate per retired instruction: minor-heap

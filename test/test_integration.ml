@@ -13,7 +13,7 @@ let config =
   Vacuum.Config.with_detector Vp_hsd.Config.tiny Vacuum.Config.default
 
 let sinking_config =
-  { config with Vacuum.Config.opt = Vp_opt.Opt.with_sinking }
+  Vacuum.Config.with_opt Vp_opt.Opt.with_sinking config
 
 let run_pipeline config img =
   let profile = Vacuum.Driver.profile ~config img in
@@ -50,10 +50,8 @@ let test_fuzz_equivalence_with_sinking () =
 
 let test_fuzz_no_linking () =
   let no_link =
-    {
-      (Vacuum.Config.experiment ~inference:true ~linking:false) with
-      Vacuum.Config.detector = Vp_hsd.Config.tiny;
-    }
+    Vacuum.Config.with_detector Vp_hsd.Config.tiny
+      (Vacuum.Config.experiment ~inference:true ~linking:false)
   in
   for seed = 32 to 39 do
     ignore (check_seed ~config:no_link seed)

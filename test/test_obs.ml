@@ -1,0 +1,357 @@
+(* The observability layer: span/counter semantics, ring wrap-around,
+   zero-cost disabled paths, trace schema roundtrips, and the
+   determinism contract across engine schedules. *)
+
+module Obs = Vp_obs
+module Program = Vp_prog.Program
+module Gen = Vp_test_support.Gen
+module Engine = Vacuum.Engine
+
+(* --- counters --- *)
+
+let test_counter_basics () =
+  let t = Obs.create () in
+  let a = Obs.Counter.register t "a" in
+  let a' = Obs.Counter.register t "a" in
+  Obs.Counter.incr t a;
+  Obs.Counter.add t a' 4;
+  Alcotest.(check int) "register is idempotent" 5 (Obs.Counter.value t a);
+  Obs.Counter.bump t "a" 10;
+  Obs.Counter.bump t "b" 2;
+  Obs.Counter.bump t "zero" 0;
+  Alcotest.(check (list (pair string int)))
+    "sorted counters"
+    [ ("a", 15); ("b", 2) ]
+    (Obs.Sink.counters t)
+
+let test_counter_disabled () =
+  let t = Obs.disabled in
+  let id = Obs.Counter.register t "ghost" in
+  Obs.Counter.incr t id;
+  Obs.Counter.add t id 100;
+  Obs.Counter.bump t "ghost" 7;
+  Alcotest.(check int) "disabled value is 0" 0 (Obs.Counter.value t id);
+  Alcotest.(check (list (pair string int)))
+    "disabled records nothing" [] (Obs.Sink.counters t)
+
+let test_counter_bump_is_parallel_safe () =
+  (* bump is the flush entry point for engine tasks: concurrent bumps
+     of the same name from several domains must not lose updates. *)
+  let t = Obs.create () in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Obs.Counter.bump t "shared" 1
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check (list (pair string int)))
+    "no lost updates"
+    [ ("shared", 4000) ]
+    (Obs.Sink.counters t)
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  let t = Obs.create () in
+  let outer = Obs.Span.enter t "outer" in
+  let inner = Obs.Span.enter t "inner" in
+  Obs.Span.exit ~work:3 t inner;
+  Obs.Span.exit ~work:7 t outer;
+  match Obs.Sink.spans t with
+  | [ a; b ] ->
+    Alcotest.(check string) "inner completes first" "inner" a.Obs.name;
+    Alcotest.(check int) "inner depth" 1 a.Obs.depth;
+    Alcotest.(check int) "inner work" 3 a.Obs.work;
+    Alcotest.(check string) "outer second" "outer" b.Obs.name;
+    Alcotest.(check int) "outer depth" 0 b.Obs.depth;
+    Alcotest.(check int) "outer work" 7 b.Obs.work;
+    Alcotest.(check int) "seq dense" 1 b.Obs.seq
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_record () =
+  let t = Obs.create () in
+  let v = Obs.Span.record t "stage" ~work:(fun n -> n * 2) (fun () -> 21) in
+  Alcotest.(check int) "result threads through unchanged" 21 v;
+  match Obs.Sink.spans t with
+  | [ s ] ->
+    Alcotest.(check string) "name" "stage" s.Obs.name;
+    Alcotest.(check int) "work from result" 42 s.Obs.work
+  | _ -> Alcotest.fail "expected one span"
+
+let test_span_record_exception_safe () =
+  let t = Obs.create () in
+  (try
+     ignore
+       (Obs.Span.record t "boom" (fun () -> raise Exit) : unit)
+   with Exit -> ());
+  (match Obs.Sink.spans t with
+  | [ s ] ->
+    Alcotest.(check string) "span still recorded" "boom" s.Obs.name;
+    Alcotest.(check int) "failure work marker" (-1) s.Obs.work
+  | _ -> Alcotest.fail "expected one span");
+  (* The stack unwound: the next span is back at depth 0. *)
+  let tok = Obs.Span.enter t "after" in
+  Obs.Span.exit t tok;
+  match Obs.Sink.spans t with
+  | [ _; s ] -> Alcotest.(check int) "depth reset" 0 s.Obs.depth
+  | _ -> Alcotest.fail "expected two spans"
+
+let test_span_note () =
+  let t = Obs.create () in
+  Obs.Span.note t "ext" ~wall_s:1.5 ~work:99;
+  match Obs.Sink.spans t with
+  | [ s ] ->
+    Alcotest.(check string) "name" "ext" s.Obs.name;
+    Alcotest.(check (float 1e-9)) "wall" 1.5 s.Obs.wall_s;
+    Alcotest.(check int) "work" 99 s.Obs.work;
+    Alcotest.(check int) "depth 0" 0 s.Obs.depth
+  | _ -> Alcotest.fail "expected one span"
+
+let test_ring_wraparound () =
+  let t = Obs.create ~span_capacity:4 () in
+  for i = 0 to 9 do
+    Obs.Span.note t (Printf.sprintf "s%d" i) ~wall_s:0.0 ~work:i
+  done;
+  Alcotest.(check int) "dropped count" 6 (Obs.Sink.dropped_spans t);
+  let names = List.map (fun s -> s.Obs.name) (Obs.Sink.spans t) in
+  Alcotest.(check (list string))
+    "newest spans survive, oldest first"
+    [ "s6"; "s7"; "s8"; "s9" ] names;
+  let seqs = List.map (fun s -> s.Obs.seq) (Obs.Sink.spans t) in
+  Alcotest.(check (list int))
+    "seq keeps the global completion index" [ 6; 7; 8; 9 ] seqs
+
+let test_disabled_spans_are_free () =
+  let t = Obs.disabled in
+  let tok = Obs.Span.enter t "never" in
+  Alcotest.(check bool) "null token" true (tok == Obs.Span.null);
+  Obs.Span.exit t tok;
+  Obs.Span.note t "never" ~wall_s:1.0 ~work:1;
+  Alcotest.(check (list (list string)))
+    "nothing recorded" []
+    (List.map (fun s -> [ s.Obs.name ]) (Obs.Sink.spans t))
+
+(* The no-op guarantee the decoded core relies on: driving the span
+   and counter entry points of a disabled recorder allocates nothing
+   on the minor heap. *)
+let test_disabled_zero_allocation () =
+  let t = Obs.disabled in
+  let id = Obs.Counter.register t "c" in
+  (* Warm up so any one-time allocation is out of the measured loop. *)
+  for _ = 1 to 10 do
+    Obs.Span.exit ~work:1 t (Obs.Span.enter t "warm");
+    Obs.Counter.incr t id
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    let tok = Obs.Span.enter t "hot" in
+    Obs.Counter.incr t id;
+    Obs.Counter.add t id 2;
+    Obs.Span.exit ~work:3 t tok
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.0)) "zero minor words" 0.0 delta
+
+(* --- merge --- *)
+
+let test_merge_into () =
+  let src = Obs.create () in
+  let dst = Obs.create () in
+  Obs.Span.note src "a" ~wall_s:0.1 ~work:1;
+  Obs.Counter.bump src "n" 5;
+  Obs.Span.note dst "b" ~wall_s:0.2 ~work:2;
+  Obs.Counter.bump dst "n" 3;
+  Obs.Sink.merge_into ~dst src;
+  Alcotest.(check (list string))
+    "spans appended" [ "b"; "a" ]
+    (List.map (fun s -> s.Obs.name) (Obs.Sink.spans dst));
+  Alcotest.(check (list (pair string int)))
+    "counters added by name"
+    [ ("n", 8) ]
+    (Obs.Sink.counters dst);
+  Obs.Sink.merge_into ~dst Obs.disabled;
+  Obs.Sink.merge_into ~dst:Obs.disabled src;
+  Alcotest.(check int) "disabled merges are no-ops" 2
+    (List.length (Obs.Sink.spans dst))
+
+(* --- trace roundtrip --- *)
+
+let test_trace_roundtrip () =
+  let t = Obs.create () in
+  Obs.Span.record t "stage \"one\"" (fun () -> ());
+  Obs.Span.note t "stage2" ~wall_s:0.5 ~work:123;
+  Obs.Counter.bump t "widgets" 9;
+  let path = Filename.temp_file "vp_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Sink.write_trace t ~path;
+      match Obs.Sink.validate_file ~path with
+      | Ok n -> Alcotest.(check int) "meta + 2 spans + 1 counter" 4 n
+      | Error e -> Alcotest.failf "trace did not validate: %s" e)
+
+let test_validate_rejects_garbage () =
+  let reject line =
+    match Obs.Sink.validate_line line with
+    | Ok () -> Alcotest.failf "accepted %S" line
+    | Error _ -> ()
+  in
+  reject "";
+  reject "not json";
+  reject "{\"no\": \"type\"}";
+  reject "{\"type\": \"span\", \"name\": \"x\"}";
+  (* missing keys *)
+  reject "{\"type\": \"mystery\", \"name\": \"x\"}";
+  match
+    Obs.Sink.validate_line
+      "{\"type\": \"counter\", \"name\": \"x\", \"value\": 3}"
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected a valid counter line: %s" e
+
+let test_validate_file_requires_meta () =
+  let path = Filename.temp_file "vp_obs" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"type\": \"counter\", \"name\": \"x\", \"value\": 1}\n";
+      close_out oc;
+      match Obs.Sink.validate_file ~path with
+      | Ok _ -> Alcotest.fail "accepted a trace without a meta line"
+      | Error _ -> ())
+
+(* --- pipeline integration --- *)
+
+let tiny_config obs =
+  Vacuum.Config.with_obs obs
+    (Vacuum.Config.with_detector Vp_hsd.Config.tiny Vacuum.Config.default)
+
+let test_driver_span_coverage () =
+  let obs = Obs.create () in
+  let config = tiny_config obs in
+  let img = Program.layout (Gen.random_phased ~seed:3) in
+  let p = Vacuum.Driver.profile ~config img in
+  let r = Vacuum.Driver.rewrite_of_profile ~config p in
+  ignore (Vacuum.Coverage.measure ~config r);
+  let names = List.map (fun s -> s.Obs.name) (Obs.Sink.spans obs) in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        (stage ^ " span present") true (List.mem stage names))
+    [ "profile"; "regions"; "packages"; "link"; "emit"; "coverage" ];
+  let profile_span =
+    List.find (fun s -> s.Obs.name = "profile") (Obs.Sink.spans obs)
+  in
+  Alcotest.(check int)
+    "profile span work is retired instructions"
+    p.Vacuum.Driver.outcome.Vp_exec.Emulator.instructions profile_span.Obs.work;
+  (* The stage tallies flushed somewhere. *)
+  Alcotest.(check bool)
+    "counters flushed" true
+    (List.length (Obs.Sink.counters obs) > 0)
+
+let test_observed_run_is_behaviour_preserving () =
+  (* An enabled recorder must not change what the pipeline computes. *)
+  let img = Program.layout (Gen.random_phased ~seed:11) in
+  let run obs =
+    let config = tiny_config obs in
+    let p = Vacuum.Driver.profile ~config img in
+    let r = Vacuum.Driver.rewrite_of_profile ~config p in
+    let c = Vacuum.Coverage.measure ~config r in
+    ( p.Vacuum.Driver.outcome,
+      List.length r.Vacuum.Driver.packages,
+      c.Vacuum.Coverage.coverage_pct )
+  in
+  let off = run Obs.disabled in
+  let on_ = run (Obs.create ()) in
+  Alcotest.(check bool) "identical results" true (off = on_)
+
+(* The determinism contract: one enabled recorder shared by engine
+   schedules at --jobs 1 and --jobs 4 yields the same per-name span
+   summary and the same counter sums. *)
+let test_engine_determinism_across_jobs () =
+  let specs =
+    List.map
+      (fun seed ->
+        {
+          Engine.name = Printf.sprintf "gen%d" seed;
+          load = (fun () -> Program.layout (Gen.random_phased ~seed));
+        })
+      [ 1; 2; 3 ]
+  in
+  let cells =
+    [
+      { Engine.key = "full"; config = tiny_config Obs.disabled };
+      {
+        Engine.key = "nolink";
+        config =
+          Vacuum.Config.with_detector Vp_hsd.Config.tiny
+            (Vacuum.Config.experiment ~inference:true ~linking:false);
+      };
+    ]
+  in
+  let observe jobs =
+    let obs = Obs.create () in
+    let engine =
+      Engine.create ~jobs
+        ~profile_config:(tiny_config Obs.disabled)
+        ~obs ()
+    in
+    Engine.run engine ~specs ~cells ();
+    (Obs.Sink.summary obs, Obs.Sink.counters obs)
+  in
+  let seq_summary, seq_counters = observe 1 in
+  let par_summary, par_counters = observe 4 in
+  Alcotest.(check bool)
+    "span summaries identical across schedules" true
+    (seq_summary = par_summary);
+  Alcotest.(check (list (pair string int)))
+    "counter sums identical across schedules" seq_counters par_counters;
+  Alcotest.(check bool)
+    "summary covers every task" true
+    (List.exists (fun (name, _, _) -> name = "profile:gen1") seq_summary)
+
+let () =
+  Alcotest.run "vp_obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "disabled" `Quick test_counter_disabled;
+          Alcotest.test_case "bump parallel safety" `Quick
+            test_counter_bump_is_parallel_safe;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "record" `Quick test_span_record;
+          Alcotest.test_case "record exception safety" `Quick
+            test_span_record_exception_safe;
+          Alcotest.test_case "note" `Quick test_span_note;
+          Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_spans_are_free;
+          Alcotest.test_case "disabled zero allocation" `Quick
+            test_disabled_zero_allocation;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "merge" `Quick test_merge_into;
+          Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "validate rejects garbage" `Quick
+            test_validate_rejects_garbage;
+          Alcotest.test_case "validate requires meta" `Quick
+            test_validate_file_requires_meta;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "driver span coverage" `Quick
+            test_driver_span_coverage;
+          Alcotest.test_case "observation preserves behaviour" `Quick
+            test_observed_run_is_behaviour_preserving;
+          Alcotest.test_case "engine determinism across --jobs" `Slow
+            test_engine_determinism_across_jobs;
+        ] );
+    ]

@@ -128,10 +128,13 @@ let test_weighted_sums_to_100 () =
   let a = snap ~id:0 [ entry 10 100 95 ] in
   let b = snap ~id:1 ~at:1000 ~until:2000 [ entry 10 100 5 ] in
   let log = Phase_log.build [ a; b ] in
-  let dynamic = Hashtbl.create 4 in
-  Hashtbl.replace dynamic 10 (700, 350);
-  Hashtbl.replace dynamic 42 (300, 10);
+  let executed = Array.make 64 0 and takens = Array.make 64 0 in
+  executed.(10) <- 700;
+  takens.(10) <- 350;
   (* 42 never appeared in a hot spot. *)
+  executed.(42) <- 300;
+  takens.(42) <- 10;
+  let dynamic = Vp_exec.Branch_profile.of_counts ~executed ~takens in
   let ws = Categorize.weighted log ~dynamic in
   let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 ws in
   Alcotest.(check (float 1e-6)) "sums to 100" 100.0 total;

@@ -62,12 +62,12 @@ let test_program_invariants () =
     (try
        ignore (Program.v ~entry:"nope" [ f1 ]);
        false
-     with Invalid_argument _ -> true);
+     with Vp_util.Error.Error _ -> true);
   Alcotest.(check bool) "dup funcs" true
     (try
        ignore (Program.v ~entry:"f" [ f1; Func.v "f" [ blk "g$e" ] ]);
        false
-     with Invalid_argument _ -> true)
+     with Vp_util.Error.Error _ -> true)
 
 let test_layout_addresses_and_resolution () =
   let callee = Func.v "callee" [ Block.v "callee$b" [ Instr.Nop; Instr.Ret ] ] in
@@ -100,7 +100,7 @@ let test_layout_undefined_label () =
     (try
        ignore (Program.layout p);
        false
-     with Invalid_argument _ -> true)
+     with Vp_util.Error.Error { stage = "program"; label = Some "ghost"; _ } -> true)
 
 let test_image_append_and_patch () =
   let img = Program.layout (Progs.sum_to_n 4) in
@@ -130,7 +130,7 @@ let test_image_append_rejects_labels () =
     (try
        ignore (Image.append img ~name:"p" [| Instr.Jmp { target = Instr.Label "x" } |]);
        false
-     with Invalid_argument _ -> true)
+     with Vp_util.Error.Error { stage = "image"; _ } -> true)
 
 let test_image_validate_catches_bad_target () =
   let img = Program.layout (Progs.sum_to_n 4) in
