@@ -693,10 +693,40 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let write_json ~path ~engine_metrics ~counters =
+let write_json ~path ~engine_metrics ~counters ~timeline =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"schema\": \"vacuum-bench/1\",\n";
+  (match timeline with
+  | None -> ()
+  | Some (trace, tls) ->
+    out "  \"timeline\": {\n    \"trace\": \"%s\",\n" (json_escape trace);
+    out "    \"series\": [";
+    let first = ref true in
+    List.iter
+      (fun tl ->
+        List.iter
+          (fun (name, samples, min_v, max_v, total) ->
+            out "%s\n      {\"name\": \"%s\", \"samples\": %d, \"min\": %d, \
+                 \"max\": %d, \"total\": %d}"
+              (if !first then "" else ",")
+              (json_escape name) samples min_v max_v total;
+            first := false)
+          (Vp_telemetry.Sink.summary tl))
+      tls;
+    out "\n    ],\n    \"events\": [";
+    let first = ref true in
+    List.iter
+      (fun tl ->
+        List.iter
+          (fun (kind, count) ->
+            out "%s\n      {\"kind\": \"%s\", \"count\": %d}"
+              (if !first then "" else ",")
+              (json_escape kind) count;
+            first := false)
+          (Vp_telemetry.Sink.event_counts tl))
+      tls;
+    out "\n    ]\n  },\n");
   out "  \"micro\": [";
   List.iteri
     (fun i (name, nanos, r2) ->
@@ -734,6 +764,7 @@ let () =
   let jobs_opt, args = parse_jobs args in
   let json_path, args = parse_valued ~name:"json" args in
   let trace_path, args = parse_valued ~name:"trace" args in
+  let timeline_path, args = parse_valued ~name:"timeline" args in
   let jobs = Option.value ~default:(Vp_util.Pool.default_jobs ()) jobs_opt in
   let quick = List.mem "--quick" args in
   let selected = List.filter (fun a -> a <> "--quick") args in
@@ -807,10 +838,40 @@ let () =
   (match trace_path with
   | Some path -> Vp_obs.Sink.write_trace obs ~path
   | None -> ());
+  (* --timeline FILE: one telemetry-enabled run of the reference
+     workload (profile + rewritten run + timing model), written as a
+     merged vp-timeline-trace/1 file with its per-series summaries
+     folded into the --json export. *)
+  let timeline_tls =
+    match timeline_path with
+    | None -> None
+    | Some path ->
+      let w = Option.get (Registry.find ~bench:"134.perl" ~input:"A") in
+      let config =
+        Vacuum.Config.with_telemetry
+          (Vp_telemetry.on ())
+          (config_of ~inference:true ~linking:true)
+      in
+      let profile = Vacuum.Driver.profile ~config (image_of w) in
+      let r = Vacuum.Driver.rewrite_of_profile ~config profile in
+      let cov = Vacuum.Coverage.measure ~config r in
+      let tt = Vp_telemetry.create (Vacuum.Config.telemetry config) in
+      ignore
+        (Vp_cpu.Pipeline.simulate ~config:(Vacuum.Config.cpu config)
+           ~telemetry:tt
+           (Vacuum.Driver.rewritten_image r));
+      let tls =
+        [ profile.Vacuum.Driver.timeline; cov.Vacuum.Coverage.residency; tt ]
+      in
+      Vp_telemetry.Sink.write_trace ~path tls;
+      Printf.eprintf "timeline: %s -> %s\n" (Registry.name w) path;
+      Some (path, tls)
+  in
   (match json_path with
   | Some path ->
     write_json ~path
       ~engine_metrics:(Engine.metrics !engine)
       ~counters:(Vp_obs.Sink.counters obs)
+      ~timeline:timeline_tls
   | None -> ());
   Format.eprintf "@.%a" Engine.pp_summary !engine

@@ -265,6 +265,150 @@ let stats_cmd =
     Term.(
       const run $ workload_arg $ no_inference $ no_linking $ timing $ trace_arg)
 
+(* --- timeline --- *)
+
+let timeline_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload as BENCH or BENCH/INPUT.")
+  in
+  let interval_arg =
+    let doc = "Sampling interval in retired instructions." in
+    Arg.(
+      value
+      & opt int Vp_telemetry.default_interval
+      & info [ "interval" ] ~docv:"N" ~doc)
+  in
+  let width_arg =
+    Arg.(value & opt int 72 & info [ "width" ] ~docv:"COLS" ~doc:"Render width.")
+  in
+  let tl_trace_arg =
+    let doc =
+      "Also write the merged vp-timeline-trace/1 JSON-lines trace \
+       (profile + rewritten-run + timing timelines) to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run spec interval width timing no_inf no_link trace =
+    let w = find_workload spec in
+    let img = Program.layout (w.Registry.program ()) in
+    let config =
+      Vacuum.Config.with_telemetry
+        (Vp_telemetry.on ~interval ())
+        (config_of ~inference:(not no_inf) ~linking:(not no_link))
+    in
+    let profile = Vacuum.Driver.profile ~config img in
+    let tl = profile.Vacuum.Driver.timeline in
+    let series name =
+      Option.value ~default:[||] (Vp_telemetry.Series.find tl name)
+    in
+    Printf.printf "%s: %d instructions, %d intervals of %d\n" (Registry.name w)
+      profile.Vacuum.Driver.outcome.Emulator.instructions
+      (Vp_telemetry.intervals tl) interval;
+    let bar name values =
+      Printf.printf "%-14s|%s|\n" name (Vp_telemetry.Render.sparkline ~width values)
+    in
+    Printf.printf "\nprofiling run (detector state per interval):\n";
+    bar "hdc" (series "profile.hdc");
+    bar "bbb occupancy" (series "profile.bbb_occupancy");
+    bar "branches" (series "profile.branches");
+    List.iter
+      (fun kind ->
+        Printf.printf "%-14s%d events\n" kind
+          (Vp_telemetry.Event.count tl ~kind))
+      [ "detect"; "record"; "rearm" ];
+    (* Phase extents: map the phase log's branch-index spans onto the
+       interval axis through the cumulative branch series. *)
+    let branches = series "profile.branches" in
+    let cum = Array.make (Array.length branches) 0 in
+    let acc = ref 0 in
+    Array.iteri
+      (fun i b ->
+        acc := !acc + b;
+        cum.(i) <- !acc)
+      branches;
+    let extents = Vp_phase.Phase_log.timeline profile.Vacuum.Driver.log in
+    Printf.printf "\nphase extents:\n";
+    List.iter
+      (fun (id, row) -> Printf.printf "phase %-8d|%s|\n" id row)
+      (Vp_telemetry.Render.extent_rows ~width ~cum extents);
+    (* Rewrite, then attribute the rewritten run's retirement stream to
+       original code vs. each emitted package. *)
+    let r = Vacuum.Driver.rewrite_of_profile ~config profile in
+    let cov = Vacuum.Coverage.measure ~config r in
+    let res = cov.Vacuum.Coverage.residency in
+    let total =
+      Option.value ~default:[||]
+        (Vp_telemetry.Series.find res "run.instructions")
+    in
+    Printf.printf
+      "\nrewritten run residency (coverage %.1f%%, %d launches, %d side exits):\n"
+      cov.Vacuum.Coverage.coverage_pct
+      (Vp_telemetry.Event.count res ~kind:"launch")
+      (Vp_telemetry.Event.count res ~kind:"side_exit");
+    List.iter
+      (fun name ->
+        match Vp_telemetry.Series.find res name with
+        | Some part when name <> "run.instructions" ->
+          let label =
+            String.sub name 4 (String.length name - 4 - 13)
+            (* strip "run." and ".instructions" *)
+          in
+          let share =
+            Vp_util.Stats.pct
+              (Array.fold_left ( + ) 0 part)
+              (Array.fold_left ( + ) 0 total)
+          in
+          Printf.printf "%-14s|%s| %5.1f%%\n"
+            (if String.length label > 14 then String.sub label 0 14 else label)
+            (Vp_telemetry.Render.lane ~width ~total part)
+            share
+        | _ -> ())
+      (Vp_telemetry.Series.names res);
+    let timelines = ref [ tl; res ] in
+    if timing then begin
+      let tt = Vp_telemetry.create (Vacuum.Config.telemetry config) in
+      let stats =
+        Vp_cpu.Pipeline.simulate ~config:(Vacuum.Config.cpu config)
+          ~fuel:(Vacuum.Config.fuel config)
+          ~mem_words:(Vacuum.Config.mem_words config) ~telemetry:tt
+          (Vacuum.Driver.rewritten_image r)
+      in
+      timelines := !timelines @ [ tt ];
+      let tseries name =
+        Option.value ~default:[||] (Vp_telemetry.Series.find tt name)
+      in
+      Printf.printf "\ntiming model on the rewritten binary (IPC %.3f):\n"
+        stats.Vp_cpu.Pipeline.ipc;
+      Printf.printf "%-14s|%s|\n" "cycles"
+        (Vp_telemetry.Render.sparkline ~width (tseries "timing.cycles"));
+      Printf.printf "%-14s|%s|\n" "icache miss"
+        (Vp_telemetry.Render.sparkline ~width (tseries "timing.icache_misses"));
+      Printf.printf "%-14s|%s|\n" "dcache miss"
+        (Vp_telemetry.Render.sparkline ~width (tseries "timing.dcache_misses"));
+      Printf.printf "%-14s|%s|\n" "mispredicts"
+        (Vp_telemetry.Render.sparkline ~width (tseries "timing.mispredicts"));
+      Printf.printf "%-14s|%s|\n" "fetch stalls"
+        (Vp_telemetry.Render.sparkline ~width (tseries "timing.fetch_stalls"))
+    end;
+    match trace with
+    | None -> ()
+    | Some path ->
+      Vp_telemetry.Sink.write_trace ~path !timelines;
+      Printf.printf "\ntrace: %d timelines -> %s\n" (List.length !timelines) path
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Render a workload's interval timeline: detector state and phase \
+          extents of the profiling run, package residency lanes of the \
+          rewritten run, and (with --timing) timing-model series.")
+    Term.(
+      const run $ spec_arg $ interval_arg $ width_arg $ timing $ no_inference
+      $ no_linking $ tl_trace_arg)
+
 (* --- trace-check --- *)
 
 let trace_check_cmd =
@@ -274,16 +418,40 @@ let trace_check_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"Trace file to validate.")
   in
+  (* Dispatch on the meta line: vpack emits both vp-obs-trace/1
+     (pipeline spans/counters) and vp-timeline-trace/1 (run telemetry)
+     JSON-lines files. *)
+  let schema_of file =
+    let ic = open_in file in
+    let first = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    if contains first "vp-timeline-trace/1" then `Timeline else `Obs
+  in
   let run file =
-    match Vp_obs.Sink.validate_file ~path:file with
-    | Ok n -> Printf.printf "%s: valid vp-obs-trace/1, %d lines\n" file n
-    | Error e ->
-      Printf.eprintf "%s: invalid trace: %s\n" file e;
-      exit 1
+    match schema_of file with
+    | `Timeline -> (
+      match Vp_telemetry.Sink.validate_file ~path:file with
+      | Ok n -> Printf.printf "%s: valid vp-timeline-trace/1, %d lines\n" file n
+      | Error e ->
+        Printf.eprintf "%s: invalid trace: %s\n" file e;
+        exit 1)
+    | `Obs -> (
+      match Vp_obs.Sink.validate_file ~path:file with
+      | Ok n -> Printf.printf "%s: valid vp-obs-trace/1, %d lines\n" file n
+      | Error e ->
+        Printf.eprintf "%s: invalid trace: %s\n" file e;
+        exit 1)
   in
   Cmd.v
     (Cmd.info "trace-check"
-       ~doc:"Validate a --trace file against the vp-obs-trace/1 schema.")
+       ~doc:
+         "Validate a trace file against its schema (vp-obs-trace/1 or \
+          vp-timeline-trace/1, detected from the first line).")
     Term.(const run $ file_arg)
 
 (* --- asm / disasm --- *)
@@ -399,7 +567,8 @@ let () =
     Cmd.group info
       [
         list_cmd; run_cmd; phases_cmd; extract_cmd; report_cmd; stats_cmd;
-        trace_check_cmd; diag_cmd; asm_cmd; disasm_cmd; machine_cmd;
+        timeline_cmd; trace_check_cmd; diag_cmd; asm_cmd; disasm_cmd;
+        machine_cmd;
       ]
   in
   (* Pipeline failures carry a structured payload; render it and exit

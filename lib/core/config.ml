@@ -9,13 +9,15 @@ type t = {
   mem_words : int;
   fuel : int;
   obs : Vp_obs.t;
+  telemetry : Vp_telemetry.config;
 }
 
 let v ?(detector = Vp_hsd.Config.default) ?(history_size = 0)
     ?(similarity = Vp_phase.Similarity.default)
     ?(identify = Vp_region.Identify.default) ?(linking = true)
     ?(opt = Vp_opt.Opt.default) ?(cpu = Vp_cpu.Config.default)
-    ?(mem_words = 1 lsl 20) ?(fuel = 200_000_000) ?(obs = Vp_obs.disabled) () =
+    ?(mem_words = 1 lsl 20) ?(fuel = 200_000_000) ?(obs = Vp_obs.disabled)
+    ?(telemetry = Vp_telemetry.off) () =
   {
     detector;
     history_size;
@@ -27,6 +29,7 @@ let v ?(detector = Vp_hsd.Config.default) ?(history_size = 0)
     mem_words;
     fuel;
     obs;
+    telemetry;
   }
 
 let default = v ()
@@ -57,6 +60,7 @@ let cpu t = t.cpu
 let mem_words t = t.mem_words
 let fuel t = t.fuel
 let obs t = t.obs
+let telemetry t = t.telemetry
 let with_detector detector t = { t with detector }
 let with_history_size history_size t = { t with history_size }
 let with_similarity similarity t = { t with similarity }
@@ -67,5 +71,6 @@ let with_cpu cpu t = { t with cpu }
 let with_mem_words mem_words t = { t with mem_words }
 let with_fuel fuel t = { t with fuel }
 let with_obs obs t = { t with obs }
+let with_telemetry telemetry t = { t with telemetry }
 
 let map_identify f t = { t with identify = f t.identify }

@@ -23,6 +23,7 @@ val v :
   ?mem_words:int ->
   ?fuel:int ->
   ?obs:Vp_obs.t ->
+  ?telemetry:Vp_telemetry.config ->
   unit ->
   t
 (** Every argument defaults to the corresponding {!default} field. *)
@@ -56,6 +57,13 @@ val obs : t -> Vp_obs.t
 (** The observability recorder the pipeline reports through;
     {!Vp_obs.disabled} by default. *)
 
+val telemetry : t -> Vp_telemetry.config
+(** The run-time telemetry sampling configuration ({!Vp_telemetry.off}
+    by default).  Unlike {!obs} this is a {e configuration}, not a
+    shared recorder: each run (profiling, coverage, timing) creates
+    its own per-run {!Vp_telemetry.t} from it, so timelines stay
+    deterministic under any [Vacuum.Engine] schedule. *)
+
 (** {1 Functional setters} *)
 
 val with_detector : Vp_hsd.Config.t -> t -> t
@@ -70,6 +78,7 @@ val with_cpu : Vp_cpu.Config.t -> t -> t
 val with_mem_words : int -> t -> t
 val with_fuel : int -> t -> t
 val with_obs : Vp_obs.t -> t -> t
+val with_telemetry : Vp_telemetry.config -> t -> t
 
 val map_identify : (Vp_region.Identify.config -> Vp_region.Identify.config) -> t -> t
 (** Rewrite the identify sub-configuration in place — the common case

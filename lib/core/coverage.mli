@@ -7,6 +7,17 @@ type t = {
   coverage_pct : float;
   outcome : Vp_exec.Emulator.outcome;  (** the rewritten run *)
   equivalent : bool;  (** checksum and result match the original *)
+  residency : Vp_telemetry.t;
+      (** per-run address-range attribution of the rewritten run:
+          series [run.instructions], [run.orig.instructions], and one
+          [run.<package-symbol>.instructions] per emitted package,
+          plus [launch] (original to package), [side_exit] (package to
+          original) and [migrate] (package to package) events stamped
+          with the retired-instruction index.  Summing a package lane
+          over all intervals reproduces that package's share of
+          [outcome.package_instructions] — the Figure 8 numerator.
+          {!Vp_telemetry.disabled} unless the configuration enables
+          telemetry. *)
 }
 
 val measure : ?config:Config.t -> Driver.rewrite -> t

@@ -20,6 +20,7 @@ type profile = {
   aggregate : Vp_exec.Branch_profile.t;
   detections : int;
   truncated : bool;
+  timeline : Vp_telemetry.t;
 }
 
 type region_info = {
@@ -45,6 +46,51 @@ let profile ?(config = Config.default) image =
     Detector.create ~config:(Config.detector config)
       ~history_size:(Config.history_size config) ~same ()
   in
+  (* Per-run timeline: created fresh for this profile run so traces
+     are deterministic regardless of how Engine schedules runs across
+     domains.  When telemetry is off this is the shared [disabled]
+     value and the emulator receives no [on_retire] sink at all. *)
+  let tl = Vp_telemetry.create (Config.telemetry config) in
+  let on_retire, tail_flush =
+    if not (Vp_telemetry.enabled tl) then (None, fun () -> ())
+    else begin
+      let s_instr = Vp_telemetry.Series.register tl "profile.instructions" in
+      let s_branch = Vp_telemetry.Series.register tl "profile.branches" in
+      let s_hdc = Vp_telemetry.Series.register tl "profile.hdc" in
+      let s_occ = Vp_telemetry.Series.register tl "profile.bbb_occupancy" in
+      let s_cand = Vp_telemetry.Series.register tl "profile.bbb_candidates" in
+      Detector.set_hooks detector
+        ~on_detect:(fun ~branches ~detections ->
+          Vp_telemetry.Event.emit tl ~kind:"detect" ~at:branches
+            ~value:detections)
+        ~on_record:(fun ~branches ~id ->
+          Vp_telemetry.Event.emit tl ~kind:"record" ~at:branches ~value:id)
+        ~on_rearm:(fun ~branches ~rearms ->
+          Vp_telemetry.Event.emit tl ~kind:"rearm" ~at:branches ~value:rearms);
+      let interval = Vp_telemetry.interval_length tl in
+      let countdown = ref interval in
+      let last_branches = ref 0 in
+      let flush n =
+        Vp_telemetry.Series.push tl s_instr n;
+        let b = Detector.branches_seen detector in
+        Vp_telemetry.Series.push tl s_branch (b - !last_branches);
+        last_branches := b;
+        Vp_telemetry.Series.push tl s_hdc (Detector.hdc_value detector);
+        Vp_telemetry.Series.push tl s_occ (Detector.bbb_occupancy detector);
+        Vp_telemetry.Series.push tl s_cand (Detector.bbb_candidates detector)
+      in
+      ( Some
+          (fun ~pc:_ ~taken:_ ~next_pc:_ ~mem_addr:_ ->
+            decr countdown;
+            if !countdown = 0 then begin
+              countdown := interval;
+              flush interval
+            end),
+        fun () ->
+          let tail = interval - !countdown in
+          if tail > 0 then flush tail )
+    end
+  in
   (* pc-indexed counters sized by the image: the per-branch profiling
      cost is two array bumps and the detector call — no hashing, no
      tuple allocation.  The same arrays back the aggregate-profile
@@ -60,8 +106,9 @@ let profile ?(config = Config.default) image =
   in
   let outcome =
     Emulator.run ~fuel:(Config.fuel config)
-      ~mem_words:(Config.mem_words config) ~on_branch image
+      ~mem_words:(Config.mem_words config) ~on_branch ?on_retire image
   in
+  tail_flush ();
   let aggregate = Vp_exec.Branch_profile.of_counts ~executed ~takens in
   let snapshots = Detector.snapshots detector in
   Counter.bump obs "detector.detections" (Detector.detections detector);
@@ -93,6 +140,7 @@ let profile ?(config = Config.default) image =
     aggregate;
     detections = Detector.detections detector;
     truncated;
+    timeline = tl;
   }
 
 let rewrite_of_profile ?(config = Config.default) source =

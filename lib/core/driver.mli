@@ -20,6 +20,14 @@ type profile = {
       (** the profiling run exhausted its fuel before halting; any
           metric derived from this profile reflects a partial run.  A
           [Logs] warning is emitted when this is set. *)
+  timeline : Vp_telemetry.t;
+      (** per-run interval time-series of the profiling run
+          ([profile.instructions], [profile.branches], [profile.hdc],
+          [profile.bbb_occupancy], [profile.bbb_candidates] plus
+          [detect]/[record]/[rearm] events, all in retired-branch
+          stamps).  {!Vp_telemetry.disabled} unless the configuration
+          enables telemetry; owned by this profile, so results stay
+          byte-identical under any [Engine] schedule. *)
 }
 
 type region_info = {

@@ -69,7 +69,7 @@ let release_models config models =
   Domain.DLS.get model_pool := Some (config, models)
 
 let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_progress
-    image =
+    ?(telemetry = Vp_telemetry.disabled) image =
   let d = Decode.of_image image in
   (* Per-pc tables, decoded once: the retire callback below reads
      these flat arrays instead of matching on boxed [Instr.t] and
@@ -119,6 +119,40 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
   let data_line = ref (-1) in
   let fetch_lb_hits = ref 0 in
   let data_lb_hits = ref 0 in
+  (* Telemetry: per-interval deltas of the timing-model series.  The
+     retire path tests one immutable boolean; all registration and
+     last-value state exists only when the timeline is enabled (the
+     registers are no-ops on the disabled timeline). *)
+  let tl = telemetry in
+  let tl_on = Vp_telemetry.enabled tl in
+  let tl_interval = Vp_telemetry.interval_length tl in
+  let s_instr = Vp_telemetry.Series.register tl "timing.instructions" in
+  let s_cycles = Vp_telemetry.Series.register tl "timing.cycles" in
+  let s_icache = Vp_telemetry.Series.register tl "timing.icache_misses" in
+  let s_dcache = Vp_telemetry.Series.register tl "timing.dcache_misses" in
+  let s_l2 = Vp_telemetry.Series.register tl "timing.l2_misses" in
+  let s_mispred = Vp_telemetry.Series.register tl "timing.mispredicts" in
+  let s_fstall = Vp_telemetry.Series.register tl "timing.fetch_stalls" in
+  let s_dstall = Vp_telemetry.Series.register tl "timing.data_stalls" in
+  let tl_count = ref 0 in
+  let tl_last = Array.make 7 0 in
+  let tl_flush n =
+    Vp_telemetry.Series.push tl s_instr n;
+    let delta i s cur =
+      Vp_telemetry.Series.push tl s (cur - tl_last.(i));
+      tl_last.(i) <- cur
+    in
+    (* [!cycle + 1] is the cycle-count convention of [stats.cycles]
+       (index of the last cycle -> number of cycles), so the interval
+       deltas telescope to exactly the reported total. *)
+    delta 0 s_cycles (!cycle + 1);
+    delta 1 s_icache (Cache.misses l1i);
+    delta 2 s_dcache (Cache.misses l1d);
+    delta 3 s_l2 (Cache.misses l2);
+    delta 4 s_mispred (Predictor.stats pred).Predictor.mispredictions;
+    delta 5 s_fstall !fetch_stalls;
+    delta 6 s_dstall !data_stalls
+  in
   let advance_to c =
     if c > !cycle then begin
       cycle := c;
@@ -236,15 +270,23 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
     else if t = Decode.tag_br_unresolved then
       (* Reachable only when not taken — a taken unresolved branch
          already faulted inside the emulator. *)
-      match Instr.target d.Decode.code.(pc) with
+      (match Instr.target d.Decode.code.(pc) with
       | Some (Instr.Label l) ->
         Vp_util.Error.failf ~stage:"pipeline" ~label:l ~pc
           "unresolved label %s in branch at 0x%x" l pc
-      | _ -> assert false
+      | _ -> assert false);
+    if tl_on then begin
+      incr tl_count;
+      if !tl_count = tl_interval then begin
+        tl_count := 0;
+        tl_flush tl_interval
+      end
+    end
   in
   let (_ : Emulator.outcome) =
     Emulator.run_decoded ?fuel ?mem_words ~on_retire d
   in
+  if tl_on && !tl_count > 0 then tl_flush !tl_count;
   let pstats = Predictor.stats pred in
   let total_cycles = !cycle + 1 in
   let result =
@@ -269,8 +311,8 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
   release_models config models;
   result
 
-let simulate ?config ?fuel ?mem_words image =
-  simulate_internal ?config ?fuel ?mem_words image
+let simulate ?config ?fuel ?mem_words ?telemetry image =
+  simulate_internal ?config ?fuel ?mem_words ?telemetry image
 
 type phase_stats = {
   phase : int;

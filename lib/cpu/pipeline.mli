@@ -28,8 +28,18 @@ type stats = {
 }
 
 val simulate :
-  ?config:Config.t -> ?fuel:int -> ?mem_words:int -> Vp_prog.Image.t -> stats
-(** Emulate the image and time its retirement stream. *)
+  ?config:Config.t ->
+  ?fuel:int ->
+  ?mem_words:int ->
+  ?telemetry:Vp_telemetry.t ->
+  Vp_prog.Image.t ->
+  stats
+(** Emulate the image and time its retirement stream.  With an enabled
+    [telemetry] timeline, per-interval deltas of the timing series are
+    recorded under the [timing.*] names ([instructions], [cycles],
+    [icache_misses], [dcache_misses], [l2_misses], [mispredicts],
+    [fetch_stalls], [data_stalls]); the disabled default costs one
+    immutable-boolean test per retirement. *)
 
 type phase_stats = {
   phase : int;  (** phase id from the timeline; -1 = between intervals *)

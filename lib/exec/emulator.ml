@@ -165,8 +165,9 @@ let run_decoded ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
   State.release st;
   outcome
 
-let run ?fuel ?mem_words ?on_branch ?on_event image =
-  run_decoded ?fuel ?mem_words ?on_branch ?on_event (Decode.of_image image)
+let run ?fuel ?mem_words ?on_branch ?on_event ?on_retire image =
+  run_decoded ?fuel ?mem_words ?on_branch ?on_event ?on_retire
+    (Decode.of_image image)
 
 (* The original boxed interpreter, kept verbatim as the executable
    specification: the differential tests re-run every workload through

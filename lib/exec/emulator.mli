@@ -38,12 +38,15 @@ val run :
   ?mem_words:int ->
   ?on_branch:(pc:int -> taken:bool -> unit) ->
   ?on_event:(event -> unit) ->
+  ?on_retire:(pc:int -> taken:bool -> next_pc:int -> mem_addr:int -> unit) ->
   Vp_prog.Image.t ->
   outcome
 (** Execute from the image entry until [Halt], a return to
     {!State.halt_address}, or fuel exhaustion (default fuel 200M).
     Decodes the image first; callers that run the same image many
-    times should decode once and use {!run_decoded}.  Raises
+    times should decode once and use {!run_decoded}.  [on_retire] is
+    forwarded to {!run_decoded} — the allocation-free per-retirement
+    sink the telemetry layer's interval samplers piggyback on.  Raises
     {!State.Fault} on out-of-range memory access and
     [Invalid_argument] on a jump outside the image or an executed
     unresolved label. *)

@@ -14,6 +14,12 @@ type t = {
   mutable raw_detections : int;
   mutable rearms : int;
   mutable history_hits : int;
+  (* Telemetry hooks, fired at detection/recording/re-arm time only —
+     never on the per-branch path — so an unhooked detector pays one
+     [None] match per (rare) event. *)
+  mutable hook_detect : (branches:int -> detections:int -> unit) option;
+  mutable hook_record : (branches:int -> id:int -> unit) option;
+  mutable hook_rearm : (branches:int -> rearms:int -> unit) option;
 }
 
 let create ?(config = Config.default) ?(history_size = 0) ?(same = fun _ _ -> false)
@@ -35,9 +41,17 @@ let create ?(config = Config.default) ?(history_size = 0) ?(same = fun _ _ -> fa
     raw_detections = 0;
     rearms = 0;
     history_hits = 0;
+    hook_detect = None;
+    hook_record = None;
+    hook_rearm = None;
   }
 
 let config t = t.cfg
+
+let set_hooks ?on_detect ?on_record ?on_rearm t =
+  (match on_detect with Some _ -> t.hook_detect <- on_detect | None -> ());
+  (match on_record with Some _ -> t.hook_record <- on_record | None -> ());
+  match on_rearm with Some _ -> t.hook_rearm <- on_rearm | None -> ()
 
 (* View a raw recording as a snapshot for history comparison; the
    extent is irrelevant to similarity. *)
@@ -65,7 +79,10 @@ let rearm t =
   Bbb.clear t.bbb;
   t.hdc <- Config.hdc_max t.cfg;
   t.since_refresh <- 0;
-  t.since_clear <- 0
+  t.since_clear <- 0;
+  match t.hook_rearm with
+  | Some f -> f ~branches:t.branches ~rearms:t.rearms
+  | None -> ()
 
 let on_branch t ~pc ~taken =
   t.branches <- t.branches + 1;
@@ -80,14 +97,20 @@ let on_branch t ~pc ~taken =
     t.hdc <- Stdlib.min hdc_max (t.hdc + t.cfg.Config.hdc_inc));
   if t.hdc = 0 then begin
     t.raw_detections <- t.raw_detections + 1;
+    (match t.hook_detect with
+    | Some f -> f ~branches:t.branches ~detections:t.raw_detections
+    | None -> ());
     let entries = Bbb.snapshot_entries t.bbb in
     (if entries <> [] then
        if in_history t entries then t.history_hits <- t.history_hits + 1
        else begin
+         let id = t.recorded_count in
          t.recorded_rev <-
-           { id = t.recorded_count; detected_at = t.branches; entries }
-           :: t.recorded_rev;
-         t.recorded_count <- t.recorded_count + 1
+           { id; detected_at = t.branches; entries } :: t.recorded_rev;
+         t.recorded_count <- id + 1;
+         match t.hook_record with
+         | Some f -> f ~branches:t.branches ~id
+         | None -> ()
        end);
     rearm t
   end
@@ -115,6 +138,8 @@ let snapshots t =
 
 let branches_seen t = t.branches
 let hdc_value t = t.hdc
+let bbb_occupancy t = Bbb.occupancy t.bbb
+let bbb_candidates t = Bbb.candidates t.bbb
 let detections t = t.raw_detections
 let recordings t = t.recorded_count
 let rearms t = t.rearms

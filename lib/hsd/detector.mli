@@ -36,6 +36,24 @@ val create :
 
 val config : t -> Config.t
 
+val set_hooks :
+  ?on_detect:(branches:int -> detections:int -> unit) ->
+  ?on_record:(branches:int -> id:int -> unit) ->
+  ?on_rearm:(branches:int -> rearms:int -> unit) ->
+  t ->
+  unit
+(** Install run-time event callbacks (the telemetry layer's view of
+    the hardware).  [on_detect] fires at every raw detection (HDC
+    reached zero) with the retired-branch index and the running
+    detection count; [on_record] fires when a snapshot is actually
+    recorded, stamped with the same retired-branch index the
+    snapshot's [detected_at] carries — phase extents are recoverable
+    from the stamps alone, without re-running; [on_rearm] fires at
+    every detector reset (one per detection, plus clear-interval
+    expiries).  Hooks fire only at these rare events, never on the
+    per-branch path; omitted arguments leave the existing hook in
+    place. *)
+
 val on_branch : t -> pc:int -> taken:bool -> unit
 (** Feed one retired conditional branch; wire this to
     [Vp_exec.Emulator.run ~on_branch]. *)
@@ -47,6 +65,13 @@ val snapshots : t -> Snapshot.t list
 
 val branches_seen : t -> int
 val hdc_value : t -> int
+
+val bbb_occupancy : t -> int
+(** Valid BBB entries right now (= {!Bbb.occupancy}); sampled by the
+    telemetry layer at interval boundaries. *)
+
+val bbb_candidates : t -> int
+(** BBB entries whose candidate flag is set right now. *)
 
 val detections : t -> int
 (** Raw detections, including ones suppressed by the history. *)

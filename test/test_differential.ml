@@ -104,6 +104,46 @@ let test_driver_profile_matches_reference () =
     "driver aggregate matches reference interpreter" true
     (sorted_bindings agg = Vp_exec.Branch_profile.bindings p.Vacuum.Driver.aggregate)
 
+(* Telemetry consistency: the per-interval residency series of the
+   rewritten run must integrate to exactly the coverage numbers of
+   Figure 8 — the interval sampler and the emulator's own
+   package-instruction counter are two independent observers of the
+   same run. *)
+let test_residency_consistency w () =
+  let name = Registry.name w in
+  let config =
+    Vacuum.Config.with_telemetry
+      (Vp_telemetry.on ())
+      (Vacuum.Config.with_fuel fuel Vacuum.Config.default)
+  in
+  let image = Program.layout (w.Registry.program ()) in
+  let r = Vacuum.Driver.rewrite ~config image in
+  let c = Vacuum.Coverage.measure ~config r in
+  let res = c.Vacuum.Coverage.residency in
+  let sum series_name =
+    match Vp_telemetry.Series.find res series_name with
+    | Some v -> Array.fold_left ( + ) 0 v
+    | None -> Alcotest.failf "%s: missing series %s" name series_name
+  in
+  Alcotest.(check int)
+    (name ^ ": total residency = retired instructions")
+    c.Vacuum.Coverage.outcome.Emulator.instructions (sum "run.instructions");
+  let pkg_sum =
+    List.fold_left
+      (fun acc s ->
+        if s = "run.instructions" || s = "run.orig.instructions" then acc
+        else acc + sum s)
+      0
+      (Vp_telemetry.Series.names res)
+  in
+  Alcotest.(check int)
+    (name ^ ": package residency = Figure 8 numerator")
+    c.Vacuum.Coverage.outcome.Emulator.package_instructions pkg_sum;
+  Alcotest.(check int)
+    (name ^ ": lanes partition the run")
+    c.Vacuum.Coverage.outcome.Emulator.instructions
+    (pkg_sum + sum "run.orig.instructions")
+
 let () =
   Alcotest.run "vp_differential"
     [
@@ -117,4 +157,10 @@ let () =
           Alcotest.test_case "profile matches reference" `Quick
             test_driver_profile_matches_reference;
         ] );
+      ( "residency vs coverage",
+        List.map
+          (fun w ->
+            Alcotest.test_case (Registry.name w) `Quick
+              (test_residency_consistency w))
+          a_workloads );
     ]

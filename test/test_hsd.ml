@@ -135,6 +135,35 @@ let test_detector_detects_stable_loop () =
         (List.mem pc (Snapshot.branch_pcs first)))
     [ 100; 101; 102 ]
 
+let test_detector_hooks () =
+  (* The telemetry callbacks fire once per counter bump, stamped with
+     the retired-branch index the snapshot itself records. *)
+  let d = Detector.create ~config:tiny () in
+  let detects = ref 0 and rearm_count = ref 0 and stamps = ref [] in
+  Detector.set_hooks d
+    ~on_detect:(fun ~branches:_ ~detections -> detects := detections)
+    ~on_record:(fun ~branches ~id -> stamps := (branches, id) :: !stamps)
+    ~on_rearm:(fun ~branches:_ ~rearms -> rearm_count := rearms);
+  feed d 8000 [ (100, true); (101, false) ];
+  Alcotest.(check int) "detect hook saw every detection"
+    (Detector.detections d) !detects;
+  Alcotest.(check int) "rearm hook saw every rearm" (Detector.rearms d)
+    !rearm_count;
+  let stamps = List.rev !stamps in
+  Alcotest.(check int) "record hook saw every recording"
+    (Detector.recordings d) (List.length stamps);
+  List.iter2
+    (fun (branches, id) (snap : Snapshot.t) ->
+      Alcotest.(check int) "stamp = detected_at" snap.Snapshot.detected_at branches;
+      Alcotest.(check int) "id = snapshot id" snap.Snapshot.id id)
+    stamps (Detector.snapshots d);
+  (* Partial re-installation keeps the other hooks in place. *)
+  let before = !detects in
+  Detector.set_hooks d ~on_rearm:(fun ~branches:_ ~rearms:_ -> ());
+  feed d 8000 [ (100, true); (101, false) ];
+  Alcotest.(check bool) "detect hook survives partial set_hooks" true
+    (!detects > before)
+
 let test_detector_redetects_same_phase () =
   let d = Detector.create ~config:tiny () in
   feed d 8000 [ (100, true); (101, false) ];
@@ -243,6 +272,7 @@ let () =
       ( "detector",
         [
           Alcotest.test_case "stable loop" `Quick test_detector_detects_stable_loop;
+          Alcotest.test_case "telemetry hooks" `Quick test_detector_hooks;
           Alcotest.test_case "re-detection" `Quick test_detector_redetects_same_phase;
           Alcotest.test_case "history suppression" `Quick test_detector_history_suppresses;
           Alcotest.test_case "phase transition" `Quick test_detector_phase_transition;
