@@ -573,6 +573,25 @@ let micro ~quick =
     Staged.stage (fun () ->
         List.iter (fun p -> ignore (Vp_opt.Opt.transform p)) pkgs)
   in
+  let snaps = profile.Vacuum.Driver.snapshots in
+  let chaos_plan =
+    Option.get (Vp_fault.Plan.find_preset "duplicate-reorder")
+  in
+  (* Guard: a clean plan must be physically inert — the injector
+     returns its input list untouched, so this clocks at bare
+     call-dispatch cost.  The active plan row shows the (bounded,
+     per-snapshot) price actually paid under chaos testing. *)
+  let inject_clean =
+    Staged.stage (fun () ->
+        ignore
+          (Vp_fault.Inject.snapshots ~plan:Vp_fault.Plan.clean ~counter_max:511
+             snaps))
+  in
+  let inject_active =
+    Staged.stage (fun () ->
+        ignore
+          (Vp_fault.Inject.snapshots ~plan:chaos_plan ~counter_max:511 snaps))
+  in
   let emulate_100k =
     Staged.stage (fun () ->
         ignore (Emulator.run ~fuel:100_000 img))
@@ -589,6 +608,8 @@ let micro ~quick =
         Test.make ~name:"package build" build;
         Test.make ~name:"package emit" emit;
         Test.make ~name:"layout+schedule" optimize;
+        Test.make ~name:"fault inject (clean plan)" inject_clean;
+        Test.make ~name:"fault inject (duplicate-reorder)" inject_active;
         Test.make ~name:"emulator (100k instrs)" emulate_100k;
         Test.make ~name:"timing model (100k instrs)" timing_100k;
       ]

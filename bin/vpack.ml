@@ -551,6 +551,118 @@ let diag_cmd =
        ~doc:"Run the rewritten binary and histogram package boundary crossings.")
     Term.(const run $ workload_arg $ addr_arg)
 
+(* --- verify --- *)
+
+let verify_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload as BENCH or BENCH/INPUT.")
+  in
+  let run spec no_inf no_link =
+    let w = find_workload spec in
+    let img = Program.layout (w.Registry.program ()) in
+    (* Degradation off: the point of this subcommand is to see the
+       verdict on everything the pipeline wanted to emit, not on what
+       survived the demotion ladder. *)
+    let config =
+      Vacuum.Config.with_degrade false
+        (config_of ~inference:(not no_inf) ~linking:(not no_link))
+    in
+    let r = Vacuum.Driver.rewrite ~config img in
+    let report = r.Vacuum.Driver.verification in
+    Format.printf "%s: %a@." (Registry.name w) Vp_package.Verify.pp_report
+      report;
+    if not (Vp_package.Verify.ok report) then exit 4
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run the pipeline and the package soundness verifier on every \
+          emitted package; exit 4 if any check fails."
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P "0 on a sound image, 4 on a verifier rejection, 3 on a \
+               pipeline error.";
+         ])
+    Term.(const run $ spec_arg $ no_inference $ no_linking)
+
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload as BENCH or BENCH/INPUT.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per fault plan.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Root seed of the matrix.")
+  in
+  let report_arg =
+    let doc = "Write the cell table (plus failures) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  let run spec seeds seed jobs report_file =
+    let w = find_workload spec in
+    let img = Program.layout (w.Registry.program ()) in
+    let result =
+      Vacuum.Chaos.matrix ~seeds ~seed ~jobs:(resolve_jobs jobs) img
+    in
+    let table = Vacuum.Chaos.table result in
+    Printf.printf "%s: %d fault plans x %d seeds\n%s\n" (Registry.name w)
+      (List.length Vp_fault.Plan.presets) seeds table;
+    let failed =
+      List.filter
+        (fun (c : Vacuum.Chaos.cell) ->
+          not (c.Vacuum.Chaos.equivalent && c.Vacuum.Chaos.verified))
+        result.Vacuum.Chaos.cells
+    in
+    (match report_file with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc "%s: %d fault plans x %d seeds, root seed %d\n%s\n"
+        (Registry.name w)
+        (List.length Vp_fault.Plan.presets)
+        seeds seed table;
+      List.iter
+        (fun (c : Vacuum.Chaos.cell) ->
+          Printf.fprintf oc "FAILED: %s\n"
+            (Format.asprintf "%a seed-index %d%s%s" Vp_fault.Plan.pp
+               c.Vacuum.Chaos.plan c.Vacuum.Chaos.seed_index
+               (if c.Vacuum.Chaos.verified then "" else " [verifier rejection]")
+               (if c.Vacuum.Chaos.equivalent then "" else " [oracle mismatch]")))
+        failed;
+      close_out oc;
+      Printf.printf "report -> %s\n" path);
+    if failed <> [] then begin
+      Printf.eprintf "chaos: %d of %d cells failed the oracle or verifier\n"
+        (List.length failed)
+        (List.length result.Vacuum.Chaos.cells);
+      exit 5
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the seed x fault-plan chaos matrix: every preset fault plan, \
+          asserting the differential oracle on each rewritten image; exit 5 \
+          on any cell failure."
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P "0 when every cell is equivalent and verified, 5 otherwise, 3 \
+               on a pipeline error.";
+         ])
+    Term.(
+      const run $ spec_arg $ seeds_arg $ seed_arg $ jobs_arg $ report_arg)
+
 (* --- machine --- *)
 
 let machine_cmd =
@@ -567,8 +679,8 @@ let () =
     Cmd.group info
       [
         list_cmd; run_cmd; phases_cmd; extract_cmd; report_cmd; stats_cmd;
-        timeline_cmd; trace_check_cmd; diag_cmd; asm_cmd; disasm_cmd;
-        machine_cmd;
+        timeline_cmd; trace_check_cmd; verify_cmd; chaos_cmd; diag_cmd;
+        asm_cmd; disasm_cmd; machine_cmd;
       ]
   in
   (* Pipeline failures carry a structured payload; render it and exit

@@ -1,0 +1,61 @@
+(** The chaos matrix: the full pipeline under every fault plan.
+
+    Each cell runs profile → rewrite → verify with one {!Vp_fault}
+    plan at one seed, then runs the rewritten image with a {e clean}
+    fuel budget and checks the differential oracle: whatever the fault
+    plan did to the profile, the rewritten binary must compute exactly
+    what the original computed.  Coverage and expansion may degrade —
+    to zero, at the bottom of the demotion ladder — but correctness
+    may not.
+
+    Cell seeds derive from {!Vp_util.Rng.stream} keyed by (plan index,
+    seed index), so a matrix is byte-identical whichever [jobs] count
+    (and hence schedule) runs it. *)
+
+type cell = {
+  plan : Vp_fault.Plan.t;  (** with the cell's derived seed *)
+  seed_index : int;
+  snapshots : int;  (** snapshots the software saw post-injection *)
+  packages : int;  (** packages surviving the ladder *)
+  coverage_pct : float;  (** clean-fuel run of the rewritten image *)
+  expansion_pct : float;
+  truncated : bool;  (** the (possibly fuel-starved) profile run *)
+  drop_package : int;  (** demotions per rung *)
+  drop_region : int;
+  fallback_image : int;
+  verified : bool;  (** final emitted image passed the verifier *)
+  equivalent : bool;  (** the differential oracle *)
+}
+
+type result = {
+  baseline : Vp_exec.Emulator.outcome;  (** clean run of the original *)
+  cells : cell list;  (** plan-major, then seed order *)
+}
+
+val ok : result -> bool
+(** Every cell equivalent and verified. *)
+
+val run_cell :
+  ?config:Config.t ->
+  baseline:Vp_exec.Emulator.outcome ->
+  plan:Vp_fault.Plan.t ->
+  Vp_prog.Image.t ->
+  cell
+(** One cell; the plan already carries its derived seed.  Degradation
+    is forced on (chaos is the ladder's test harness). *)
+
+val matrix :
+  ?config:Config.t ->
+  ?plans:Vp_fault.Plan.t list ->
+  ?seeds:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  Vp_prog.Image.t ->
+  result
+(** Run [plans] (default {!Vp_fault.Plan.presets}) × [seeds] (default
+    5) cells on a {!Vp_util.Pool} of [jobs] workers (default 1).
+    [seed] (default 0) roots the stream derivation. *)
+
+val table : result -> string
+(** Aligned text table, one row per cell — byte-identical under any
+    [jobs]. *)

@@ -10,6 +10,8 @@ type t = {
   fuel : int;
   obs : Vp_obs.t;
   telemetry : Vp_telemetry.config;
+  fault : Vp_fault.Plan.t option;
+  degrade : bool;
 }
 
 let v ?(detector = Vp_hsd.Config.default) ?(history_size = 0)
@@ -17,7 +19,7 @@ let v ?(detector = Vp_hsd.Config.default) ?(history_size = 0)
     ?(identify = Vp_region.Identify.default) ?(linking = true)
     ?(opt = Vp_opt.Opt.default) ?(cpu = Vp_cpu.Config.default)
     ?(mem_words = 1 lsl 20) ?(fuel = 200_000_000) ?(obs = Vp_obs.disabled)
-    ?(telemetry = Vp_telemetry.off) () =
+    ?(telemetry = Vp_telemetry.off) ?fault ?(degrade = true) () =
   {
     detector;
     history_size;
@@ -30,6 +32,8 @@ let v ?(detector = Vp_hsd.Config.default) ?(history_size = 0)
     fuel;
     obs;
     telemetry;
+    fault;
+    degrade;
   }
 
 let default = v ()
@@ -61,6 +65,8 @@ let mem_words t = t.mem_words
 let fuel t = t.fuel
 let obs t = t.obs
 let telemetry t = t.telemetry
+let fault t = t.fault
+let degrade t = t.degrade
 let with_detector detector t = { t with detector }
 let with_history_size history_size t = { t with history_size }
 let with_similarity similarity t = { t with similarity }
@@ -72,5 +78,8 @@ let with_mem_words mem_words t = { t with mem_words }
 let with_fuel fuel t = { t with fuel }
 let with_obs obs t = { t with obs }
 let with_telemetry telemetry t = { t with telemetry }
+let with_fault fault t = { t with fault = Some fault }
+let without_fault t = { t with fault = None }
+let with_degrade degrade t = { t with degrade }
 
 let map_identify f t = { t with identify = f t.identify }

@@ -24,6 +24,8 @@ val v :
   ?fuel:int ->
   ?obs:Vp_obs.t ->
   ?telemetry:Vp_telemetry.config ->
+  ?fault:Vp_fault.Plan.t ->
+  ?degrade:bool ->
   unit ->
   t
 (** Every argument defaults to the corresponding {!default} field. *)
@@ -64,6 +66,15 @@ val telemetry : t -> Vp_telemetry.config
     its own per-run {!Vp_telemetry.t} from it, so timelines stay
     deterministic under any [Vacuum.Engine] schedule. *)
 
+val fault : t -> Vp_fault.Plan.t option
+(** The fault plan injected at the hardware→software boundary; [None]
+    (the default) leaves the pipeline untouched. *)
+
+val degrade : t -> bool
+(** Graceful degradation (default [true]): stage failures and verifier
+    rejections demote — drop the package, then the region, then fall
+    back to the unmodified image — instead of raising. *)
+
 (** {1 Functional setters} *)
 
 val with_detector : Vp_hsd.Config.t -> t -> t
@@ -79,6 +90,9 @@ val with_mem_words : int -> t -> t
 val with_fuel : int -> t -> t
 val with_obs : Vp_obs.t -> t -> t
 val with_telemetry : Vp_telemetry.config -> t -> t
+val with_fault : Vp_fault.Plan.t -> t -> t
+val without_fault : t -> t
+val with_degrade : bool -> t -> t
 
 val map_identify : (Vp_region.Identify.config -> Vp_region.Identify.config) -> t -> t
 (** Rewrite the identify sub-configuration in place — the common case

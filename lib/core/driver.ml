@@ -5,6 +5,8 @@ module Identify = Vp_region.Identify
 module Build = Vp_package.Build
 module Linking = Vp_package.Linking
 module Emit = Vp_package.Emit
+module Pkg = Vp_package.Pkg
+module Verify = Vp_package.Verify
 module Span = Vp_obs.Span
 module Counter = Vp_obs.Counter
 
@@ -21,6 +23,7 @@ type profile = {
   detections : int;
   truncated : bool;
   timeline : Vp_telemetry.t;
+  warnings : Error.t list;
 }
 
 type region_info = {
@@ -29,12 +32,26 @@ type region_info = {
   stats : Identify.stats;
 }
 
+type rung = Drop_package | Drop_region | Fallback_image
+
+type demotion = { rung : rung; error : Error.t }
+
 type rewrite = {
   source : profile;
   regions : region_info list;
   packages : Vp_package.Pkg.t list;
   emitted : Emit.result;
+  demotions : demotion list;
+  verification : Verify.report;
 }
+
+let rung_name = function
+  | Drop_package -> "drop-package"
+  | Drop_region -> "drop-region"
+  | Fallback_image -> "fallback-image"
+
+let pp_demotion ppf d =
+  Format.fprintf ppf "%s: %a" (rung_name d.rung) Error.pp d.error
 
 let profile ?(config = Config.default) image =
   let obs = Config.obs config in
@@ -104,13 +121,40 @@ let profile ?(config = Config.default) image =
     executed.(pc) <- executed.(pc) + 1;
     if taken then takens.(pc) <- takens.(pc) + 1
   in
+  (* Resource faults scale the fuel budget before the run; snapshot
+     faults perturb the detector's output after it.  Both happen at
+     the hardware→software boundary — the emulator and detector
+     internals never see the plan, which is why the retire path stays
+     closure-free when no plan is configured. *)
+  let plan = Config.fault config in
+  let fuel =
+    match plan with
+    | None -> Config.fuel config
+    | Some plan -> Vp_fault.Inject.fuel ~plan (Config.fuel config)
+  in
   let outcome =
-    Emulator.run ~fuel:(Config.fuel config)
-      ~mem_words:(Config.mem_words config) ~on_branch ?on_retire image
+    Emulator.run ~fuel ~mem_words:(Config.mem_words config) ~on_branch
+      ?on_retire image
   in
   tail_flush ();
   let aggregate = Vp_exec.Branch_profile.of_counts ~executed ~takens in
   let snapshots = Detector.snapshots detector in
+  let snapshots, fault_warnings =
+    match plan with
+    | Some plan when not (Vp_fault.Plan.is_clean plan) ->
+      let counter_max =
+        (1 lsl (Config.detector config).Vp_hsd.Config.counter_bits) - 1
+      in
+      let faulted = Vp_fault.Inject.snapshots ~plan ~counter_max snapshots in
+      Counter.bump obs "fault.runs" 1;
+      ( faulted,
+        [
+          Error.v ~stage:"fault" "plan %s active (%d -> %d snapshots)"
+            plan.Vp_fault.Plan.name (List.length snapshots)
+            (List.length faulted);
+        ] )
+    | _ -> (snapshots, [])
+  in
   Counter.bump obs "detector.detections" (Detector.detections detector);
   Counter.bump obs "detector.rearms" (Detector.rearms detector);
   Counter.bump obs "detector.recordings" (Detector.recordings detector);
@@ -126,12 +170,22 @@ let profile ?(config = Config.default) image =
   Counter.bump obs "phases.rejected_bias_flips"
     filter_stats.Phase_log.rejected_bias_flips;
   let truncated = not outcome.Emulator.halted in
-  if truncated then
-    Log.warn (fun m ->
-        m
-          "profile truncated: fuel (%d) exhausted after %d instructions; \
-           coverage and speedup would reflect a partial run"
-          (Config.fuel config) outcome.Emulator.instructions);
+  let truncation_warnings =
+    if truncated then begin
+      Counter.bump obs "profile.truncated" 1;
+      Log.warn (fun m ->
+          m
+            "profile truncated: fuel (%d) exhausted after %d instructions; \
+             coverage and speedup would reflect a partial run"
+            fuel outcome.Emulator.instructions);
+      [
+        Error.v ~stage:"profile"
+          "truncated: fuel (%d) exhausted after %d instructions" fuel
+          outcome.Emulator.instructions;
+      ]
+    end
+    else []
+  in
   {
     image;
     outcome;
@@ -141,20 +195,50 @@ let profile ?(config = Config.default) image =
     detections = Detector.detections detector;
     truncated;
     timeline = tl;
+    warnings = truncation_warnings @ fault_warnings;
   }
+
+(* The demotion ladder.  Whenever a stage fails — a region that cannot
+   be identified or built, a package that fails structural validation
+   or a resource budget, an emission error, a verifier rejection — the
+   pipeline gives up the smallest thing that makes the failure go
+   away: first the offending package, then the whole region, and as a
+   last resort every package, leaving the image unmodified.  A
+   demoted result is always still a sound result. *)
 
 let rewrite_of_profile ?(config = Config.default) source =
   let obs = Config.obs config in
+  let degrade = Config.degrade config in
+  let plan = Config.fault config in
+  let demotions = ref [] in
+  let demote rung error =
+    demotions := { rung; error } :: !demotions;
+    Counter.bump obs ("degrade." ^ rung_name rung) 1;
+    Log.warn (fun m -> m "%a" pp_demotion { rung; error })
+  in
+  let wrap stage f =
+    (* In degraded mode any stage failure becomes a payload; typed
+       pipeline errors keep their context, anything else is wrapped. *)
+    try Ok (f ()) with
+    | Error.Error e -> Result.Error e
+    | exn when degrade ->
+      Result.Error (Error.v ~stage "%s" (Printexc.to_string exn))
+  in
   let regions =
     Span.record obs "regions" ~work:(List.length) @@ fun () ->
-    List.map
+    List.filter_map
       (fun (phase : Phase_log.phase) ->
-        let region, stats =
-          Identify.identify_with_stats ~config:(Config.identify config)
-            source.image
-            phase.Phase_log.representative
-        in
-        { phase; region; stats })
+        match
+          wrap "identify" (fun () ->
+              Identify.identify_with_stats ~config:(Config.identify config)
+                source.image
+                phase.Phase_log.representative)
+        with
+        | Ok (region, stats) -> Some { phase; region; stats }
+        | Result.Error e when degrade ->
+          demote Drop_region e;
+          None
+        | Result.Error e -> raise (Error.Error e))
       (Phase_log.phases source.log)
   in
   List.iter
@@ -168,39 +252,232 @@ let rewrite_of_profile ?(config = Config.default) source =
     Span.record obs "packages" ~work:(List.length) @@ fun () ->
     List.concat_map
       (fun info ->
-        Build.build info.region
-          ~prefix:(Printf.sprintf "pkg$p%d" info.phase.Phase_log.id))
+        match
+          wrap "build" (fun () ->
+              Build.build info.region
+                ~prefix:(Printf.sprintf "pkg$p%d" info.phase.Phase_log.id))
+        with
+        | Ok pkgs -> pkgs
+        | Result.Error e when degrade ->
+          demote Drop_region e;
+          []
+        | Result.Error e -> raise (Error.Error e))
       regions
   in
   List.iter
-    (fun (p : Vp_package.Pkg.t) ->
-      Counter.bump obs "build.blocks" (List.length p.Vp_package.Pkg.blocks);
+    (fun (p : Pkg.t) ->
+      Counter.bump obs "build.blocks" (List.length p.Pkg.blocks);
       Counter.bump obs "build.exit_blocks"
         (List.length
-           (List.filter
-              (fun (b : Vp_package.Pkg.block) -> b.Vp_package.Pkg.is_exit)
-              p.Vp_package.Pkg.blocks)))
+           (List.filter (fun (b : Pkg.block) -> b.Pkg.is_exit) p.Pkg.blocks)))
     packages;
-  let groups, link_stats =
-    Span.record obs "link"
-      ~work:(fun (_, s) -> s.Linking.orderings_ranked)
-    @@ fun () ->
-    Linking.group_packages_with_stats ~linking:(Config.linking config) packages
+  (* Package screening: structural validity plus the plan's resource
+     budgets.  Per-package overruns drop that package; the expansion
+     budget drops packages largest-first until the total fits. *)
+  let screen pkgs =
+    let pkgs =
+      List.filter
+        (fun (p : Pkg.t) ->
+          match Pkg.validate p with
+          | Ok () -> (
+            match plan with
+            | Some
+                {
+                  Vp_fault.Plan.resource =
+                    { max_package_instrs = Some budget; _ };
+                  _;
+                }
+              when Pkg.size p > budget ->
+              let e =
+                Error.v ~stage:"build" ~label:p.Pkg.id
+                  "package size %d exceeds budget %d" (Pkg.size p) budget
+              in
+              if degrade then begin
+                demote Drop_package e;
+                false
+              end
+              else raise (Error.Error e)
+            | _ -> true)
+          | Result.Error msg ->
+            let e =
+              Error.v ~stage:"build" ~label:p.Pkg.id "invalid package: %s" msg
+            in
+            if degrade then begin
+              demote Drop_package e;
+              false
+            end
+            else raise (Error.Error e))
+        pkgs
+    in
+    match plan with
+    | Some
+        { Vp_fault.Plan.resource = { max_expansion_pct = Some pct; _ }; _ } ->
+      let budget =
+        int_of_float
+          (pct /. 100.
+          *. float_of_int (Vp_prog.Image.static_instruction_count source.image)
+          )
+      in
+      let total ps = List.fold_left (fun a p -> a + Pkg.size p) 0 ps in
+      let rec trim ps =
+        if total ps <= budget then ps
+        else
+          match ps with
+          | [] -> []
+          | _ ->
+            let largest =
+              List.fold_left
+                (fun acc p -> if Pkg.size p > Pkg.size acc then p else acc)
+                (List.hd ps) ps
+            in
+            let e =
+              Error.v ~stage:"build" ~label:largest.Pkg.id
+                "expansion budget %.1f%% exhausted (total %d > %d)" pct
+                (total ps) budget
+            in
+            if degrade then begin
+              demote Drop_package e;
+              trim (List.filter (fun p -> p != largest) ps)
+            end
+            else raise (Error.Error e)
+      in
+      (* A budget with no room at all is not a sequence of package
+         drops, it is the bottom rung: keep the image unmodified. *)
+      if budget <= 0 && pkgs <> [] then
+        let e =
+          Error.v ~stage:"build"
+            "expansion budget %.1f%% leaves no room for packages" pct
+        in
+        if degrade then begin
+          demote Fallback_image e;
+          []
+        end
+        else raise (Error.Error e)
+      else trim pkgs
+    | _ -> pkgs
   in
-  Counter.bump obs "link.groups" link_stats.Linking.groups;
-  Counter.bump obs "link.linked_groups" link_stats.Linking.linked_groups;
-  Counter.bump obs "link.orderings_ranked" link_stats.Linking.orderings_ranked;
-  Counter.bump obs "link.greedy_fallbacks" link_stats.Linking.greedy_fallbacks;
-  Counter.bump obs "link.links" link_stats.Linking.links_resolved;
+  let screened = screen packages in
+  (* A region whose every package was screened away is itself gone —
+     unless screening already fell back wholesale, which subsumes the
+     per-region accounting. *)
+  if
+    not
+      (List.exists (fun d -> d.rung = Fallback_image) !demotions)
+  then
+    List.iter
+      (fun info ->
+        let rid = info.phase.Phase_log.id in
+        let had =
+          List.exists (fun (p : Pkg.t) -> p.Pkg.region_id = rid) packages
+        and kept =
+          List.exists (fun (p : Pkg.t) -> p.Pkg.region_id = rid) screened
+        in
+        if had && not kept then
+          demote Drop_region
+            (Error.v ~stage:"build" "region %d lost all its packages" rid))
+      regions;
   let transform ~protected pkg =
     Vp_opt.Opt.transform ~config:(Config.opt config) ~protected pkg
   in
-  let emitted =
-    Span.record obs "emit"
-      ~work:(fun e -> e.Emit.package_instructions)
-    @@ fun () -> Emit.of_groups ~transform source.image groups
+  let link_and_emit pkgs =
+    let groups, link_stats =
+      Span.record obs "link"
+        ~work:(fun (_, s) -> s.Linking.orderings_ranked)
+      @@ fun () ->
+      Linking.group_packages_with_stats ~linking:(Config.linking config) pkgs
+    in
+    Counter.bump obs "link.groups" link_stats.Linking.groups;
+    Counter.bump obs "link.linked_groups" link_stats.Linking.linked_groups;
+    Counter.bump obs "link.orderings_ranked"
+      link_stats.Linking.orderings_ranked;
+    Counter.bump obs "link.greedy_fallbacks"
+      link_stats.Linking.greedy_fallbacks;
+    Counter.bump obs "link.links" link_stats.Linking.links_resolved;
+    Emit.of_groups ~transform source.image groups
   in
-  { source; regions; packages; emitted }
+  (* The package id is a prefix of every label it emits, so a label-
+     carrying emission error can be walked back to its package. *)
+  let owner_of (pkgs : Pkg.t list) (e : Error.t) =
+    match e.Error.label with
+    | None -> None
+    | Some l ->
+      List.find_opt
+        (fun (p : Pkg.t) ->
+          p.Pkg.id = l || String.starts_with ~prefix:(p.Pkg.id ^ "$") l)
+        pkgs
+  in
+  let verify emitted = Verify.check ~original:source.image emitted in
+  let fallback e =
+    demote Fallback_image e;
+    let emitted = link_and_emit [] in
+    (emitted, verify emitted)
+  in
+  let rec emit_verified pkgs budget =
+    let attempt =
+      if degrade then wrap "emit" (fun () -> link_and_emit pkgs)
+      else Ok (link_and_emit pkgs)
+    in
+    match attempt with
+    | Result.Error e when budget <= 0 -> fallback e
+    | Result.Error e -> (
+      match owner_of pkgs e with
+      | Some p ->
+        demote Drop_package e;
+        emit_verified (List.filter (fun q -> q != p) pkgs) (budget - 1)
+      | None -> fallback e)
+    | Ok emitted ->
+      let report =
+        Span.record obs "verify"
+          ~work:(fun (r : Verify.report) -> r.Verify.checked_instructions)
+        @@ fun () -> verify emitted
+      in
+      if Verify.ok report then (emitted, report)
+      else begin
+        Counter.bump obs "verify.rejections" 1;
+        let first = List.hd report.Verify.violations in
+        let e =
+          Error.v ~stage:"verify" ?label:first.Verify.label
+            ?pc:first.Verify.addr "%d violation(s): %s"
+            (List.length report.Verify.violations)
+            first.Verify.what
+        in
+        if not degrade then raise (Error.Error e)
+        else begin
+          let bad =
+            List.filter_map (fun v -> v.Verify.pkg) report.Verify.violations
+            |> List.sort_uniq compare
+          in
+          let offending =
+            List.filter (fun (p : Pkg.t) -> List.mem p.Pkg.id bad) pkgs
+          in
+          if offending = [] || budget <= 0 then fallback e
+          else begin
+            List.iter
+              (fun (p : Pkg.t) ->
+                demote Drop_package
+                  (Error.v ~stage:"verify" ~label:p.Pkg.id
+                     "package rejected by the soundness verifier"))
+              offending;
+            emit_verified
+              (List.filter (fun p -> not (List.memq p offending)) pkgs)
+              (budget - 1)
+          end
+        end
+      end
+  in
+  let emitted, verification =
+    Span.record obs "emit"
+      ~work:(fun ((e : Emit.result), _) -> e.Emit.package_instructions)
+    @@ fun () -> emit_verified screened (List.length screened + 1)
+  in
+  {
+    source;
+    regions;
+    packages = screened;
+    emitted;
+    demotions = List.rev !demotions;
+    verification;
+  }
 
 let rewrite ?config image =
   rewrite_of_profile ?config (profile ?config image)

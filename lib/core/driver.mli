@@ -6,7 +6,19 @@
     {!rewrite_of_profile} then performs region identification, package
     construction, linking and emission; it is configuration-dependent
     but reuses the profile, so the four Figure 8 configurations share
-    one profiling run per workload. *)
+    one profiling run per workload.
+
+    When the configuration carries a {!Config.fault} plan, the plan is
+    injected at the hardware→software boundary: resource faults scale
+    the profiling fuel before the run, snapshot faults perturb the
+    detector's output after it.  When {!Config.degrade} is on (the
+    default), stage failures and verifier rejections never escape as
+    exceptions — the pipeline walks the demotion ladder instead
+    ({!Drop_package} → {!Drop_region} → {!Fallback_image}), and every
+    step taken is recorded in {!rewrite.demotions} and the
+    [degrade.*] observability counters.  Every emitted image is
+    checked by {!Vp_package.Verify} before it is handed to anything
+    that simulates it. *)
 
 type profile = {
   image : Vp_prog.Image.t;
@@ -19,7 +31,9 @@ type profile = {
   truncated : bool;
       (** the profiling run exhausted its fuel before halting; any
           metric derived from this profile reflects a partial run.  A
-          [Logs] warning is emitted when this is set. *)
+          [Logs] warning is emitted, a structured warning is appended
+          to {!profile.warnings}, and the [profile.truncated] counter
+          is bumped when this is set. *)
   timeline : Vp_telemetry.t;
       (** per-run interval time-series of the profiling run
           ([profile.instructions], [profile.branches], [profile.hdc],
@@ -28,6 +42,9 @@ type profile = {
           stamps).  {!Vp_telemetry.disabled} unless the configuration
           enables telemetry; owned by this profile, so results stay
           byte-identical under any [Engine] schedule. *)
+  warnings : Error.t list;
+      (** structured degradation warnings (truncation, an active fault
+          plan) — the payloads [vpack stats] and {!Report} surface *)
 }
 
 type region_info = {
@@ -36,12 +53,26 @@ type region_info = {
   stats : Vp_region.Identify.stats;
 }
 
+type rung = Drop_package | Drop_region | Fallback_image
+(** The demotion ladder, smallest loss first: give up one package,
+    give up a region's packages, give up rewriting entirely (the
+    emitted image is the original, unmodified). *)
+
+type demotion = { rung : rung; error : Error.t }
+
 type rewrite = {
   source : profile;
   regions : region_info list;
-  packages : Vp_package.Pkg.t list;
+  packages : Vp_package.Pkg.t list;  (** packages that survived screening *)
   emitted : Vp_package.Emit.result;
+  demotions : demotion list;  (** ladder steps taken, in order *)
+  verification : Vp_package.Verify.report;
+      (** soundness report for [emitted.image]; always [ok] when
+          degradation is on — rejected packages were demoted away *)
 }
+
+val rung_name : rung -> string
+val pp_demotion : Format.formatter -> demotion -> unit
 
 val profile : ?config:Config.t -> Vp_prog.Image.t -> profile
 

@@ -14,6 +14,8 @@ type t = {
   expansion : Expansion.t;
   categories : Categorize.weights;
   speedup : Speedup.t option;
+  warnings : Error.t list;
+  demotions : Driver.demotion list;
 }
 
 let evaluate_profile ?(config = Config.default) ?(timing = true) ~name
@@ -40,6 +42,8 @@ let evaluate_profile ?(config = Config.default) ?(timing = true) ~name
     expansion;
     categories;
     speedup;
+    warnings = profile.Driver.warnings;
+    demotions = r.Driver.demotions;
   }
 
 let evaluate ?config ?timing ~name image =
@@ -58,6 +62,12 @@ let pp fmt t =
     (if t.coverage.Coverage.equivalent then "" else " [NOT EQUIVALENT]")
     t.expansion.Expansion.increase_pct t.expansion.Expansion.selected_pct
     t.expansion.Expansion.replication;
-  match t.speedup with
+  (match t.speedup with
   | Some s -> Format.fprintf fmt "@,  speedup                %.3fx" s.Speedup.speedup
-  | None -> ()
+  | None -> ());
+  List.iter
+    (fun w -> Format.fprintf fmt "@,  warning: %a" Error.pp w)
+    t.warnings;
+  List.iter
+    (fun d -> Format.fprintf fmt "@,  demoted: %a" Driver.pp_demotion d)
+    t.demotions

@@ -14,6 +14,8 @@ type t = {
   expansion : Expansion.t;
   categories : Vp_phase.Categorize.weights;
   speedup : Speedup.t option;  (** omitted when timing is skipped *)
+  warnings : Error.t list;  (** profile warnings (truncation, fault plan) *)
+  demotions : Driver.demotion list;  (** demotion-ladder steps taken *)
 }
 
 val evaluate :

@@ -1,0 +1,135 @@
+module S = Vp_hsd.Snapshot
+module R = Vp_util.Rng
+
+let fuel ~(plan : Plan.t) budget =
+  match plan.resource.fuel_frac with
+  | None -> budget
+  | Some f -> max 1 (int_of_float (float_of_int budget *. f))
+
+(* One keyed stream per fault family: draws for (say) dropping never
+   shift when saturation is toggled, which keeps plans composable and
+   every fault attributable to its own knob. *)
+let key_saturate = 1
+let key_zero = 2
+let key_alias = 3
+let key_drop = 4
+let key_duplicate = 5
+let key_reorder = 6
+
+let family (plan : Plan.t) key = R.stream (R.create ~seed:plan.seed) key
+
+let sat m c = if c > m then m else c
+
+let entry_faults ~(sf : Plan.snapshot_faults) ~rng_sat ~rng_zero ~rng_alias
+    ~counter_max (snap : S.t) =
+  let branches = snap.S.branches in
+  let branches =
+    if sf.saturate > 0. || sf.zero_counters > 0. then
+      List.map
+        (fun (e : S.entry) ->
+          if sf.saturate > 0. && R.bool rng_sat sf.saturate then
+            { e with S.executed = counter_max; taken = counter_max }
+          else if sf.zero_counters > 0. && R.bool rng_zero sf.zero_counters
+          then { e with S.executed = 0; taken = 0 }
+          else e)
+        branches
+    else branches
+  in
+  let branches =
+    if sf.alias > 0. && List.length branches >= 2 && R.bool rng_alias sf.alias
+    then begin
+      (* Fold entry [i+1] into entry [i]: two static branches now share
+         one BBB entry, counts summed with counter saturation.  Entries
+         stay ascending by pc because we keep the lower pc. *)
+      let arr = Array.of_list branches in
+      let i = R.int rng_alias (Array.length arr - 1) in
+      let a = arr.(i) and b = arr.(i + 1) in
+      let merged =
+        {
+          a with
+          S.executed = sat counter_max (a.S.executed + b.S.executed);
+          taken = sat counter_max (a.S.taken + b.S.taken);
+        }
+      in
+      arr.(i) <- merged;
+      Array.to_list arr
+      |> List.filteri (fun j _ -> j <> i + 1)
+    end
+    else branches
+  in
+  { snap with S.branches }
+
+let truncate ~frac snaps =
+  match snaps with
+  | [] -> []
+  | _ ->
+    let start =
+      List.fold_left (fun acc (s : S.t) -> min acc s.S.detected_at)
+        max_int snaps
+    and stop =
+      List.fold_left (fun acc (s : S.t) -> max acc s.S.ended_at) 0 snaps
+    in
+    let cut =
+      start + int_of_float (frac *. float_of_int (stop - start))
+    in
+    List.filter_map
+      (fun (s : S.t) ->
+        if s.S.detected_at > cut then None
+        else Some { s with S.ended_at = min s.S.ended_at cut })
+      snaps
+
+let reorder_adjacent rng p snaps =
+  let arr = Array.of_list snaps in
+  let i = ref 0 in
+  while !i < Array.length arr - 1 do
+    if R.bool rng p then begin
+      let tmp = arr.(!i) in
+      arr.(!i) <- arr.(!i + 1);
+      arr.(!i + 1) <- tmp;
+      incr i
+    end;
+    incr i
+  done;
+  Array.to_list arr
+
+let snapshots ~(plan : Plan.t) ~counter_max snaps =
+  let sf = plan.snapshot in
+  let active =
+    sf.drop > 0. || sf.duplicate > 0. || sf.reorder > 0. || sf.saturate > 0.
+    || sf.zero_counters > 0. || sf.alias > 0. || sf.truncate_frac < 1.
+  in
+  if not active then snaps
+  else begin
+    let rng_sat = family plan key_saturate
+    and rng_zero = family plan key_zero
+    and rng_alias = family plan key_alias
+    and rng_drop = family plan key_drop
+    and rng_dup = family plan key_duplicate
+    and rng_reorder = family plan key_reorder in
+    let snaps =
+      List.map
+        (entry_faults ~sf ~rng_sat ~rng_zero ~rng_alias ~counter_max)
+        snaps
+    in
+    let snaps =
+      if sf.truncate_frac < 1. then truncate ~frac:sf.truncate_frac snaps
+      else snaps
+    in
+    let snaps =
+      if sf.drop > 0. then
+        List.filter (fun _ -> not (R.bool rng_drop sf.drop)) snaps
+      else snaps
+    in
+    let snaps =
+      if sf.duplicate > 0. then
+        List.concat_map
+          (fun s -> if R.bool rng_dup sf.duplicate then [ s; s ] else [ s ])
+          snaps
+      else snaps
+    in
+    let snaps =
+      if sf.reorder > 0. then reorder_adjacent rng_reorder sf.reorder snaps
+      else snaps
+    in
+    List.mapi (fun i (s : S.t) -> { s with S.id = i }) snaps
+  end

@@ -1,0 +1,23 @@
+(** Interpreter for {!Plan} fault plans.
+
+    Injection happens at the hardware→software boundary: the snapshot
+    list the detector hands the pipeline, and the resource budgets the
+    driver runs under.  Every probabilistic draw comes from a keyed
+    {!Vp_util.Rng.stream} of the plan's seed — one stream per fault
+    family — so enabling one fault never perturbs the draws of
+    another, and the same plan+seed always injects the same faults.
+
+    Injecting {!Plan.clean} returns its inputs physically unchanged. *)
+
+val fuel : plan:Plan.t -> int -> int
+(** Apply the plan's [fuel_frac] to a fuel budget (floor 1). *)
+
+val snapshots :
+  plan:Plan.t -> counter_max:int -> Vp_hsd.Snapshot.t list ->
+  Vp_hsd.Snapshot.t list
+(** Perturb a detector snapshot stream per the plan: per-entry counter
+    saturation/zeroing (to [counter_max]/0), adjacent static-branch
+    aliasing (counts folded, saturating at [counter_max]), mid-phase
+    truncation of the profiled extent, then per-snapshot drop,
+    duplicate and adjacent reorder.  Snapshot ids are renumbered in
+    delivery order whenever any fault is active. *)

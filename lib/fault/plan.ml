@@ -1,0 +1,110 @@
+type snapshot_faults = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  saturate : float;
+  zero_counters : float;
+  alias : float;
+  truncate_frac : float;
+}
+
+type resource_faults = {
+  fuel_frac : float option;
+  max_package_instrs : int option;
+  max_expansion_pct : float option;
+}
+
+type t = {
+  name : string;
+  seed : int;
+  snapshot : snapshot_faults;
+  resource : resource_faults;
+}
+
+let no_snapshot_faults =
+  {
+    drop = 0.;
+    duplicate = 0.;
+    reorder = 0.;
+    saturate = 0.;
+    zero_counters = 0.;
+    alias = 0.;
+    truncate_frac = 1.;
+  }
+
+let no_resource_faults =
+  { fuel_frac = None; max_package_instrs = None; max_expansion_pct = None }
+
+let v ?(seed = 0) ?(drop = 0.) ?(duplicate = 0.) ?(reorder = 0.)
+    ?(saturate = 0.) ?(zero_counters = 0.) ?(alias = 0.)
+    ?(truncate_frac = 1.) ?fuel_frac ?max_package_instrs ?max_expansion_pct
+    name =
+  {
+    name;
+    seed;
+    snapshot =
+      { drop; duplicate; reorder; saturate; zero_counters; alias; truncate_frac };
+    resource = { fuel_frac; max_package_instrs; max_expansion_pct };
+  }
+
+let clean = v "clean"
+
+let is_clean t =
+  t.snapshot =
+    { no_snapshot_faults with truncate_frac = t.snapshot.truncate_frac }
+  && t.snapshot.truncate_frac >= 1.
+  && t.resource = no_resource_faults
+
+let with_seed t seed = { t with seed }
+
+(* Each preset stresses one failure family hard enough to matter on
+   the small A inputs; probabilities were chosen so a handful of seeds
+   reliably trigger the fault without emptying the profile entirely. *)
+let presets =
+  [
+    clean;
+    v "drop-snapshots" ~drop:0.5;
+    v "duplicate-reorder" ~duplicate:0.5 ~reorder:0.5;
+    v "saturate-counters" ~saturate:0.6;
+    v "zero-counters" ~zero_counters:0.6;
+    v "alias-branches" ~alias:0.8;
+    v "mid-phase-truncation" ~truncate_frac:0.4;
+    v "fuel-starvation" ~fuel_frac:0.02;
+    v "package-budget" ~max_package_instrs:40;
+    v "region-collapse" ~max_package_instrs:4;
+    v "expansion-exhausted" ~max_expansion_pct:0.;
+  ]
+
+let find_preset name = List.find_opt (fun p -> p.name = name) presets
+
+let pp ppf t =
+  let s = t.snapshot and r = t.resource in
+  let fields =
+    List.filter_map Fun.id
+      [
+        (if s.drop > 0. then Some (Printf.sprintf "drop=%.2f" s.drop) else None);
+        (if s.duplicate > 0. then
+           Some (Printf.sprintf "duplicate=%.2f" s.duplicate)
+         else None);
+        (if s.reorder > 0. then Some (Printf.sprintf "reorder=%.2f" s.reorder)
+         else None);
+        (if s.saturate > 0. then
+           Some (Printf.sprintf "saturate=%.2f" s.saturate)
+         else None);
+        (if s.zero_counters > 0. then
+           Some (Printf.sprintf "zero=%.2f" s.zero_counters)
+         else None);
+        (if s.alias > 0. then Some (Printf.sprintf "alias=%.2f" s.alias)
+         else None);
+        (if s.truncate_frac < 1. then
+           Some (Printf.sprintf "truncate=%.2f" s.truncate_frac)
+         else None);
+        Option.map (Printf.sprintf "fuel=%.3f") r.fuel_frac;
+        Option.map (Printf.sprintf "pkg-instrs=%d") r.max_package_instrs;
+        Option.map (Printf.sprintf "expansion=%.1f%%") r.max_expansion_pct;
+      ]
+  in
+  Format.fprintf ppf "%s[seed=%d%s]" t.name t.seed
+    (match fields with
+    | [] -> ""
+    | fs -> "; " ^ String.concat ", " fs)

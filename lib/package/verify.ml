@@ -1,0 +1,254 @@
+module Instr = Vp_isa.Instr
+module Image = Vp_prog.Image
+module Cfg = Vp_cfg.Cfg
+module Liveness = Vp_cfg.Liveness
+
+type violation = {
+  pkg : string option;
+  what : string;
+  addr : int option;
+  label : string option;
+}
+
+type report = {
+  packages : int;
+  checked_instructions : int;
+  exits_checked : int;
+  patches_checked : int;
+  links_checked : int;
+  violations : violation list;
+}
+
+let ok r = r.violations = []
+
+let pp_violation ppf v =
+  let ctx =
+    List.filter_map Fun.id
+      [
+        Option.map (Printf.sprintf "pkg %s") v.pkg;
+        Option.map (Printf.sprintf "addr 0x%x") v.addr;
+        Option.map (Printf.sprintf "label %s") v.label;
+      ]
+  in
+  Format.fprintf ppf "%s%s" v.what
+    (match ctx with [] -> "" | c -> " (" ^ String.concat ", " c ^ ")")
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "verified %d package(s): %d instructions, %d side exits, %d launch \
+     patches, %d links — %s"
+    r.packages r.checked_instructions r.exits_checked r.patches_checked
+    r.links_checked
+    (if ok r then "sound"
+     else Printf.sprintf "%d violation(s)" (List.length r.violations));
+  List.iter (fun v -> Format.fprintf ppf "@.  - %a" pp_violation v) r.violations
+
+(* Function CFGs and liveness of the ORIGINAL image, recovered on
+   demand.  The rewritten image is useless here: launch patches have
+   already overwritten block terminators in it. *)
+type oracle = {
+  original : Image.t;
+  cache : (string, Cfg.t * Liveness.t) Hashtbl.t;
+}
+
+let oracle_at o addr =
+  match Image.sym_at o.original addr with
+  | None -> None
+  | Some sym ->
+    (match Hashtbl.find_opt o.cache sym.Image.name with
+    | Some cl -> Some cl
+    | None ->
+      let cfg = Cfg.recover o.original sym in
+      let live = Liveness.compute cfg in
+      Hashtbl.replace o.cache sym.Image.name (cfg, live);
+      Some (cfg, live))
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+(* The left-most package of each group claims each launch address
+   first — the same rule Emit applies, recomputed independently. *)
+let expected_claims groups =
+  let claimed = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Linking.group) ->
+      List.iter
+        (fun (p : Pkg.t) ->
+          List.iter
+            (fun (_label, orig) ->
+              if not (Hashtbl.mem claimed orig) then
+                Hashtbl.replace claimed orig p.Pkg.id)
+            p.Pkg.entries)
+        g.Linking.ordered)
+    groups;
+  claimed
+
+let check ~original (r : Emit.result) =
+  let violations = ref [] in
+  let push ?pkg ?addr ?label fmt =
+    Printf.ksprintf
+      (fun what -> violations := { pkg; what; addr; label } :: !violations)
+      fmt
+  in
+  let image = r.Emit.image in
+  let limit = original.Image.orig_limit in
+  if image.Image.orig_limit <> limit then
+    push "rewritten image moved orig_limit (%d -> %d)" limit
+      image.Image.orig_limit;
+  let oracle = { original; cache = Hashtbl.create 8 } in
+
+  (* 1. Per-package structural validity. *)
+  List.iter
+    (fun (p : Pkg.t) ->
+      match Pkg.validate p with
+      | Ok () -> ()
+      | Error e -> push ~pkg:p.Pkg.id "package invalid: %s" e)
+    r.Emit.packages;
+
+  (* 2. Control-flow closure of the appended code. *)
+  let size = Image.size image in
+  let pkg_at addr =
+    Option.map (fun (s : Image.sym) -> s.Image.name) (Image.sym_at image addr)
+  in
+  let checked = ref 0 in
+  for addr = limit to size - 1 do
+    incr checked;
+    let i = Image.fetch image addr in
+    match Instr.target i with
+    | None -> ()
+    | Some (Instr.Label l) ->
+      push ?pkg:(pkg_at addr) ~addr ~label:l "unresolved label in emitted code"
+    | Some (Instr.Addr a) ->
+      if a < 0 || a >= size then
+        push ?pkg:(pkg_at addr) ~addr "control target 0x%x out of range" a
+      else if Instr.is_control i && a >= limit && Image.sym_at image a = None
+      then push ?pkg:(pkg_at addr) ~addr "control target 0x%x in no package" a
+  done;
+
+  (* 3. Side-exit liveness.  Exit blocks that linking retargeted are
+     [Goto] terminators and are covered by closure + link agreement;
+     the ones still leaving to original code carry the obligation that
+     their recorded dummy consumers cover everything live there. *)
+  let exits = ref 0 in
+  List.iter
+    (fun (p : Pkg.t) ->
+      List.iter
+        (fun (b : Pkg.block) ->
+          match b.Pkg.term with
+          | Pkg.Exit_jump target ->
+            incr exits;
+            if target < 0 || target >= limit then
+              push ~pkg:p.Pkg.id ~label:b.Pkg.label ~addr:target
+                "side exit leaves the original program"
+            else (
+              match oracle_at oracle target with
+              | None ->
+                push ~pkg:p.Pkg.id ~label:b.Pkg.label ~addr:target
+                  "side exit targets no original function"
+              | Some (cfg, live) ->
+                (match Cfg.block_at cfg target with
+                | Some blk when Cfg.start cfg blk = target ->
+                  let need = Liveness.live_in live blk in
+                  if not (subset need b.Pkg.live_out) then
+                    push ~pkg:p.Pkg.id ~label:b.Pkg.label ~addr:target
+                      "side exit drops live registers [%s]"
+                      (String.concat ","
+                         (List.filter_map
+                            (fun rg ->
+                              if List.mem rg b.Pkg.live_out then None
+                              else Some (Vp_isa.Reg.name rg))
+                            need))
+                | _ ->
+                  push ~pkg:p.Pkg.id ~label:b.Pkg.label ~addr:target
+                    "side exit does not target a block leader"))
+          | _ -> ())
+        p.Pkg.blocks)
+    r.Emit.packages;
+
+  (* 4. Launch patches: equal to the recomputed claim set, each one a
+     jump into the claiming package, everything else untouched. *)
+  let claims = expected_claims r.Emit.groups in
+  let patch_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (orig, target) -> Hashtbl.replace patch_tbl orig target)
+    r.Emit.launch_patches;
+  if Hashtbl.length patch_tbl <> List.length r.Emit.launch_patches then
+    push "duplicate launch-patch addresses";
+  Hashtbl.iter
+    (fun orig _owner ->
+      if not (Hashtbl.mem patch_tbl orig) then
+        push ~addr:orig "claimed launch point never patched")
+    claims;
+  List.iter
+    (fun (orig, target) ->
+      (match Hashtbl.find_opt claims orig with
+      | None -> push ~addr:orig "launch patch at unclaimed address"
+      | Some owner ->
+        (match Image.sym_at image target with
+        | Some s when s.Image.name = owner && target >= limit -> ()
+        | Some s ->
+          push ~pkg:owner ~addr:orig
+            "launch patch lands in %s, not the claiming package"
+            s.Image.name
+        | None -> push ~pkg:owner ~addr:orig "launch patch lands in no package"));
+      if orig < 0 || orig >= limit then
+        push ~addr:orig "launch patch outside the original program"
+      else if Image.fetch image orig <> Instr.Jmp { target = Instr.Addr target }
+      then push ~addr:orig "patched instruction is not the recorded jump")
+    r.Emit.launch_patches;
+  (* Reversibility: the patch set is exactly the original-code delta. *)
+  for addr = 0 to limit - 1 do
+    if
+      (not (Hashtbl.mem patch_tbl addr))
+      && Image.fetch image addr <> Image.fetch original addr
+    then push ~addr "original code modified outside the launch-patch set"
+  done;
+
+  (* 5. Link agreement: shared root, and each link lands on the copy
+     of the promised address under the promised inline context. *)
+  let links = ref 0 in
+  List.iter
+    (fun (g : Linking.group) ->
+      List.iter
+        (fun (p : Pkg.t) ->
+          if p.Pkg.root <> g.Linking.root then
+            push ~pkg:p.Pkg.id "package root %s disagrees with group root %s"
+              p.Pkg.root g.Linking.root)
+        g.Linking.ordered;
+      List.iter
+        (fun (l : Linking.link) ->
+          incr links;
+          match
+            List.find_opt
+              (fun (p : Pkg.t) -> p.Pkg.id = l.Linking.to_pkg)
+              r.Emit.packages
+          with
+          | None ->
+            push ~pkg:l.Linking.from_pkg ~label:l.Linking.to_label
+              "link targets missing package %s" l.Linking.to_pkg
+          | Some dst ->
+            (match Pkg.find_block dst l.Linking.to_label with
+            | None ->
+              push ~pkg:l.Linking.to_pkg ~label:l.Linking.to_label
+                "link target block missing"
+            | Some b ->
+              let site = l.Linking.site in
+              (match site.Pkg.cold_target with
+              | Some cold when b.Pkg.orig_addr <> cold ->
+                push ~pkg:l.Linking.to_pkg ~label:l.Linking.to_label
+                  ~addr:b.Pkg.orig_addr
+                  "link lands on 0x%x, promised 0x%x" b.Pkg.orig_addr cold
+              | _ -> ());
+              if b.Pkg.context <> site.Pkg.site_context then
+                push ~pkg:l.Linking.to_pkg ~label:l.Linking.to_label
+                  "link crosses inline contexts"))
+        g.Linking.links)
+    r.Emit.groups;
+
+  {
+    packages = List.length r.Emit.packages;
+    checked_instructions = !checked;
+    exits_checked = !exits;
+    patches_checked = List.length r.Emit.launch_patches;
+    links_checked = !links;
+    violations = List.rev !violations;
+  }

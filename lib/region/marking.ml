@@ -9,6 +9,17 @@ type config = {
 
 let default = { arc_hot_fraction = 0.25; hot_arc_weight_threshold = 16 }
 
+type stats = {
+  marked : int;
+  skipped_no_symbol : int;
+  skipped_no_block : int;
+  skipped_not_terminator : int;
+}
+
+let no_stats =
+  { marked = 0; skipped_no_symbol = 0; skipped_no_block = 0;
+    skipped_not_terminator = 0 }
+
 let classify_direction config ~executed ~weight =
   let fraction =
     if executed = 0 then 0.0 else float_of_int weight /. float_of_int executed
@@ -17,38 +28,53 @@ let classify_direction config ~executed ~weight =
   then Temperature.Hot
   else Temperature.Cold
 
+(* A BBB entry that does not map back onto the program — an address
+   outside every symbol, inside no recovered block, or not the block's
+   branch — is hardware noise (aliasing, a stale entry, a perturbed
+   profile).  The paper's pipeline must survive a lossy profile, so
+   such entries are skipped and counted rather than fatal. *)
+type outcome = Marked | No_symbol | No_block | Not_terminator
+
 let mark_entry config region (e : Snapshot.entry) =
   let image = Region.image region in
   match Image.sym_at image e.Snapshot.pc with
-  | None ->
-    Vp_util.Error.failf ~stage:"marking" ~pc:e.Snapshot.pc "branch 0x%x outside any symbol" e.Snapshot.pc
+  | None -> No_symbol
   | Some sym ->
     let mf = Region.add_func region sym.Image.name in
     let cfg = Region.cfg mf in
-    let b =
-      match Cfg.block_at cfg e.Snapshot.pc with
-      | Some b -> b
-      | None -> Vp_util.Error.failf ~stage:"marking" "branch address not in recovered CFG"
-    in
-    if Cfg.branch_addr cfg b <> Some e.Snapshot.pc then
-      Vp_util.Error.failf ~stage:"marking" ~pc:e.Snapshot.pc
-        "0x%x does not terminate block %d" e.Snapshot.pc b;
-    let _ = Region.set_temp mf b Temperature.Hot in
-    Region.add_weight mf b e.Snapshot.executed;
-    Region.set_taken_prob mf b (Snapshot.taken_fraction e);
-    List.iter
-      (fun (a : Cfg.arc) ->
-        let weight =
-          match a.Cfg.kind with
-          | Cfg.Taken -> e.Snapshot.taken
-          | Cfg.Fallthrough -> e.Snapshot.executed - e.Snapshot.taken
-        in
-        Region.set_arc_weight mf a weight;
-        let t = classify_direction config ~executed:e.Snapshot.executed ~weight in
-        let _ = Region.set_arc_temp mf a t in
-        ())
-      (Cfg.succs cfg b)
+    (match Cfg.block_at cfg e.Snapshot.pc with
+    | None -> No_block
+    | Some b ->
+      if Cfg.branch_addr cfg b <> Some e.Snapshot.pc then Not_terminator
+      else begin
+        let _ = Region.set_temp mf b Temperature.Hot in
+        Region.add_weight mf b e.Snapshot.executed;
+        Region.set_taken_prob mf b (Snapshot.taken_fraction e);
+        List.iter
+          (fun (a : Cfg.arc) ->
+            let weight =
+              match a.Cfg.kind with
+              | Cfg.Taken -> e.Snapshot.taken
+              | Cfg.Fallthrough -> e.Snapshot.executed - e.Snapshot.taken
+            in
+            Region.set_arc_weight mf a weight;
+            let t = classify_direction config ~executed:e.Snapshot.executed ~weight in
+            let _ = Region.set_arc_temp mf a t in
+            ())
+          (Cfg.succs cfg b);
+        Marked
+      end)
 
-let mark ?(config = default) region =
+let mark_with_stats ?(config = default) region =
   let snapshot = Region.snapshot region in
-  List.iter (mark_entry config region) snapshot.Snapshot.branches
+  List.fold_left
+    (fun acc e ->
+      match mark_entry config region e with
+      | Marked -> { acc with marked = acc.marked + 1 }
+      | No_symbol -> { acc with skipped_no_symbol = acc.skipped_no_symbol + 1 }
+      | No_block -> { acc with skipped_no_block = acc.skipped_no_block + 1 }
+      | Not_terminator ->
+        { acc with skipped_not_terminator = acc.skipped_not_terminator + 1 })
+    no_stats snapshot.Snapshot.branches
+
+let mark ?config region = ignore (mark_with_stats ?config region)

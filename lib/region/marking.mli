@@ -16,7 +16,20 @@ type config = {
 
 val default : config
 
+type stats = {
+  marked : int;  (** snapshot entries superimposed *)
+  skipped_no_symbol : int;  (** branch pc outside every symbol *)
+  skipped_no_block : int;  (** branch pc in no recovered block *)
+  skipped_not_terminator : int;  (** pc is not its block's branch *)
+}
+
+val no_stats : stats
+
+val mark_with_stats : ?config:config -> Region.t -> stats
+(** Superimpose the snapshot; entries that do not map onto the program
+    (hardware noise: BBB aliasing, stale or perturbed entries) are
+    skipped and counted, never fatal — the pipeline's contract is to
+    survive a lossy profile. *)
+
 val mark : ?config:config -> Region.t -> unit
-(** Raises [Invalid_argument] if a snapshot branch address does not
-    terminate a recovered block (cannot happen on images produced by
-    {!Vp_prog.Program.layout}). *)
+(** {!mark_with_stats} with the counts discarded. *)

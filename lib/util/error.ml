@@ -8,6 +8,9 @@ type t = {
 
 exception Error of t
 
+let v ?pc ?label ?workload ~stage fmt =
+  Printf.ksprintf (fun what -> { stage; what; pc; label; workload }) fmt
+
 let failf ?pc ?label ?workload ~stage fmt =
   Printf.ksprintf
     (fun what -> raise (Error { stage; what; pc; label; workload }))

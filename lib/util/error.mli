@@ -19,6 +19,16 @@ type t = {
 
 exception Error of t
 
+val v :
+  ?pc:int ->
+  ?label:string ->
+  ?workload:string ->
+  stage:string ->
+  ('a, unit, string, t) format4 ->
+  'a
+(** [v ~stage fmt ...] builds a payload without raising — for warnings
+    and demotion records that are reported rather than thrown. *)
+
 val failf :
   ?pc:int ->
   ?label:string ->

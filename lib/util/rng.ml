@@ -43,3 +43,15 @@ let shuffle t a =
 let split t =
   let seed = next t in
   create ~seed
+
+(* Keyed derivation: a pure function of (parent state, key).  Unlike
+   {!split} it does not advance the parent, so sibling streams are
+   identical no matter which order — or on which domain — they are
+   created.  Two mixing rounds keep nearby keys decorrelated. *)
+let stream t key =
+  let z =
+    Int64.add t.state (Int64.mul golden_gamma (Int64.of_int (key + 1)))
+  in
+  { state = mix (mix z) }
+
+let stream_seed t key = Int64.to_int (Int64.shift_right_logical (stream t key).state 2)

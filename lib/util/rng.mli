@@ -37,3 +37,16 @@ val shuffle : t -> 'a array -> unit
 
 val split : t -> t
 (** Derive an independent generator; advances the parent. *)
+
+val stream : t -> int -> t
+(** [stream t key] derives an independent generator keyed by [key]
+    {e without} advancing [t]: the result depends only on [t]'s
+    current state and the key.  This is the splittable-stream entry
+    point for work fanned out across domains — deriving stream [k] for
+    every cell of a matrix yields the same generators whatever order
+    (or schedule) the cells run in, unlike {!split}.  Distinct keys
+    give decorrelated streams. *)
+
+val stream_seed : t -> int -> int
+(** The non-negative seed [stream t key] embodies — for APIs that take
+    a seed rather than a generator. *)

@@ -60,6 +60,73 @@ let call_element rng fb ~callees regs =
     let r = B.call fb callee [ regs.(R.int rng n); d ] in
     B.alu fb Op.Add regs.(R.int rng n) regs.(R.int rng n) (B.V r)
 
+module S = Vp_hsd.Snapshot
+
+(* Adversarial snapshots: hardware-plausible but hostile BBB contents
+   for robustness property tests.  Entries stay ascending by pc (the
+   documented invariant the hardware guarantees); everything else —
+   emptiness, saturation, branches the program does not contain — is
+   fair game. *)
+
+let real_branch_pcs image =
+  let acc = ref [] in
+  Array.iteri
+    (fun pc i -> if Vp_isa.Instr.is_cond_branch i then acc := pc :: !acc)
+    image.Vp_prog.Image.code;
+  List.rev !acc
+
+let adversarial_snapshots ~seed image =
+  let rng = R.create ~seed in
+  let size = Vp_prog.Image.size image in
+  let counter_max = 511 in
+  let real = real_branch_pcs image in
+  let snap id branches =
+    let detected_at = 1000 * (id + 1) in
+    { S.id; detected_at; ended_at = detected_at + 500 + R.int rng 5000; branches }
+  in
+  let entry pc =
+    let executed = R.int rng (counter_max + 1) in
+    { S.pc; executed; taken = (if executed = 0 then 0 else R.int rng (executed + 1)) }
+  in
+  let pick l = List.nth l (R.int rng (List.length l)) in
+  let empty = snap 0 [] in
+  let single =
+    snap 1 (match real with [] -> [ entry 0 ] | _ -> [ entry (pick real) ])
+  in
+  let saturated =
+    snap 2
+      (List.map
+         (fun pc -> { S.pc; executed = counter_max; taken = counter_max })
+         (List.filteri (fun i _ -> i < 8) real))
+  in
+  (* Branches the program does not contain: past the image, and at
+     addresses of non-branch instructions. *)
+  let alien =
+    snap 3
+      (List.sort compare
+         [
+           entry (R.int rng (max 1 size));
+           entry (size + 1 + R.int rng 64);
+           entry (size + 100 + R.int rng 64);
+         ]
+      |> List.sort_uniq (fun (a : S.entry) b -> compare a.S.pc b.S.pc))
+  in
+  let mixed =
+    let pcs =
+      List.sort_uniq compare
+        (List.filteri (fun i _ -> i mod 3 = R.int rng 3) real
+        @ [ size + R.int rng 32 ])
+    in
+    snap 4
+      (List.map
+         (fun pc ->
+           if R.bool rng 0.3 then { S.pc; executed = counter_max; taken = counter_max }
+           else if R.bool rng 0.3 then { S.pc; executed = 0; taken = 0 }
+           else entry pc)
+         pcs)
+  in
+  [ empty; single; saturated; alien; mixed ]
+
 let random_phased ~seed =
   let rng = R.create ~seed in
   let b = B.create () in

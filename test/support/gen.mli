@@ -11,3 +11,11 @@
 val random_phased : seed:int -> Vp_prog.Program.t
 (** Deterministic in [seed].  Dynamic size is bounded to a few hundred
     thousand instructions. *)
+
+val adversarial_snapshots :
+  seed:int -> Vp_prog.Image.t -> Vp_hsd.Snapshot.t list
+(** Hostile-but-plausible BBB snapshots for robustness properties:
+    an empty snapshot, a single branch, all counters saturated,
+    branches the program does not contain, and a mixed one.  Entries
+    are ascending by pc (the hardware invariant); deterministic in
+    [seed]. *)

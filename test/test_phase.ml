@@ -164,6 +164,32 @@ let prop_phase_log_partition =
       && Phase_log.unique_count log
          = List.length (List.sort_uniq compare choices))
 
+(* Robustness: similarity and phase-log building are total over
+   adversarial snapshots — empty, saturated, or naming branches the
+   program does not contain.  A lossy hardware profile must never
+   crash the software side. *)
+let prop_similarity_total_on_adversarial =
+  QCheck.Test.make ~name:"similarity total on adversarial snapshots" ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let image =
+        Vp_prog.Program.layout
+          (Vp_test_support.Gen.random_phased ~seed:(seed land 0xFF))
+      in
+      let snaps = Vp_test_support.Gen.adversarial_snapshots ~seed image in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let (_ : bool) = Similarity.same a b in
+              true)
+            snaps)
+        snaps
+      &&
+      let log = Phase_log.build snaps in
+      let (_ : int) = Phase_log.unique_count log in
+      true)
+
 let () =
   Alcotest.run "vp_phase"
     [
@@ -175,6 +201,7 @@ let () =
           Alcotest.test_case "asymmetric missing" `Quick test_asymmetric_missing;
           Alcotest.test_case "bias flip" `Quick test_bias_flip_different;
           Alcotest.test_case "unbiased swing" `Quick test_unbiased_swing_not_flip;
+          QCheck_alcotest.to_alcotest prop_similarity_total_on_adversarial;
         ] );
       ( "phase_log",
         [

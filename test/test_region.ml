@@ -239,6 +239,49 @@ let prop_inference_no_conflicts =
       let _ = Growth.grow region in
       Region.conflicts region = 0)
 
+(* Robustness: marking and the whole identify driver are total over
+   adversarial snapshots.  Entries that do not map onto the program
+   are skipped and counted, never fatal. *)
+let prop_marking_total_on_adversarial =
+  QCheck.Test.make ~name:"marking total on adversarial snapshots" ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let img =
+        Program.layout
+          (Vp_test_support.Gen.random_phased ~seed:(seed land 0xFF))
+      in
+      let snaps = Vp_test_support.Gen.adversarial_snapshots ~seed img in
+      List.for_all
+        (fun s ->
+          let region = Region.create img s in
+          let stats = Marking.mark_with_stats region in
+          let entries = List.length s.Snapshot.branches in
+          let accounted =
+            stats.Marking.marked + stats.Marking.skipped_no_symbol
+            + stats.Marking.skipped_no_block
+            + stats.Marking.skipped_not_terminator
+          in
+          let region', _ = Identify.identify_with_stats img s in
+          let (_ : int) = Region.selected_instructions region' in
+          accounted = entries)
+        snaps)
+
+let test_marking_skips_alien_branches () =
+  let img = loop_with_rare_arm () in
+  let size = Image.size img in
+  (* One real branch, two aliens: past the image and mid-block. *)
+  let cfg = main_cfg img in
+  let real = List.hd (branch_addrs cfg) in
+  let region =
+    Region.create img
+      (snap [ entry 0 100 50; entry real 100 50; entry (size + 7) 100 50 ])
+  in
+  let stats = Marking.mark_with_stats region in
+  Alcotest.(check int) "marked" 1 stats.Marking.marked;
+  Alcotest.(check int) "alien skipped" 1 stats.Marking.skipped_no_symbol;
+  Alcotest.(check int) "non-terminator skipped" 1
+    (stats.Marking.skipped_not_terminator + stats.Marking.skipped_no_block)
+
 let () =
   Alcotest.run "vp_region"
     [
@@ -247,6 +290,9 @@ let () =
           Alcotest.test_case "blocks and arcs" `Quick test_marking_sets_block_and_arcs;
           Alcotest.test_case "weight threshold rule" `Quick
             test_marking_weight_threshold_rule;
+          Alcotest.test_case "skips alien branches" `Quick
+            test_marking_skips_alien_branches;
+          QCheck_alcotest.to_alcotest prop_marking_total_on_adversarial;
         ] );
       ( "inference",
         [
