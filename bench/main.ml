@@ -12,8 +12,8 @@
                                          # vp-obs-trace/1 span/counter log
 
    Experiments: table1 table2 fig8 table3 fig9 fig10
-   baseline-aggregate ablation-bbb ablation-growth ablation-sink
-   ablation-superblock micro.
+   baseline-aggregate aggregate ablation-bbb ablation-growth
+   ablation-sink ablation-superblock micro.
 
    The workload x configuration matrix is executed up front by
    Vacuum.Engine on a domain pool (--jobs N, default = the machine's
@@ -429,6 +429,61 @@ let baseline_aggregate workloads =
     ];
   Tabular.print t
 
+(* Fleet-scale profile aggregation: each workload's profiling run seen
+   through per-machine noise on N emulated user machines, aggregated
+   into one consensus profile per binary.  The table is deterministic
+   (exact sums, order-fixed digests); the snapshots/sec throughput is
+   timing, so it goes to stderr and the --json export. *)
+
+(* (workload, snapshots ingested, snapshots/sec) rows from the last
+   [aggregate] run, kept for the --json export. *)
+let aggregate_results : (string * int * float) list ref = ref []
+
+let fleet_aggregate workloads ~quick ~jobs =
+  heading "Fleet aggregation: consensus profile per binary (emulated fleet)";
+  let runs = if quick then 64 else 256 in
+  let t =
+    Tabular.create
+      ~header:
+        [
+          ("Benchmark", Tabular.Left);
+          ("runs", Tabular.Right);
+          ("snapshots", Tabular.Right);
+          ("classified", Tabular.Right);
+          ("dropped", Tabular.Right);
+          ("classes", Tabular.Right);
+          ("digest", Tabular.Right);
+        ]
+  in
+  aggregate_results := [];
+  List.iter
+    (fun w ->
+      let base = profile_of w in
+      let wire = Vacuum.Fleet.emulate_runs ~runs base in
+      let t0 = Unix.gettimeofday () in
+      let fleet = Vacuum.Fleet.aggregate ~jobs ~base wire in
+      let dt = Unix.gettimeofday () -. t0 in
+      let stats = fleet.Vacuum.Fleet.stats in
+      let snaps = stats.Vp_aggregate.Shard.snapshots in
+      let per_sec = float_of_int snaps /. Float.max dt 1e-9 in
+      aggregate_results :=
+        (Registry.name w, snaps, per_sec) :: !aggregate_results;
+      Tabular.add_row t
+        [
+          Registry.name w;
+          string_of_int stats.Vp_aggregate.Shard.runs;
+          string_of_int snaps;
+          string_of_int stats.Vp_aggregate.Shard.classified;
+          string_of_int stats.Vp_aggregate.Shard.dropped;
+          string_of_int (List.length fleet.Vacuum.Fleet.classes);
+          Printf.sprintf "%016x" fleet.Vacuum.Fleet.digest;
+        ];
+      Printf.eprintf "aggregate %s: %.0f snapshots/sec (%.3f s, %d jobs)\n"
+        (Registry.name w) per_sec dt jobs)
+    workloads;
+  aggregate_results := List.rev !aggregate_results;
+  Tabular.print t
+
 (* Superblock formation: chain merging + speculative hoisting — this
    repository's extension of the paper's "basic rescheduling",
    exercising the region-level scheduling scope Section 2 motivates. *)
@@ -748,6 +803,16 @@ let write_json ~path ~engine_metrics ~counters ~timeline =
           (Vp_telemetry.Sink.event_counts tl))
       tls;
     out "\n    ]\n  },\n");
+  out "  \"aggregate\": [";
+  List.iteri
+    (fun i (name, snapshots, per_sec) ->
+      out
+        "%s\n    {\"name\": \"%s\", \"snapshots\": %d, \
+         \"snapshots_per_sec\": %s}"
+        (if i = 0 then "" else ",")
+        (json_escape name) snapshots (json_float per_sec))
+    !aggregate_results;
+  out "\n  ],\n";
   out "  \"micro\": [";
   List.iteri
     (fun i (name, nanos, r2) ->
@@ -801,6 +866,7 @@ let () =
     | "fig9" -> fig9 workloads
     | "fig10" -> fig10 workloads
     | "baseline-aggregate" -> baseline_aggregate workloads
+    | "aggregate" -> fleet_aggregate workloads ~quick ~jobs
     | "ablation-bbb" -> ablation_bbb workloads
     | "ablation-growth" -> ablation_growth workloads
     | "ablation-sink" -> ablation_sink workloads
@@ -813,8 +879,8 @@ let () =
   let all =
     [
       "table1"; "table2"; "fig8"; "table3"; "fig9"; "fig10";
-      "baseline-aggregate"; "ablation-bbb"; "ablation-growth"; "ablation-sink";
-      "ablation-superblock"; "micro";
+      "baseline-aggregate"; "aggregate"; "ablation-bbb"; "ablation-growth";
+      "ablation-sink"; "ablation-superblock"; "micro";
     ]
   in
   let picks = match selected with [] -> all | picks -> picks in

@@ -1,7 +1,11 @@
 (* vpack: command-line front end for the Vacuum Packing pipeline.
 
-   Subcommands: list, run, phases, extract, report, diag, asm,
-   disasm, machine. *)
+   Subcommands: list, run, phases, extract, aggregate, report, diag,
+   asm, disasm, machine.
+
+   Exit codes: 0 success, 2 command-line error (unknown subcommand,
+   unknown/ambiguous workload, bad flags), 3 pipeline error, 4
+   verifier rejection, 5 chaos-matrix failure. *)
 
 module Registry = Vp_workloads.Registry
 module Program = Vp_prog.Program
@@ -23,9 +27,12 @@ let resolve_bench bench =
     | [ name ] -> Some name
     | [] -> None
     | _ :: _ :: _ as multi ->
-      Printf.eprintf "ambiguous workload %s (matches %s)\n" bench
-        (String.concat ", " multi);
-      exit 1
+      (* A usage error, not a pipeline failure: raise on the typed
+         channel with the [cli] stage so the top level can print usage
+         and exit 2, matching cmdliner's own parse errors. *)
+      Vacuum.Error.failf ~stage:"cli" "ambiguous workload %s (matches %s)"
+        bench
+        (String.concat ", " multi)
 
 let find_workload spec =
   let bench, input =
@@ -40,8 +47,8 @@ let find_workload spec =
   with
   | Some w -> w
   | None ->
-    Printf.eprintf "unknown workload %s (try `vpack list`)\n" spec;
-    exit 1
+    Vacuum.Error.failf ~stage:"cli" "unknown workload %s (try `vpack list`)"
+      spec
 
 let workload_arg =
   let doc = "Workload as BENCH or BENCH/INPUT (see `vpack list`)." in
@@ -176,6 +183,112 @@ let extract_cmd =
   Cmd.v
     (Cmd.info "extract" ~doc:"Run region identification and package extraction.")
     Term.(const run $ workload_arg $ no_inference $ no_linking)
+
+(* --- aggregate --- *)
+
+let aggregate_cmd =
+  let spec_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload as BENCH or BENCH/INPUT.")
+  in
+  let runs_arg =
+    let doc = "Emulate $(docv) user-machine runs (ignored with --ingest)." in
+    Arg.(value & opt int 256 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc = "Partition the fleet over $(docv) aggregation shards." in
+    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S" ~doc:"Root seed of the per-machine noise.")
+  in
+  let wire_out_arg =
+    let doc = "Also write the fleet's vp-profile-wire/1 stream to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "wire" ] ~docv:"FILE" ~doc)
+  in
+  let ingest_arg =
+    let doc =
+      "Ingest runs from this vp-profile-wire/1 file instead of emulating \
+       them (repeatable)."
+    in
+    Arg.(value & opt_all file [] & info [ "ingest" ] ~docv:"FILE" ~doc)
+  in
+  let run spec runs shards seed jobs wire_out ingest =
+    let w = find_workload spec in
+    let img = Program.layout (w.Registry.program ()) in
+    let config = Vacuum.Config.default in
+    let base = Vacuum.Driver.profile ~config img in
+    let wire_runs =
+      if ingest <> [] then
+        List.concat_map
+          (fun path ->
+            match Vp_aggregate.Wire.read_file ~path with
+            | Ok rs -> rs
+            | Error e -> Vacuum.Error.failf ~stage:"wire" "%s: %s" path e)
+          ingest
+      else Vacuum.Fleet.emulate_runs ~config ~seed ~runs base
+    in
+    (match wire_out with
+    | None -> ()
+    | Some path ->
+      Vp_aggregate.Wire.write_file ~path wire_runs;
+      Printf.eprintf "wire: %d runs -> %s\n" (List.length wire_runs) path);
+    let t0 = Unix.gettimeofday () in
+    let fleet =
+      Vacuum.Fleet.aggregate ~config ~shards ~jobs:(resolve_jobs jobs) ~base
+        wire_runs
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let stats = fleet.Vacuum.Fleet.stats in
+    (* Everything on stdout is a pure function of the ingested fleet:
+       CI asserts shard/job invariance by diffing stdout across
+       --shards and --jobs values.  Sharding geometry and throughput
+       go to stderr. *)
+    Printf.printf "%s: %d runs, %d snapshots (%d classified, %d dropped)\n"
+      (Registry.name w) stats.Vp_aggregate.Shard.runs
+      stats.Vp_aggregate.Shard.snapshots stats.Vp_aggregate.Shard.classified
+      stats.Vp_aggregate.Shard.dropped;
+    List.iter
+      (fun (id, (p : Vp_aggregate.Profile.t)) ->
+        Printf.printf
+          "  class %d: %d runs, %d snapshots, %d branches, est weight %d\n" id
+          p.Vp_aggregate.Profile.runs p.Vp_aggregate.Profile.snapshots
+          (Vp_aggregate.Profile.branch_count p)
+          (Vp_aggregate.Profile.total_estimated p))
+      fleet.Vacuum.Fleet.classes;
+    Printf.printf "aggregate digest %016x\n" fleet.Vacuum.Fleet.digest;
+    let r =
+      Vacuum.Driver.rewrite_of_profile ~config
+        (Vacuum.Fleet.profile_of_fleet ~config ~base fleet)
+    in
+    Printf.printf "consensus rewrite: %d packages, %d package instructions\n"
+      (List.length r.Vacuum.Driver.packages)
+      r.Vacuum.Driver.emitted.Vp_package.Emit.package_instructions;
+    Printf.eprintf "aggregated over %d shards, %d jobs: %.0f snapshots/sec (%.3f s)\n"
+      stats.Vp_aggregate.Shard.shards stats.Vp_aggregate.Shard.jobs
+      (float_of_int stats.Vp_aggregate.Shard.snapshots /. Float.max dt 1e-9)
+      dt
+  in
+  Cmd.v
+    (Cmd.info "aggregate"
+       ~doc:
+         "Aggregate a fleet of per-machine profile streams (emulated, or \
+          ingested from vp-profile-wire/1 files) into one consensus profile \
+          and feed it through the packaging pipeline.  Stdout is \
+          byte-identical for every --shards/--jobs value."
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P "0 on success, 2 on a command-line error, 3 on a pipeline or \
+               wire-format error.";
+         ])
+    Term.(
+      const run $ spec_arg $ runs_arg $ shards_arg $ seed_arg $ jobs_arg
+      $ wire_out_arg $ ingest_arg)
 
 (* --- report --- *)
 
@@ -430,7 +543,9 @@ let trace_check_cmd =
       let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
       go 0
     in
-    if contains first "vp-timeline-trace/1" then `Timeline else `Obs
+    if contains first "vp-timeline-trace/1" then `Timeline
+    else if contains first "vp-profile-wire/1" then `Wire
+    else `Obs
   in
   let run file =
     match schema_of file with
@@ -439,6 +554,14 @@ let trace_check_cmd =
       | Ok n -> Printf.printf "%s: valid vp-timeline-trace/1, %d lines\n" file n
       | Error e ->
         Printf.eprintf "%s: invalid trace: %s\n" file e;
+        exit 1)
+    | `Wire -> (
+      match Vp_aggregate.Wire.validate_file ~path:file with
+      | Ok (runs, snapshots) ->
+        Printf.printf "%s: valid vp-profile-wire/1, %d runs, %d snapshots\n"
+          file runs snapshots
+      | Error e ->
+        Printf.eprintf "%s: invalid wire stream: %s\n" file e;
         exit 1)
     | `Obs -> (
       match Vp_obs.Sink.validate_file ~path:file with
@@ -450,8 +573,9 @@ let trace_check_cmd =
   Cmd.v
     (Cmd.info "trace-check"
        ~doc:
-         "Validate a trace file against its schema (vp-obs-trace/1 or \
-          vp-timeline-trace/1, detected from the first line).")
+         "Validate a trace file against its schema (vp-obs-trace/1, \
+          vp-timeline-trace/1 or vp-profile-wire/1, detected from the first \
+          line).")
     Term.(const run $ file_arg)
 
 (* --- asm / disasm --- *)
@@ -678,15 +802,22 @@ let () =
   let cmd =
     Cmd.group info
       [
-        list_cmd; run_cmd; phases_cmd; extract_cmd; report_cmd; stats_cmd;
-        timeline_cmd; trace_check_cmd; verify_cmd; chaos_cmd; diag_cmd;
-        asm_cmd; disasm_cmd; machine_cmd;
+        list_cmd; run_cmd; phases_cmd; extract_cmd; aggregate_cmd; report_cmd;
+        stats_cmd; timeline_cmd; trace_check_cmd; verify_cmd; chaos_cmd;
+        diag_cmd; asm_cmd; disasm_cmd; machine_cmd;
       ]
   in
   (* Pipeline failures carry a structured payload; render it and exit
-     cleanly instead of dumping a backtrace. *)
-  match Cmd.eval ~catch:false cmd with
+     cleanly instead of dumping a backtrace.  Usage errors — an unknown
+     subcommand or bad flag (cmdliner's own parse failures, routed to
+     exit 2 via [~term_err]) and an unknown or ambiguous workload (the
+     [cli] stage) — all land on exit 2 with a pointer at the usage. *)
+  match Cmd.eval ~catch:false ~term_err:2 cmd with
   | code -> exit code
+  | exception Vacuum.Error.Error e when e.Vacuum.Error.stage = "cli" ->
+    Format.eprintf "vpack: %a@." Vacuum.Error.pp e;
+    Format.eprintf "Usage: vpack COMMAND …; try 'vpack --help'.@.";
+    exit 2
   | exception Vacuum.Error.Error e ->
     Format.eprintf "vpack: %a@." Vacuum.Error.pp e;
     exit 3

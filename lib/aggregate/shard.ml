@@ -1,0 +1,108 @@
+module Pool = Vp_util.Pool
+
+type stats = {
+  runs : int;
+  snapshots : int;
+  classified : int;
+  dropped : int;
+  shards : int;
+  jobs : int;
+}
+
+(* Class maps are sorted assoc lists keyed by class id — small (one
+   entry per phase class) and deterministic to merge. *)
+let rec merge_maps a b =
+  match (a, b) with
+  | [], rest | rest, [] -> rest
+  | (ka, pa) :: a', (kb, pb) :: b' ->
+    if ka < kb then (ka, pa) :: merge_maps a' b
+    else if kb < ka then (kb, pb) :: merge_maps a b'
+    else (ka, Profile.merge pa pb) :: merge_maps a' b'
+
+let add_to_map map key profile =
+  merge_maps map [ (key, profile) ]
+
+(* One shard: fold its runs in input order.  Pure up to its own
+   accumulator, per the pool's determinism contract. *)
+let fold_shard ~counter_max ~classify shard_runs =
+  List.fold_left
+    (fun (map, classified, dropped) (r : Wire.run) ->
+      let by_class = ref [] in
+      let classified = ref classified and dropped = ref dropped in
+      List.iter
+        (fun snap ->
+          match classify snap with
+          | None -> incr dropped
+          | Some cls ->
+            incr classified;
+            by_class :=
+              (match List.assoc_opt cls !by_class with
+              | Some snaps -> (cls, snap :: snaps) :: List.remove_assoc cls !by_class
+              | None -> (cls, [ snap ]) :: !by_class))
+        r.Wire.snapshots;
+      let map =
+        List.fold_left
+          (fun map (cls, rev_snaps) ->
+            add_to_map map cls
+              (Profile.of_snapshots ~weight:r.Wire.weight ~counter_max
+                 (List.rev rev_snaps)))
+          map
+          (List.sort compare !by_class)
+      in
+      (map, !classified, !dropped))
+    ([], 0, 0) shard_runs
+
+let aggregate_classes ?(shards = 8) ?(jobs = 1) ~counter_max ~classify runs =
+  let shards = Stdlib.max 1 shards in
+  let jobs = Stdlib.max 1 jobs in
+  List.iter
+    (fun (r : Wire.run) ->
+      if r.Wire.counter_max <> counter_max then
+        Vp_util.Error.failf ~stage:"aggregate"
+          "run %d carries counter cap %d, aggregator expects %d" r.Wire.run_id
+          r.Wire.counter_max counter_max)
+    runs;
+  let snapshots =
+    List.fold_left (fun acc r -> acc + List.length r.Wire.snapshots) 0 runs
+  in
+  (* Deterministic partition: run index mod shards, each shard keeping
+     its runs in input order. *)
+  let buckets = Array.make shards [] in
+  List.iteri (fun i r -> buckets.(i mod shards) <- r :: buckets.(i mod shards)) runs;
+  let shard_inputs =
+    Array.to_list (Array.map List.rev buckets)
+  in
+  let results =
+    Pool.map ~jobs (fold_shard ~counter_max ~classify) shard_inputs
+  in
+  (* Shard-merge in fixed shard order; associativity + commutativity
+     of Profile.merge make the grouping (and hence the shard count)
+     invisible in the result. *)
+  let map, classified, dropped =
+    List.fold_left
+      (fun (map, c, d) (m, c', d') -> (merge_maps map m, c + c', d + d'))
+      ([], 0, 0) results
+  in
+  ( map,
+    {
+      runs = List.length runs;
+      snapshots;
+      classified;
+      dropped;
+      shards;
+      jobs;
+    } )
+
+let aggregate ?shards ?jobs ~counter_max runs =
+  let map, stats =
+    aggregate_classes ?shards ?jobs ~counter_max
+      ~classify:(fun _ -> Some 0)
+      runs
+  in
+  let profile =
+    match map with
+    | [] -> Profile.empty ~counter_max
+    | [ (_, p) ] -> p
+    | _ -> assert false
+  in
+  (profile, stats)

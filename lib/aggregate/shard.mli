@@ -1,0 +1,45 @@
+(** The sharded fleet aggregator.
+
+    Ingests wire-format run streams on a {!Vp_util.Pool} of domains:
+    runs are partitioned over [shards] by [run index mod shards], each
+    shard folds its runs into per-class profiles in input order, and
+    the shard results merge in fixed shard order.  Because
+    {!Profile.merge} is associative and commutative with exact integer
+    sums, the aggregate is {e byte-identical} for every [shards] and
+    [jobs] setting — the determinism contract the whole pipeline
+    carries, extended to the fleet layer.
+
+    Classification happens before aggregation: a [classify] function
+    maps each snapshot to a phase class (or to nothing — unmatched
+    snapshots are counted and dropped).  It must be pure; it runs on
+    worker domains. *)
+
+type stats = {
+  runs : int;  (** run records ingested *)
+  snapshots : int;  (** snapshots ingested (before classification) *)
+  classified : int;  (** snapshots that landed in a class *)
+  dropped : int;  (** snapshots no class would take *)
+  shards : int;
+  jobs : int;
+}
+
+val aggregate_classes :
+  ?shards:int ->
+  ?jobs:int ->
+  counter_max:int ->
+  classify:(Vp_hsd.Snapshot.t -> int option) ->
+  Wire.run list ->
+  (int * Profile.t) list * stats
+(** Per-class aggregation; the result is sorted by class id.  [shards]
+    defaults to [8], [jobs] to sequential.  Raises a typed
+    [Vp_util.Error] if a run's [counter_max] disagrees with the
+    aggregator's — mixed counter geometries must be rejected, not
+    silently clamped. *)
+
+val aggregate :
+  ?shards:int ->
+  ?jobs:int ->
+  counter_max:int ->
+  Wire.run list ->
+  Profile.t * stats
+(** Phase-agnostic aggregation: every snapshot in one class. *)

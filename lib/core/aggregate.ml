@@ -17,12 +17,7 @@ let snapshot_of_profile ?(min_share = 0.001) (p : Driver.profile) =
   { Snapshot.id = 0; detected_at = 0; ended_at = total; branches }
 
 let as_single_phase ?min_share (p : Driver.profile) =
-  let snapshot = snapshot_of_profile ?min_share p in
-  {
-    p with
-    Driver.snapshots = [ snapshot ];
-    log = Vp_phase.Phase_log.build [ snapshot ];
-  }
+  Driver.with_snapshots p [ snapshot_of_profile ?min_share p ]
 
 let rewrite ?(config = Config.default) ?(min_share = 0.001) p =
   (* The paper's absolute arc threshold (16) is calibrated to 9-bit

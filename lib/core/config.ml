@@ -55,6 +55,7 @@ let experiment_name ~inference ~linking =
     (if linking then "with" else "no")
 
 let detector t = t.detector
+let counter_max t = (1 lsl t.detector.Vp_hsd.Config.counter_bits) - 1
 let history_size t = t.history_size
 let similarity t = t.similarity
 let identify t = t.identify

@@ -44,6 +44,14 @@ val experiment_name : inference:bool -> linking:bool -> string
 (** {1 Accessors} *)
 
 val detector : t -> Vp_hsd.Config.t
+
+val counter_max : t -> int
+(** The saturation cap of the detector's BBB counters,
+    [2^counter_bits - 1] (511 for the Table 2 detector).  Every
+    software consumer of counter values — fault injection, fleet
+    aggregation — must use this single derivation rather than
+    re-deriving the width. *)
+
 val history_size : t -> int
 (** Hardware snapshot history (0 = record all). *)
 

@@ -142,9 +142,7 @@ let profile ?(config = Config.default) image =
   let snapshots, fault_warnings =
     match plan with
     | Some plan when not (Vp_fault.Plan.is_clean plan) ->
-      let counter_max =
-        (1 lsl (Config.detector config).Vp_hsd.Config.counter_bits) - 1
-      in
+      let counter_max = Config.counter_max config in
       let faulted = Vp_fault.Inject.snapshots ~plan ~counter_max snapshots in
       Counter.bump obs "fault.runs" 1;
       ( faulted,
@@ -478,6 +476,9 @@ let rewrite_of_profile ?(config = Config.default) source =
     demotions = List.rev !demotions;
     verification;
   }
+
+let with_snapshots ?similarity p snapshots =
+  { p with snapshots; log = Phase_log.build ?similarity snapshots }
 
 let rewrite ?config image =
   rewrite_of_profile ?config (profile ?config image)

@@ -76,6 +76,18 @@ val pp_demotion : Format.formatter -> demotion -> unit
 
 val profile : ?config:Config.t -> Vp_prog.Image.t -> profile
 
+val with_snapshots :
+  ?similarity:Vp_phase.Similarity.config ->
+  profile ->
+  Vp_hsd.Snapshot.t list ->
+  profile
+(** Replace a profile's snapshot stream and rebuild its phase log,
+    keeping the run outcome and aggregate counts.  This is the single
+    entry point for synthetic streams — the aggregate baseline's
+    one-phase profile, the fleet aggregator's per-class consensus
+    snapshots — so every downstream consumer sees a log built the same
+    way the pipeline builds it. *)
+
 val rewrite_of_profile : ?config:Config.t -> profile -> rewrite
 
 val rewrite : ?config:Config.t -> Vp_prog.Image.t -> rewrite

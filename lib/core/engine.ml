@@ -22,6 +22,7 @@ type t = {
   profiles : (string, Driver.profile) Hashtbl.t;
   rewrites : (string * string, Driver.rewrite) Hashtbl.t;
   coverages : (string * string, Coverage.t) Hashtbl.t;
+  fleets : (string * string, Fleet.t) Hashtbl.t;
   baselines : (string, Pipeline.stats) Hashtbl.t;
   optimizeds : (string * string, Pipeline.stats) Hashtbl.t;
   mutable metrics : metric list;
@@ -42,6 +43,7 @@ let create ?(jobs = Pool.default_jobs ()) ?(profile_config = Config.default)
     profiles = Hashtbl.create 32;
     rewrites = Hashtbl.create 64;
     coverages = Hashtbl.create 64;
+    fleets = Hashtbl.create 16;
     baselines = Hashtbl.create 32;
     optimizeds = Hashtbl.create 64;
     metrics = [];
@@ -120,6 +122,17 @@ let coverage t spec cell =
       c.Coverage.outcome.Emulator.instructions)
     (spec.name, cell.key)
     (fun () -> Coverage.measure ~config:cell.config (rewrite t spec cell))
+
+let fleet ?(runs = 64) ?(seed = 42) t spec =
+  let key = Printf.sprintf "fleet:r%d:s%d" runs seed in
+  memo t t.fleets ~kind:"fleet"
+    ~label:(spec.name ^ " [" ^ key ^ "]")
+    ~instructions:(fun (f : Fleet.t) -> f.Fleet.stats.Vp_aggregate.Shard.snapshots)
+    (spec.name, key)
+    (fun () ->
+      let base = profile t spec in
+      Fleet.aggregate ~config:t.profile_config ~base
+        (Fleet.emulate_runs ~config:t.profile_config ~seed ~runs base))
 
 let baseline t spec ~cpu =
   memo t t.baselines ~kind:"timing" ~label:(spec.name ^ " [baseline]")
@@ -208,8 +221,9 @@ let kind_order = function
   | "profile" -> 1
   | "rewrite" -> 2
   | "coverage" -> 3
-  | "timing" -> 4
-  | _ -> 5
+  | "fleet" -> 4
+  | "timing" -> 5
+  | _ -> 6
 
 let summary_table t =
   let ms =

@@ -70,6 +70,13 @@ val profile : t -> spec -> Driver.profile
 val rewrite : t -> spec -> cell -> Driver.rewrite
 val coverage : t -> spec -> cell -> Coverage.t
 
+val fleet : ?runs:int -> ?seed:int -> t -> spec -> Fleet.t
+(** The memoised fleet aggregate for a workload: [runs] emulated user
+    machines (default 64) derived from the shared profiling run with
+    {!Fleet.default_noise} seeded by [seed] (default 42), aggregated
+    against the profile's phase log.  Cache key is
+    [(spec, runs, seed)]. *)
+
 val baseline : t -> spec -> cpu:Vp_cpu.Config.t -> Vp_cpu.Pipeline.stats
 (** Timing of the original image, shared across cells (the machine
     model is uniform over the matrix). *)

@@ -18,7 +18,9 @@ let key_reorder = 6
 
 let family (plan : Plan.t) key = R.stream (R.create ~seed:plan.seed) key
 
-let sat m c = if c > m then m else c
+(* Counts folded across entries must clamp, never wrap or overshoot:
+   the one shared clamp primitive is Vp_util.Counter.saturating_add. *)
+let sat m a b = Vp_util.Counter.saturating_add ~max:m a b
 
 let entry_faults ~(sf : Plan.snapshot_faults) ~rng_sat ~rng_zero ~rng_alias
     ~counter_max (snap : S.t) =
@@ -47,8 +49,8 @@ let entry_faults ~(sf : Plan.snapshot_faults) ~rng_sat ~rng_zero ~rng_alias
       let merged =
         {
           a with
-          S.executed = sat counter_max (a.S.executed + b.S.executed);
-          taken = sat counter_max (a.S.taken + b.S.taken);
+          S.executed = sat counter_max a.S.executed b.S.executed;
+          taken = sat counter_max a.S.taken b.S.taken;
         }
       in
       arr.(i) <- merged;

@@ -8,6 +8,13 @@ type config = {
 
 let default = { missing_fraction = 0.3; bias_threshold = 0.9; max_bias_flips = 0 }
 
+(* Degenerate working sets are legitimate inputs here: merged fleet
+   profiles hand the classifier empty and singleton snapshots (faulted
+   streams, censored-away entries), so every function below is total —
+   no division by a zero branch count, no raise.  An empty snapshot is
+   missing nothing (fraction 0), and anything is fully missing from an
+   empty snapshot (fraction 1, by the guarded division below never
+   actually dividing by zero). *)
 let missing_fraction a b =
   match a.Snapshot.branches with
   | [] -> 0.0
@@ -28,6 +35,38 @@ let bias_flips ?(threshold = 0.9) a b =
           acc + 1
         | _ -> acc))
     0 a.Snapshot.branches
+
+(* Weighted overlap in [0, 1]: Jaccard over the pc -> executed maps
+   (sum of minima over sum of maxima).  Two empty snapshots are
+   identical (1.0); an empty snapshot shares nothing with a non-empty
+   one (0.0); when every counter in both reads zero the weights carry
+   no signal, so the score falls back to plain set Jaccard over the
+   pcs.  Total on any input, per the lenient contract above. *)
+let score a b =
+  match (a.Snapshot.branches, b.Snapshot.branches) with
+  | [], [] -> 1.0
+  | [], _ | _, [] -> 0.0
+  | abr, bbr ->
+    let weight_of snap pc =
+      match Snapshot.find snap pc with
+      | Some e -> e.Snapshot.executed
+      | None -> 0
+    in
+    let pcs =
+      List.sort_uniq compare
+        (List.map (fun e -> e.Snapshot.pc) abr
+        @ List.map (fun e -> e.Snapshot.pc) bbr)
+    in
+    let num, den, inter =
+      List.fold_left
+        (fun (num, den, inter) pc ->
+          let wa = max 0 (weight_of a pc) and wb = max 0 (weight_of b pc) in
+          let both = Snapshot.find a pc <> None && Snapshot.find b pc <> None in
+          (num + min wa wb, den + max wa wb, if both then inter + 1 else inter))
+        (0, 0, 0) pcs
+    in
+    if den > 0 then float_of_int num /. float_of_int den
+    else float_of_int inter /. float_of_int (List.length pcs)
 
 type verdict = Same | Too_many_missing | Too_many_bias_flips
 

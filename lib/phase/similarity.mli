@@ -17,7 +17,20 @@ type config = {
 val default : config
 
 val missing_fraction : Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> float
-(** Fraction of the first snapshot's branches absent from the second. *)
+(** Fraction of the first snapshot's branches absent from the second.
+    Total on degenerate inputs, per the lenient never-raise contract
+    shared with [Vp_region.Marking]: an empty snapshot is missing
+    nothing (0.0), and any non-empty snapshot is fully missing from an
+    empty one (1.0) — merged fleet profiles routinely produce both. *)
+
+val score : Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> float
+(** Symmetric weighted overlap in [[0, 1]]: Jaccard similarity of the
+    pc -> executed maps (sum of per-pc minima over sum of maxima).
+    Defined on every input: two empty snapshots score 1.0, an empty
+    against a non-empty scores 0.0, and when every counter in both
+    snapshots reads zero the score degrades to set Jaccard over the
+    pcs.  The fleet aggregator uses it to rank phase-class matches;
+    {!verdict} remains the paper's accept/reject criterion. *)
 
 val bias_flips : ?threshold:float -> Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> int
 (** Branches biased in both snapshots with opposite directions. *)
@@ -25,7 +38,10 @@ val bias_flips : ?threshold:float -> Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> i
 type verdict = Same | Too_many_missing | Too_many_bias_flips
 (** Why two snapshots are (not) the same phase: the first criterion
     that fails, in the paper's order — missing-branch fraction first,
-    then biased-branch flips. *)
+    then biased-branch flips.  Degenerate snapshots get a defined
+    verdict rather than an exception: empty vs. empty is [Same] (both
+    describe the same, vacuous, working set), empty vs. non-empty is
+    [Too_many_missing]. *)
 
 val verdict :
   ?config:config -> Vp_hsd.Snapshot.t -> Vp_hsd.Snapshot.t -> verdict

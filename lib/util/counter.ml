@@ -25,6 +25,31 @@ let record t ~taken =
   t.executed <- t.executed + 1;
   if taken then t.taken <- t.taken + 1
 
+(* Clamped addition shared by every software-side merge path.  The
+   sum is computed before clamping, so [a] and [b] near [max] must not
+   be able to overflow the native int — counter widths are < 62 bits
+   (enforced by [create]), which leaves headroom for any pairwise
+   sum. *)
+let saturating_add ~max:m a b =
+  let a = if a < 0 then 0 else a in
+  let b = if b < 0 then 0 else b in
+  let s = a + b in
+  if s > m || s < 0 then m else s
+
+let is_saturated t = t.executed >= t.max_value
+
+let add t ~executed ~taken =
+  t.executed <- saturating_add ~max:t.max_value t.executed executed;
+  (* The pair invariant taken <= executed must survive the clamp:
+     executed may have hit the cap while taken had headroom left. *)
+  t.taken <- min (saturating_add ~max:t.max_value t.taken taken) t.executed
+
+let incr t ~taken =
+  if not (is_saturated t) then begin
+    t.executed <- t.executed + 1;
+    if taken then t.taken <- t.taken + 1
+  end
+
 let executed t = t.executed
 let taken t = t.taken
 

@@ -21,6 +21,31 @@ val record : t -> taken:bool -> unit
 (** Record one retirement.  If the executed counter is at its maximum,
     both counters are halved first so the taken fraction survives. *)
 
+val saturating_add : max:int -> int -> int -> int
+(** [saturating_add ~max a b] is [a + b] clamped into [[0, max]]:
+    negative operands are treated as zero and a sum at or past [max]
+    (including one that would wrap the native int) reads [max].  This
+    is the one clamped-add primitive every software-side merge path —
+    fault-injected branch aliasing, fleet profile aggregation — goes
+    through, so counts near the 9-bit cap can never overshoot or
+    wrap. *)
+
+val add : t -> executed:int -> taken:int -> unit
+(** Merge a whole observed (executed, taken) pair into the counter,
+    clamping each component at {!max_value} (no halving: a merge is a
+    software combination of already-recorded observations, not a new
+    retirement).  The pair invariant [taken <= executed] is preserved
+    even when only the executed side clamps. *)
+
+val incr : t -> taken:bool -> unit
+(** Saturating single increment: a no-op once the executed counter has
+    reached {!max_value}.  Contrast {!record}, which models the
+    hardware's halving behaviour — [incr] is the software merge path's
+    increment, where an already-saturated count must stay put. *)
+
+val is_saturated : t -> bool
+(** The executed counter has reached {!max_value}. *)
+
 val executed : t -> int
 val taken : t -> int
 

@@ -187,3 +187,32 @@ let random_phased ~seed =
       B.ret fb (Some acc);
       B.halt fb);
   B.program b ~entry:"main"
+
+(* Valid-by-construction snapshot streams for merge-algebra
+   properties: entries strictly ascending by pc, counters within the
+   9-bit hardware range with taken <= executed, a sprinkling of
+   saturated and zero entries so censoring paths are exercised. *)
+let random_snapshots ~seed ~count =
+  let rng = R.create ~seed in
+  let counter_max = 511 in
+  List.init count (fun id ->
+      let nbranches = R.int rng 12 in
+      let pc = ref (-1) in
+      let branches =
+        List.init nbranches (fun _ ->
+            pc := !pc + 1 + R.int rng 40;
+            let executed =
+              if R.bool rng 0.15 then counter_max
+              else if R.bool rng 0.1 then 0
+              else R.int rng (counter_max + 1)
+            in
+            let taken = if executed = 0 then 0 else R.int rng (executed + 1) in
+            { S.pc = !pc; executed; taken })
+      in
+      let detected_at = 1000 * id in
+      {
+        S.id;
+        detected_at;
+        ended_at = detected_at + 1 + R.int rng 5000;
+        branches;
+      })

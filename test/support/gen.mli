@@ -19,3 +19,10 @@ val adversarial_snapshots :
     branches the program does not contain, and a mixed one.  Entries
     are ascending by pc (the hardware invariant); deterministic in
     [seed]. *)
+
+val random_snapshots :
+  seed:int -> count:int -> Vp_hsd.Snapshot.t list
+(** [count] structurally valid snapshots for merge-algebra and
+    wire-format properties: entries strictly ascending by pc, counters
+    in the 9-bit range with [taken <= executed], including saturated
+    (511) and zero entries.  Deterministic in [seed]. *)

@@ -1,0 +1,296 @@
+(* Tests for vp_aggregate: the weighted-profile merge algebra
+   (associativity, commutativity, identity, saturation censoring), the
+   vp-profile-wire/1 format, and shard/job invariance of the fleet
+   aggregator. *)
+
+module Snapshot = Vp_hsd.Snapshot
+module Profile = Vp_aggregate.Profile
+module Wire = Vp_aggregate.Wire
+module Shard = Vp_aggregate.Shard
+module Gen = Vp_test_support.Gen
+
+let counter_max = 511
+
+let entry pc executed taken = { Snapshot.pc; executed; taken }
+
+let snap ?(id = 0) ?(at = 0) ?(until = 1000) branches =
+  { Snapshot.id; detected_at = at; ended_at = until; branches }
+
+let profile_of_seed seed =
+  let nsnaps = 1 + (seed mod 4) in
+  Profile.of_snapshots ~counter_max
+    (Gen.random_snapshots ~seed ~count:nsnaps)
+
+(* Profiles compare structurally: counter_max, counts, and the
+   canonical entry list are all plain data. *)
+let check_equal what a b =
+  Alcotest.(check bool) what true (a = b);
+  Alcotest.(check bool) (what ^ " (digest)") true
+    (Profile.digest a = Profile.digest b)
+
+(* --- merge algebra --- *)
+
+let test_merge_basic () =
+  let a = Profile.of_snapshots ~counter_max [ snap [ entry 10 100 40 ] ] in
+  let b = Profile.of_snapshots ~counter_max [ snap [ entry 10 50 10; entry 20 7 7 ] ] in
+  let m = Profile.merge a b in
+  Alcotest.(check int) "runs" 2 m.Profile.runs;
+  Alcotest.(check int) "branches" 2 (Profile.branch_count m);
+  let e10 = List.find (fun e -> e.Profile.pc = 10) m.Profile.entries in
+  Alcotest.(check int) "executed summed" 150 e10.Profile.executed;
+  Alcotest.(check int) "taken summed" 50 e10.Profile.taken;
+  Alcotest.(check int) "two observations" 2 e10.Profile.obs;
+  Alcotest.(check int) "no censoring" 0 e10.Profile.censored
+
+let test_merge_mismatched_caps () =
+  let a = Profile.of_snapshots ~counter_max [ snap [ entry 10 9 1 ] ] in
+  let b = Profile.of_snapshots ~counter_max:31 [ snap [ entry 10 9 1 ] ] in
+  Alcotest.check_raises "caps must agree"
+    (Vp_util.Error.Error
+       {
+         Vp_util.Error.stage = "aggregate";
+         what = "cannot merge profiles with counter caps 511 and 31";
+         pc = None;
+         label = None;
+         workload = None;
+       })
+    (fun () -> ignore (Profile.merge a b))
+
+let test_censoring () =
+  (* A saturated observation is censored: the estimate adds a full
+     counter range on top of the raw sum. *)
+  let a = Profile.of_snapshots ~counter_max [ snap [ entry 10 511 511 ] ] in
+  let b = Profile.of_snapshots ~counter_max [ snap [ entry 10 100 0 ] ] in
+  let m = Profile.merge a b in
+  let e = List.hd m.Profile.entries in
+  Alcotest.(check int) "raw sum" 611 e.Profile.executed;
+  Alcotest.(check int) "one censored" 1 e.Profile.censored;
+  Alcotest.(check int) "estimate corrected" (611 + 511)
+    (Profile.estimated_executed m e)
+
+let test_to_snapshot_scaling () =
+  let p =
+    Profile.of_snapshots ~counter_max
+      [ snap [ entry 10 400 200; entry 20 100 100 ] ]
+  in
+  let s = Profile.to_snapshot ~id:3 p in
+  Alcotest.(check int) "id" 3 s.Snapshot.id;
+  let e10 = List.find (fun e -> e.Snapshot.pc = 10) s.Snapshot.branches in
+  let e20 = List.find (fun e -> e.Snapshot.pc = 20) s.Snapshot.branches in
+  Alcotest.(check int) "peak scales to the cap" counter_max
+    e10.Snapshot.executed;
+  Alcotest.(check bool) "ratios preserved" true
+    (abs (e20.Snapshot.executed - (counter_max / 4)) <= 1);
+  Alcotest.(check bool) "taken fraction preserved" true
+    (abs (e10.Snapshot.taken - (e10.Snapshot.executed / 2)) <= 1)
+
+let test_empty_identity_units () =
+  let e = Profile.empty ~counter_max in
+  Alcotest.(check bool) "empty is empty" true (Profile.is_empty e);
+  Alcotest.(check int) "no estimate" 0 (Profile.total_estimated e);
+  Alcotest.(check (list pass)) "no synthetic branches" []
+    (Profile.to_snapshot e).Snapshot.branches
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"merge is associative" ~count:100
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (x, y, z) ->
+      let a = profile_of_seed x
+      and b = profile_of_seed (y + 1000)
+      and c = profile_of_seed (z + 2000) in
+      Profile.merge (Profile.merge a b) c
+      = Profile.merge a (Profile.merge b c))
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge is commutative" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (x, y) ->
+      let a = profile_of_seed x and b = profile_of_seed (y + 1000) in
+      Profile.merge a b = Profile.merge b a)
+
+let prop_merge_identity =
+  QCheck.Test.make ~name:"empty is the merge identity" ~count:100
+    QCheck.small_nat
+    (fun x ->
+      let a = profile_of_seed x in
+      let e = Profile.empty ~counter_max in
+      Profile.merge a e = a && Profile.merge e a = a)
+
+let prop_censoring_monotone =
+  (* Estimates never under-read the raw sums, and an entry's correction
+     grows exactly with its censored-observation count. *)
+  QCheck.Test.make ~name:"censoring correction is monotone" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (x, y) ->
+      let m = Profile.merge (profile_of_seed x) (profile_of_seed (y + 1000)) in
+      List.for_all
+        (fun e ->
+          let est = Profile.estimated_executed m e in
+          est >= e.Profile.executed
+          && est = e.Profile.executed + (e.Profile.censored * m.Profile.counter_max)
+          && Profile.estimated_taken m e >= e.Profile.taken)
+        m.Profile.entries)
+
+(* --- wire format --- *)
+
+let runs_of_seed seed n =
+  List.init n (fun i ->
+      {
+        Wire.run_id = i;
+        weight = 1 + (i mod 3);
+        counter_max;
+        snapshots = Gen.random_snapshots ~seed:(seed + i) ~count:(1 + (i mod 5));
+      })
+
+let test_wire_roundtrip () =
+  let runs = runs_of_seed 7 9 in
+  match Wire.decode (Wire.encode runs) with
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  | Ok decoded -> Alcotest.(check bool) "roundtrip" true (decoded = runs)
+
+let test_wire_rejects_corruption () =
+  let s = Wire.encode (runs_of_seed 3 4) in
+  Alcotest.(check bool) "valid" true (Result.is_ok (Wire.validate s));
+  (* Flip one body byte: the checksum must catch it. *)
+  let b = Bytes.of_string s in
+  let i = String.length Wire.schema + 3 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+  Alcotest.(check bool) "corrupt byte rejected" true
+    (Result.is_error (Wire.validate (Bytes.to_string b)));
+  Alcotest.(check bool) "truncation rejected" true
+    (Result.is_error (Wire.validate (String.sub s 0 (String.length s - 2))));
+  Alcotest.(check bool) "bad header rejected" true
+    (Result.is_error (Wire.validate ("vp-obs-trace/1\n" ^ s)))
+
+let test_wire_rejects_invalid_counters () =
+  (* Hand-corrupt a count past the cap by re-encoding with a larger
+     cap, then decoding under the real one is not possible through the
+     API — so build the invalid stream directly. *)
+  let bad =
+    [
+      {
+        Wire.run_id = 0;
+        weight = 1;
+        counter_max = 15;
+        snapshots = [ snap [ entry 4 100 3 ] ];
+      };
+    ]
+  in
+  Alcotest.(check bool) "executed over cap rejected" true
+    (Result.is_error (Wire.decode (Wire.encode bad)))
+
+let test_wire_rejects_descending_pcs () =
+  let bad =
+    [
+      {
+        Wire.run_id = 0;
+        weight = 1;
+        counter_max;
+        snapshots = [ snap [ entry 20 5 1; entry 10 5 1 ] ];
+      };
+    ]
+  in
+  Alcotest.check_raises "descending pcs"
+    (Vp_util.Error.Error
+       {
+         Vp_util.Error.stage = "wire";
+         what = "snapshot 0: branch pcs not strictly ascending";
+         pc = Some 10;
+         label = None;
+         workload = None;
+       })
+    (fun () -> ignore (Wire.encode bad))
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip on random streams" ~count:60
+    QCheck.(pair small_nat (int_range 0 12))
+    (fun (seed, n) ->
+      let runs = runs_of_seed seed n in
+      Wire.decode (Wire.encode runs) = Ok runs)
+
+(* --- sharded aggregation --- *)
+
+let test_shard_invariance () =
+  let runs = runs_of_seed 11 30 in
+  let reference, _ = Shard.aggregate ~shards:1 ~jobs:1 ~counter_max runs in
+  List.iter
+    (fun (shards, jobs) ->
+      let p, stats = Shard.aggregate ~shards ~jobs ~counter_max runs in
+      check_equal
+        (Printf.sprintf "shards=%d jobs=%d matches the sequential reference"
+           shards jobs)
+        reference p;
+      Alcotest.(check int) "all runs ingested" 30 stats.Shard.runs)
+    [ (2, 1); (8, 1); (8, 4); (17, 3); (64, 2) ]
+
+let test_shard_classes () =
+  (* Even/odd snapshot ids land in different classes; per-class
+     profiles see only their own snapshots. *)
+  let runs = runs_of_seed 5 12 in
+  let classify (s : Snapshot.t) =
+    if s.Snapshot.id mod 2 = 0 then Some 0 else Some 1
+  in
+  let classes, stats =
+    Shard.aggregate_classes ~shards:4 ~jobs:2 ~counter_max ~classify runs
+  in
+  Alcotest.(check int) "two classes" 2 (List.length classes);
+  Alcotest.(check int) "nothing dropped" 0 stats.Shard.dropped;
+  let total =
+    List.fold_left (fun acc (_, p) -> acc + p.Profile.snapshots) 0 classes
+  in
+  Alcotest.(check int) "partition covers everything" stats.Shard.classified
+    total
+
+let test_shard_rejects_mixed_caps () =
+  let runs =
+    [
+      { Wire.run_id = 0; weight = 1; counter_max; snapshots = [] };
+      { Wire.run_id = 1; weight = 1; counter_max = 31; snapshots = [] };
+    ]
+  in
+  Alcotest.(check bool) "mixed caps rejected" true
+    (try
+       ignore (Shard.aggregate ~counter_max runs);
+       false
+     with Vp_util.Error.Error e -> e.Vp_util.Error.stage = "aggregate")
+
+let prop_shard_count_invisible =
+  QCheck.Test.make ~name:"aggregate independent of shard count" ~count:30
+    QCheck.(triple small_nat (int_range 1 20) (int_range 1 6))
+    (fun (seed, shards, jobs) ->
+      let runs = runs_of_seed seed 14 in
+      let a, _ = Shard.aggregate ~shards:1 ~jobs:1 ~counter_max runs in
+      let b, _ = Shard.aggregate ~shards ~jobs ~counter_max runs in
+      a = b && Profile.digest a = Profile.digest b)
+
+let () =
+  Alcotest.run "vp_aggregate"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "merge sums" `Quick test_merge_basic;
+          Alcotest.test_case "mismatched caps" `Quick test_merge_mismatched_caps;
+          Alcotest.test_case "censoring" `Quick test_censoring;
+          Alcotest.test_case "to_snapshot scaling" `Quick test_to_snapshot_scaling;
+          Alcotest.test_case "empty units" `Quick test_empty_identity_units;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
+          QCheck_alcotest.to_alcotest prop_merge_commutative;
+          QCheck_alcotest.to_alcotest prop_merge_identity;
+          QCheck_alcotest.to_alcotest prop_censoring_monotone;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "corruption" `Quick test_wire_rejects_corruption;
+          Alcotest.test_case "invalid counters" `Quick test_wire_rejects_invalid_counters;
+          Alcotest.test_case "descending pcs" `Quick test_wire_rejects_descending_pcs;
+          QCheck_alcotest.to_alcotest prop_wire_roundtrip;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "shard invariance" `Quick test_shard_invariance;
+          Alcotest.test_case "classification" `Quick test_shard_classes;
+          Alcotest.test_case "mixed caps" `Quick test_shard_rejects_mixed_caps;
+          QCheck_alcotest.to_alcotest prop_shard_count_invisible;
+        ] );
+    ]

@@ -56,6 +56,56 @@ let test_unbiased_swing_not_flip () =
   Alcotest.(check int) "no flip" 0 (Similarity.bias_flips a b);
   Alcotest.(check bool) "same" true (Similarity.same a b)
 
+let test_degenerate_snapshots () =
+  (* The lenient contract: every similarity primitive is total on
+     empty and singleton snapshots — a lossy hardware stream must
+     never crash the comparison. *)
+  let e = snap [] in
+  let a = snap [ entry 10 100 90 ] in
+  Alcotest.(check (float 1e-9)) "empty misses nothing" 0.0
+    (Similarity.missing_fraction e a);
+  Alcotest.(check (float 1e-9)) "all missing from empty" 1.0
+    (Similarity.missing_fraction a e);
+  Alcotest.(check int) "no flips vs empty" 0 (Similarity.bias_flips e a);
+  Alcotest.(check bool) "empty same as empty" true (Similarity.same e e);
+  Alcotest.(check bool) "empty differs from non-empty" false
+    (Similarity.same e a);
+  Alcotest.(check bool) "singleton same as itself" true (Similarity.same a a)
+
+let test_score_degenerate_and_bounds () =
+  let e = snap [] in
+  let a = snap [ entry 10 100 90; entry 20 50 10 ] in
+  let b = snap [ entry 99 100 90 ] in
+  Alcotest.(check (float 1e-9)) "empty vs empty" 1.0 (Similarity.score e e);
+  Alcotest.(check (float 1e-9)) "empty vs non-empty" 0.0 (Similarity.score e a);
+  Alcotest.(check (float 1e-9)) "identical" 1.0 (Similarity.score a a);
+  Alcotest.(check (float 1e-9)) "disjoint" 0.0 (Similarity.score a b);
+  let c = snap [ entry 10 50 45 ] in
+  let s = Similarity.score a c in
+  Alcotest.(check bool) "partial overlap lands strictly between" true
+    (s > 0.0 && s < 1.0);
+  Alcotest.(check (float 1e-9)) "symmetric" s (Similarity.score c a)
+
+let prop_score_total_and_bounded =
+  QCheck.Test.make ~name:"score total and in [0,1] on adversarial snapshots"
+    ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let image =
+        Vp_prog.Program.layout
+          (Vp_test_support.Gen.random_phased ~seed:(seed land 0xFF))
+      in
+      let snaps = Vp_test_support.Gen.adversarial_snapshots ~seed image in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              let s = Similarity.score a b in
+              s >= 0.0 && s <= 1.0
+              && abs_float (s -. Similarity.score b a) < 1e-9)
+            snaps)
+        snaps)
+
 let phase_a id at = snap ~id ~at ~until:(at + 100) [ entry 10 100 90; entry 20 100 10 ]
 let phase_b id at = snap ~id ~at ~until:(at + 100) [ entry 50 100 90; entry 60 100 10 ]
 
@@ -201,7 +251,10 @@ let () =
           Alcotest.test_case "asymmetric missing" `Quick test_asymmetric_missing;
           Alcotest.test_case "bias flip" `Quick test_bias_flip_different;
           Alcotest.test_case "unbiased swing" `Quick test_unbiased_swing_not_flip;
+          Alcotest.test_case "degenerate snapshots" `Quick test_degenerate_snapshots;
+          Alcotest.test_case "score degenerate" `Quick test_score_degenerate_and_bounds;
           QCheck_alcotest.to_alcotest prop_similarity_total_on_adversarial;
+          QCheck_alcotest.to_alcotest prop_score_total_and_bounded;
         ] );
       ( "phase_log",
         [

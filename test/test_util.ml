@@ -89,6 +89,49 @@ let test_counter_saturation_preserves_fraction () =
   let f = Counter.taken_fraction c in
   Alcotest.(check bool) "fraction near 0.75" true (abs_float (f -. 0.75) < 0.05)
 
+let test_counter_saturating_add () =
+  Alcotest.(check int) "exact below the cap" 60
+    (Counter.saturating_add ~max:511 25 35);
+  Alcotest.(check int) "clamps at the cap" 511
+    (Counter.saturating_add ~max:511 500 100);
+  Alcotest.(check int) "negative operands read as zero" 5
+    (Counter.saturating_add ~max:511 (-3) 5);
+  (* The overflow case the old ad-hoc clamp got wrong: a sum that
+     wraps past max_int must still saturate, not go negative. *)
+  Alcotest.(check int) "wrap-around saturates" 511
+    (Counter.saturating_add ~max:511 max_int max_int)
+
+let test_counter_add_clamps () =
+  let c = Counter.create ~bits:9 in
+  Counter.add c ~executed:400 ~taken:300;
+  Counter.add c ~executed:400 ~taken:300;
+  Alcotest.(check int) "executed clamped at 511" 511 (Counter.executed c);
+  Alcotest.(check bool) "pair invariant holds" true
+    (Counter.taken c <= Counter.executed c);
+  Alcotest.(check bool) "saturated" true (Counter.is_saturated c);
+  (* Software merge clamps; it never halves like the hardware path. *)
+  Alcotest.(check int) "no halvings" 0 (Counter.halvings c)
+
+let test_counter_incr_noop_when_saturated () =
+  let c = Counter.create ~bits:4 in
+  for _ = 1 to 40 do
+    Counter.incr c ~taken:true
+  done;
+  Alcotest.(check int) "executed stops at the cap" 15 (Counter.executed c);
+  Alcotest.(check int) "taken stops with it" 15 (Counter.taken c);
+  Counter.incr c ~taken:false;
+  Alcotest.(check int) "saturated incr is a no-op" 15 (Counter.executed c)
+
+let prop_counter_add_bounded =
+  QCheck.Test.make ~name:"add clamps and keeps taken <= executed" ~count:200
+    QCheck.(pair (list (pair (int_bound 700) (int_bound 700))) (int_range 2 12))
+    (fun (steps, bits) ->
+      let c = Counter.create ~bits in
+      List.iter (fun (executed, taken) -> Counter.add c ~executed ~taken) steps;
+      Counter.executed c <= Counter.max_value c
+      && Counter.taken c <= Counter.executed c
+      && Counter.taken c >= 0)
+
 let test_counter_reset () =
   let c = Counter.create ~bits:4 in
   for _ = 1 to 100 do
@@ -259,8 +302,12 @@ let () =
         [
           Alcotest.test_case "basic" `Quick test_counter_basic;
           Alcotest.test_case "saturation" `Quick test_counter_saturation_preserves_fraction;
+          Alcotest.test_case "saturating add" `Quick test_counter_saturating_add;
+          Alcotest.test_case "add clamps" `Quick test_counter_add_clamps;
+          Alcotest.test_case "incr saturates" `Quick test_counter_incr_noop_when_saturated;
           Alcotest.test_case "reset" `Quick test_counter_reset;
           QCheck_alcotest.to_alcotest prop_counter_never_exceeds_max;
+          QCheck_alcotest.to_alcotest prop_counter_add_bounded;
         ] );
       ( "stats",
         [
