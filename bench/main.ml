@@ -10,6 +10,8 @@
                                          # machine-readable estimates
      dune exec bench/main.exe -- --trace bench-trace.json fig8
                                          # vp-obs-trace/1 span/counter log
+     dune exec bench/main.exe -- --backend compiled --quick micro
+                                         # functional backend for all runs
 
    Experiments: table1 table2 fig8 table3 fig9 fig10
    baseline-aggregate aggregate ablation-bbb ablation-growth
@@ -47,13 +49,20 @@ let configurations =
 
 let engine = ref (Engine.create ~jobs:1 ())
 
+(* Which functional emulator produces every retire stream this process
+   runs (--backend); all backends are bit-identical, so tables do not
+   change with the selection — only wall-clock does. *)
+let backend = ref Emulator.Decoded
+
 let spec_of w =
   {
     Engine.name = Registry.name w;
     load = (fun () -> Program.layout (w.Registry.program ()));
   }
 
-let config_of ~inference ~linking = Vacuum.Config.experiment ~inference ~linking
+let config_of ~inference ~linking =
+  Vacuum.Config.with_backend !backend
+    (Vacuum.Config.experiment ~inference ~linking)
 
 let cell_of ~inference ~linking =
   {
@@ -649,11 +658,11 @@ let micro ~quick =
   in
   let emulate_100k =
     Staged.stage (fun () ->
-        ignore (Emulator.run ~fuel:100_000 img))
+        ignore (Emulator.run_backend ~backend:!backend ~fuel:100_000 img))
   in
   let timing_100k =
     Staged.stage (fun () ->
-        ignore (Vp_cpu.Pipeline.simulate ~fuel:100_000 img))
+        ignore (Vp_cpu.Pipeline.simulate ~backend:!backend ~fuel:100_000 img))
   in
   let tests =
     Test.make_grouped ~name:"vacuum"
@@ -816,9 +825,13 @@ let write_json ~path ~engine_metrics ~counters ~timeline =
   out "  \"micro\": [";
   List.iteri
     (fun i (name, nanos, r2) ->
-      out "%s\n    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}"
+      out
+        "%s\n    {\"name\": \"%s\", \"backend\": \"%s\", \"ns_per_run\": %s, \
+         \"r_square\": %s}"
         (if i = 0 then "" else ",")
-        (json_escape name) (json_float nanos)
+        (json_escape name)
+        (json_escape (Emulator.backend_name !backend))
+        (json_float nanos)
         (match r2 with Some r -> json_float r | None -> "null"))
     !micro_results;
   out "\n  ],\n";
@@ -848,6 +861,16 @@ let () =
   Logs.set_level (Some Logs.Warning);
   let args = List.tl (Array.to_list Sys.argv) in
   let jobs_opt, args = parse_jobs args in
+  let backend_opt, args = parse_valued ~name:"backend" args in
+  (match backend_opt with
+  | None -> ()
+  | Some s -> (
+    match Emulator.backend_of_string s with
+    | Some b -> backend := b
+    | None ->
+      Printf.eprintf
+        "bench: --backend expects reference, decoded or compiled, got %S\n" s;
+      exit 2));
   let json_path, args = parse_valued ~name:"json" args in
   let trace_path, args = parse_valued ~name:"trace" args in
   let timeline_path, args = parse_valued ~name:"timeline" args in
@@ -902,7 +925,9 @@ let () =
   in
   engine :=
     Engine.create ~jobs
-      ~profile_config:(Vacuum.Config.with_obs obs Vacuum.Config.default)
+      ~profile_config:
+        (Vacuum.Config.with_backend !backend
+           (Vacuum.Config.with_obs obs Vacuum.Config.default))
       ~obs ();
   let rewrites, timing =
     List.fold_left

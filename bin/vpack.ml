@@ -75,6 +75,26 @@ let resolve_jobs n = if n <= 0 then Vp_util.Pool.default_jobs () else n
 let config_of ~inference ~linking =
   Vacuum.Config.experiment ~inference ~linking
 
+(* --backend: which functional emulator executes every run the command
+   performs.  The backends are bit-identical (the differential suite
+   asserts it), so the selection only changes wall-clock speed.  An
+   unknown name raises on the [cli] stage: usage + exit 2, like any
+   other flag error. *)
+let backend_arg =
+  let doc =
+    "Functional emulator backend: $(b,reference), $(b,decoded) (default) \
+     or $(b,compiled).  All backends produce bit-identical results; the \
+     choice only affects simulation speed."
+  in
+  Arg.(value & opt string "decoded" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let resolve_backend name =
+  match Emulator.backend_of_string name with
+  | Some b -> b
+  | None ->
+    Vacuum.Error.failf ~stage:"cli"
+      "unknown backend %s (expected reference, decoded or compiled)" name
+
 (* --- list --- *)
 
 let list_cmd =
@@ -106,17 +126,18 @@ let list_cmd =
 (* --- run --- *)
 
 let run_cmd =
-  let run spec =
+  let run spec backend =
+    let backend = resolve_backend backend in
     let w = find_workload spec in
     let img = Program.layout (w.Registry.program ()) in
-    let o = Emulator.run img in
+    let o = Emulator.run_backend ~backend img in
     Printf.printf "%s: %d instructions, %d conditional branches, result %d%s\n"
       (Registry.name w) o.Emulator.instructions o.Emulator.cond_branches
       o.Emulator.result
       (if o.Emulator.halted then "" else " (fuel exhausted)")
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a workload on the functional emulator.")
-    Term.(const run $ workload_arg)
+    Term.(const run $ workload_arg $ backend_arg)
 
 (* --- phases --- *)
 
@@ -124,10 +145,15 @@ let phases_cmd =
   let ipc_flag =
     Arg.(value & flag & info [ "ipc" ] ~doc:"Also report per-phase IPC on the EPIC model.")
   in
-  let run spec ipc =
+  let run spec ipc backend =
+    let backend = resolve_backend backend in
     let w = find_workload spec in
     let img = Program.layout (w.Registry.program ()) in
-    let profile = Vacuum.Driver.profile img in
+    let profile =
+      Vacuum.Driver.profile
+        ~config:(Vacuum.Config.with_backend backend Vacuum.Config.default)
+        img
+    in
     Printf.printf "%s: %d raw detections, %d recordings\n" (Registry.name w)
       profile.Vacuum.Driver.detections
       (List.length profile.Vacuum.Driver.snapshots);
@@ -145,20 +171,24 @@ let phases_cmd =
             ps.Vp_cpu.Pipeline.phase ps.Vp_cpu.Pipeline.branches
             ps.Vp_cpu.Pipeline.seg_instructions ps.Vp_cpu.Pipeline.seg_cycles
             ps.Vp_cpu.Pipeline.seg_ipc)
-        (Vp_cpu.Pipeline.simulate_phases ~timeline img)
+        (Vp_cpu.Pipeline.simulate_phases ~backend ~timeline img)
     end
   in
   Cmd.v
     (Cmd.info "phases" ~doc:"Profile a workload and show its detected phases.")
-    Term.(const run $ workload_arg $ ipc_flag)
+    Term.(const run $ workload_arg $ ipc_flag $ backend_arg)
 
 (* --- extract --- *)
 
 let extract_cmd =
-  let run spec no_inf no_link =
+  let run spec no_inf no_link backend =
+    let backend = resolve_backend backend in
     let w = find_workload spec in
     let img = Program.layout (w.Registry.program ()) in
-    let config = config_of ~inference:(not no_inf) ~linking:(not no_link) in
+    let config =
+      Vacuum.Config.with_backend backend
+        (config_of ~inference:(not no_inf) ~linking:(not no_link))
+    in
     let r = Vacuum.Driver.rewrite ~config img in
     List.iter
       (fun (info : Vacuum.Driver.region_info) ->
@@ -182,7 +212,7 @@ let extract_cmd =
   in
   Cmd.v
     (Cmd.info "extract" ~doc:"Run region identification and package extraction.")
-    Term.(const run $ workload_arg $ no_inference $ no_linking)
+    Term.(const run $ workload_arg $ no_inference $ no_linking $ backend_arg)
 
 (* --- aggregate --- *)
 
@@ -217,10 +247,11 @@ let aggregate_cmd =
     in
     Arg.(value & opt_all file [] & info [ "ingest" ] ~docv:"FILE" ~doc)
   in
-  let run spec runs shards seed jobs wire_out ingest =
+  let run spec runs shards seed jobs wire_out ingest backend =
+    let backend = resolve_backend backend in
     let w = find_workload spec in
     let img = Program.layout (w.Registry.program ()) in
-    let config = Vacuum.Config.default in
+    let config = Vacuum.Config.with_backend backend Vacuum.Config.default in
     let base = Vacuum.Driver.profile ~config img in
     let wire_runs =
       if ingest <> [] then
@@ -288,7 +319,7 @@ let aggregate_cmd =
          ])
     Term.(
       const run $ spec_arg $ runs_arg $ shards_arg $ seed_arg $ jobs_arg
-      $ wire_out_arg $ ingest_arg)
+      $ wire_out_arg $ ingest_arg $ backend_arg)
 
 (* --- report --- *)
 
@@ -307,14 +338,16 @@ let report_cmd =
     Arg.(
       non_empty & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
   in
-  let run specs no_inf no_link timing jobs trace =
+  let run specs no_inf no_link timing jobs trace backend =
+    let backend = resolve_backend backend in
     let ws = List.map find_workload specs in
     let obs =
       match trace with Some _ -> Vp_obs.create () | None -> Vp_obs.disabled
     in
     let config =
-      Vacuum.Config.with_obs obs
-        (config_of ~inference:(not no_inf) ~linking:(not no_link))
+      Vacuum.Config.with_backend backend
+        (Vacuum.Config.with_obs obs
+           (config_of ~inference:(not no_inf) ~linking:(not no_link)))
     in
     (* Each evaluation is an isolated profile/rewrite/simulate chain;
        run them on a domain pool and print in request order. *)
@@ -342,17 +375,19 @@ let report_cmd =
           optional timing), in parallel under --jobs.")
     Term.(
       const run $ workloads_arg $ no_inference $ no_linking $ timing $ jobs_arg
-      $ trace_arg)
+      $ trace_arg $ backend_arg)
 
 (* --- stats --- *)
 
 let stats_cmd =
-  let run spec no_inf no_link timing trace =
+  let run spec no_inf no_link timing trace backend =
+    let backend = resolve_backend backend in
     let w = find_workload spec in
     let obs = Vp_obs.create () in
     let config =
-      Vacuum.Config.with_obs obs
-        (config_of ~inference:(not no_inf) ~linking:(not no_link))
+      Vacuum.Config.with_backend backend
+        (Vacuum.Config.with_obs obs
+           (config_of ~inference:(not no_inf) ~linking:(not no_link)))
     in
     let img = Program.layout (w.Registry.program ()) in
     let report =
@@ -376,7 +411,8 @@ let stats_cmd =
          "Evaluate one workload with the observability recorder enabled and \
           print per-stage span and counter tables.")
     Term.(
-      const run $ workload_arg $ no_inference $ no_linking $ timing $ trace_arg)
+      const run $ workload_arg $ no_inference $ no_linking $ timing $ trace_arg
+      $ backend_arg)
 
 (* --- timeline --- *)
 
@@ -404,13 +440,15 @@ let timeline_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let run spec interval width timing no_inf no_link trace =
+  let run spec interval width timing no_inf no_link trace backend =
+    let backend = resolve_backend backend in
     let w = find_workload spec in
     let img = Program.layout (w.Registry.program ()) in
     let config =
-      Vacuum.Config.with_telemetry
-        (Vp_telemetry.on ~interval ())
-        (config_of ~inference:(not no_inf) ~linking:(not no_link))
+      Vacuum.Config.with_backend backend
+        (Vacuum.Config.with_telemetry
+           (Vp_telemetry.on ~interval ())
+           (config_of ~inference:(not no_inf) ~linking:(not no_link)))
     in
     let profile = Vacuum.Driver.profile ~config img in
     let tl = profile.Vacuum.Driver.timeline in
@@ -485,6 +523,7 @@ let timeline_cmd =
       let tt = Vp_telemetry.create (Vacuum.Config.telemetry config) in
       let stats =
         Vp_cpu.Pipeline.simulate ~config:(Vacuum.Config.cpu config)
+          ~backend:(Vacuum.Config.backend config)
           ~fuel:(Vacuum.Config.fuel config)
           ~mem_words:(Vacuum.Config.mem_words config) ~telemetry:tt
           (Vacuum.Driver.rewritten_image r)
@@ -520,7 +559,7 @@ let timeline_cmd =
           rewritten run, and (with --timing) timing-model series.")
     Term.(
       const run $ spec_arg $ interval_arg $ width_arg $ timing $ no_inference
-      $ no_linking $ tl_trace_arg)
+      $ no_linking $ tl_trace_arg $ backend_arg)
 
 (* --- trace-check --- *)
 
@@ -584,7 +623,8 @@ let asm_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly source.")
   in
-  let run file =
+  let run file backend =
+    let backend = resolve_backend backend in
     let ic = open_in file in
     let n = in_channel_length ic in
     let source = really_input_string ic n in
@@ -594,13 +634,13 @@ let asm_cmd =
       Format.eprintf "%s: %a@." file Vp_prog.Asm.pp_error e;
       exit 1
     | Ok p ->
-      let o = Emulator.run (Program.layout p) in
+      let o = Emulator.run_backend ~backend (Program.layout p) in
       Printf.printf "%s: %d instructions, result %d%s\n" file o.Emulator.instructions
         o.Emulator.result
         (if o.Emulator.halted then "" else " (fuel exhausted)")
   in
   Cmd.v (Cmd.info "asm" ~doc:"Assemble and run a textual-assembly source file.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ backend_arg)
 
 let disasm_cmd =
   let run spec =
@@ -618,10 +658,12 @@ let diag_cmd =
     let doc = "Also disassemble around this address of the rewritten image." in
     Arg.(value & opt (some int) None & info [ "addr" ] ~docv:"ADDR" ~doc)
   in
-  let run spec addr =
+  let run spec addr backend =
+    let backend = resolve_backend backend in
     let w = find_workload spec in
     let img = Program.layout (w.Registry.program ()) in
-    let r = Vacuum.Driver.rewrite img in
+    let config = Vacuum.Config.with_backend backend Vacuum.Config.default in
+    let r = Vacuum.Driver.rewrite ~config img in
     let rimg = Vacuum.Driver.rewritten_image r in
     let module Image = Vp_prog.Image in
     let limit = img.Image.orig_limit in
@@ -638,7 +680,7 @@ let diag_cmd =
         if (not from_pkg) && to_pkg then bump entries (pc, next_pc)
       end
     in
-    let o = Emulator.run_decoded ~on_retire (Vp_exec.Decode.of_image rimg) in
+    let o = Emulator.run_backend ~backend ~on_retire rimg in
     Printf.printf "coverage %.1f%% (%d/%d instructions in packages)\n"
       (Vp_util.Stats.pct o.Emulator.package_instructions o.Emulator.instructions)
       o.Emulator.package_instructions o.Emulator.instructions;
@@ -673,7 +715,7 @@ let diag_cmd =
   Cmd.v
     (Cmd.info "diag"
        ~doc:"Run the rewritten binary and histogram package boundary crossings.")
-    Term.(const run $ workload_arg $ addr_arg)
+    Term.(const run $ workload_arg $ addr_arg $ backend_arg)
 
 (* --- verify --- *)
 
@@ -684,15 +726,17 @@ let verify_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"WORKLOAD" ~doc:"Workload as BENCH or BENCH/INPUT.")
   in
-  let run spec no_inf no_link =
+  let run spec no_inf no_link backend =
+    let backend = resolve_backend backend in
     let w = find_workload spec in
     let img = Program.layout (w.Registry.program ()) in
     (* Degradation off: the point of this subcommand is to see the
        verdict on everything the pipeline wanted to emit, not on what
        survived the demotion ladder. *)
     let config =
-      Vacuum.Config.with_degrade false
-        (config_of ~inference:(not no_inf) ~linking:(not no_link))
+      Vacuum.Config.with_backend backend
+        (Vacuum.Config.with_degrade false
+           (config_of ~inference:(not no_inf) ~linking:(not no_link)))
     in
     let r = Vacuum.Driver.rewrite ~config img in
     let report = r.Vacuum.Driver.verification in
@@ -711,7 +755,7 @@ let verify_cmd =
            `P "0 on a sound image, 4 on a verifier rejection, 3 on a \
                pipeline error.";
          ])
-    Term.(const run $ spec_arg $ no_inference $ no_linking)
+    Term.(const run $ spec_arg $ no_inference $ no_linking $ backend_arg)
 
 (* --- chaos --- *)
 
@@ -732,11 +776,14 @@ let chaos_cmd =
     let doc = "Write the cell table (plus failures) to $(docv)." in
     Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
   in
-  let run spec seeds seed jobs report_file =
+  let run spec seeds seed jobs report_file backend =
+    let backend = resolve_backend backend in
     let w = find_workload spec in
     let img = Program.layout (w.Registry.program ()) in
     let result =
-      Vacuum.Chaos.matrix ~seeds ~seed ~jobs:(resolve_jobs jobs) img
+      Vacuum.Chaos.matrix
+        ~config:(Vacuum.Config.with_backend backend Vacuum.Config.default)
+        ~seeds ~seed ~jobs:(resolve_jobs jobs) img
     in
     let table = Vacuum.Chaos.table result in
     Printf.printf "%s: %d fault plans x %d seeds\n%s\n" (Registry.name w)
@@ -785,7 +832,8 @@ let chaos_cmd =
                on a pipeline error.";
          ])
     Term.(
-      const run $ spec_arg $ seeds_arg $ seed_arg $ jobs_arg $ report_arg)
+      const run $ spec_arg $ seeds_arg $ seed_arg $ jobs_arg $ report_arg
+      $ backend_arg)
 
 (* --- machine --- *)
 

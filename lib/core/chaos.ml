@@ -35,8 +35,9 @@ let run_cell ?(config = Config.default) ~baseline ~plan image =
      Compare against the separately computed clean baseline — the
      profile outcome is the wrong reference once fuel is faulted. *)
   let outcome =
-    Emulator.run ~fuel:(Config.fuel config)
-      ~mem_words:(Config.mem_words config) (Driver.rewritten_image r)
+    Emulator.run_backend ~backend:(Config.backend config)
+      ~fuel:(Config.fuel config) ~mem_words:(Config.mem_words config)
+      (Driver.rewritten_image r)
   in
   let count rung =
     List.length
@@ -66,8 +67,8 @@ let run_cell ?(config = Config.default) ~baseline ~plan image =
 let matrix ?(config = Config.default) ?(plans = Plan.presets) ?(seeds = 5)
     ?(seed = 0) ?(jobs = 1) image =
   let baseline =
-    Emulator.run ~fuel:(Config.fuel config)
-      ~mem_words:(Config.mem_words config) image
+    Emulator.run_backend ~backend:(Config.backend config)
+      ~fuel:(Config.fuel config) ~mem_words:(Config.mem_words config) image
   in
   let root = Rng.create ~seed in
   let tasks =

@@ -6,6 +6,7 @@ type t = {
   linking : bool;
   opt : Vp_opt.Opt.config;
   cpu : Vp_cpu.Config.t;
+  backend : Vp_exec.Emulator.backend;
   mem_words : int;
   fuel : int;
   obs : Vp_obs.t;
@@ -18,7 +19,8 @@ let v ?(detector = Vp_hsd.Config.default) ?(history_size = 0)
     ?(similarity = Vp_phase.Similarity.default)
     ?(identify = Vp_region.Identify.default) ?(linking = true)
     ?(opt = Vp_opt.Opt.default) ?(cpu = Vp_cpu.Config.default)
-    ?(mem_words = 1 lsl 20) ?(fuel = 200_000_000) ?(obs = Vp_obs.disabled)
+    ?(backend = Vp_exec.Emulator.Decoded) ?(mem_words = 1 lsl 20)
+    ?(fuel = 200_000_000) ?(obs = Vp_obs.disabled)
     ?(telemetry = Vp_telemetry.off) ?fault ?(degrade = true) () =
   {
     detector;
@@ -28,6 +30,7 @@ let v ?(detector = Vp_hsd.Config.default) ?(history_size = 0)
     linking;
     opt;
     cpu;
+    backend;
     mem_words;
     fuel;
     obs;
@@ -62,6 +65,7 @@ let identify t = t.identify
 let linking t = t.linking
 let opt t = t.opt
 let cpu t = t.cpu
+let backend t = t.backend
 let mem_words t = t.mem_words
 let fuel t = t.fuel
 let obs t = t.obs
@@ -75,6 +79,7 @@ let with_identify identify t = { t with identify }
 let with_linking linking t = { t with linking }
 let with_opt opt t = { t with opt }
 let with_cpu cpu t = { t with cpu }
+let with_backend backend t = { t with backend }
 let with_mem_words mem_words t = { t with mem_words }
 let with_fuel fuel t = { t with fuel }
 let with_obs obs t = { t with obs }

@@ -20,6 +20,7 @@ val v :
   ?linking:bool ->
   ?opt:Vp_opt.Opt.config ->
   ?cpu:Vp_cpu.Config.t ->
+  ?backend:Vp_exec.Emulator.backend ->
   ?mem_words:int ->
   ?fuel:int ->
   ?obs:Vp_obs.t ->
@@ -60,6 +61,13 @@ val identify : t -> Vp_region.Identify.config
 val linking : t -> bool
 val opt : t -> Vp_opt.Opt.config
 val cpu : t -> Vp_cpu.Config.t
+
+val backend : t -> Vp_exec.Emulator.backend
+(** Which emulation core every run in the pipeline uses — profiling,
+    coverage, chaos oracles, fleet emulation and the timing model's
+    retire feed all select it from here ([Decoded] by default, so the
+    differential oracle's semantics are the baseline). *)
+
 val mem_words : t -> int
 val fuel : t -> int
 
@@ -94,6 +102,7 @@ val with_identify : Vp_region.Identify.config -> t -> t
 val with_linking : bool -> t -> t
 val with_opt : Vp_opt.Opt.config -> t -> t
 val with_cpu : Vp_cpu.Config.t -> t -> t
+val with_backend : Vp_exec.Emulator.backend -> t -> t
 val with_mem_words : int -> t -> t
 val with_fuel : int -> t -> t
 val with_obs : Vp_obs.t -> t -> t

@@ -88,8 +88,9 @@ let measure ?(config = Config.default) (r : Driver.rewrite) =
     end
   in
   let outcome =
-    Emulator.run ~fuel:(Config.fuel config)
-      ~mem_words:(Config.mem_words config) ?on_retire image
+    Emulator.run_backend ~backend:(Config.backend config)
+      ~fuel:(Config.fuel config) ~mem_words:(Config.mem_words config)
+      ?on_retire image
   in
   tail_flush ();
   if not outcome.Emulator.halted then

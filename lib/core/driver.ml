@@ -133,8 +133,8 @@ let profile ?(config = Config.default) image =
     | Some plan -> Vp_fault.Inject.fuel ~plan (Config.fuel config)
   in
   let outcome =
-    Emulator.run ~fuel ~mem_words:(Config.mem_words config) ~on_branch
-      ?on_retire image
+    Emulator.run_backend ~backend:(Config.backend config) ~fuel
+      ~mem_words:(Config.mem_words config) ~on_branch ?on_retire image
   in
   tail_flush ();
   let aggregate = Vp_exec.Branch_profile.of_counts ~executed ~takens in

@@ -138,7 +138,10 @@ let baseline t spec ~cpu =
   memo t t.baselines ~kind:"timing" ~label:(spec.name ^ " [baseline]")
     ~instructions:(fun (s : Pipeline.stats) -> s.Pipeline.instructions)
     spec.name
-    (fun () -> Pipeline.simulate ~config:cpu (image t spec))
+    (fun () ->
+      Pipeline.simulate ~config:cpu
+        ~backend:(Config.backend t.profile_config)
+        (image t spec))
 
 let optimized t spec cell =
   memo t t.optimizeds ~kind:"timing" ~label:(cell_label spec cell)
@@ -147,6 +150,7 @@ let optimized t spec cell =
     (fun () ->
       Pipeline.simulate
         ~config:(Config.cpu cell.config)
+        ~backend:(Config.backend cell.config)
         (Driver.rewritten_image (rewrite t spec cell)))
 
 let truncated_profiles t =

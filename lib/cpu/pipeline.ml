@@ -68,7 +68,8 @@ let take_models (config : Config.t) =
 let release_models config models =
   Domain.DLS.get model_pool := Some (config, models)
 
-let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_progress
+let simulate_internal ?(config = Config.default)
+    ?(backend = Emulator.Decoded) ?fuel ?mem_words ?on_branch_progress
     ?(telemetry = Vp_telemetry.disabled) image =
   let d = Decode.of_image image in
   (* Per-pc tables, decoded once: the retire callback below reads
@@ -283,8 +284,18 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
       end
     end
   in
+  (* The retire feed driving the timing model comes from whichever
+     functional backend is selected; the timing tables above are keyed
+     by pc only, so the feed's provenance is transparent. *)
   let (_ : Emulator.outcome) =
-    Emulator.run_decoded ?fuel ?mem_words ~on_retire d
+    match backend with
+    | Emulator.Decoded -> Emulator.run_decoded ?fuel ?mem_words ~on_retire d
+    | Emulator.Compiled ->
+      Emulator.run_compiled ?fuel ?mem_words ~on_retire
+        (Vp_exec.Compile.of_image image)
+    | Emulator.Reference ->
+      Emulator.run_backend ~backend:Emulator.Reference ?fuel ?mem_words
+        ~on_retire image
   in
   if tl_on && !tl_count > 0 then tl_flush !tl_count;
   let pstats = Predictor.stats pred in
@@ -311,8 +322,8 @@ let simulate_internal ?(config = Config.default) ?fuel ?mem_words ?on_branch_pro
   release_models config models;
   result
 
-let simulate ?config ?fuel ?mem_words ?telemetry image =
-  simulate_internal ?config ?fuel ?mem_words ?telemetry image
+let simulate ?config ?backend ?fuel ?mem_words ?telemetry image =
+  simulate_internal ?config ?backend ?fuel ?mem_words ?telemetry image
 
 type phase_stats = {
   phase : int;
@@ -322,7 +333,7 @@ type phase_stats = {
   seg_ipc : float;
 }
 
-let simulate_phases ?config ?fuel ?mem_words ~timeline image =
+let simulate_phases ?config ?backend ?fuel ?mem_words ~timeline image =
   (* The timeline gives [(start, stop, phase)] intervals in dynamic
      conditional-branch indices; attribute cycle/instruction deltas to
      the phase active at each retired branch (interval gaps — detector
@@ -357,7 +368,8 @@ let simulate_phases ?config ?fuel ?mem_words ~timeline image =
     last_instructions := instructions
   in
   let (_ : stats) =
-    simulate_internal ?config ?fuel ?mem_words ~on_branch_progress image
+    simulate_internal ?config ?backend ?fuel ?mem_words ~on_branch_progress
+      image
   in
   Hashtbl.fold
     (fun phase (branches, seg_cycles, seg_instructions) l ->

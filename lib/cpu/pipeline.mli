@@ -29,12 +29,17 @@ type stats = {
 
 val simulate :
   ?config:Config.t ->
+  ?backend:Vp_exec.Emulator.backend ->
   ?fuel:int ->
   ?mem_words:int ->
   ?telemetry:Vp_telemetry.t ->
   Vp_prog.Image.t ->
   stats
-(** Emulate the image and time its retirement stream.  With an enabled
+(** Emulate the image and time its retirement stream.  [backend]
+    selects which functional emulator produces the retire feed
+    (default {!Vp_exec.Emulator.Decoded}); all backends deliver
+    bit-identical streams, so the choice only affects wall-clock
+    simulation speed.  With an enabled
     [telemetry] timeline, per-interval deltas of the timing series are
     recorded under the [timing.*] names ([instructions], [cycles],
     [icache_misses], [dcache_misses], [l2_misses], [mispredicts],
@@ -51,6 +56,7 @@ type phase_stats = {
 
 val simulate_phases :
   ?config:Config.t ->
+  ?backend:Vp_exec.Emulator.backend ->
   ?fuel:int ->
   ?mem_words:int ->
   timeline:(int * int * int) list ->

@@ -169,6 +169,67 @@ let run ?fuel ?mem_words ?on_branch ?on_event ?on_retire image =
   run_decoded ?fuel ?mem_words ?on_branch ?on_event ?on_retire
     (Decode.of_image image)
 
+let run_compiled ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
+    ?on_event ?on_retire (c : Compile.t) =
+  let image = (Compile.decode c).Decode.image in
+  let st = State.create ~mem_words image in
+  (* Fuse the two retirement channels into the compiler's single sink,
+     preserving the decoded loop's order: [on_event] (boxed record)
+     first, then [on_retire] (plain ints).  With neither present the
+     sink is [None] and exec selects the observer-free compiled
+     variant. *)
+  let sink =
+    match (on_event, on_retire) with
+    | None, None -> None
+    | _ ->
+      let code = image.Image.code in
+      Some
+        (fun ~pc ~taken ~next_pc ~mem_addr ->
+          (match on_event with
+          | Some f ->
+            f
+              {
+                pc;
+                instr = code.(pc);
+                taken;
+                next_pc;
+                mem_addr = (if mem_addr < 0 then None else Some mem_addr);
+              }
+          | None -> ());
+          match on_retire with
+          | Some f -> f ~pc ~taken ~next_pc ~mem_addr
+          | None -> ())
+  in
+  let r = Compile.exec c st ~fuel ?on_branch ?sink () in
+  let outcome =
+    {
+      instructions = r.Compile.instructions;
+      package_instructions = r.Compile.package_instructions;
+      cond_branches = r.Compile.cond_branches;
+      halted = r.Compile.halted;
+      checksum = State.checksum st;
+      result = State.reg st Reg.ret_value;
+      final_pc = State.pc st;
+    }
+  in
+  State.release st;
+  outcome
+
+type backend = Reference | Decoded | Compiled
+
+let backend_name = function
+  | Reference -> "reference"
+  | Decoded -> "decoded"
+  | Compiled -> "compiled"
+
+let backend_of_string = function
+  | "reference" -> Some Reference
+  | "decoded" -> Some Decoded
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+let all_backends = [ Reference; Decoded; Compiled ]
+
 (* The original boxed interpreter, kept verbatim as the executable
    specification: the differential tests re-run every workload through
    it and require bit-identical outcomes from the decoded core. *)
@@ -247,6 +308,31 @@ let run_reference ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
     result = State.reg st Reg.ret_value;
     final_pc = State.pc st;
   }
+
+let run_backend ?(backend = Decoded) ?fuel ?mem_words ?on_branch ?on_event
+    ?on_retire image =
+  match backend with
+  | Decoded ->
+    run_decoded ?fuel ?mem_words ?on_branch ?on_event ?on_retire
+      (Decode.of_image image)
+  | Compiled ->
+    run_compiled ?fuel ?mem_words ?on_branch ?on_event ?on_retire
+      (Compile.of_image image)
+  | Reference ->
+    (* The boxed interpreter has no [on_retire] channel; adapt it onto
+       the event stream so the backend choice is transparent to
+       retire-feed consumers (telemetry, the timing model). *)
+    let on_event =
+      match on_retire with
+      | None -> on_event
+      | Some r ->
+        Some
+          (fun e ->
+            (match on_event with Some f -> f e | None -> ());
+            r ~pc:e.pc ~taken:e.taken ~next_pc:e.next_pc
+              ~mem_addr:(match e.mem_addr with Some a -> a | None -> -1))
+    in
+    run_reference ?fuel ?mem_words ?on_branch ?on_event image
 
 let aggregate_branch_profile ?fuel ?mem_words image =
   let d = Decode.of_image image in

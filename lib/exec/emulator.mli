@@ -64,6 +64,49 @@ val run_decoded :
     effective address of a load/store and [-1] for every other
     instruction (no address in this machine is negative). *)
 
+val run_compiled :
+  ?fuel:int ->
+  ?mem_words:int ->
+  ?on_branch:(pc:int -> taken:bool -> unit) ->
+  ?on_event:(event -> unit) ->
+  ?on_retire:(pc:int -> taken:bool -> next_pc:int -> mem_addr:int -> unit) ->
+  Compile.t ->
+  outcome
+(** {!run_decoded} over block-compiled closures ({!Compile}): whole
+    basic blocks execute straight-line with per-block fuel checks and
+    direct block-to-block dispatch.  Outcomes, checksums and
+    observation streams are bit-identical to {!run_decoded}, which
+    stays the differential oracle; [on_event]/[on_retire] are fused
+    into one compiled retirement sink, and a run with no observers at
+    all executes the observer-free compiled variant. *)
+
+type backend = Reference | Decoded | Compiled
+(** Which execution core runs the workload: the boxed reference
+    interpreter (the executable specification), the decoded flat-array
+    interpreter (the default), or the block-compiled threaded code. *)
+
+val backend_name : backend -> string
+(** ["reference"], ["decoded"] or ["compiled"]. *)
+
+val backend_of_string : string -> backend option
+(** Inverse of {!backend_name}; [None] on an unknown name. *)
+
+val all_backends : backend list
+
+val run_backend :
+  ?backend:backend ->
+  ?fuel:int ->
+  ?mem_words:int ->
+  ?on_branch:(pc:int -> taken:bool -> unit) ->
+  ?on_event:(event -> unit) ->
+  ?on_retire:(pc:int -> taken:bool -> next_pc:int -> mem_addr:int -> unit) ->
+  Vp_prog.Image.t ->
+  outcome
+(** {!run} through the chosen backend (default [Decoded]), going
+    through the decode/compile memos.  The reference backend has no
+    native [on_retire]; it is adapted onto the event stream, so every
+    backend serves the same observation channels. *)
+
 val run_reference :
   ?fuel:int ->
   ?mem_words:int ->

@@ -86,6 +86,93 @@ let test_workload w () =
     ref_outcome.Emulator.cond_branches
     (Vp_exec.Branch_profile.total_executed bp)
 
+(* ------------------------------------------------------------------ *)
+(* Three-way backend matrix: reference vs decoded vs compiled through
+   the uniform [run_backend] entry point.  Each backend runs with the
+   full observer set attached — detector + aggregate on the branch
+   stream, and an order-sensitive FNV digest of every retirement
+   (pc, taken, next_pc, mem_addr) — so the comparison covers outcomes,
+   snapshot streams, aggregate profiles and the whole observation
+   sequence, not just the final state. *)
+
+let retire_digest_ref () =
+  (* FNV-1a folded into OCaml's 63-bit native int (basis truncated). *)
+  let h = ref 0x3bf29ce484222325 in
+  let mix x = h := (!h lxor x) * 0x100000001b3 in
+  ( h,
+    fun ~pc ~taken ~next_pc ~mem_addr ->
+      mix pc;
+      mix (if taken then 1 else 0);
+      mix next_pc;
+      mix mem_addr )
+
+let observe_backend backend image =
+  let detector = Detector.create ~config:Vp_hsd.Config.default () in
+  let agg : (int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let on_branch ~pc ~taken =
+    Detector.on_branch detector ~pc ~taken;
+    let e, t = Option.value ~default:(0, 0) (Hashtbl.find_opt agg pc) in
+    Hashtbl.replace agg pc (e + 1, if taken then t + 1 else t)
+  in
+  let digest, on_retire = retire_digest_ref () in
+  let outcome = Emulator.run_backend ~backend ~fuel ~on_branch ~on_retire image in
+  (outcome, Detector.snapshots detector, agg, !digest)
+
+let test_backend_matrix w () =
+  let name = Registry.name w in
+  let image = Program.layout (w.Registry.program ()) in
+  let runs =
+    List.map (fun b -> (b, observe_backend b image)) Emulator.all_backends
+  in
+  let _, (ref_outcome, ref_snaps, ref_agg, ref_digest) = List.hd runs in
+  List.iter
+    (fun (b, (outcome, snaps, agg, digest)) ->
+      let tag = Printf.sprintf "%s [%s]" name (Emulator.backend_name b) in
+      check_outcome tag ref_outcome outcome;
+      Alcotest.(check bool)
+        (tag ^ ": snapshot streams identical")
+        true (ref_snaps = snaps);
+      Alcotest.(check bool)
+        (tag ^ ": aggregate profiles identical")
+        true
+        (sorted_bindings ref_agg = sorted_bindings agg);
+      Alcotest.(check int) (tag ^ ": retire-stream digest") ref_digest digest)
+    (List.tl runs)
+
+(* The fleet consensus path — profile, emulated per-machine runs under
+   a clean fault plan, sharded aggregation, consensus rewrite — must be
+   invariant over the functional backend end to end. *)
+let test_fleet_consensus_backends () =
+  let w = Option.get (Registry.find ~bench:"134.perl" ~input:"A") in
+  let image = Program.layout (w.Registry.program ()) in
+  let consensus backend =
+    let config =
+      Vacuum.Config.with_backend backend
+        (Vacuum.Config.with_fault Vp_fault.Plan.clean Vacuum.Config.default)
+    in
+    let base = Vacuum.Driver.profile ~config image in
+    let wire = Vacuum.Fleet.emulate_runs ~config ~seed:7 ~runs:16 base in
+    let fleet = Vacuum.Fleet.aggregate ~config ~base wire in
+    let r =
+      Vacuum.Driver.rewrite_of_profile ~config
+        (Vacuum.Fleet.profile_of_fleet ~config ~base fleet)
+    in
+    ( base.Vacuum.Driver.outcome.Emulator.checksum,
+      fleet.Vacuum.Fleet.digest,
+      fleet.Vacuum.Fleet.stats.Vp_aggregate.Shard.snapshots,
+      List.length r.Vacuum.Driver.packages,
+      r.Vacuum.Driver.emitted.Vp_package.Emit.package_instructions )
+  in
+  let reference = consensus Emulator.Decoded in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fleet consensus identical on %s backend"
+           (Emulator.backend_name b))
+        true
+        (consensus b = reference))
+    [ Emulator.Reference; Emulator.Compiled ]
+
 (* The full driver path (decoded core + pc-indexed profile counters)
    against a reference-interpreter reconstruction of the same
    aggregate, on one real workload end to end. *)
@@ -152,10 +239,17 @@ let () =
           (fun w ->
             Alcotest.test_case (Registry.name w) `Quick (test_workload w))
           a_workloads );
+      ( "backend matrix",
+        List.map
+          (fun w ->
+            Alcotest.test_case (Registry.name w) `Quick (test_backend_matrix w))
+          a_workloads );
       ( "driver",
         [
           Alcotest.test_case "profile matches reference" `Quick
             test_driver_profile_matches_reference;
+          Alcotest.test_case "fleet consensus across backends" `Quick
+            test_fleet_consensus_backends;
         ] );
       ( "residency vs coverage",
         List.map

@@ -362,6 +362,135 @@ let prop_spill_sum_matches_closed_form =
       let o = Emulator.run (Program.layout (Progs.spill_heavy n)) in
       o.Emulator.result = n * (n + 1) / 2)
 
+(* ------------------------------------------------------------------ *)
+(* Compiled backend: block partitioning, memoization, fuel-boundary
+   parity with the decoded oracle, and allocation flatness of the
+   threaded-code retire loop. *)
+
+let test_compile_memoizes_on_identity () =
+  let img = Program.layout (Progs.sum_to_n 10) in
+  let c1 = Vp_exec.Compile.of_image img in
+  let c2 = Vp_exec.Compile.of_image img in
+  Alcotest.(check bool) "same physical image, same compile" true (c1 == c2)
+
+let test_compile_blocks_partition_image () =
+  let img = Program.layout (Progs.two_phase ~iters_per_phase:10 ~repeats:2) in
+  let c = Vp_exec.Compile.of_image img in
+  let n = Array.length img.Image.code in
+  let nb = Vp_exec.Compile.block_count c in
+  Alcotest.(check bool) "has blocks" true (nb > 0);
+  let covered = Array.make n 0 in
+  for b = 0 to nb - 1 do
+    let start, len = Vp_exec.Compile.block_bounds c b in
+    Alcotest.(check bool)
+      (Printf.sprintf "block %d in range" b)
+      true
+      (start >= 0 && len > 0 && start + len <= n);
+    Alcotest.(check int)
+      (Printf.sprintf "leader of block %d maps back" b)
+      b
+      (Vp_exec.Compile.block_of_pc c start);
+    for pc = start to start + len - 1 do
+      covered.(pc) <- covered.(pc) + 1;
+      if pc > start then
+        Alcotest.(check int)
+          (Printf.sprintf "pc %d is mid-block" pc)
+          (-1)
+          (Vp_exec.Compile.block_of_pc c pc)
+    done
+  done;
+  Array.iteri
+    (fun pc k ->
+      Alcotest.(check int)
+        (Printf.sprintf "pc %d covered exactly once" pc)
+        1 k)
+    covered
+
+(* Every fuel value from 0 up past the program's full length: each one
+   lands the cutoff somewhere else relative to the block boundaries, so
+   this sweeps the per-block fast path, the boundary interpreter and
+   the exhaustion edge against the decoded core. *)
+let test_compiled_fuel_boundary_parity () =
+  let img = Program.layout (Progs.factorial 8) in
+  let d = Decode.of_image img in
+  let c = Vp_exec.Compile.of_image img in
+  let full = (Emulator.run_decoded d).Emulator.instructions in
+  for fuel = 0 to full + 5 do
+    let a = Emulator.run_decoded ~fuel d in
+    let b = Emulator.run_compiled ~fuel c in
+    let tag what = Printf.sprintf "fuel %d: %s" fuel what in
+    Alcotest.(check int) (tag "instructions") a.Emulator.instructions
+      b.Emulator.instructions;
+    Alcotest.(check int) (tag "cond branches") a.Emulator.cond_branches
+      b.Emulator.cond_branches;
+    Alcotest.(check bool) (tag "halted") a.Emulator.halted b.Emulator.halted;
+    Alcotest.(check int) (tag "checksum") a.Emulator.checksum
+      b.Emulator.checksum;
+    Alcotest.(check int) (tag "final pc") a.Emulator.final_pc
+      b.Emulator.final_pc
+  done
+
+let test_compiled_unresolved_branch_parity () =
+  let o =
+    Emulator.run_backend ~backend:Emulator.Compiled
+      (unresolved_branch_image ~taken:false)
+  in
+  Alcotest.(check bool) "halted" true o.Emulator.halted;
+  Alcotest.(check int) "branch counted" 1 o.Emulator.cond_branches;
+  Alcotest.check_raises "taken unresolved branch"
+    (Vp_util.Error.Error
+       {
+         stage = "emulator";
+         what = "unresolved label nowhere";
+         pc = None;
+         label = Some "nowhere";
+         workload = None;
+       }) (fun () ->
+      ignore
+        (Emulator.run_backend ~backend:Emulator.Compiled
+           (unresolved_branch_image ~taken:true)))
+
+let test_compiled_allocation_flat () =
+  let img =
+    Program.layout (Progs.two_phase ~iters_per_phase:100_000 ~repeats:2)
+  in
+  let run fuel = ignore (Emulator.run_backend ~backend:Emulator.Compiled ~fuel img) in
+  (* Warm the compile memo and the state arena. *)
+  run 1_000;
+  let short = minor_words_during (fun () -> run 10_000) in
+  let long = minor_words_during (fun () -> run 100_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "compiled allocation flat (short %.0f, long %.0f)" short
+       long)
+    true
+    (long -. short < 10_000.)
+
+(* Same flatness with the observed compiled variant driving both
+   observer channels — the fused sink passes unboxed labeled ints, so
+   attaching observers must not reintroduce per-retirement boxing. *)
+let test_compiled_observed_allocation_flat () =
+  let img =
+    Program.layout (Progs.two_phase ~iters_per_phase:100_000 ~repeats:2)
+  in
+  let branches = ref 0 in
+  let retired = ref 0 in
+  let on_branch ~pc:_ ~taken:_ = incr branches in
+  let on_retire ~pc:_ ~taken:_ ~next_pc:_ ~mem_addr:_ = incr retired in
+  let run fuel =
+    ignore
+      (Emulator.run_backend ~backend:Emulator.Compiled ~fuel ~on_branch
+         ~on_retire img)
+  in
+  run 1_000;
+  let short = minor_words_during (fun () -> run 10_000) in
+  let long = minor_words_during (fun () -> run 100_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "observed compiled allocation flat (short %.0f, long %.0f)"
+       short long)
+    true
+    (long -. short < 10_000.);
+  Alcotest.(check bool) "observers fired" true (!branches > 0 && !retired > 0)
+
 let () =
   Alcotest.run "vp_exec"
     [
@@ -403,6 +532,21 @@ let () =
           Alcotest.test_case "unresolved jmp" `Quick test_unresolved_jmp_faults;
           Alcotest.test_case "zero per-instruction allocation" `Quick
             test_run_allocation_flat;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "memoized by identity" `Quick
+            test_compile_memoizes_on_identity;
+          Alcotest.test_case "blocks partition the image" `Quick
+            test_compile_blocks_partition_image;
+          Alcotest.test_case "fuel boundary parity" `Quick
+            test_compiled_fuel_boundary_parity;
+          Alcotest.test_case "unresolved branch parity" `Quick
+            test_compiled_unresolved_branch_parity;
+          Alcotest.test_case "zero per-instruction allocation" `Quick
+            test_compiled_allocation_flat;
+          Alcotest.test_case "zero per-instruction allocation (observed)"
+            `Quick test_compiled_observed_allocation_flat;
         ] );
       ( "observation",
         [
