@@ -598,6 +598,67 @@ let ablation_sink workloads =
   Tabular.print t
 
 (* ------------------------------------------------------------------ *)
+(* Online re-optimization: Vacuum.Session epochs against the one-shot
+   post-link rewrite.  The session column is live coverage — the share
+   of instructions actually retired from package space while the
+   workload ran under the patch-profile-repackage loop — so it also
+   pays for the epochs spent profiling before the first activation. *)
+
+let session_exp workloads =
+  heading "Session: online re-optimization loop vs single-shot rewrite";
+  let cell = cell_of ~inference:true ~linking:true in
+  (* The engine memoizes per (workload, cell); warm the session cache
+     in parallel, then render serially from the memo. *)
+  ignore
+    (Vp_util.Pool.map ~jobs:(Engine.jobs !engine)
+       (fun w -> ignore (Engine.session !engine (spec_of w) cell))
+       workloads);
+  let t =
+    Tabular.create
+      ~header:
+        [
+          ("Benchmark", Tabular.Left);
+          ("single-shot", Tabular.Right);
+          ("session", Tabular.Right);
+          ("epochs", Tabular.Right);
+          ("activations", Tabular.Right);
+          ("cache", Tabular.Right);
+          ("equivalent", Tabular.Right);
+        ]
+  in
+  let single_sum = ref 0.0 and session_sum = ref 0.0 in
+  List.iter
+    (fun w ->
+      let c = coverage_of w ~inference:true ~linking:true in
+      let r = Engine.session !engine (spec_of w) cell in
+      single_sum := !single_sum +. c.Vacuum.Coverage.coverage_pct;
+      session_sum := !session_sum +. r.Vacuum.Session.coverage_pct;
+      Tabular.add_row t
+        [
+          Registry.name w;
+          Tabular.cell_pct c.Vacuum.Coverage.coverage_pct;
+          Tabular.cell_pct r.Vacuum.Session.coverage_pct;
+          string_of_int (List.length r.Vacuum.Session.epochs);
+          string_of_int r.Vacuum.Session.activations;
+          string_of_int r.Vacuum.Session.final_cache_entries;
+          (match r.Vacuum.Session.equivalent with
+          | Some true -> "yes"
+          | Some false -> "NO"
+          | None -> "-");
+        ])
+    workloads;
+  Tabular.add_separator t;
+  let n = float_of_int (List.length workloads) in
+  Tabular.add_row t
+    [
+      "average";
+      Tabular.cell_pct (!single_sum /. n);
+      Tabular.cell_pct (!session_sum /. n);
+      ""; ""; ""; "";
+    ];
+  Tabular.print t
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the pipeline stages. *)
 
 (* (stage name, ns/run, r^2) rows from the last [micro] run, kept for
@@ -722,7 +783,7 @@ let micro ~quick =
 (* What each experiment needs pre-computed by the engine: the matrix
    rewrites/coverages, and the timing simulations. *)
 let needs = function
-  | "fig8" | "table3" | "ablation-sink" -> (true, false)
+  | "fig8" | "table3" | "ablation-sink" | "session" -> (true, false)
   | "fig10" | "baseline-aggregate" | "ablation-superblock" -> (true, true)
   | _ -> (false, false)
 
@@ -894,6 +955,7 @@ let () =
     | "ablation-growth" -> ablation_growth workloads
     | "ablation-sink" -> ablation_sink workloads
     | "ablation-superblock" -> ablation_superblock workloads
+    | "session" -> session_exp workloads
     | "micro" -> micro ~quick
     | other ->
       Printf.eprintf "unknown experiment %s\n" other;
@@ -903,7 +965,7 @@ let () =
     [
       "table1"; "table2"; "fig8"; "table3"; "fig9"; "fig10";
       "baseline-aggregate"; "aggregate"; "ablation-bbb"; "ablation-growth";
-      "ablation-sink"; "ablation-superblock"; "micro";
+      "ablation-sink"; "ablation-superblock"; "session"; "micro";
     ]
   in
   let picks = match selected with [] -> all | picks -> picks in

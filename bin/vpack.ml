@@ -1,871 +1,5 @@
-(* vpack: command-line front end for the Vacuum Packing pipeline.
+(* The vpack binary is a shim: the whole command table lives in
+   Vp_cli.Vpack so the test suite can exercise parsing and help
+   generation in-process. *)
 
-   Subcommands: list, run, phases, extract, aggregate, report, diag,
-   asm, disasm, machine.
-
-   Exit codes: 0 success, 2 command-line error (unknown subcommand,
-   unknown/ambiguous workload, bad flags), 3 pipeline error, 4
-   verifier rejection, 5 chaos-matrix failure. *)
-
-module Registry = Vp_workloads.Registry
-module Program = Vp_prog.Program
-module Emulator = Vp_exec.Emulator
-
-open Cmdliner
-
-(* Accept the exact Table 1 bench name or any unambiguous suffix:
-   "134.perl" and "perl" both name 134.perl. *)
-let resolve_bench bench =
-  if List.mem bench Registry.benches then Some bench
-  else
-    let matches name =
-      match String.index_opt name '.' with
-      | Some i -> String.sub name (i + 1) (String.length name - i - 1) = bench
-      | None -> false
-    in
-    match List.filter matches Registry.benches with
-    | [ name ] -> Some name
-    | [] -> None
-    | _ :: _ :: _ as multi ->
-      (* A usage error, not a pipeline failure: raise on the typed
-         channel with the [cli] stage so the top level can print usage
-         and exit 2, matching cmdliner's own parse errors. *)
-      Vacuum.Error.failf ~stage:"cli" "ambiguous workload %s (matches %s)"
-        bench
-        (String.concat ", " multi)
-
-let find_workload spec =
-  let bench, input =
-    match String.index_opt spec '/' with
-    | Some i ->
-      ( String.sub spec 0 i,
-        String.sub spec (i + 1) (String.length spec - i - 1) )
-    | None -> (spec, "A")
-  in
-  match
-    Option.bind (resolve_bench bench) (fun bench -> Registry.find ~bench ~input)
-  with
-  | Some w -> w
-  | None ->
-    Vacuum.Error.failf ~stage:"cli" "unknown workload %s (try `vpack list`)"
-      spec
-
-let workload_arg =
-  let doc = "Workload as BENCH or BENCH/INPUT (see `vpack list`)." in
-  Arg.(required & opt (some string) None & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
-
-let no_inference =
-  Arg.(value & flag & info [ "no-inference" ] ~doc:"Disable hot-block inference.")
-
-let no_linking =
-  Arg.(value & flag & info [ "no-linking" ] ~doc:"Disable package linking.")
-
-let timing =
-  Arg.(value & flag & info [ "timing" ] ~doc:"Run the cycle-level timing model.")
-
-let jobs_arg =
-  let doc =
-    "Evaluate up to $(docv) workloads in parallel on separate domains \
-     (default: the machine's recommended domain count)."
-  in
-  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-let resolve_jobs n = if n <= 0 then Vp_util.Pool.default_jobs () else n
-
-let config_of ~inference ~linking =
-  Vacuum.Config.experiment ~inference ~linking
-
-(* --backend: which functional emulator executes every run the command
-   performs.  The backends are bit-identical (the differential suite
-   asserts it), so the selection only changes wall-clock speed.  An
-   unknown name raises on the [cli] stage: usage + exit 2, like any
-   other flag error. *)
-let backend_arg =
-  let doc =
-    "Functional emulator backend: $(b,reference), $(b,decoded) (default) \
-     or $(b,compiled).  All backends produce bit-identical results; the \
-     choice only affects simulation speed."
-  in
-  Arg.(value & opt string "decoded" & info [ "backend" ] ~docv:"BACKEND" ~doc)
-
-let resolve_backend name =
-  match Emulator.backend_of_string name with
-  | Some b -> b
-  | None ->
-    Vacuum.Error.failf ~stage:"cli"
-      "unknown backend %s (expected reference, decoded or compiled)" name
-
-(* --- list --- *)
-
-let list_cmd =
-  let run () =
-    let t =
-      Vp_util.Tabular.create
-        ~header:
-          [
-            ("workload", Vp_util.Tabular.Left);
-            ("static instrs", Vp_util.Tabular.Right);
-            ("description", Vp_util.Tabular.Left);
-          ]
-    in
-    List.iter
-      (fun w ->
-        let p = w.Registry.program () in
-        Vp_util.Tabular.add_row t
-          [
-            Registry.name w;
-            string_of_int (Program.static_size p);
-            w.Registry.description;
-          ])
-      Registry.all;
-    Vp_util.Tabular.print t
-  in
-  Cmd.v (Cmd.info "list" ~doc:"List the Table 1 workload inventory.")
-    Term.(const run $ const ())
-
-(* --- run --- *)
-
-let run_cmd =
-  let run spec backend =
-    let backend = resolve_backend backend in
-    let w = find_workload spec in
-    let img = Program.layout (w.Registry.program ()) in
-    let o = Emulator.run_backend ~backend img in
-    Printf.printf "%s: %d instructions, %d conditional branches, result %d%s\n"
-      (Registry.name w) o.Emulator.instructions o.Emulator.cond_branches
-      o.Emulator.result
-      (if o.Emulator.halted then "" else " (fuel exhausted)")
-  in
-  Cmd.v (Cmd.info "run" ~doc:"Execute a workload on the functional emulator.")
-    Term.(const run $ workload_arg $ backend_arg)
-
-(* --- phases --- *)
-
-let phases_cmd =
-  let ipc_flag =
-    Arg.(value & flag & info [ "ipc" ] ~doc:"Also report per-phase IPC on the EPIC model.")
-  in
-  let run spec ipc backend =
-    let backend = resolve_backend backend in
-    let w = find_workload spec in
-    let img = Program.layout (w.Registry.program ()) in
-    let profile =
-      Vacuum.Driver.profile
-        ~config:(Vacuum.Config.with_backend backend Vacuum.Config.default)
-        img
-    in
-    Printf.printf "%s: %d raw detections, %d recordings\n" (Registry.name w)
-      profile.Vacuum.Driver.detections
-      (List.length profile.Vacuum.Driver.snapshots);
-    Format.printf "%a@." Vp_phase.Phase_log.pp profile.Vacuum.Driver.log;
-    let timeline = Vp_phase.Phase_log.timeline profile.Vacuum.Driver.log in
-    List.iter
-      (fun (s, e, p) -> Printf.printf "  [%9d, %9d) phase %d\n" s e p)
-      timeline;
-    if ipc then begin
-      Printf.printf "\nper-phase timing (phase -1 = detector warm-up):\n";
-      List.iter
-        (fun (ps : Vp_cpu.Pipeline.phase_stats) ->
-          Printf.printf
-            "  phase %2d: %9d branches, %10d instrs, %10d cycles, IPC %.3f\n"
-            ps.Vp_cpu.Pipeline.phase ps.Vp_cpu.Pipeline.branches
-            ps.Vp_cpu.Pipeline.seg_instructions ps.Vp_cpu.Pipeline.seg_cycles
-            ps.Vp_cpu.Pipeline.seg_ipc)
-        (Vp_cpu.Pipeline.simulate_phases ~backend ~timeline img)
-    end
-  in
-  Cmd.v
-    (Cmd.info "phases" ~doc:"Profile a workload and show its detected phases.")
-    Term.(const run $ workload_arg $ ipc_flag $ backend_arg)
-
-(* --- extract --- *)
-
-let extract_cmd =
-  let run spec no_inf no_link backend =
-    let backend = resolve_backend backend in
-    let w = find_workload spec in
-    let img = Program.layout (w.Registry.program ()) in
-    let config =
-      Vacuum.Config.with_backend backend
-        (config_of ~inference:(not no_inf) ~linking:(not no_link))
-    in
-    let r = Vacuum.Driver.rewrite ~config img in
-    List.iter
-      (fun (info : Vacuum.Driver.region_info) ->
-        Printf.printf "phase %d: %d functions, %d hot blocks, %d instructions selected\n"
-          info.Vacuum.Driver.phase.Vp_phase.Phase_log.id
-          info.Vacuum.Driver.stats.Vp_region.Identify.functions
-          info.Vacuum.Driver.stats.Vp_region.Identify.hot_blocks
-          info.Vacuum.Driver.stats.Vp_region.Identify.selected_instructions)
-      r.Vacuum.Driver.regions;
-    List.iter
-      (fun p ->
-        Printf.printf "package %s: root %s, %d blocks, %d entries, %d branch sites\n"
-          p.Vp_package.Pkg.id p.Vp_package.Pkg.root
-          (List.length p.Vp_package.Pkg.blocks)
-          (List.length p.Vp_package.Pkg.entries)
-          (Vp_package.Pkg.branch_count p))
-      r.Vacuum.Driver.packages;
-    Printf.printf "emitted %d package instructions, %d launch points\n"
-      r.Vacuum.Driver.emitted.Vp_package.Emit.package_instructions
-      (List.length r.Vacuum.Driver.emitted.Vp_package.Emit.launch_patches)
-  in
-  Cmd.v
-    (Cmd.info "extract" ~doc:"Run region identification and package extraction.")
-    Term.(const run $ workload_arg $ no_inference $ no_linking $ backend_arg)
-
-(* --- aggregate --- *)
-
-let aggregate_cmd =
-  let spec_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"WORKLOAD" ~doc:"Workload as BENCH or BENCH/INPUT.")
-  in
-  let runs_arg =
-    let doc = "Emulate $(docv) user-machine runs (ignored with --ingest)." in
-    Arg.(value & opt int 256 & info [ "runs" ] ~docv:"N" ~doc)
-  in
-  let shards_arg =
-    let doc = "Partition the fleet over $(docv) aggregation shards." in
-    Arg.(value & opt int 8 & info [ "shards" ] ~docv:"N" ~doc)
-  in
-  let seed_arg =
-    Arg.(
-      value & opt int 42
-      & info [ "seed" ] ~docv:"S" ~doc:"Root seed of the per-machine noise.")
-  in
-  let wire_out_arg =
-    let doc = "Also write the fleet's vp-profile-wire/1 stream to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "wire" ] ~docv:"FILE" ~doc)
-  in
-  let ingest_arg =
-    let doc =
-      "Ingest runs from this vp-profile-wire/1 file instead of emulating \
-       them (repeatable)."
-    in
-    Arg.(value & opt_all file [] & info [ "ingest" ] ~docv:"FILE" ~doc)
-  in
-  let run spec runs shards seed jobs wire_out ingest backend =
-    let backend = resolve_backend backend in
-    let w = find_workload spec in
-    let img = Program.layout (w.Registry.program ()) in
-    let config = Vacuum.Config.with_backend backend Vacuum.Config.default in
-    let base = Vacuum.Driver.profile ~config img in
-    let wire_runs =
-      if ingest <> [] then
-        List.concat_map
-          (fun path ->
-            match Vp_aggregate.Wire.read_file ~path with
-            | Ok rs -> rs
-            | Error e -> Vacuum.Error.failf ~stage:"wire" "%s: %s" path e)
-          ingest
-      else Vacuum.Fleet.emulate_runs ~config ~seed ~runs base
-    in
-    (match wire_out with
-    | None -> ()
-    | Some path ->
-      Vp_aggregate.Wire.write_file ~path wire_runs;
-      Printf.eprintf "wire: %d runs -> %s\n" (List.length wire_runs) path);
-    let t0 = Unix.gettimeofday () in
-    let fleet =
-      Vacuum.Fleet.aggregate ~config ~shards ~jobs:(resolve_jobs jobs) ~base
-        wire_runs
-    in
-    let dt = Unix.gettimeofday () -. t0 in
-    let stats = fleet.Vacuum.Fleet.stats in
-    (* Everything on stdout is a pure function of the ingested fleet:
-       CI asserts shard/job invariance by diffing stdout across
-       --shards and --jobs values.  Sharding geometry and throughput
-       go to stderr. *)
-    Printf.printf "%s: %d runs, %d snapshots (%d classified, %d dropped)\n"
-      (Registry.name w) stats.Vp_aggregate.Shard.runs
-      stats.Vp_aggregate.Shard.snapshots stats.Vp_aggregate.Shard.classified
-      stats.Vp_aggregate.Shard.dropped;
-    List.iter
-      (fun (id, (p : Vp_aggregate.Profile.t)) ->
-        Printf.printf
-          "  class %d: %d runs, %d snapshots, %d branches, est weight %d\n" id
-          p.Vp_aggregate.Profile.runs p.Vp_aggregate.Profile.snapshots
-          (Vp_aggregate.Profile.branch_count p)
-          (Vp_aggregate.Profile.total_estimated p))
-      fleet.Vacuum.Fleet.classes;
-    Printf.printf "aggregate digest %016x\n" fleet.Vacuum.Fleet.digest;
-    let r =
-      Vacuum.Driver.rewrite_of_profile ~config
-        (Vacuum.Fleet.profile_of_fleet ~config ~base fleet)
-    in
-    Printf.printf "consensus rewrite: %d packages, %d package instructions\n"
-      (List.length r.Vacuum.Driver.packages)
-      r.Vacuum.Driver.emitted.Vp_package.Emit.package_instructions;
-    Printf.eprintf "aggregated over %d shards, %d jobs: %.0f snapshots/sec (%.3f s)\n"
-      stats.Vp_aggregate.Shard.shards stats.Vp_aggregate.Shard.jobs
-      (float_of_int stats.Vp_aggregate.Shard.snapshots /. Float.max dt 1e-9)
-      dt
-  in
-  Cmd.v
-    (Cmd.info "aggregate"
-       ~doc:
-         "Aggregate a fleet of per-machine profile streams (emulated, or \
-          ingested from vp-profile-wire/1 files) into one consensus profile \
-          and feed it through the packaging pipeline.  Stdout is \
-          byte-identical for every --shards/--jobs value."
-       ~man:
-         [
-           `S Cmdliner.Manpage.s_exit_status;
-           `P "0 on success, 2 on a command-line error, 3 on a pipeline or \
-               wire-format error.";
-         ])
-    Term.(
-      const run $ spec_arg $ runs_arg $ shards_arg $ seed_arg $ jobs_arg
-      $ wire_out_arg $ ingest_arg $ backend_arg)
-
-(* --- report --- *)
-
-let trace_arg =
-  let doc =
-    "Record pipeline spans and counters and write a JSON-lines trace \
-     (schema vp-obs-trace/1, one object per line) to $(docv)."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-let report_cmd =
-  let workloads_arg =
-    let doc =
-      "Workload as BENCH or BENCH/INPUT (repeatable; see `vpack list`)."
-    in
-    Arg.(
-      non_empty & opt_all string [] & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
-  in
-  let run specs no_inf no_link timing jobs trace backend =
-    let backend = resolve_backend backend in
-    let ws = List.map find_workload specs in
-    let obs =
-      match trace with Some _ -> Vp_obs.create () | None -> Vp_obs.disabled
-    in
-    let config =
-      Vacuum.Config.with_backend backend
-        (Vacuum.Config.with_obs obs
-           (config_of ~inference:(not no_inf) ~linking:(not no_link)))
-    in
-    (* Each evaluation is an isolated profile/rewrite/simulate chain;
-       run them on a domain pool and print in request order. *)
-    let reports =
-      Vp_util.Pool.map ~jobs:(resolve_jobs jobs)
-        (fun w ->
-          let img = Program.layout (w.Registry.program ()) in
-          Vacuum.Report.evaluate ~config ~timing ~name:(Registry.name w) img)
-        ws
-    in
-    List.iter (fun report -> Format.printf "%a@." Vacuum.Report.pp report) reports;
-    match trace with
-    | None -> ()
-    | Some path ->
-      Vp_obs.Sink.write_trace obs ~path;
-      Printf.printf "trace: %d spans, %d counters -> %s\n"
-        (List.length (Vp_obs.Sink.spans obs))
-        (List.length (Vp_obs.Sink.counters obs))
-        path
-  in
-  Cmd.v
-    (Cmd.info "report"
-       ~doc:
-         "Full evaluation of one or more workloads (coverage, expansion, \
-          optional timing), in parallel under --jobs.")
-    Term.(
-      const run $ workloads_arg $ no_inference $ no_linking $ timing $ jobs_arg
-      $ trace_arg $ backend_arg)
-
-(* --- stats --- *)
-
-let stats_cmd =
-  let run spec no_inf no_link timing trace backend =
-    let backend = resolve_backend backend in
-    let w = find_workload spec in
-    let obs = Vp_obs.create () in
-    let config =
-      Vacuum.Config.with_backend backend
-        (Vacuum.Config.with_obs obs
-           (config_of ~inference:(not no_inf) ~linking:(not no_link)))
-    in
-    let img = Program.layout (w.Registry.program ()) in
-    let report =
-      Vacuum.Report.evaluate ~config ~timing ~name:(Registry.name w) img
-    in
-    Format.printf "%a@." Vacuum.Report.pp report;
-    Printf.printf "\npipeline spans (%s):\n" (Registry.name w);
-    Vp_util.Tabular.print (Vp_obs.Sink.span_table obs);
-    Printf.printf "\npipeline counters:\n";
-    Vp_util.Tabular.print (Vp_obs.Sink.counter_table obs);
-    (match Vp_obs.Sink.dropped_spans obs with
-    | 0 -> ()
-    | n -> Printf.printf "(%d spans dropped to ring wrap-around)\n" n);
-    match trace with
-    | None -> ()
-    | Some path -> Vp_obs.Sink.write_trace obs ~path
-  in
-  Cmd.v
-    (Cmd.info "stats"
-       ~doc:
-         "Evaluate one workload with the observability recorder enabled and \
-          print per-stage span and counter tables.")
-    Term.(
-      const run $ workload_arg $ no_inference $ no_linking $ timing $ trace_arg
-      $ backend_arg)
-
-(* --- timeline --- *)
-
-let timeline_cmd =
-  let spec_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"WORKLOAD" ~doc:"Workload as BENCH or BENCH/INPUT.")
-  in
-  let interval_arg =
-    let doc = "Sampling interval in retired instructions." in
-    Arg.(
-      value
-      & opt int Vp_telemetry.default_interval
-      & info [ "interval" ] ~docv:"N" ~doc)
-  in
-  let width_arg =
-    Arg.(value & opt int 72 & info [ "width" ] ~docv:"COLS" ~doc:"Render width.")
-  in
-  let tl_trace_arg =
-    let doc =
-      "Also write the merged vp-timeline-trace/1 JSON-lines trace \
-       (profile + rewritten-run + timing timelines) to $(docv)."
-    in
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-  in
-  let run spec interval width timing no_inf no_link trace backend =
-    let backend = resolve_backend backend in
-    let w = find_workload spec in
-    let img = Program.layout (w.Registry.program ()) in
-    let config =
-      Vacuum.Config.with_backend backend
-        (Vacuum.Config.with_telemetry
-           (Vp_telemetry.on ~interval ())
-           (config_of ~inference:(not no_inf) ~linking:(not no_link)))
-    in
-    let profile = Vacuum.Driver.profile ~config img in
-    let tl = profile.Vacuum.Driver.timeline in
-    let series name =
-      Option.value ~default:[||] (Vp_telemetry.Series.find tl name)
-    in
-    Printf.printf "%s: %d instructions, %d intervals of %d\n" (Registry.name w)
-      profile.Vacuum.Driver.outcome.Emulator.instructions
-      (Vp_telemetry.intervals tl) interval;
-    let bar name values =
-      Printf.printf "%-14s|%s|\n" name (Vp_telemetry.Render.sparkline ~width values)
-    in
-    Printf.printf "\nprofiling run (detector state per interval):\n";
-    bar "hdc" (series "profile.hdc");
-    bar "bbb occupancy" (series "profile.bbb_occupancy");
-    bar "branches" (series "profile.branches");
-    List.iter
-      (fun kind ->
-        Printf.printf "%-14s%d events\n" kind
-          (Vp_telemetry.Event.count tl ~kind))
-      [ "detect"; "record"; "rearm" ];
-    (* Phase extents: map the phase log's branch-index spans onto the
-       interval axis through the cumulative branch series. *)
-    let branches = series "profile.branches" in
-    let cum = Array.make (Array.length branches) 0 in
-    let acc = ref 0 in
-    Array.iteri
-      (fun i b ->
-        acc := !acc + b;
-        cum.(i) <- !acc)
-      branches;
-    let extents = Vp_phase.Phase_log.timeline profile.Vacuum.Driver.log in
-    Printf.printf "\nphase extents:\n";
-    List.iter
-      (fun (id, row) -> Printf.printf "phase %-8d|%s|\n" id row)
-      (Vp_telemetry.Render.extent_rows ~width ~cum extents);
-    (* Rewrite, then attribute the rewritten run's retirement stream to
-       original code vs. each emitted package. *)
-    let r = Vacuum.Driver.rewrite_of_profile ~config profile in
-    let cov = Vacuum.Coverage.measure ~config r in
-    let res = cov.Vacuum.Coverage.residency in
-    let total =
-      Option.value ~default:[||]
-        (Vp_telemetry.Series.find res "run.instructions")
-    in
-    Printf.printf
-      "\nrewritten run residency (coverage %.1f%%, %d launches, %d side exits):\n"
-      cov.Vacuum.Coverage.coverage_pct
-      (Vp_telemetry.Event.count res ~kind:"launch")
-      (Vp_telemetry.Event.count res ~kind:"side_exit");
-    List.iter
-      (fun name ->
-        match Vp_telemetry.Series.find res name with
-        | Some part when name <> "run.instructions" ->
-          let label =
-            String.sub name 4 (String.length name - 4 - 13)
-            (* strip "run." and ".instructions" *)
-          in
-          let share =
-            Vp_util.Stats.pct
-              (Array.fold_left ( + ) 0 part)
-              (Array.fold_left ( + ) 0 total)
-          in
-          Printf.printf "%-14s|%s| %5.1f%%\n"
-            (if String.length label > 14 then String.sub label 0 14 else label)
-            (Vp_telemetry.Render.lane ~width ~total part)
-            share
-        | _ -> ())
-      (Vp_telemetry.Series.names res);
-    let timelines = ref [ tl; res ] in
-    if timing then begin
-      let tt = Vp_telemetry.create (Vacuum.Config.telemetry config) in
-      let stats =
-        Vp_cpu.Pipeline.simulate ~config:(Vacuum.Config.cpu config)
-          ~backend:(Vacuum.Config.backend config)
-          ~fuel:(Vacuum.Config.fuel config)
-          ~mem_words:(Vacuum.Config.mem_words config) ~telemetry:tt
-          (Vacuum.Driver.rewritten_image r)
-      in
-      timelines := !timelines @ [ tt ];
-      let tseries name =
-        Option.value ~default:[||] (Vp_telemetry.Series.find tt name)
-      in
-      Printf.printf "\ntiming model on the rewritten binary (IPC %.3f):\n"
-        stats.Vp_cpu.Pipeline.ipc;
-      Printf.printf "%-14s|%s|\n" "cycles"
-        (Vp_telemetry.Render.sparkline ~width (tseries "timing.cycles"));
-      Printf.printf "%-14s|%s|\n" "icache miss"
-        (Vp_telemetry.Render.sparkline ~width (tseries "timing.icache_misses"));
-      Printf.printf "%-14s|%s|\n" "dcache miss"
-        (Vp_telemetry.Render.sparkline ~width (tseries "timing.dcache_misses"));
-      Printf.printf "%-14s|%s|\n" "mispredicts"
-        (Vp_telemetry.Render.sparkline ~width (tseries "timing.mispredicts"));
-      Printf.printf "%-14s|%s|\n" "fetch stalls"
-        (Vp_telemetry.Render.sparkline ~width (tseries "timing.fetch_stalls"))
-    end;
-    match trace with
-    | None -> ()
-    | Some path ->
-      Vp_telemetry.Sink.write_trace ~path !timelines;
-      Printf.printf "\ntrace: %d timelines -> %s\n" (List.length !timelines) path
-  in
-  Cmd.v
-    (Cmd.info "timeline"
-       ~doc:
-         "Render a workload's interval timeline: detector state and phase \
-          extents of the profiling run, package residency lanes of the \
-          rewritten run, and (with --timing) timing-model series.")
-    Term.(
-      const run $ spec_arg $ interval_arg $ width_arg $ timing $ no_inference
-      $ no_linking $ tl_trace_arg $ backend_arg)
-
-(* --- trace-check --- *)
-
-let trace_check_cmd =
-  let file_arg =
-    Arg.(
-      required
-      & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Trace file to validate.")
-  in
-  (* Dispatch on the meta line: vpack emits both vp-obs-trace/1
-     (pipeline spans/counters) and vp-timeline-trace/1 (run telemetry)
-     JSON-lines files. *)
-  let schema_of file =
-    let ic = open_in file in
-    let first = try input_line ic with End_of_file -> "" in
-    close_in ic;
-    let contains hay needle =
-      let nh = String.length hay and nn = String.length needle in
-      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-      go 0
-    in
-    if contains first "vp-timeline-trace/1" then `Timeline
-    else if contains first "vp-profile-wire/1" then `Wire
-    else `Obs
-  in
-  let run file =
-    match schema_of file with
-    | `Timeline -> (
-      match Vp_telemetry.Sink.validate_file ~path:file with
-      | Ok n -> Printf.printf "%s: valid vp-timeline-trace/1, %d lines\n" file n
-      | Error e ->
-        Printf.eprintf "%s: invalid trace: %s\n" file e;
-        exit 1)
-    | `Wire -> (
-      match Vp_aggregate.Wire.validate_file ~path:file with
-      | Ok (runs, snapshots) ->
-        Printf.printf "%s: valid vp-profile-wire/1, %d runs, %d snapshots\n"
-          file runs snapshots
-      | Error e ->
-        Printf.eprintf "%s: invalid wire stream: %s\n" file e;
-        exit 1)
-    | `Obs -> (
-      match Vp_obs.Sink.validate_file ~path:file with
-      | Ok n -> Printf.printf "%s: valid vp-obs-trace/1, %d lines\n" file n
-      | Error e ->
-        Printf.eprintf "%s: invalid trace: %s\n" file e;
-        exit 1)
-  in
-  Cmd.v
-    (Cmd.info "trace-check"
-       ~doc:
-         "Validate a trace file against its schema (vp-obs-trace/1, \
-          vp-timeline-trace/1 or vp-profile-wire/1, detected from the first \
-          line).")
-    Term.(const run $ file_arg)
-
-(* --- asm / disasm --- *)
-
-let asm_cmd =
-  let file_arg =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly source.")
-  in
-  let run file backend =
-    let backend = resolve_backend backend in
-    let ic = open_in file in
-    let n = in_channel_length ic in
-    let source = really_input_string ic n in
-    close_in ic;
-    match Vp_prog.Asm.parse_program source with
-    | Error e ->
-      Format.eprintf "%s: %a@." file Vp_prog.Asm.pp_error e;
-      exit 1
-    | Ok p ->
-      let o = Emulator.run_backend ~backend (Program.layout p) in
-      Printf.printf "%s: %d instructions, result %d%s\n" file o.Emulator.instructions
-        o.Emulator.result
-        (if o.Emulator.halted then "" else " (fuel exhausted)")
-  in
-  Cmd.v (Cmd.info "asm" ~doc:"Assemble and run a textual-assembly source file.")
-    Term.(const run $ file_arg $ backend_arg)
-
-let disasm_cmd =
-  let run spec =
-    let w = find_workload spec in
-    print_string (Vp_prog.Asm.print_program (w.Registry.program ()))
-  in
-  Cmd.v
-    (Cmd.info "disasm" ~doc:"Print a workload's program as textual assembly.")
-    Term.(const run $ workload_arg)
-
-(* --- diag --- *)
-
-let diag_cmd =
-  let addr_arg =
-    let doc = "Also disassemble around this address of the rewritten image." in
-    Arg.(value & opt (some int) None & info [ "addr" ] ~docv:"ADDR" ~doc)
-  in
-  let run spec addr backend =
-    let backend = resolve_backend backend in
-    let w = find_workload spec in
-    let img = Program.layout (w.Registry.program ()) in
-    let config = Vacuum.Config.with_backend backend Vacuum.Config.default in
-    let r = Vacuum.Driver.rewrite ~config img in
-    let rimg = Vacuum.Driver.rewritten_image r in
-    let module Image = Vp_prog.Image in
-    let limit = img.Image.orig_limit in
-    let exits = Hashtbl.create 64 in
-    let entries = Hashtbl.create 64 in
-    let bump tbl k =
-      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
-    in
-    let on_retire ~pc ~taken:_ ~next_pc ~mem_addr:_ =
-      if next_pc >= 0 then begin
-        let from_pkg = pc >= limit in
-        let to_pkg = next_pc >= limit in
-        if from_pkg && not to_pkg then bump exits (pc, next_pc);
-        if (not from_pkg) && to_pkg then bump entries (pc, next_pc)
-      end
-    in
-    let o = Emulator.run_backend ~backend ~on_retire rimg in
-    Printf.printf "coverage %.1f%% (%d/%d instructions in packages)\n"
-      (Vp_util.Stats.pct o.Emulator.package_instructions o.Emulator.instructions)
-      o.Emulator.package_instructions o.Emulator.instructions;
-    let top tbl name =
-      let l = Hashtbl.fold (fun k v acc -> (v, k) :: acc) tbl [] in
-      let l = List.sort (fun a b -> compare (fst b) (fst a)) l in
-      Printf.printf "%s (%d distinct):\n" name (List.length l);
-      List.iteri
-        (fun i (count, (src, dst)) ->
-          if i < 12 then begin
-            let sym a =
-              match Image.sym_at rimg a with Some s -> s.Image.name | None -> "?"
-            in
-            Printf.printf "  %8d  0x%x (%s) -> 0x%x (%s)\n" count src (sym src) dst
-              (sym dst)
-          end)
-        l
-    in
-    top exits "exits package->original";
-    top entries "entries original->package";
-    match addr with
-    | None -> ()
-    | Some center ->
-      Printf.printf "\ndisassembly around 0x%x:\n" center;
-      for a = max 0 (center - 10) to min (Image.size rimg - 1) (center + 10) do
-        Printf.printf "%s %5x: %s\n"
-          (if a = center then ">" else " ")
-          a
-          (Vp_isa.Instr.to_string (Image.fetch rimg a))
-      done
-  in
-  Cmd.v
-    (Cmd.info "diag"
-       ~doc:"Run the rewritten binary and histogram package boundary crossings.")
-    Term.(const run $ workload_arg $ addr_arg $ backend_arg)
-
-(* --- verify --- *)
-
-let verify_cmd =
-  let spec_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"WORKLOAD" ~doc:"Workload as BENCH or BENCH/INPUT.")
-  in
-  let run spec no_inf no_link backend =
-    let backend = resolve_backend backend in
-    let w = find_workload spec in
-    let img = Program.layout (w.Registry.program ()) in
-    (* Degradation off: the point of this subcommand is to see the
-       verdict on everything the pipeline wanted to emit, not on what
-       survived the demotion ladder. *)
-    let config =
-      Vacuum.Config.with_backend backend
-        (Vacuum.Config.with_degrade false
-           (config_of ~inference:(not no_inf) ~linking:(not no_link)))
-    in
-    let r = Vacuum.Driver.rewrite ~config img in
-    let report = r.Vacuum.Driver.verification in
-    Format.printf "%s: %a@." (Registry.name w) Vp_package.Verify.pp_report
-      report;
-    if not (Vp_package.Verify.ok report) then exit 4
-  in
-  Cmd.v
-    (Cmd.info "verify"
-       ~doc:
-         "Run the pipeline and the package soundness verifier on every \
-          emitted package; exit 4 if any check fails."
-       ~man:
-         [
-           `S Cmdliner.Manpage.s_exit_status;
-           `P "0 on a sound image, 4 on a verifier rejection, 3 on a \
-               pipeline error.";
-         ])
-    Term.(const run $ spec_arg $ no_inference $ no_linking $ backend_arg)
-
-(* --- chaos --- *)
-
-let chaos_cmd =
-  let spec_arg =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"WORKLOAD" ~doc:"Workload as BENCH or BENCH/INPUT.")
-  in
-  let seeds_arg =
-    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds per fault plan.")
-  in
-  let seed_arg =
-    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"S" ~doc:"Root seed of the matrix.")
-  in
-  let report_arg =
-    let doc = "Write the cell table (plus failures) to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
-  in
-  let run spec seeds seed jobs report_file backend =
-    let backend = resolve_backend backend in
-    let w = find_workload spec in
-    let img = Program.layout (w.Registry.program ()) in
-    let result =
-      Vacuum.Chaos.matrix
-        ~config:(Vacuum.Config.with_backend backend Vacuum.Config.default)
-        ~seeds ~seed ~jobs:(resolve_jobs jobs) img
-    in
-    let table = Vacuum.Chaos.table result in
-    Printf.printf "%s: %d fault plans x %d seeds\n%s\n" (Registry.name w)
-      (List.length Vp_fault.Plan.presets) seeds table;
-    let failed =
-      List.filter
-        (fun (c : Vacuum.Chaos.cell) ->
-          not (c.Vacuum.Chaos.equivalent && c.Vacuum.Chaos.verified))
-        result.Vacuum.Chaos.cells
-    in
-    (match report_file with
-    | None -> ()
-    | Some path ->
-      let oc = open_out path in
-      Printf.fprintf oc "%s: %d fault plans x %d seeds, root seed %d\n%s\n"
-        (Registry.name w)
-        (List.length Vp_fault.Plan.presets)
-        seeds seed table;
-      List.iter
-        (fun (c : Vacuum.Chaos.cell) ->
-          Printf.fprintf oc "FAILED: %s\n"
-            (Format.asprintf "%a seed-index %d%s%s" Vp_fault.Plan.pp
-               c.Vacuum.Chaos.plan c.Vacuum.Chaos.seed_index
-               (if c.Vacuum.Chaos.verified then "" else " [verifier rejection]")
-               (if c.Vacuum.Chaos.equivalent then "" else " [oracle mismatch]")))
-        failed;
-      close_out oc;
-      Printf.printf "report -> %s\n" path);
-    if failed <> [] then begin
-      Printf.eprintf "chaos: %d of %d cells failed the oracle or verifier\n"
-        (List.length failed)
-        (List.length result.Vacuum.Chaos.cells);
-      exit 5
-    end
-  in
-  Cmd.v
-    (Cmd.info "chaos"
-       ~doc:
-         "Run the seed x fault-plan chaos matrix: every preset fault plan, \
-          asserting the differential oracle on each rewritten image; exit 5 \
-          on any cell failure."
-       ~man:
-         [
-           `S Cmdliner.Manpage.s_exit_status;
-           `P "0 when every cell is equivalent and verified, 5 otherwise, 3 \
-               on a pipeline error.";
-         ])
-    Term.(
-      const run $ spec_arg $ seeds_arg $ seed_arg $ jobs_arg $ report_arg
-      $ backend_arg)
-
-(* --- machine --- *)
-
-let machine_cmd =
-  let run () = Format.printf "%a@." Vp_cpu.Config.pp Vp_cpu.Config.default in
-  Cmd.v (Cmd.info "machine" ~doc:"Print the simulated EPIC machine model (Table 2).")
-    Term.(const run $ const ())
-
-let () =
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (Some Logs.Warning);
-  let doc = "Vacuum Packing: phase-based post-link optimization" in
-  let info = Cmd.info "vpack" ~version:"1.0.0" ~doc in
-  let cmd =
-    Cmd.group info
-      [
-        list_cmd; run_cmd; phases_cmd; extract_cmd; aggregate_cmd; report_cmd;
-        stats_cmd; timeline_cmd; trace_check_cmd; verify_cmd; chaos_cmd;
-        diag_cmd; asm_cmd; disasm_cmd; machine_cmd;
-      ]
-  in
-  (* Pipeline failures carry a structured payload; render it and exit
-     cleanly instead of dumping a backtrace.  Usage errors — an unknown
-     subcommand or bad flag (cmdliner's own parse failures, routed to
-     exit 2 via [~term_err]) and an unknown or ambiguous workload (the
-     [cli] stage) — all land on exit 2 with a pointer at the usage. *)
-  match Cmd.eval ~catch:false ~term_err:2 cmd with
-  | code -> exit code
-  | exception Vacuum.Error.Error e when e.Vacuum.Error.stage = "cli" ->
-    Format.eprintf "vpack: %a@." Vacuum.Error.pp e;
-    Format.eprintf "Usage: vpack COMMAND …; try 'vpack --help'.@.";
-    exit 2
-  | exception Vacuum.Error.Error e ->
-    Format.eprintf "vpack: %a@." Vacuum.Error.pp e;
-    exit 3
+let () = Vp_cli.Vpack.main ()

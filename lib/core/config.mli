@@ -12,6 +12,31 @@
 
 type t
 
+type session = {
+  epoch_fuel : int;
+      (** retired instructions per epoch slice; 0 (the default) means
+          auto — the baseline run's instruction count divided by
+          [epochs], so a default session spans the whole program *)
+  epochs : int;  (** default epoch count for [Session.run] (4) *)
+  cache_pct : float;
+      (** package cache budget as a percentage of the original image's
+          static instruction count — the paper's Table 3 expansion
+          budget repurposed as the cache-size knob (30.0) *)
+  drift_threshold : float;
+      (** [Similarity.score] at or above which a freshly detected phase
+          is classified as a cached one re-observed rather than drift
+          (0.5) *)
+  patch_grace : int;
+      (** extra instructions the session may run past an epoch boundary
+          to reach a quiescent point before hot-patching (50_000) *)
+  oracle : bool;
+      (** run the per-epoch differential oracle: each activated image
+          is executed standalone and must be architecturally
+          equivalent to the original (true) *)
+}
+
+val default_session : session
+
 val v :
   ?detector:Vp_hsd.Config.t ->
   ?history_size:int ->
@@ -27,6 +52,7 @@ val v :
   ?telemetry:Vp_telemetry.config ->
   ?fault:Vp_fault.Plan.t ->
   ?degrade:bool ->
+  ?session:session ->
   unit ->
   t
 (** Every argument defaults to the corresponding {!default} field. *)
@@ -91,6 +117,10 @@ val degrade : t -> bool
     rejections demote — drop the package, then the region, then fall
     back to the unmodified image — instead of raising. *)
 
+val session : t -> session
+(** The online re-optimization loop's knobs ({!default_session} by
+    default); only [Vacuum.Session] reads them. *)
+
 (** {1 Functional setters} *)
 
 val with_detector : Vp_hsd.Config.t -> t -> t
@@ -111,6 +141,19 @@ val with_fault : Vp_fault.Plan.t -> t -> t
 val without_fault : t -> t
 val with_degrade : bool -> t -> t
 
+val with_session : session -> t -> t
+val map_session : (session -> session) -> t -> t
+
 val map_identify : (Vp_region.Identify.config -> Vp_region.Identify.config) -> t -> t
 (** Rewrite the identify sub-configuration in place — the common case
     for experiment variants that tweak one nested knob. *)
+
+(** {1 Rendering} *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented JSON rendering of every effective field, including the
+    [session.*] knobs — what `vpack stats` prints. *)
+
+val to_json : t -> string
+(** The same tree as {!pp} on a single line: a valid JSON object for
+    machine consumers (epoch reports, trace tooling). *)

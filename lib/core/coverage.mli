@@ -21,3 +21,10 @@ type t = {
 }
 
 val measure : ?config:Config.t -> Driver.rewrite -> t
+
+val lanes_of_image : Vp_prog.Image.t -> int array * string array
+(** pc -> residency lane, plus lane names.  Lane 0 is the original
+    program ("orig"); lane k > 0 is the k-th symbol appended at or
+    above [orig_limit] (one lane per emitted package), named by its
+    symbol.  Shared with [Vacuum.Session], whose cache-eviction signal
+    integrates these lanes per epoch. *)

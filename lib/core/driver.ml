@@ -204,71 +204,34 @@ let profile ?(config = Config.default) image =
    last resort every package, leaving the image unmodified.  A
    demoted result is always still a sound result. *)
 
-let rewrite_of_profile ?(config = Config.default) source =
-  let obs = Config.obs config in
-  let degrade = Config.degrade config in
-  let plan = Config.fault config in
+let make_demoter obs =
   let demotions = ref [] in
   let demote rung error =
     demotions := { rung; error } :: !demotions;
     Counter.bump obs ("degrade." ^ rung_name rung) 1;
     Log.warn (fun m -> m "%a" pp_demotion { rung; error })
   in
-  let wrap stage f =
-    (* In degraded mode any stage failure becomes a payload; typed
-       pipeline errors keep their context, anything else is wrapped. *)
-    try Ok (f ()) with
-    | Error.Error e -> Result.Error e
-    | exn when degrade ->
-      Result.Error (Error.v ~stage "%s" (Printexc.to_string exn))
-  in
-  let regions =
-    Span.record obs "regions" ~work:(List.length) @@ fun () ->
-    List.filter_map
-      (fun (phase : Phase_log.phase) ->
-        match
-          wrap "identify" (fun () ->
-              Identify.identify_with_stats ~config:(Config.identify config)
-                source.image
-                phase.Phase_log.representative)
-        with
-        | Ok (region, stats) -> Some { phase; region; stats }
-        | Result.Error e when degrade ->
-          demote Drop_region e;
-          None
-        | Result.Error e -> raise (Error.Error e))
-      (Phase_log.phases source.log)
-  in
-  List.iter
-    (fun info ->
-      Counter.bump obs "identify.hot_blocks" info.stats.Identify.hot_blocks;
-      Counter.bump obs "identify.inference_rounds"
-        info.stats.Identify.inference_rounds;
-      Counter.bump obs "identify.grown_blocks" info.stats.Identify.grown_blocks)
-    regions;
-  let packages =
-    Span.record obs "packages" ~work:(List.length) @@ fun () ->
-    List.concat_map
-      (fun info ->
-        match
-          wrap "build" (fun () ->
-              Build.build info.region
-                ~prefix:(Printf.sprintf "pkg$p%d" info.phase.Phase_log.id))
-        with
-        | Ok pkgs -> pkgs
-        | Result.Error e when degrade ->
-          demote Drop_region e;
-          []
-        | Result.Error e -> raise (Error.Error e))
-      regions
-  in
-  List.iter
-    (fun (p : Pkg.t) ->
-      Counter.bump obs "build.blocks" (List.length p.Pkg.blocks);
-      Counter.bump obs "build.exit_blocks"
-        (List.length
-           (List.filter (fun (b : Pkg.block) -> b.Pkg.is_exit) p.Pkg.blocks)))
-    packages;
+  (demotions, demote)
+
+(* In degraded mode any stage failure becomes a payload; typed
+   pipeline errors keep their context, anything else is wrapped. *)
+let wrap_stage ~degrade stage f =
+  try Ok (f ()) with
+  | Error.Error e -> Result.Error e
+  | exn when degrade ->
+    Result.Error (Error.v ~stage "%s" (Printexc.to_string exn))
+
+(* The packaging back half — screening, linking, emission,
+   verification, and the demotion ladder over all of them — factored
+   out of [rewrite_of_profile] so the session loop can re-emit its
+   package cache against the pristine original image each epoch.
+   [demote] records rung decisions into the caller's ledger;
+   [on_screened] fires between screening and emission (the one-shot
+   driver injects its per-region bookkeeping there). *)
+let assemble_parts ~config ~demote ~on_screened ~original packages =
+  let obs = Config.obs config in
+  let degrade = Config.degrade config in
+  let plan = Config.fault config in
   (* Package screening: structural validity plus the plan's resource
      budgets.  Per-package overruns drop that package; the expansion
      budget drops packages largest-first until the total fits. *)
@@ -313,8 +276,7 @@ let rewrite_of_profile ?(config = Config.default) source =
       let budget =
         int_of_float
           (pct /. 100.
-          *. float_of_int (Vp_prog.Image.static_instruction_count source.image)
-          )
+          *. float_of_int (Vp_prog.Image.static_instruction_count original))
       in
       let total ps = List.fold_left (fun a p -> a + Pkg.size p) 0 ps in
       let rec trim ps =
@@ -355,25 +317,7 @@ let rewrite_of_profile ?(config = Config.default) source =
     | _ -> pkgs
   in
   let screened = screen packages in
-  (* A region whose every package was screened away is itself gone —
-     unless screening already fell back wholesale, which subsumes the
-     per-region accounting. *)
-  if
-    not
-      (List.exists (fun d -> d.rung = Fallback_image) !demotions)
-  then
-    List.iter
-      (fun info ->
-        let rid = info.phase.Phase_log.id in
-        let had =
-          List.exists (fun (p : Pkg.t) -> p.Pkg.region_id = rid) packages
-        and kept =
-          List.exists (fun (p : Pkg.t) -> p.Pkg.region_id = rid) screened
-        in
-        if had && not kept then
-          demote Drop_region
-            (Error.v ~stage:"build" "region %d lost all its packages" rid))
-      regions;
+  on_screened screened;
   let transform ~protected pkg =
     Vp_opt.Opt.transform ~config:(Config.opt config) ~protected pkg
   in
@@ -391,7 +335,7 @@ let rewrite_of_profile ?(config = Config.default) source =
     Counter.bump obs "link.greedy_fallbacks"
       link_stats.Linking.greedy_fallbacks;
     Counter.bump obs "link.links" link_stats.Linking.links_resolved;
-    Emit.of_groups ~transform source.image groups
+    Emit.of_groups ~transform original groups
   in
   (* The package id is a prefix of every label it emits, so a label-
      carrying emission error can be walked back to its package. *)
@@ -404,7 +348,7 @@ let rewrite_of_profile ?(config = Config.default) source =
           p.Pkg.id = l || String.starts_with ~prefix:(p.Pkg.id ^ "$") l)
         pkgs
   in
-  let verify emitted = Verify.check ~original:source.image emitted in
+  let verify emitted = Verify.check ~original emitted in
   let fallback e =
     demote Fallback_image e;
     let emitted = link_and_emit [] in
@@ -412,7 +356,7 @@ let rewrite_of_profile ?(config = Config.default) source =
   in
   let rec emit_verified pkgs budget =
     let attempt =
-      if degrade then wrap "emit" (fun () -> link_and_emit pkgs)
+      if degrade then wrap_stage ~degrade "emit" (fun () -> link_and_emit pkgs)
       else Ok (link_and_emit pkgs)
     in
     match attempt with
@@ -467,6 +411,95 @@ let rewrite_of_profile ?(config = Config.default) source =
     Span.record obs "emit"
       ~work:(fun ((e : Emit.result), _) -> e.Emit.package_instructions)
     @@ fun () -> emit_verified screened (List.length screened + 1)
+  in
+  (screened, emitted, verification)
+
+type assembly = {
+  survivors : Pkg.t list;
+  assembled : Emit.result;
+  checks : Verify.report;
+  drops : demotion list;
+}
+
+let assemble ?(config = Config.default) ~original packages =
+  let demotions, demote = make_demoter (Config.obs config) in
+  let survivors, assembled, checks =
+    assemble_parts ~config ~demote ~on_screened:ignore ~original packages
+  in
+  { survivors; assembled; checks; drops = List.rev !demotions }
+
+let rewrite_of_profile ?(config = Config.default) source =
+  let obs = Config.obs config in
+  let degrade = Config.degrade config in
+  let demotions, demote = make_demoter obs in
+  let wrap stage f = wrap_stage ~degrade stage f in
+  let regions =
+    Span.record obs "regions" ~work:(List.length) @@ fun () ->
+    List.filter_map
+      (fun (phase : Phase_log.phase) ->
+        match
+          wrap "identify" (fun () ->
+              Identify.identify_with_stats ~config:(Config.identify config)
+                source.image
+                phase.Phase_log.representative)
+        with
+        | Ok (region, stats) -> Some { phase; region; stats }
+        | Result.Error e when degrade ->
+          demote Drop_region e;
+          None
+        | Result.Error e -> raise (Error.Error e))
+      (Phase_log.phases source.log)
+  in
+  List.iter
+    (fun info ->
+      Counter.bump obs "identify.hot_blocks" info.stats.Identify.hot_blocks;
+      Counter.bump obs "identify.inference_rounds"
+        info.stats.Identify.inference_rounds;
+      Counter.bump obs "identify.grown_blocks" info.stats.Identify.grown_blocks)
+    regions;
+  let packages =
+    Span.record obs "packages" ~work:(List.length) @@ fun () ->
+    List.concat_map
+      (fun info ->
+        match
+          wrap "build" (fun () ->
+              Build.build info.region
+                ~prefix:(Printf.sprintf "pkg$p%d" info.phase.Phase_log.id))
+        with
+        | Ok pkgs -> pkgs
+        | Result.Error e when degrade ->
+          demote Drop_region e;
+          []
+        | Result.Error e -> raise (Error.Error e))
+      regions
+  in
+  List.iter
+    (fun (p : Pkg.t) ->
+      Counter.bump obs "build.blocks" (List.length p.Pkg.blocks);
+      Counter.bump obs "build.exit_blocks"
+        (List.length
+           (List.filter (fun (b : Pkg.block) -> b.Pkg.is_exit) p.Pkg.blocks)))
+    packages;
+  let on_screened screened =
+    (* A region whose every package was screened away is itself gone —
+       unless screening already fell back wholesale, which subsumes the
+       per-region accounting. *)
+    if not (List.exists (fun d -> d.rung = Fallback_image) !demotions) then
+      List.iter
+        (fun info ->
+          let rid = info.phase.Phase_log.id in
+          let had =
+            List.exists (fun (p : Pkg.t) -> p.Pkg.region_id = rid) packages
+          and kept =
+            List.exists (fun (p : Pkg.t) -> p.Pkg.region_id = rid) screened
+          in
+          if had && not kept then
+            demote Drop_region
+              (Error.v ~stage:"build" "region %d lost all its packages" rid))
+        regions
+  in
+  let screened, emitted, verification =
+    assemble_parts ~config ~demote ~on_screened ~original:source.image packages
   in
   {
     source;

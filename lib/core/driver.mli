@@ -88,6 +88,24 @@ val with_snapshots :
     snapshots — so every downstream consumer sees a log built the same
     way the pipeline builds it. *)
 
+type assembly = {
+  survivors : Vp_package.Pkg.t list;  (** packages that survived screening *)
+  assembled : Vp_package.Emit.result;
+  checks : Vp_package.Verify.report;
+  drops : demotion list;  (** ladder steps taken, in order *)
+}
+
+val assemble :
+  ?config:Config.t -> original:Vp_prog.Image.t -> Vp_package.Pkg.t list -> assembly
+(** The packaging back half as a standalone primitive: screen the
+    given packages (structural validity plus any fault-plan resource
+    budgets, measured against [original]), link, emit against the
+    pristine [original] image, and verify, walking the demotion ladder
+    exactly as {!rewrite_of_profile} does.  [Vacuum.Session] calls
+    this every epoch to re-emit its package cache; the one-shot driver
+    is now a composition of {!profile}, region/package construction,
+    and this. *)
+
 val rewrite_of_profile : ?config:Config.t -> profile -> rewrite
 
 val rewrite : ?config:Config.t -> Vp_prog.Image.t -> rewrite

@@ -23,6 +23,7 @@ type t = {
   rewrites : (string * string, Driver.rewrite) Hashtbl.t;
   coverages : (string * string, Coverage.t) Hashtbl.t;
   fleets : (string * string, Fleet.t) Hashtbl.t;
+  sessions : (string * string, Session.report) Hashtbl.t;
   baselines : (string, Pipeline.stats) Hashtbl.t;
   optimizeds : (string * string, Pipeline.stats) Hashtbl.t;
   mutable metrics : metric list;
@@ -44,6 +45,7 @@ let create ?(jobs = Pool.default_jobs ()) ?(profile_config = Config.default)
     rewrites = Hashtbl.create 64;
     coverages = Hashtbl.create 64;
     fleets = Hashtbl.create 16;
+    sessions = Hashtbl.create 16;
     baselines = Hashtbl.create 32;
     optimizeds = Hashtbl.create 64;
     metrics = [];
@@ -133,6 +135,19 @@ let fleet ?(runs = 64) ?(seed = 42) t spec =
       let base = profile t spec in
       Fleet.aggregate ~config:t.profile_config ~base
         (Fleet.emulate_runs ~config:t.profile_config ~seed ~runs base))
+
+let session ?epochs t spec cell =
+  let key =
+    match epochs with
+    | None -> cell.key
+    | Some n -> Printf.sprintf "%s:e%d" cell.key n
+  in
+  memo t t.sessions ~kind:"session"
+    ~label:(spec.name ^ " [" ^ key ^ "]")
+    ~instructions:(fun (r : Session.report) -> r.Session.instructions)
+    (spec.name, key)
+    (fun () ->
+      Session.run ?epochs (Session.create ~config:cell.config (image t spec)))
 
 let baseline t spec ~cpu =
   memo t t.baselines ~kind:"timing" ~label:(spec.name ^ " [baseline]")
@@ -226,8 +241,9 @@ let kind_order = function
   | "rewrite" -> 2
   | "coverage" -> 3
   | "fleet" -> 4
-  | "timing" -> 5
-  | _ -> 6
+  | "session" -> 5
+  | "timing" -> 6
+  | _ -> 7
 
 let summary_table t =
   let ms =

@@ -77,6 +77,12 @@ val fleet : ?runs:int -> ?seed:int -> t -> spec -> Fleet.t
     against the profile's phase log.  Cache key is
     [(spec, runs, seed)]. *)
 
+val session : ?epochs:int -> t -> spec -> cell -> Session.report
+(** The memoised online re-optimization run for a workload under a
+    cell's configuration: {!Session.run} over a fresh session on the
+    workload's image.  [epochs] overrides the configured epoch count
+    and is part of the cache key. *)
+
 val baseline : t -> spec -> cpu:Vp_cpu.Config.t -> Vp_cpu.Pipeline.stats
 (** Timing of the original image, shared across cells (the machine
     model is uniform over the matrix). *)

@@ -43,9 +43,12 @@ let unresolved code pc =
     Vp_util.Error.failf ~stage:"emulator" ~label:l "unresolved label %s" l
   | _ -> assert false
 
-let run_decoded ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
-    ?on_event ?on_retire (d : Decode.t) =
-  let st = State.create ~mem_words d.Decode.image in
+(* One bounded slice of decoded execution over an external [st]: starts
+   from the state's current pc, retires at most [fuel] instructions, and
+   leaves the final pc in the state so a later slice (possibly over a
+   different image sharing the same address space) resumes exactly where
+   this one stopped.  Counts in the outcome cover only this slice. *)
+let decoded_slice st ~fuel ?on_branch ?on_event ?on_retire (d : Decode.t) =
   let instructions = ref 0 in
   let package_instructions = ref 0 in
   let cond_branches = ref 0 in
@@ -150,17 +153,20 @@ let run_decoded ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
     | None -> ());
     if not !halted then State.set_pc st !next
   done;
-  let outcome =
-    {
-      instructions = !instructions;
-      package_instructions = !package_instructions;
-      cond_branches = !cond_branches;
-      halted = !halted;
-      checksum = State.checksum st;
-      result = State.reg st Reg.ret_value;
-      final_pc = State.pc st;
-    }
-  in
+  {
+    instructions = !instructions;
+    package_instructions = !package_instructions;
+    cond_branches = !cond_branches;
+    halted = !halted;
+    checksum = State.checksum st;
+    result = State.reg st Reg.ret_value;
+    final_pc = State.pc st;
+  }
+
+let run_decoded ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
+    ?on_event ?on_retire (d : Decode.t) =
+  let st = State.create ~mem_words d.Decode.image in
+  let outcome = decoded_slice st ~fuel ?on_branch ?on_event ?on_retire d in
   (* The state never escapes this function; recycle its memory array. *)
   State.release st;
   outcome
@@ -169,49 +175,52 @@ let run ?fuel ?mem_words ?on_branch ?on_event ?on_retire image =
   run_decoded ?fuel ?mem_words ?on_branch ?on_event ?on_retire
     (Decode.of_image image)
 
+(* Fuse the two retirement channels into the compiler's single sink,
+   preserving the decoded loop's order: [on_event] (boxed record)
+   first, then [on_retire] (plain ints).  With neither present the
+   sink is [None] and exec selects the observer-free compiled
+   variant. *)
+let fused_sink image ~on_event ~on_retire =
+  match (on_event, on_retire) with
+  | None, None -> None
+  | _ ->
+    let code = image.Image.code in
+    Some
+      (fun ~pc ~taken ~next_pc ~mem_addr ->
+        (match on_event with
+        | Some f ->
+          f
+            {
+              pc;
+              instr = code.(pc);
+              taken;
+              next_pc;
+              mem_addr = (if mem_addr < 0 then None else Some mem_addr);
+            }
+        | None -> ());
+        match on_retire with
+        | Some f -> f ~pc ~taken ~next_pc ~mem_addr
+        | None -> ())
+
+let compiled_slice st ~fuel ?on_branch ?on_event ?on_retire (c : Compile.t) =
+  let image = (Compile.decode c).Decode.image in
+  let sink = fused_sink image ~on_event ~on_retire in
+  let r = Compile.exec c st ~fuel ?on_branch ?sink () in
+  {
+    instructions = r.Compile.instructions;
+    package_instructions = r.Compile.package_instructions;
+    cond_branches = r.Compile.cond_branches;
+    halted = r.Compile.halted;
+    checksum = State.checksum st;
+    result = State.reg st Reg.ret_value;
+    final_pc = State.pc st;
+  }
+
 let run_compiled ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
     ?on_event ?on_retire (c : Compile.t) =
   let image = (Compile.decode c).Decode.image in
   let st = State.create ~mem_words image in
-  (* Fuse the two retirement channels into the compiler's single sink,
-     preserving the decoded loop's order: [on_event] (boxed record)
-     first, then [on_retire] (plain ints).  With neither present the
-     sink is [None] and exec selects the observer-free compiled
-     variant. *)
-  let sink =
-    match (on_event, on_retire) with
-    | None, None -> None
-    | _ ->
-      let code = image.Image.code in
-      Some
-        (fun ~pc ~taken ~next_pc ~mem_addr ->
-          (match on_event with
-          | Some f ->
-            f
-              {
-                pc;
-                instr = code.(pc);
-                taken;
-                next_pc;
-                mem_addr = (if mem_addr < 0 then None else Some mem_addr);
-              }
-          | None -> ());
-          match on_retire with
-          | Some f -> f ~pc ~taken ~next_pc ~mem_addr
-          | None -> ())
-  in
-  let r = Compile.exec c st ~fuel ?on_branch ?sink () in
-  let outcome =
-    {
-      instructions = r.Compile.instructions;
-      package_instructions = r.Compile.package_instructions;
-      cond_branches = r.Compile.cond_branches;
-      halted = r.Compile.halted;
-      checksum = State.checksum st;
-      result = State.reg st Reg.ret_value;
-      final_pc = State.pc st;
-    }
-  in
+  let outcome = compiled_slice st ~fuel ?on_branch ?on_event ?on_retire c in
   State.release st;
   outcome
 
@@ -233,9 +242,7 @@ let all_backends = [ Reference; Decoded; Compiled ]
 (* The original boxed interpreter, kept verbatim as the executable
    specification: the differential tests re-run every workload through
    it and require bit-identical outcomes from the decoded core. *)
-let run_reference ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
-    ?on_event image =
-  let st = State.create ~mem_words image in
+let reference_slice st ~fuel ?on_branch ?on_event image =
   let instructions = ref 0 in
   let package_instructions = ref 0 in
   let cond_branches = ref 0 in
@@ -309,6 +316,37 @@ let run_reference ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
     final_pc = State.pc st;
   }
 
+let run_reference ?(fuel = 200_000_000) ?(mem_words = 1 lsl 20) ?on_branch
+    ?on_event image =
+  let st = State.create ~mem_words image in
+  reference_slice st ~fuel ?on_branch ?on_event image
+
+(* The reference interpreter has no native [on_retire]; adapt it onto
+   the event stream so the backend choice is transparent to retire-feed
+   consumers (telemetry, the timing model, session depth tracking). *)
+let adapt_retire ~on_event ~on_retire =
+  match on_retire with
+  | None -> on_event
+  | Some r ->
+    Some
+      (fun e ->
+        (match on_event with Some f -> f e | None -> ());
+        r ~pc:e.pc ~taken:e.taken ~next_pc:e.next_pc
+          ~mem_addr:(match e.mem_addr with Some a -> a | None -> -1))
+
+let run_slice ?(backend = Decoded) ~state ~fuel ?on_branch ?on_event ?on_retire
+    image =
+  match backend with
+  | Decoded ->
+    decoded_slice state ~fuel ?on_branch ?on_event ?on_retire
+      (Decode.of_image image)
+  | Compiled ->
+    compiled_slice state ~fuel ?on_branch ?on_event ?on_retire
+      (Compile.of_image image)
+  | Reference ->
+    let on_event = adapt_retire ~on_event ~on_retire in
+    reference_slice state ~fuel ?on_branch ?on_event image
+
 let run_backend ?(backend = Decoded) ?fuel ?mem_words ?on_branch ?on_event
     ?on_retire image =
   match backend with
@@ -319,19 +357,7 @@ let run_backend ?(backend = Decoded) ?fuel ?mem_words ?on_branch ?on_event
     run_compiled ?fuel ?mem_words ?on_branch ?on_event ?on_retire
       (Compile.of_image image)
   | Reference ->
-    (* The boxed interpreter has no [on_retire] channel; adapt it onto
-       the event stream so the backend choice is transparent to
-       retire-feed consumers (telemetry, the timing model). *)
-    let on_event =
-      match on_retire with
-      | None -> on_event
-      | Some r ->
-        Some
-          (fun e ->
-            (match on_event with Some f -> f e | None -> ());
-            r ~pc:e.pc ~taken:e.taken ~next_pc:e.next_pc
-              ~mem_addr:(match e.mem_addr with Some a -> a | None -> -1))
-    in
+    let on_event = adapt_retire ~on_event ~on_retire in
     run_reference ?fuel ?mem_words ?on_branch ?on_event image
 
 let aggregate_branch_profile ?fuel ?mem_words image =

@@ -107,6 +107,27 @@ val run_backend :
     native [on_retire]; it is adapted onto the event stream, so every
     backend serves the same observation channels. *)
 
+val run_slice :
+  ?backend:backend ->
+  state:State.t ->
+  fuel:int ->
+  ?on_branch:(pc:int -> taken:bool -> unit) ->
+  ?on_event:(event -> unit) ->
+  ?on_retire:(pc:int -> taken:bool -> next_pc:int -> mem_addr:int -> unit) ->
+  Vp_prog.Image.t ->
+  outcome
+(** One bounded slice of execution over an external {!State.t}: resume
+    from the state's current pc, retire at most [fuel] instructions,
+    and leave the final pc in the state so the next slice continues
+    exactly where this one stopped.  The outcome's counts cover only
+    this slice; [checksum]/[result] read the (cumulative) state.  The
+    caller owns the state — [run_slice] neither creates nor releases
+    it, so a long-running session can thread one machine state through
+    many slices, switching images between slices (hot patching) as
+    long as every image shares the address space of the one the state
+    was created for.  Bit-identical across backends at arbitrary fuel
+    boundaries, like {!run_backend}. *)
+
 val run_reference :
   ?fuel:int ->
   ?mem_words:int ->

@@ -8,6 +8,7 @@ type result = {
   groups : Linking.group list;
   launch_patches : (int * int) list;
   package_instructions : int;
+  branch_map : (int * int) list;
 }
 
 (* One block's instruction stream; [next] is the label of the block
@@ -140,12 +141,39 @@ let of_groups ?(transform = fun ~protected:_ p -> p) image groups =
   (match Image.validate image'' with
   | Ok () -> ()
   | Error e -> Vp_util.Error.failf ~stage:"emit" "invalid rewritten image: %s" e);
+  (* Emitted conditional branch -> original branch pc.  Block bodies
+     are straight-line, so a [Branch] terminator's [Br] sits exactly
+     [|body|] instructions past the block label; the owning site (same
+     block label) names the branch it was copied from.  Blocks without
+     a site (e.g. synthesized by a transform) stay unmapped — profiles
+     taken over the rewritten image simply drop those retirements. *)
+  let branch_map =
+    List.concat_map
+      (fun (p : Pkg.t) ->
+        List.filter_map
+          (fun (b : Pkg.block) ->
+            match b.Pkg.term with
+            | Pkg.Branch _ -> (
+              match
+                List.find_opt
+                  (fun (s : Pkg.site) -> s.Pkg.block_label = b.Pkg.label)
+                  p.Pkg.sites
+              with
+              | Some s ->
+                Some (lookup b.Pkg.label + List.length b.Pkg.body, s.Pkg.orig_pc)
+              | None -> None)
+            | _ -> None)
+          p.Pkg.blocks)
+      final
+    |> List.sort compare
+  in
   {
     image = image'';
     packages = final;
     groups;
     launch_patches;
     package_instructions = total;
+    branch_map;
   }
 
 let emit ?linking ?transform image pkgs =

@@ -18,6 +18,12 @@ type result = {
   groups : Linking.group list;
   launch_patches : (int * int) list;  (** original address -> package address *)
   package_instructions : int;  (** emitted package code size *)
+  branch_map : (int * int) list;
+      (** emitted conditional-branch address -> original branch pc, one
+          entry per emitted [Br] whose block carries a site record;
+          sorted.  This is the decoder ring that lets a profile taken
+          over the rewritten image be folded back into original-image
+          pc space (session drift detection). *)
 }
 
 val of_groups :

@@ -15,6 +15,7 @@ type series = { sname : string; mutable data : int array; mutable len : int }
 type t = {
   on : bool;
   interval : int;
+  name : string option;
   mutable series : series array;
   mutable scount : int;
   sindex : (string, int) Hashtbl.t;
@@ -25,10 +26,11 @@ type t = {
   mutable ecount : int;
 }
 
-let make ~on ~interval =
+let make ?name ~on ~interval () =
   {
     on;
     interval;
+    name;
     series = [||];
     scount = 0;
     sindex = Hashtbl.create 16;
@@ -38,19 +40,20 @@ let make ~on ~interval =
     ecount = 0;
   }
 
-let disabled = make ~on:false ~interval:default_interval
+let disabled = make ~on:false ~interval:default_interval ()
 
-let create (c : config) =
+let create ?name (c : config) =
   if not c.enabled then disabled
   else begin
     if c.interval <= 0 then
       Vp_util.Error.failf ~stage:"telemetry"
         "Telemetry.create: interval must be positive, got %d" c.interval;
-    make ~on:true ~interval:c.interval
+    make ?name ~on:true ~interval:c.interval ()
   end
 
 let enabled t = t.on
 let interval_length t = t.interval
+let name t = t.name
 
 let intervals t =
   let n = ref 0 in
@@ -201,12 +204,21 @@ module Sink = struct
           "{\"type\": \"meta\", \"schema\": \"vp-timeline-trace/1\", \
            \"interval\": %d, \"intervals\": %d}\n"
           interval total_intervals;
+        (* A named timeline (one session epoch, say) stamps every one
+           of its records with an extra ["run"] key; the validator only
+           checks required keys, so stamped and unstamped traces share
+           the vp-timeline-trace/1 schema. *)
+        let run_field t =
+          match t.name with
+          | None -> ""
+          | Some n -> Printf.sprintf "\"run\": \"%s\", " (json_escape n)
+        in
         List.iter
           (fun t ->
             for i = 0 to t.scount - 1 do
               let s = t.series.(i) in
-              Printf.fprintf oc "{\"type\": \"series\", \"name\": \"%s\", \"values\": ["
-                (json_escape s.sname);
+              Printf.fprintf oc "{\"type\": \"series\", %s\"name\": \"%s\", \"values\": ["
+                (run_field t) (json_escape s.sname);
               for j = 0 to s.len - 1 do
                 if j > 0 then output_string oc ", ";
                 output_string oc (string_of_int s.data.(j))
@@ -218,9 +230,9 @@ module Sink = struct
           (fun t ->
             for i = 0 to t.ecount - 1 do
               Printf.fprintf oc
-                "{\"type\": \"event\", \"kind\": \"%s\", \"at\": %d, \
+                "{\"type\": \"event\", %s\"kind\": \"%s\", \"at\": %d, \
                  \"value\": %d}\n"
-                (json_escape t.ekind.(i))
+                (run_field t) (json_escape t.ekind.(i))
                 t.eat.(i) t.evalue.(i)
             done)
           live)

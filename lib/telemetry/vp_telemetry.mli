@@ -44,13 +44,20 @@ type t
 val disabled : t
 (** The shared no-op timeline: every operation returns immediately. *)
 
-val create : config -> t
+val create : ?name:string -> config -> t
 (** A fresh timeline for one run; returns {!disabled} when
     [config.enabled] is false (so [create] composes with
-    [Vacuum.Config] without an option). *)
+    [Vacuum.Config] without an option).  [name] labels the run —
+    session epochs use ["epoch-K"] — and is written as an extra
+    ["run"] key on every series/event record the trace writer emits
+    for this timeline (schema-compatible: vp-timeline-trace/1 readers
+    only require the base keys). *)
 
 val enabled : t -> bool
 val interval_length : t -> int
+
+val name : t -> string option
+(** The run label given at {!create} time, if any. *)
 
 val intervals : t -> int
 (** Completed intervals recorded so far: the length of the longest
