@@ -15,7 +15,7 @@
 
    Experiments: table1 table2 fig8 table3 fig9 fig10
    baseline-aggregate aggregate ablation-bbb ablation-growth
-   ablation-sink ablation-superblock micro.
+   ablation-sink ablation-superblock session micro overhead.
 
    The workload x configuration matrix is executed up front by
    Vacuum.Engine on a domain pool (--jobs N, default = the machine's
@@ -665,10 +665,59 @@ let session_exp workloads =
    the --json export. *)
 let micro_results : (string * float * float option) list ref = ref []
 
+(* Ditto for the last [overhead] run. *)
+let overhead_results : (string * float * float option) list ref = ref []
+
+(* Run a Bechamel test tree and return its OLS estimates as sorted
+   (name, ns/run, r^2) rows.  Hashtbl.iter order depends on internal
+   hashing; sorting by stage name keeps the table (and the JSON
+   export) stable run to run. *)
+let bechamel_rows ~quick tests =
+  let open Bechamel in
+  let open Toolkit in
+  let quota = if quick then Time.second 0.25 else Time.second 1.0 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~stabilize:false ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols_result acc ->
+      let nanos =
+        match Analyze.OLS.estimates ols_result with
+        | Some (e :: _) -> e
+        | _ -> nan
+      in
+      let r2 = Analyze.OLS.r_square ols_result in
+      (name, nanos, r2) :: acc)
+    results []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let print_bechamel_rows rows =
+  let t =
+    Tabular.create
+      ~header:
+        [ ("stage", Tabular.Left); ("time/run", Tabular.Right); ("r^2", Tabular.Right) ]
+  in
+  List.iter
+    (fun (name, nanos, r2) ->
+      let pretty =
+        if nanos > 1e9 then Printf.sprintf "%.2f s" (nanos /. 1e9)
+        else if nanos > 1e6 then Printf.sprintf "%.2f ms" (nanos /. 1e6)
+        else if nanos > 1e3 then Printf.sprintf "%.2f us" (nanos /. 1e3)
+        else Printf.sprintf "%.0f ns" nanos
+      in
+      let r2 =
+        match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"
+      in
+      Tabular.add_row t [ name; pretty; r2 ])
+    rows;
+  Tabular.print t
+
 let micro ~quick =
   heading "Micro-benchmarks (Bechamel, monotonic clock)";
   let open Bechamel in
-  let open Toolkit in
   let sample = Option.get (Registry.find ~bench:"134.perl" ~input:"B") in
   let img = image_of sample in
   let profile = profile_of sample in
@@ -739,44 +788,56 @@ let micro ~quick =
         Test.make ~name:"timing model (100k instrs)" timing_100k;
       ]
   in
-  let quota = if quick then Time.second 0.25 else Time.second 1.0 in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota ~stabilize:false ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  (* Hashtbl.iter order depends on internal hashing; sort by stage
-     name so the table (and the JSON export) is stable run to run. *)
-  let rows =
-    Hashtbl.fold
-      (fun name ols_result acc ->
-        let nanos =
-          match Analyze.OLS.estimates ols_result with
-          | Some (e :: _) -> e
-          | _ -> nan
-        in
-        let r2 = Analyze.OLS.r_square ols_result in
-        (name, nanos, r2) :: acc)
-      results []
-    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
-  in
+  let rows = bechamel_rows ~quick tests in
   micro_results := rows;
-  let t = Tabular.create ~header:[ ("stage", Tabular.Left); ("time/run", Tabular.Right); ("r^2", Tabular.Right) ] in
-  List.iter
-    (fun (name, nanos, r2) ->
-      let pretty =
-        if nanos > 1e9 then Printf.sprintf "%.2f s" (nanos /. 1e9)
-        else if nanos > 1e6 then Printf.sprintf "%.2f ms" (nanos /. 1e6)
-        else if nanos > 1e3 then Printf.sprintf "%.2f us" (nanos /. 1e3)
-        else Printf.sprintf "%.0f ns" nanos
-      in
-      let r2 =
-        match r2 with Some r -> Printf.sprintf "%.4f" r | None -> "-"
-      in
-      Tabular.add_row t [ name; pretty; r2 ])
-    rows;
-  Tabular.print t
+  print_bechamel_rows rows
+
+(* The cost of the metrics plane itself: registry operations on a
+   disabled vs enabled registry, and the emulator micro with a
+   disabled registry observed once per run — the instrumentation shape
+   of Driver.profile.  The disabled rows are the always-on price every
+   hot loop pays (they must clock at bare call-dispatch cost; the
+   alloc-flatness test in test_metrics pins the zero-allocation
+   half of that claim). *)
+let overhead ~quick =
+  heading "Overhead: metrics plane enabled vs disabled";
+  let open Bechamel in
+  let sample = Option.get (Registry.find ~bench:"134.perl" ~input:"B") in
+  let img = image_of sample in
+  let off = Vp_metrics.disabled in
+  let on_ = Vp_metrics.create () in
+  let bump_1k m =
+    Staged.stage (fun () ->
+        for _ = 1 to 1_000 do
+          Vp_metrics.Counter.bump m "bench.counter" 1
+        done)
+  in
+  let observe_1k m =
+    Staged.stage (fun () ->
+        for i = 1 to 1_000 do
+          Vp_metrics.Histogram.observe m "bench.hist" i
+        done)
+  in
+  let emulate m =
+    Staged.stage (fun () ->
+        let o = Emulator.run_backend ~backend:!backend ~fuel:100_000 img in
+        Vp_metrics.Histogram.observe m "bench.emulator.instructions"
+          o.Emulator.instructions)
+  in
+  let tests =
+    Test.make_grouped ~name:"overhead"
+      [
+        Test.make ~name:"counter bump x1k (disabled)" (bump_1k off);
+        Test.make ~name:"counter bump x1k (enabled)" (bump_1k on_);
+        Test.make ~name:"hist observe x1k (disabled)" (observe_1k off);
+        Test.make ~name:"hist observe x1k (enabled)" (observe_1k on_);
+        Test.make ~name:"emulator (100k instrs, disabled)" (emulate off);
+        Test.make ~name:"emulator (100k instrs, enabled)" (emulate on_);
+      ]
+  in
+  let rows = bechamel_rows ~quick tests in
+  overhead_results := rows;
+  print_bechamel_rows rows
 
 (* ------------------------------------------------------------------ *)
 
@@ -839,10 +900,15 @@ let json_escape s =
 let json_float f =
   if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
 
-let write_json ~path ~engine_metrics ~counters ~timeline =
+let write_json ~path ~jobs ~engine_metrics ~counters ~timeline =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": \"vacuum-bench/1\",\n";
+  let backend_name = Emulator.backend_name !backend in
+  (* Every experiment record repeats the run metadata, so records stay
+     self-describing when jq slices one array out of the file. *)
+  let meta () = Printf.sprintf "\"backend\": \"%s\", \"jobs\": %d" (json_escape backend_name) jobs in
+  out "{\n  \"schema\": \"vacuum-bench/2\",\n";
+  out "  \"backend\": \"%s\",\n  \"jobs\": %d,\n" (json_escape backend_name) jobs;
   (match timeline with
   | None -> ()
   | Some (trace, tls) ->
@@ -877,42 +943,44 @@ let write_json ~path ~engine_metrics ~counters ~timeline =
   List.iteri
     (fun i (name, snapshots, per_sec) ->
       out
-        "%s\n    {\"name\": \"%s\", \"snapshots\": %d, \
+        "%s\n    {\"name\": \"%s\", %s, \"snapshots\": %d, \
          \"snapshots_per_sec\": %s}"
         (if i = 0 then "" else ",")
-        (json_escape name) snapshots (json_float per_sec))
+        (json_escape name) (meta ()) snapshots (json_float per_sec))
     !aggregate_results;
   out "\n  ],\n";
-  out "  \"micro\": [";
-  List.iteri
-    (fun i (name, nanos, r2) ->
-      out
-        "%s\n    {\"name\": \"%s\", \"backend\": \"%s\", \"ns_per_run\": %s, \
-         \"r_square\": %s}"
-        (if i = 0 then "" else ",")
-        (json_escape name)
-        (json_escape (Emulator.backend_name !backend))
-        (json_float nanos)
-        (match r2 with Some r -> json_float r | None -> "null"))
-    !micro_results;
-  out "\n  ],\n";
+  let bechamel_array key rows =
+    out "  \"%s\": [" key;
+    List.iteri
+      (fun i (name, nanos, r2) ->
+        out
+          "%s\n    {\"name\": \"%s\", %s, \"ns_per_run\": %s, \
+           \"r_square\": %s}"
+          (if i = 0 then "" else ",")
+          (json_escape name) (meta ()) (json_float nanos)
+          (match r2 with Some r -> json_float r | None -> "null"))
+      rows;
+    out "\n  ],\n"
+  in
+  bechamel_array "micro" !micro_results;
+  bechamel_array "overhead" !overhead_results;
   out "  \"tasks\": [";
   List.iteri
     (fun i m ->
       out
-        "%s\n    {\"kind\": \"%s\", \"label\": \"%s\", \"wall_s\": %s, \
+        "%s\n    {\"kind\": \"%s\", \"label\": \"%s\", %s, \"wall_s\": %s, \
          \"instructions\": %d}"
         (if i = 0 then "" else ",")
-        (json_escape m.Engine.kind) (json_escape m.Engine.label)
+        (json_escape m.Engine.kind) (json_escape m.Engine.label) (meta ())
         (json_float m.Engine.wall_s) m.Engine.instructions)
     engine_metrics;
   out "\n  ],\n";
   out "  \"counters\": [";
   List.iteri
     (fun i (name, value) ->
-      out "%s\n    {\"name\": \"%s\", \"value\": %d}"
+      out "%s\n    {\"name\": \"%s\", %s, \"value\": %d}"
         (if i = 0 then "" else ",")
-        (json_escape name) value)
+        (json_escape name) (meta ()) value)
     counters;
   out "\n  ]\n}\n";
   close_out oc
@@ -957,6 +1025,7 @@ let () =
     | "ablation-superblock" -> ablation_superblock workloads
     | "session" -> session_exp workloads
     | "micro" -> micro ~quick
+    | "overhead" -> overhead ~quick
     | other ->
       Printf.eprintf "unknown experiment %s\n" other;
       exit 1
@@ -965,7 +1034,7 @@ let () =
     [
       "table1"; "table2"; "fig8"; "table3"; "fig9"; "fig10";
       "baseline-aggregate"; "aggregate"; "ablation-bbb"; "ablation-growth";
-      "ablation-sink"; "ablation-superblock"; "session"; "micro";
+      "ablation-sink"; "ablation-superblock"; "session"; "micro"; "overhead";
     ]
   in
   let picks = match selected with [] -> all | picks -> picks in
@@ -1043,7 +1112,7 @@ let () =
   in
   (match json_path with
   | Some path ->
-    write_json ~path
+    write_json ~path ~jobs
       ~engine_metrics:(Engine.metrics !engine)
       ~counters:(Vp_obs.Sink.counters obs)
       ~timeline:timeline_tls

@@ -398,6 +398,13 @@ let report_cmd =
 (* --- stats --- *)
 
 let stats_cmd =
+  let metrics_flag =
+    Spec.flag ~kind:Spec.Bool
+      ~doc:
+        "Also enable the metrics registry and print its one-shot OpenMetrics \
+         snapshot (volatile section included)."
+      [ "metrics" ]
+  in
   Spec.cmd ~name:"stats"
     ~doc:
       "Evaluate one workload with the observability recorder enabled and \
@@ -406,14 +413,20 @@ let stats_cmd =
     ~flags:
       [
         workload_flag; no_inference_flag; no_linking_flag; timing_flag;
-        obs_trace_flag; backend_flag;
+        obs_trace_flag; metrics_flag; backend_flag;
       ]
     (fun m ->
       let backend = resolve_backend m in
       let w = workload_of m in
       let obs = Vp_obs.create () in
+      let metrics =
+        if Spec.flag_set m "metrics" then Vp_metrics.create ()
+        else Vp_metrics.disabled
+      in
       let config =
-        Config.with_backend backend (Config.with_obs obs (config_of m))
+        Config.with_backend backend
+          (Config.with_obs obs
+             (Config.with_metrics metrics (config_of m)))
       in
       let img = Program.layout (w.Registry.program ()) in
       let report =
@@ -431,6 +444,10 @@ let stats_cmd =
       (match Vp_obs.Sink.dropped_spans obs with
       | 0 -> ()
       | n -> Printf.printf "(%d spans dropped to ring wrap-around)\n" n);
+      if Vp_metrics.enabled metrics then begin
+        Printf.printf "\nmetrics snapshot:\n";
+        print_string (Vp_metrics.Snapshot.render ~volatile:true metrics)
+      end;
       match Spec.value m "trace" with
       | None -> ()
       | Some path -> Vp_obs.Sink.write_trace obs ~path)
@@ -660,6 +677,31 @@ let serve_cmd =
             instructions."
       [ "interval" ]
   in
+  let metrics_file_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"FILE"
+      ~doc:
+        "Rewrite an OpenMetrics snapshot (schema vp-metrics-snapshot/1) of \
+         the stable metric registry to FILE after every epoch — a \
+         scrape-able live view, byte-identical for every --jobs value and \
+         backend."
+      [ "metrics" ]
+  in
+  let perfetto_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"FILE"
+      ~doc:
+        "Write a Chrome trace-event / Perfetto JSON timeline (schema \
+         vp-perfetto-trace/1) to FILE: pipeline spans on the driver lane, \
+         per-epoch session slices on one lane per workload."
+      [ "perfetto" ]
+  in
+  let flight_dir_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"DIR"
+      ~doc:
+        "Flight recorder: on a fallback to the original image, a verifier \
+         rejection or an oracle failure, dump the metric registry with its \
+         recent mark ring (plus the obs trace, if recording) to DIR."
+      [ "flight-dir" ]
+  in
   Spec.cmd ~name:"serve"
     ~doc:
       "Run the online re-optimization loop on one or more workloads: \
@@ -678,7 +720,8 @@ let serve_cmd =
       [
         workloads_flag; epochs_flag; epoch_fuel_flag; cache_pct_flag;
         drift_flag; grace_flag; no_oracle_flag; trace_dir_flag; interval_flag;
-        jobs_flag; backend_flag;
+        metrics_file_flag; perfetto_flag; flight_dir_flag; jobs_flag;
+        backend_flag;
       ]
     (fun m ->
       let backend = resolve_backend m in
@@ -688,6 +731,19 @@ let serve_cmd =
           ~default:Config.default_session.Config.epochs
       in
       let trace_dir = Spec.value m "trace-dir" in
+      let metrics_path = Spec.value m "metrics" in
+      let perfetto_path = Spec.value m "perfetto" in
+      let flight_dir = Spec.value m "flight-dir" in
+      let metrics =
+        match (metrics_path, flight_dir) with
+        | None, None -> Vp_metrics.disabled
+        | _ -> Vp_metrics.create ?flight_dir ()
+      in
+      let obs =
+        match perfetto_path with
+        | Some _ -> Vp_obs.create ()
+        | None -> Vp_obs.disabled
+      in
       let config =
         Config.default
         |> Config.with_backend backend
@@ -706,6 +762,8 @@ let serve_cmd =
                      ~default:Config.default_session.Config.patch_grace;
                  oracle = not (Spec.flag_set m "no-oracle");
                })
+        |> Config.with_metrics metrics
+        |> Config.with_obs obs
         |> fun c ->
         match trace_dir with
         | None -> c
@@ -718,15 +776,42 @@ let serve_cmd =
                ())
             c
       in
-      (* One session per workload on the domain pool; print in request
-         order, so stdout is independent of the schedule. *)
-      let results =
-        Vp_util.Pool.map ~jobs:(resolve_jobs m)
-          (fun w ->
-            let img = Program.layout (w.Registry.program ()) in
-            (w, Session.run ~epochs (Session.create ~config img)))
+      (* One session per workload, stepped in lock-step epoch rounds on
+         the domain pool — equivalent to [Session.run] per workload
+         (resume is a pinned contract) but lets --metrics publish a
+         fleet-wide snapshot after every epoch.  Reports print in
+         request order, so stdout is independent of the schedule. *)
+      let jobs = resolve_jobs m in
+      let sessions =
+        List.mapi
+          (fun i w ->
+            (i, w, Session.create ~config (Program.layout (w.Registry.program ()))))
           ws
       in
+      let perfetto_on = perfetto_path <> None in
+      let ev_lock = Mutex.create () in
+      let epoch_events = ref [] in
+      for epoch = 0 to epochs - 1 do
+        ignore
+          (Vp_util.Pool.map ~jobs
+             ?hooks:(Vp_metrics.Sched.hooks metrics)
+             (fun (i, _w, s) ->
+               if not (Session.halted s) then begin
+                 let t0 = if perfetto_on then Unix.gettimeofday () else 0.0 in
+                 ignore (Session.step s);
+                 if perfetto_on then begin
+                   let dur = Unix.gettimeofday () -. t0 in
+                   Mutex.lock ev_lock;
+                   epoch_events := (i, epoch, t0, dur) :: !epoch_events;
+                   Mutex.unlock ev_lock
+                 end
+               end)
+             sessions);
+        match metrics_path with
+        | Some path -> Vp_metrics.Snapshot.write metrics ~path
+        | None -> ()
+      done;
+      let results = List.map (fun (_, w, s) -> (w, Session.report s)) sessions in
       let bad = ref false in
       List.iter
         (fun (w, (r : Session.report)) ->
@@ -754,6 +839,39 @@ let serve_cmd =
               (List.length r.Session.epochs)
               path)
         results;
+      (* Export reports go to stderr: event counts and paths are stable
+         but wall-clock contents are not, and stdout is the artifact CI
+         diffs across --jobs. *)
+      (match metrics_path with
+      | Some path ->
+        Vp_metrics.Snapshot.write metrics ~path;
+        Printf.eprintf "metrics -> %s\n%!" path
+      | None -> ());
+      (match perfetto_path with
+      | Some path ->
+        let session_events =
+          List.rev_map
+            (fun (i, epoch, t0, dur) ->
+              {
+                Vp_metrics.Perfetto.name = Printf.sprintf "epoch-%d" epoch;
+                cat = "session";
+                pid = 3;
+                tid = i;
+                ts_us = t0 *. 1e6;
+                dur_us = dur *. 1e6;
+              })
+            !epoch_events
+        in
+        let events =
+          Vp_metrics.Perfetto.of_spans ~pid:1 ~cat:"driver"
+            (Vp_obs.Sink.spans obs)
+          @ session_events
+        in
+        Vp_metrics.Perfetto.write
+          ~processes:[ (1, "driver"); (3, "session") ]
+          ~path events;
+        Printf.eprintf "perfetto: %d events -> %s\n%!" (List.length events) path
+      | None -> ());
       if !bad then exit 4)
 
 (* --- trace-check --- *)
@@ -762,8 +880,9 @@ let trace_check_cmd =
   Spec.cmd ~name:"trace-check"
     ~doc:
       "Validate a trace file against its schema (vp-obs-trace/1, \
-       vp-timeline-trace/1 or vp-profile-wire/1, detected from the first \
-       line)."
+       vp-timeline-trace/1, vp-profile-wire/1, vp-metrics-snapshot/1 or \
+       vp-perfetto-trace/1, detected from the first line); failures name \
+       the schema and the offending line."
     ~positional:
       {
         Spec.pos_docv = "FILE";
@@ -773,45 +892,177 @@ let trace_check_cmd =
     ~flags:[]
     (fun m ->
       let file = List.hd (Spec.positional m) in
-      (* Dispatch on the meta line: vpack emits both vp-obs-trace/1
-         (pipeline spans/counters) and vp-timeline-trace/1 (run
-         telemetry) JSON-lines files. *)
-      let schema_of file =
-        let ic = open_in file in
-        let first = try input_line ic with End_of_file -> "" in
-        close_in ic;
-        let contains hay needle =
-          let nh = String.length hay and nn = String.length needle in
-          let rec go i =
-            i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
-          in
-          go 0
-        in
-        if contains first "vp-timeline-trace/1" then `Timeline
-        else if contains first "vp-profile-wire/1" then `Wire
-        else `Obs
+      (* One dispatch table over every schema vpack emits, sniffed from
+         the meta line; unmatched files fall through to vp-obs-trace/1
+         (the only schema whose meta line is per-record).  Success and
+         failure messages are uniform across schemas. *)
+      let validators =
+        [
+          ( "vp-timeline-trace/1",
+            fun path ->
+              Result.map
+                (Printf.sprintf "%d lines")
+                (Vp_telemetry.Sink.validate_file ~path) );
+          ( "vp-profile-wire/1",
+            fun path ->
+              Result.map
+                (fun (runs, snapshots) ->
+                  Printf.sprintf "%d runs, %d snapshots" runs snapshots)
+                (Vp_aggregate.Wire.validate_file ~path) );
+          ( "vp-metrics-snapshot/1",
+            fun path ->
+              Result.map
+                (Printf.sprintf "%d lines")
+                (Vp_metrics.Snapshot.validate_file ~path) );
+          ( "vp-perfetto-trace/1",
+            fun path ->
+              Result.map
+                (Printf.sprintf "%d events")
+                (Vp_metrics.Perfetto.validate_file ~path) );
+          ( "vp-obs-trace/1",
+            fun path ->
+              Result.map
+                (Printf.sprintf "%d lines")
+                (Vp_obs.Sink.validate_file ~path) );
+        ]
       in
-      match schema_of file with
-      | `Timeline -> (
-        match Vp_telemetry.Sink.validate_file ~path:file with
-        | Ok n -> Printf.printf "%s: valid vp-timeline-trace/1, %d lines\n" file n
+      let first =
+        let ic = open_in file in
+        let l = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        l
+      in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      let schema, validate =
+        match List.find_opt (fun (tag, _) -> contains first tag) validators with
+        | Some v -> v
+        | None -> List.nth validators (List.length validators - 1)
+      in
+      match validate file with
+      | Ok detail -> Printf.printf "%s: valid %s, %s\n" file schema detail
+      | Error e ->
+        Printf.eprintf "%s: invalid %s: %s\n" file schema e;
+        exit 1)
+
+(* --- top --- *)
+
+let top_cmd =
+  let watch_flag =
+    Spec.flag ~kind:Spec.Bool
+      ~doc:
+        "Refresh forever (ANSI clear between frames, --interval apart) \
+         instead of rendering one frame."
+      [ "watch" ]
+  in
+  let top_interval_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"MS" ~default:"1000"
+      ~check:Spec.check_int ~doc:"Refresh interval for --watch, in \
+                                  milliseconds."
+      [ "interval" ]
+  in
+  let width_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"COLS" ~default:"48"
+      ~check:Spec.check_int ~doc:"Histogram sparkline width."
+      [ "width" ]
+  in
+  Spec.cmd ~name:"top"
+    ~doc:
+      "Dashboard over a `vpack serve --metrics` snapshot: counter and cache \
+       tables, per-histogram bucket sparklines with p50/p90/p99.  Renders \
+       one frame by default; --watch re-reads and redraws live."
+    ~exits:
+      [
+        (0, "snapshot rendered");
+        (1, "unreadable or invalid snapshot");
+        (2, "command-line error");
+      ]
+    ~positional:
+      {
+        Spec.pos_docv = "FILE";
+        pos_doc = "vp-metrics-snapshot/1 file (see `vpack serve --metrics`).";
+        pos_required = true;
+      }
+    ~flags:[ watch_flag; top_interval_flag; width_flag ]
+    (fun m ->
+      let file = List.hd (Spec.positional m) in
+      let width = Spec.int_value m "width" ~default:48 in
+      let is_cache name =
+        String.length name >= 13 && String.sub name 0 13 = "session_cache"
+      in
+      let frame () =
+        match Vp_metrics.Snapshot.read ~path:file with
         | Error e ->
-          Printf.eprintf "%s: invalid trace: %s\n" file e;
-          exit 1)
-      | `Wire -> (
-        match Vp_aggregate.Wire.validate_file ~path:file with
-        | Ok (runs, snapshots) ->
-          Printf.printf "%s: valid vp-profile-wire/1, %d runs, %d snapshots\n"
-            file runs snapshots
-        | Error e ->
-          Printf.eprintf "%s: invalid wire stream: %s\n" file e;
-          exit 1)
-      | `Obs -> (
-        match Vp_obs.Sink.validate_file ~path:file with
-        | Ok n -> Printf.printf "%s: valid vp-obs-trace/1, %d lines\n" file n
-        | Error e ->
-          Printf.eprintf "%s: invalid trace: %s\n" file e;
-          exit 1))
+          Printf.eprintf "%s: invalid vp-metrics-snapshot/1: %s\n" file e;
+          exit 1
+        | Ok samples ->
+          Printf.printf "vpack top — %s\n" file;
+          let counters, gauges, hists =
+            List.fold_left
+              (fun (cs, gs, hs) (name, sample) ->
+                match sample with
+                | Vp_metrics.Snapshot.Counter v -> ((name, v) :: cs, gs, hs)
+                | Vp_metrics.Snapshot.Gauge v -> (cs, (name, v) :: gs, hs)
+                | Vp_metrics.Snapshot.Hist h -> (cs, gs, (name, h) :: hs))
+              ([], [], []) samples
+          in
+          let counters = List.rev counters
+          and gauges = List.rev gauges
+          and hists = List.rev hists in
+          let table title rows =
+            if rows <> [] then begin
+              Printf.printf "\n%s:\n" title;
+              let t =
+                Vp_util.Tabular.create
+                  ~header:
+                    [
+                      ("metric", Vp_util.Tabular.Left);
+                      ("value", Vp_util.Tabular.Right);
+                    ]
+              in
+              List.iter
+                (fun (n, v) -> Vp_util.Tabular.add_row t [ n; string_of_int v ])
+                rows;
+              Vp_util.Tabular.print t
+            end
+          in
+          table "cache"
+            (List.filter (fun (n, _) -> is_cache n) (counters @ gauges));
+          table "counters"
+            (List.filter (fun (n, _) -> not (is_cache n)) counters);
+          table "gauges"
+            (List.filter (fun (n, _) -> not (is_cache n)) gauges);
+          if hists <> [] then begin
+            Printf.printf "\nhistograms (log2 buckets):\n";
+            List.iter
+              (fun (n, h) ->
+                let buckets =
+                  Array.init Vp_metrics.Hist.buckets
+                    (Vp_metrics.Hist.bucket_count h)
+                in
+                Printf.printf "%-28s|%s| n=%d sum=%d p50=%d p90=%d p99=%d\n" n
+                  (Vp_telemetry.Render.sparkline ~width buckets)
+                  (Vp_metrics.Hist.count h) (Vp_metrics.Hist.sum h)
+                  (Vp_metrics.Hist.quantile h 0.5)
+                  (Vp_metrics.Hist.quantile h 0.9)
+                  (Vp_metrics.Hist.quantile h 0.99))
+              hists
+          end
+      in
+      if not (Spec.flag_set m "watch") then frame ()
+      else
+        let pause = float_of_int (Spec.int_value m "interval" ~default:1000) /. 1000. in
+        while true do
+          print_string "\027[2J\027[H";
+          frame ();
+          flush stdout;
+          Unix.sleepf pause
+        done)
 
 (* --- asm / disasm --- *)
 
@@ -1040,7 +1291,8 @@ let tool =
     cmds =
       [
         list_cmd; run_cmd; phases_cmd; extract_cmd; aggregate_cmd; report_cmd;
-        stats_cmd; timeline_cmd; serve_cmd; trace_check_cmd; verify_cmd;
+        stats_cmd; timeline_cmd; serve_cmd; top_cmd; trace_check_cmd;
+        verify_cmd;
         chaos_cmd; diag_cmd; asm_cmd; disasm_cmd; machine_cmd;
       ];
   }

@@ -29,6 +29,7 @@ type t = {
   mem_words : int;
   fuel : int;
   obs : Vp_obs.t;
+  metrics : Vp_metrics.t;
   telemetry : Vp_telemetry.config;
   fault : Vp_fault.Plan.t option;
   degrade : bool;
@@ -41,8 +42,8 @@ let v ?(detector = Vp_hsd.Config.default) ?(history_size = 0)
     ?(opt = Vp_opt.Opt.default) ?(cpu = Vp_cpu.Config.default)
     ?(backend = Vp_exec.Emulator.Decoded) ?(mem_words = 1 lsl 20)
     ?(fuel = 200_000_000) ?(obs = Vp_obs.disabled)
-    ?(telemetry = Vp_telemetry.off) ?fault ?(degrade = true)
-    ?(session = default_session) () =
+    ?(metrics = Vp_metrics.disabled) ?(telemetry = Vp_telemetry.off) ?fault
+    ?(degrade = true) ?(session = default_session) () =
   {
     detector;
     history_size;
@@ -55,6 +56,7 @@ let v ?(detector = Vp_hsd.Config.default) ?(history_size = 0)
     mem_words;
     fuel;
     obs;
+    metrics;
     telemetry;
     fault;
     degrade;
@@ -91,6 +93,7 @@ let backend t = t.backend
 let mem_words t = t.mem_words
 let fuel t = t.fuel
 let obs t = t.obs
+let metrics t = t.metrics
 let telemetry t = t.telemetry
 let fault t = t.fault
 let degrade t = t.degrade
@@ -106,6 +109,7 @@ let with_backend backend t = { t with backend }
 let with_mem_words mem_words t = { t with mem_words }
 let with_fuel fuel t = { t with fuel }
 let with_obs obs t = { t with obs }
+let with_metrics metrics t = { t with metrics }
 let with_telemetry telemetry t = { t with telemetry }
 let with_fault fault t = { t with fault = Some fault }
 let without_fault t = { t with fault = None }
@@ -215,6 +219,7 @@ let json_of_t t =
       ("mem_words", J_int t.mem_words);
       ("fuel", J_int t.fuel);
       ("obs", J_bool (Vp_obs.enabled t.obs));
+      ("metrics", J_bool (Vp_metrics.enabled t.metrics));
       ( "telemetry",
         J_obj
           [

@@ -49,6 +49,7 @@ val v :
   ?mem_words:int ->
   ?fuel:int ->
   ?obs:Vp_obs.t ->
+  ?metrics:Vp_metrics.t ->
   ?telemetry:Vp_telemetry.config ->
   ?fault:Vp_fault.Plan.t ->
   ?degrade:bool ->
@@ -101,6 +102,13 @@ val obs : t -> Vp_obs.t
 (** The observability recorder the pipeline reports through;
     {!Vp_obs.disabled} by default. *)
 
+val metrics : t -> Vp_metrics.t
+(** The aggregated metrics registry (counters, gauges, histograms)
+    the pipeline reports through; {!Vp_metrics.disabled} by
+    default.  Like {!obs} this is a shared recorder; its {e stable}
+    snapshot is byte-identical across [--jobs], shards and
+    backends. *)
+
 val telemetry : t -> Vp_telemetry.config
 (** The run-time telemetry sampling configuration ({!Vp_telemetry.off}
     by default).  Unlike {!obs} this is a {e configuration}, not a
@@ -136,6 +144,7 @@ val with_backend : Vp_exec.Emulator.backend -> t -> t
 val with_mem_words : int -> t -> t
 val with_fuel : int -> t -> t
 val with_obs : Vp_obs.t -> t -> t
+val with_metrics : Vp_metrics.t -> t -> t
 val with_telemetry : Vp_telemetry.config -> t -> t
 val with_fault : Vp_fault.Plan.t -> t -> t
 val without_fault : t -> t

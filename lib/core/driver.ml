@@ -137,6 +137,8 @@ let profile ?(config = Config.default) image =
       ~mem_words:(Config.mem_words config) ~on_branch ?on_retire image
   in
   tail_flush ();
+  Vp_metrics.Histogram.observe (Config.metrics config)
+    "driver.profile.instructions" outcome.Emulator.instructions;
   let aggregate = Vp_exec.Branch_profile.of_counts ~executed ~takens in
   let snapshots = Detector.snapshots detector in
   let snapshots, fault_warnings =
@@ -204,11 +206,16 @@ let profile ?(config = Config.default) image =
    last resort every package, leaving the image unmodified.  A
    demoted result is always still a sound result. *)
 
-let make_demoter obs =
+let make_demoter ~obs ~metrics =
   let demotions = ref [] in
   let demote rung error =
     demotions := { rung; error } :: !demotions;
     Counter.bump obs ("degrade." ^ rung_name rung) 1;
+    Vp_metrics.Counter.bump metrics ("demote." ^ rung_name rung) 1;
+    Vp_metrics.Flight.note metrics ~kind:"demote" ~label:(rung_name rung);
+    if rung = Fallback_image then
+      Vp_metrics.Flight.dump metrics ~obs ~reason:"fallback-image"
+        ~label:"driver" ();
     Log.warn (fun m -> m "%a" pp_demotion { rung; error })
   in
   (demotions, demote)
@@ -376,6 +383,11 @@ let assemble_parts ~config ~demote ~on_screened ~original packages =
       if Verify.ok report then (emitted, report)
       else begin
         Counter.bump obs "verify.rejections" 1;
+        let metrics = Config.metrics config in
+        Vp_metrics.Counter.bump metrics "verify.rejections" 1;
+        Vp_metrics.Flight.note metrics ~kind:"verify" ~label:"rejection";
+        Vp_metrics.Flight.dump metrics ~obs ~reason:"verifier-rejection"
+          ~label:"driver" ();
         let first = List.hd report.Verify.violations in
         let e =
           Error.v ~stage:"verify" ?label:first.Verify.label
@@ -422,7 +434,9 @@ type assembly = {
 }
 
 let assemble ?(config = Config.default) ~original packages =
-  let demotions, demote = make_demoter (Config.obs config) in
+  let demotions, demote =
+    make_demoter ~obs:(Config.obs config) ~metrics:(Config.metrics config)
+  in
   let survivors, assembled, checks =
     assemble_parts ~config ~demote ~on_screened:ignore ~original packages
   in
@@ -431,7 +445,9 @@ let assemble ?(config = Config.default) ~original packages =
 let rewrite_of_profile ?(config = Config.default) source =
   let obs = Config.obs config in
   let degrade = Config.degrade config in
-  let demotions, demote = make_demoter obs in
+  let demotions, demote =
+    make_demoter ~obs ~metrics:(Config.metrics config)
+  in
   let wrap stage f = wrap_stage ~degrade stage f in
   let regions =
     Span.record obs "regions" ~work:(List.length) @@ fun () ->

@@ -11,6 +11,8 @@ type metric = {
   label : string;
   wall_s : float;
   instructions : int;
+  start_s : float;
+  domain : int;
 }
 
 type t = {
@@ -86,9 +88,21 @@ let memo t table ~kind ~label ~instructions key compute =
     let wall_s = now () -. t0 in
     let work = instructions v in
     Vp_obs.Span.note t.obs (kind ^ ":" ^ label) ~wall_s ~work;
+    Vp_metrics.Histogram.observe ~volatile:true
+      (Config.metrics t.profile_config) "engine.task.wall_us"
+      (int_of_float (wall_s *. 1e6));
     locked t (fun () ->
         Hashtbl.replace table key v;
-        t.metrics <- { kind; label; wall_s; instructions = work } :: t.metrics);
+        t.metrics <-
+          {
+            kind;
+            label;
+            wall_s;
+            instructions = work;
+            start_s = t0;
+            domain = (Domain.self () :> int);
+          }
+          :: t.metrics);
     v
 
 let image t spec =
@@ -186,7 +200,11 @@ let run ?(rewrites = true) ?(timing = false) t ~specs ~cells () =
     try f ()
     with e -> locked t (fun () -> errors := (label, e) :: !errors)
   in
-  let pool = Pool.create ~jobs:t.jobs () in
+  let pool =
+    Pool.create ~jobs:t.jobs
+      ?hooks:(Vp_metrics.Sched.hooks (Config.metrics t.profile_config))
+      ()
+  in
   List.iter
     (fun spec ->
       Pool.submit pool
@@ -225,6 +243,9 @@ let run ?(rewrites = true) ?(timing = false) t ~specs ~cells () =
   let hits1, misses1 = locked t (fun () -> (t.hits, t.misses)) in
   Vp_obs.Counter.bump t.obs "engine.memo_hits" (hits1 - hits0);
   Vp_obs.Counter.bump t.obs "engine.memo_misses" (misses1 - misses0);
+  let metrics = Config.metrics t.profile_config in
+  Vp_metrics.Counter.bump metrics "engine.memo_hits" (hits1 - hits0);
+  Vp_metrics.Counter.bump metrics "engine.memo_misses" (misses1 - misses0);
   (* Deterministic error surfacing: re-raise the failure with the
      lexicographically first task label, whatever the schedule was. *)
   match List.sort compare !errors with

@@ -28,6 +28,8 @@ type metric = {
   label : string;
   wall_s : float;
   instructions : int;  (** instructions simulated by the task; 0 if none *)
+  start_s : float;  (** [Unix.gettimeofday] when the task began *)
+  domain : int;  (** OCaml domain id the task ran on — a Perfetto lane *)
 }
 
 type t

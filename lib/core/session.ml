@@ -186,10 +186,16 @@ let step t =
     Error.failf ~stage:"session" "step: the session's program has halted";
   let config = t.config in
   let obs = Config.obs config in
+  let metrics = Config.metrics config in
   let session_cfg = Config.session config in
   let backend = Config.backend config in
   let fuel = epoch_fuel t in
   let epoch = t.epoch in
+  (* Wall clock is volatile-only; never read when metrics are off so
+     the disabled path stays branch-and-return. *)
+  let wall0 =
+    if Vp_metrics.enabled metrics then Unix.gettimeofday () else 0.0
+  in
   let tl =
     Vp_telemetry.create
       ~name:(Printf.sprintf "epoch-%d" epoch)
@@ -282,6 +288,7 @@ let step t =
       | Some e ->
         e.hits <- e.hits + 1;
         e.last_seen <- epoch;
+        Vp_metrics.Counter.bump metrics "session.cache.hits" 1;
         if not (List.mem e.id !matched) then matched := e.id :: !matched;
         Hashtbl.replace extent_credit e.id
           (Phase_log.extent phase
@@ -290,6 +297,9 @@ let step t =
         let id = t.next_id in
         t.next_id <- id + 1;
         Counter.bump obs "session.drifts" 1;
+        Vp_metrics.Counter.bump metrics "session.drifts" 1;
+        Vp_metrics.Flight.note metrics ~kind:"drift"
+          ~label:(string_of_int id);
         Vp_telemetry.Event.emit tl ~kind:"drift" ~at:t.retired ~value:id;
         let build_packages () =
           let region, _stats =
@@ -324,6 +334,8 @@ let step t =
             born = epoch;
           }
         in
+        if e.rejected then
+          Vp_metrics.Counter.bump metrics "session.cache.tombstones" 1;
         t.cache <- t.cache @ [ e ];
         fresh := id :: !fresh;
         t.dirty <- true)
@@ -374,6 +386,9 @@ let step t =
         t.cache <- List.filter (fun e -> e.id <> victim.id) t.cache;
         evicted := victim.id :: !evicted;
         Counter.bump obs "session.evictions" 1;
+        Vp_metrics.Counter.bump metrics "session.cache.evictions" 1;
+        Vp_metrics.Flight.note metrics ~kind:"evict"
+          ~label:(string_of_int victim.id);
         Vp_telemetry.Event.emit tl ~kind:"evict" ~at:t.retired ~value:victim.id;
         t.dirty <- true;
         evict ()
@@ -422,7 +437,10 @@ let step t =
           in
           if List.length kept < List.length e.packages then begin
             e.packages <- kept;
-            if kept = [] then e.rejected <- true
+            if kept = [] then begin
+              e.rejected <- true;
+              Vp_metrics.Counter.bump metrics "session.cache.tombstones" 1
+            end
           end
         end)
       t.cache;
@@ -446,7 +464,13 @@ let step t =
           && o.Emulator.halted = b.Emulator.halted
         in
         oracle_ok := Some ok;
-        if not ok then Counter.bump obs "session.oracle_failures" 1;
+        if not ok then begin
+          Counter.bump obs "session.oracle_failures" 1;
+          Vp_metrics.Counter.bump metrics "session.oracle_failures" 1;
+          Vp_metrics.Flight.note metrics ~kind:"oracle" ~label:"failure";
+          Vp_metrics.Flight.dump metrics ~obs ~reason:"oracle-failure"
+            ~label:(Printf.sprintf "epoch-%d" epoch) ()
+        end;
         ok
       end
     in
@@ -475,11 +499,13 @@ let step t =
         t.dirty <- false;
         activated := true;
         Counter.bump obs "session.activations" 1;
+        Vp_metrics.Counter.bump metrics "session.activations" 1;
         Vp_telemetry.Event.emit tl ~kind:"activate" ~at:t.retired ~value:epoch
       end
       else begin
         deferred := true;
         Counter.bump obs "session.deferrals" 1;
+        Vp_metrics.Counter.bump metrics "session.deferrals" 1;
         Vp_telemetry.Event.emit tl ~kind:"defer" ~at:t.retired ~value:t.depth
       end
     end
@@ -495,6 +521,19 @@ let step t =
     if total_instr = 0 then 0.0
     else 100.0 *. float_of_int total_pkg /. float_of_int total_instr
   in
+  (* Stable per-epoch distributions (schedule-independent values). *)
+  Vp_metrics.Histogram.observe metrics "session.epoch.instructions"
+    total_instr;
+  Vp_metrics.Histogram.observe metrics "session.grace.instructions"
+    !grace_used;
+  Vp_metrics.Histogram.observe metrics "session.cache.entries"
+    (List.length t.cache);
+  Vp_metrics.Histogram.observe metrics "session.cache.instructions"
+    (total_cache_size t.cache);
+  if Vp_metrics.enabled metrics then
+    Vp_metrics.Histogram.observe ~volatile:true metrics
+      "session.epoch.wall_us"
+      (int_of_float ((Unix.gettimeofday () -. wall0) *. 1e6));
   let r =
     {
       epoch;

@@ -1,0 +1,735 @@
+(* Continuous-profiling metrics plane (see vp_metrics.mli).
+
+   One mutex guards the whole registry: every update is a cold
+   once-per-stage or once-per-epoch event (the hot execution loops are
+   never instrumented directly), so contention is irrelevant and the
+   single lock buys the deterministic-merge discipline for free —
+   counters are plain additions and histograms merge additively, so
+   any interleaving of writers yields the same stable readings.
+
+   Volatility: each metric is tagged at first registration.  Stable
+   metrics (schedule-independent values) form the default snapshot;
+   volatile metrics (wall clock, scheduler occupancy, every gauge)
+   render only on request, after a `# volatile` marker. *)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram: 64 log2 buckets, exact count and sum.                    *)
+
+module Hist = struct
+  type h = { counts : int array; mutable count : int; mutable sum : int }
+
+  let buckets = 64
+
+  let create () = { counts = Array.make buckets 0; count = 0; sum = 0 }
+
+  (* floor (log2 v) for v >= 1, by shifting. *)
+  let floor_log2 v =
+    let l = ref 0 and v = ref v in
+    while !v > 1 do
+      incr l;
+      v := !v lsr 1
+    done;
+    !l
+
+  let index v =
+    if v <= 0 then 0
+    else begin
+      let f = floor_log2 v in
+      let ceil_log2 = if v land (v - 1) = 0 then f else f + 1 in
+      Stdlib.min (buckets - 1) (1 + ceil_log2)
+    end
+
+  (* OCaml ints are 63-bit, so [1 lsl 62] would wrap negative; the
+     last bucket absorbs everything larger anyway, so its bound is
+     max_int. *)
+  let bound i =
+    if i <= 0 then 0 else if i >= buckets - 1 then max_int else 1 lsl (i - 1)
+
+  let observe h v =
+    h.counts.(index v) <- h.counts.(index v) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum + v
+
+  let count h = h.count
+  let sum h = h.sum
+  let bucket_count h i = h.counts.(i)
+
+  let quantile h q =
+    if h.count = 0 then 0
+    else begin
+      let rank = Stdlib.max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+      let cum = ref 0 and result = ref (bound (buckets - 1)) in
+      (try
+         for i = 0 to buckets - 1 do
+           cum := !cum + h.counts.(i);
+           if !cum >= rank then begin
+             result := bound i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !result
+    end
+
+  let merge_into ~dst src =
+    for i = 0 to buckets - 1 do
+      dst.counts.(i) <- dst.counts.(i) + src.counts.(i)
+    done;
+    dst.count <- dst.count + src.count;
+    dst.sum <- dst.sum + src.sum
+
+  let copy h = { counts = Array.copy h.counts; count = h.count; sum = h.sum }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry.                                                           *)
+
+type metric = M_counter of int ref | M_gauge of int ref | M_hist of Hist.h
+type entry = { volatile : bool; metric : metric }
+
+type reg = {
+  mutex : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  flight_cap : int;
+  flight_dir : string option;
+  fl_kind : string array;
+  fl_label : string array;
+  fl_seq : int array;
+  mutable fl_total : int;
+  fl_dumps : (string, int) Hashtbl.t;  (* per-label dump sequence *)
+  mutable dump_total : int;
+}
+
+type t = Disabled | Enabled of reg
+
+let disabled = Disabled
+
+let create ?(flight_capacity = 64) ?flight_dir () =
+  let cap = Stdlib.max 1 flight_capacity in
+  Enabled
+    {
+      mutex = Mutex.create ();
+      table = Hashtbl.create 64;
+      flight_cap = cap;
+      flight_dir;
+      fl_kind = Array.make cap "";
+      fl_label = Array.make cap "";
+      fl_seq = Array.make cap 0;
+      fl_total = 0;
+      fl_dumps = Hashtbl.create 8;
+      dump_total = 0;
+    }
+
+let enabled = function Disabled -> false | Enabled _ -> true
+
+let locked r f =
+  Mutex.lock r.mutex;
+  match f () with
+  | v ->
+    Mutex.unlock r.mutex;
+    v
+  | exception e ->
+    Mutex.unlock r.mutex;
+    raise e
+
+(* First registration fixes a name's kind and volatility; a later use
+   under a different kind is dropped rather than raising — metrics
+   must never take the pipeline down. *)
+let counter_cell r ~volatile name =
+  match Hashtbl.find_opt r.table name with
+  | Some { metric = M_counter c; _ } -> Some c
+  | Some _ -> None
+  | None ->
+    let c = ref 0 in
+    Hashtbl.replace r.table name { volatile; metric = M_counter c };
+    Some c
+
+let gauge_cell r name =
+  match Hashtbl.find_opt r.table name with
+  | Some { metric = M_gauge c; _ } -> Some c
+  | Some _ -> None
+  | None ->
+    let c = ref 0 in
+    Hashtbl.replace r.table name { volatile = true; metric = M_gauge c };
+    Some c
+
+let hist_cell r ~volatile name =
+  match Hashtbl.find_opt r.table name with
+  | Some { metric = M_hist h; _ } -> Some h
+  | Some _ -> None
+  | None ->
+    let h = Hist.create () in
+    Hashtbl.replace r.table name { volatile; metric = M_hist h };
+    Some h
+
+module Counter = struct
+  let bump ?(volatile = false) t name n =
+    match t with
+    | Disabled -> ()
+    | Enabled r ->
+      locked r (fun () ->
+          match counter_cell r ~volatile name with
+          | Some c -> c := !c + n
+          | None -> ())
+
+  let value t name =
+    match t with
+    | Disabled -> 0
+    | Enabled r ->
+      locked r (fun () ->
+          match Hashtbl.find_opt r.table name with
+          | Some { metric = M_counter c; _ } -> !c
+          | _ -> 0)
+end
+
+module Gauge = struct
+  let set t name v =
+    match t with
+    | Disabled -> ()
+    | Enabled r ->
+      locked r (fun () ->
+          match gauge_cell r name with Some c -> c := v | None -> ())
+
+  let value t name =
+    match t with
+    | Disabled -> 0
+    | Enabled r ->
+      locked r (fun () ->
+          match Hashtbl.find_opt r.table name with
+          | Some { metric = M_gauge c; _ } -> !c
+          | _ -> 0)
+end
+
+module Histogram = struct
+  let observe ?(volatile = false) t name v =
+    match t with
+    | Disabled -> ()
+    | Enabled r ->
+      locked r (fun () ->
+          match hist_cell r ~volatile name with
+          | Some h -> Hist.observe h v
+          | None -> ())
+
+  let get t name =
+    match t with
+    | Disabled -> None
+    | Enabled r ->
+      locked r (fun () ->
+          match Hashtbl.find_opt r.table name with
+          | Some { metric = M_hist h; _ } -> Some (Hist.copy h)
+          | _ -> None)
+end
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics-style text exposition: vp-metrics-snapshot/1.           *)
+
+module Snapshot = struct
+  type sample = Counter of int | Gauge of int | Hist of Hist.h
+
+  let schema = "# vp-metrics-snapshot/1"
+
+  let sanitize name =
+    String.map
+      (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c | _ -> '_')
+      name
+
+  (* A frozen copy of the registry, split by volatility, each half
+     sorted by name. *)
+  let sections t =
+    match t with
+    | Disabled -> ([], [])
+    | Enabled r ->
+      let stable, vol =
+        locked r (fun () ->
+            Hashtbl.fold
+              (fun name e (s, v) ->
+                let sample =
+                  match e.metric with
+                  | M_counter c -> Counter !c
+                  | M_gauge g -> Gauge !g
+                  | M_hist h -> Hist (Hist.copy h)
+                in
+                if e.volatile then (s, (name, sample) :: v)
+                else ((name, sample) :: s, v))
+              r.table ([], []))
+      in
+      let by_name (a, _) (b, _) = compare (a : string) b in
+      (List.sort by_name stable, List.sort by_name vol)
+
+  let samples ?(volatile = false) t =
+    let stable, vol = sections t in
+    if volatile then stable @ vol else stable
+
+  let render_sample buf (name, sample) =
+    let n = sanitize name in
+    match sample with
+    | Counter v ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s_total %d\n" n v)
+    | Gauge v ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" n v)
+    | Hist h ->
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      for i = 0 to Hist.buckets - 1 do
+        let c = Hist.bucket_count h i in
+        if c > 0 then begin
+          cum := !cum + c;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n (Hist.bound i) !cum)
+        end
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n (Hist.count h));
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" n (Hist.sum h));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n (Hist.count h));
+      Buffer.add_string buf (Printf.sprintf "%s_p50 %d\n" n (Hist.quantile h 0.50));
+      Buffer.add_string buf (Printf.sprintf "%s_p90 %d\n" n (Hist.quantile h 0.90));
+      Buffer.add_string buf (Printf.sprintf "%s_p99 %d\n" n (Hist.quantile h 0.99))
+
+  let render ?(volatile = false) t =
+    let stable, vol = sections t in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (schema ^ "\n");
+    List.iter (render_sample buf) stable;
+    if volatile && vol <> [] then begin
+      Buffer.add_string buf "# volatile\n";
+      List.iter (render_sample buf) vol
+    end;
+    Buffer.add_string buf "# EOF\n";
+    Buffer.contents buf
+
+  let write_file ~path content =
+    let tmp = path ^ ".tmp" in
+    let oc = open_out tmp in
+    output_string oc content;
+    close_out oc;
+    Sys.rename tmp path
+
+  let write ?volatile t ~path = write_file ~path (render ?volatile t)
+
+  let read_lines path =
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> close_in ic);
+    List.rev !lines
+
+  let starts_with ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+
+  let validate_lines lines =
+    let n = List.length lines in
+    if n = 0 then Error "empty snapshot"
+    else if List.nth lines 0 <> schema then
+      Error (Printf.sprintf "line 1: expected %S meta line" schema)
+    else if List.nth lines (n - 1) <> "# EOF" then
+      Error (Printf.sprintf "line %d: missing \"# EOF\" trailer" n)
+    else begin
+      let check i line =
+        if i = 0 || i = n - 1 then Ok ()
+        else if line = "" then Error (Printf.sprintf "line %d: empty line" (i + 1))
+        else if line = "# EOF" then
+          Error (Printf.sprintf "line %d: unexpected \"# EOF\"" (i + 1))
+        else if starts_with ~prefix:"# TYPE " line then begin
+          match String.split_on_char ' ' line with
+          | [ _; _; _; ("counter" | "gauge" | "histogram") ] -> Ok ()
+          | _ ->
+            Error
+              (Printf.sprintf
+                 "line %d: malformed TYPE line (want \"# TYPE name \
+                  counter|gauge|histogram\")"
+                 (i + 1))
+        end
+        else if line.[0] = '#' then Ok () (* comment: # volatile, # mark, ... *)
+        else begin
+          match String.rindex_opt line ' ' with
+          | None ->
+            Error (Printf.sprintf "line %d: expected \"name value\"" (i + 1))
+          | Some sp ->
+            let name = String.sub line 0 sp in
+            let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+            if name = "" then
+              Error (Printf.sprintf "line %d: empty metric name" (i + 1))
+            else if
+              not
+                (match name.[0] with
+                | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+                | _ -> false)
+            then Error (Printf.sprintf "line %d: bad metric name %S" (i + 1) name)
+            else begin
+              match int_of_string_opt v with
+              | Some _ -> Ok ()
+              | None ->
+                Error (Printf.sprintf "line %d: malformed value %S" (i + 1) v)
+            end
+        end
+      in
+      let rec walk i = function
+        | [] -> Ok n
+        | line :: rest -> (
+          match check i line with Ok () -> walk (i + 1) rest | Error e -> Error e)
+      in
+      walk 0 lines
+    end
+
+  let validate_file ~path =
+    match read_lines path with
+    | exception Sys_error e -> Error e
+    | lines -> validate_lines lines
+
+  (* Parse an exposition file back into samples, reconstructing
+     histograms from their cumulative bucket lines.  Names come back
+     in sanitized (rendered) form, in file order. *)
+  let find_sub hay needle =
+    let hn = String.length hay and nn = String.length needle in
+    let rec go i =
+      if i + nn > hn then None
+      else if String.sub hay i nn = needle then Some i
+      else go (i + 1)
+    in
+    go 0
+
+  let read ~path =
+    match validate_file ~path with
+    | Error e -> Error e
+    | Ok _ ->
+      let lines = read_lines path in
+      let order = ref [] in
+      let vals : (string, int) Hashtbl.t = Hashtbl.create 64 in
+      let bucks : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun line ->
+          if starts_with ~prefix:"# TYPE " line then begin
+            match String.split_on_char ' ' line with
+            | [ _; _; name; kind ] -> order := (name, kind) :: !order
+            | _ -> ()
+          end
+          else if line <> "" && line.[0] <> '#' then begin
+            match String.rindex_opt line ' ' with
+            | None -> ()
+            | Some sp ->
+              let name = String.sub line 0 sp in
+              let v =
+                Stdlib.Option.value ~default:0
+                  (int_of_string_opt
+                     (String.sub line (sp + 1) (String.length line - sp - 1)))
+              in
+              (match find_sub name "_bucket{le=\"" with
+              | Some i -> (
+                let base = String.sub name 0 i in
+                let j = i + String.length "_bucket{le=\"" in
+                match String.index_from_opt name j '"' with
+                | None -> ()
+                | Some k ->
+                  let le = String.sub name j (k - j) in
+                  if le <> "+Inf" then begin
+                    let cell =
+                      match Hashtbl.find_opt bucks base with
+                      | Some l -> l
+                      | None ->
+                        let l = ref [] in
+                        Hashtbl.replace bucks base l;
+                        l
+                    in
+                    match int_of_string_opt le with
+                    | Some b -> cell := (b, v) :: !cell
+                    | None -> ()
+                  end)
+              | None -> Hashtbl.replace vals name v)
+          end)
+        lines;
+      let lookup name = Stdlib.Option.value ~default:0 (Hashtbl.find_opt vals name) in
+      let sample_of (name, kind) =
+        match kind with
+        | "counter" -> Some (name, Counter (lookup (name ^ "_total")))
+        | "gauge" -> Some (name, Gauge (lookup name))
+        | "histogram" ->
+          let h = Hist.create () in
+          let cum =
+            match Hashtbl.find_opt bucks name with
+            | Some l -> List.sort compare !l
+            | None -> []
+          in
+          let prev = ref 0 in
+          List.iter
+            (fun (le, c) ->
+              let inc = c - !prev in
+              prev := c;
+              let i = Hist.index le in
+              h.Hist.counts.(i) <- h.Hist.counts.(i) + inc)
+            cum;
+          h.Hist.count <- lookup (name ^ "_count");
+          h.Hist.sum <- lookup (name ^ "_sum");
+          Some (name, Hist h)
+        | _ -> None
+      in
+      Ok (List.filter_map sample_of (List.rev !order))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event / Perfetto JSON export: vp-perfetto-trace/1.     *)
+
+module Perfetto = struct
+  type event = {
+    name : string;
+    cat : string;
+    pid : int;
+    tid : int;
+    ts_us : float;
+    dur_us : float;
+  }
+
+  let schema = "vp-perfetto-trace/1"
+
+  let of_spans ~pid ?tid ~cat spans =
+    List.map
+      (fun (s : Vp_obs.span) ->
+        {
+          name = s.Vp_obs.name;
+          cat;
+          pid;
+          tid = (match tid with Some t -> t | None -> s.Vp_obs.depth);
+          ts_us = s.Vp_obs.start_s *. 1e6;
+          dur_us = s.Vp_obs.wall_s *. 1e6;
+        })
+      spans
+
+  let json_escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let write ?(processes = []) ~path events =
+    let t0 =
+      List.fold_left (fun acc e -> Float.min acc e.ts_us) infinity events
+    in
+    let t0 = if events = [] then 0.0 else t0 in
+    let meta =
+      List.map
+        (fun (pid, label) ->
+          Printf.sprintf
+            "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"%s\"}}"
+            pid (json_escape label))
+        processes
+    in
+    let evs =
+      List.map
+        (fun e ->
+          Printf.sprintf
+            "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+            (json_escape e.name) (json_escape e.cat) e.pid e.tid
+            (e.ts_us -. t0) e.dur_us)
+        events
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"schema\":\"%s\",\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+         schema);
+    let rec emit = function
+      | [] -> ()
+      | [ last ] ->
+        Buffer.add_string buf last;
+        Buffer.add_char buf '\n'
+      | x :: rest ->
+        Buffer.add_string buf x;
+        Buffer.add_string buf ",\n";
+        emit rest
+    in
+    emit (meta @ evs);
+    Buffer.add_string buf "]}\n";
+    Snapshot.write_file ~path (Buffer.contents buf)
+
+  let contains hay needle =
+    match Snapshot.find_sub hay needle with Some _ -> true | None -> false
+
+  let validate_file ~path =
+    match Snapshot.read_lines path with
+    | exception Sys_error e -> Error e
+    | [] -> Error "empty trace"
+    | first :: rest ->
+      if not (contains first ("\"" ^ schema ^ "\"")) then
+        Error (Printf.sprintf "line 1: missing %S schema tag" schema)
+      else if not (contains first "\"traceEvents\":[") then
+        Error "line 1: missing \"traceEvents\" array opener"
+      else begin
+        let n = List.length rest in
+        if n = 0 || List.nth rest (n - 1) <> "]}" then
+          Error
+            (Printf.sprintf "line %d: missing \"]}\" array closer" (n + 1))
+        else begin
+          let body = List.filteri (fun i _ -> i < n - 1) rest in
+          let check i line =
+            let lineno = i + 2 in
+            let line =
+              if String.length line > 0 && line.[String.length line - 1] = ','
+              then String.sub line 0 (String.length line - 1)
+              else line
+            in
+            if
+              String.length line < 2
+              || line.[0] <> '{'
+              || line.[String.length line - 1] <> '}'
+            then Error (Printf.sprintf "line %d: not a JSON object" lineno)
+            else if contains line "\"ph\":\"M\"" then
+              if contains line "\"name\":" && contains line "\"pid\":" then Ok ()
+              else
+                Error
+                  (Printf.sprintf "line %d: metadata event missing name/pid"
+                     lineno)
+            else if contains line "\"ph\":\"X\"" then
+              if
+                contains line "\"name\":"
+                && contains line "\"pid\":"
+                && contains line "\"tid\":"
+                && contains line "\"ts\":"
+                && contains line "\"dur\":"
+              then Ok ()
+              else
+                Error
+                  (Printf.sprintf
+                     "line %d: complete event missing name/pid/tid/ts/dur"
+                     lineno)
+            else Error (Printf.sprintf "line %d: unknown event phase" lineno)
+          in
+          let rec walk i = function
+            | [] -> Ok (List.length body)
+            | line :: more -> (
+              match check i line with
+              | Ok () -> walk (i + 1) more
+              | Error e -> Error e)
+          in
+          walk 0 body
+        end
+      end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder.                                                    *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+module Flight = struct
+  let note t ~kind ~label =
+    match t with
+    | Disabled -> ()
+    | Enabled r ->
+      locked r (fun () ->
+          let i = r.fl_total mod r.flight_cap in
+          r.fl_kind.(i) <- kind;
+          r.fl_label.(i) <- label;
+          r.fl_seq.(i) <- r.fl_total;
+          r.fl_total <- r.fl_total + 1)
+
+  (* Oldest-first surviving marks. *)
+  let marks r =
+    locked r (fun () ->
+        let n = Stdlib.min r.fl_total r.flight_cap in
+        List.init n (fun j ->
+            let i = (r.fl_total - n + j) mod r.flight_cap in
+            (r.fl_seq.(i), r.fl_kind.(i), r.fl_label.(i))))
+
+  let file_label label =
+    String.map
+      (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_') as c -> c | _ -> '-')
+      label
+
+  let dump t ?obs ~reason ~label () =
+    match t with
+    | Disabled -> ()
+    | Enabled r -> (
+      match r.flight_dir with
+      | None -> ()
+      | Some dir ->
+        let seq =
+          locked r (fun () ->
+              let n =
+                Stdlib.Option.value ~default:0 (Hashtbl.find_opt r.fl_dumps label)
+              in
+              Hashtbl.replace r.fl_dumps label (n + 1);
+              r.dump_total <- r.dump_total + 1;
+              n)
+        in
+        mkdir_p dir;
+        let base = Printf.sprintf "flight-%s-%d" (file_label label) seq in
+        (* Splice the reason and the mark ring in as comment lines
+           right after the schema line, so the dump stays a valid
+           vp-metrics-snapshot/1 file. *)
+        let rendered = Snapshot.render ~volatile:true t in
+        let cut = String.index rendered '\n' + 1 in
+        let buf = Buffer.create (String.length rendered + 256) in
+        Buffer.add_string buf (String.sub rendered 0 cut);
+        Buffer.add_string buf (Printf.sprintf "# reason %s\n" reason);
+        List.iter
+          (fun (seq, kind, lbl) ->
+            Buffer.add_string buf (Printf.sprintf "# mark %d %s %s\n" seq kind lbl))
+          (marks r);
+        Buffer.add_string buf
+          (String.sub rendered cut (String.length rendered - cut));
+        Snapshot.write_file
+          ~path:(Filename.concat dir (base ^ ".metrics"))
+          (Buffer.contents buf);
+        (match obs with
+        | Some o when Vp_obs.enabled o ->
+          Vp_obs.Sink.write_trace o
+            ~path:(Filename.concat dir (base ^ "-obs.jsonl"))
+        | _ -> ()))
+
+  let dumps t =
+    match t with Disabled -> 0 | Enabled r -> locked r (fun () -> r.dump_total)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Pool scheduler hooks.                                               *)
+
+module Sched = struct
+  (* Worker indices are dense (0 .. jobs-1); 256 slots is far beyond
+     any plausible pool and the mask keeps a stray index safe. *)
+  let slots = 256
+
+  let hooks t =
+    match t with
+    | Disabled -> None
+    | Enabled _ ->
+      let starts = Array.make slots 0.0 in
+      Some
+        {
+          Vp_util.Pool.on_submit =
+            (fun ~depth ->
+              Histogram.observe ~volatile:true t "pool.queue_depth" depth);
+          on_start =
+            (fun ~domain ~depth ->
+              ignore depth;
+              starts.(domain land (slots - 1)) <- Unix.gettimeofday ();
+              Counter.bump ~volatile:true t "pool.tasks" 1;
+              Counter.bump ~volatile:true t
+                (Printf.sprintf "pool.tasks.d%d" domain)
+                1);
+          on_finish =
+            (fun ~domain ->
+              let i = domain land (slots - 1) in
+              let busy = Unix.gettimeofday () -. starts.(i) in
+              Counter.bump ~volatile:true t
+                (Printf.sprintf "pool.busy_us.d%d" domain)
+                (int_of_float (busy *. 1e6)));
+        }
+end

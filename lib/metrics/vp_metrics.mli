@@ -1,0 +1,199 @@
+(** Continuous-profiling metrics plane: the aggregated, always-on
+    counterpart to the event-shaped {!Vp_obs} spans and
+    {!Vp_telemetry} series.
+
+    A {!t} is a {e registry} of named counters, gauges, and
+    fixed-bucket log-scale {!Hist}ograms, threaded through
+    [Vacuum.Config] the same way as the obs recorder.  The
+    {!disabled} registry turns every operation into an early-out on
+    one immutable boolean, so instrumented paths cost nothing — and
+    allocate nothing — when metrics are off.
+
+    {b Determinism contract.}  Metrics come in two volatility
+    classes.  {e Stable} metrics (the default for counters and
+    histograms) carry schedule-independent values: instruction
+    counts, cache events, demotion outcomes.  Their rendered
+    snapshot is byte-identical for any [--jobs]/[--shards] and
+    across execution backends, the same discipline as
+    [Vp_aggregate.Profile].  {e Volatile} metrics (wall-clock
+    readings, scheduler occupancy; every gauge) are excluded from
+    the default snapshot and only appear under a [# volatile]
+    marker when explicitly requested — so CI can diff the stable
+    exposition while humans still see latency quantiles.
+
+    {b Domains.}  All registry updates take the registry mutex;
+    histograms merge additively (bucket vectors, exact count and
+    sum), so concurrent writers from pool domains produce the same
+    stable readings as the sequential schedule. *)
+
+type t
+(** A registry; either {!disabled} or created by {!create}. *)
+
+val disabled : t
+(** The shared no-op registry: every operation returns immediately
+    and records nothing.  This is the default everywhere. *)
+
+val create : ?flight_capacity:int -> ?flight_dir:string -> unit -> t
+(** A fresh enabled registry.  [flight_capacity] (default [64])
+    bounds the flight-recorder mark ring; [flight_dir], when given,
+    enables {!Flight.dump} to write post-hoc diagnosis files there
+    (created on first dump). *)
+
+val enabled : t -> bool
+
+(** Fixed-bucket log-scale histogram with exact count and sum.
+
+    64 buckets: bucket 0 holds values [<= 0], bucket [i >= 1] holds
+    values in [(2^(i-2), 2^(i-1)]] (upper bound [2^(i-1)]), with the
+    last bucket absorbing everything larger.  Quantiles are read as
+    the upper bound of the bucket where the cumulative count first
+    reaches [ceil (q * count)] — an upper bound with at most 2x
+    relative error, which is what a log-scale histogram promises.
+    [merge_into] adds bucket vectors, counts and sums, and is
+    associative and commutative, so parallel shards fold to the
+    same reading in any order. *)
+module Hist : sig
+  type h
+
+  val buckets : int
+  (** Number of buckets, [64]. *)
+
+  val create : unit -> h
+  val observe : h -> int -> unit
+  val count : h -> int
+  val sum : h -> int
+
+  val bound : int -> int
+  (** Upper bound of bucket [i]: [bound 0 = 0], [bound i = 2^(i-1)]. *)
+
+  val index : int -> int
+  (** Bucket index for a value. *)
+
+  val bucket_count : h -> int -> int
+  (** Observations landing in bucket [i] (not cumulative). *)
+
+  val quantile : h -> float -> int
+  (** [quantile h q] for [q] in [0, 1]; [0] on an empty histogram. *)
+
+  val merge_into : dst:h -> h -> unit
+  val copy : h -> h
+end
+
+(** Named monotone counters.  [~volatile:true] marks a counter
+    schedule-dependent; it is then excluded from the stable
+    snapshot. *)
+module Counter : sig
+  val bump : ?volatile:bool -> t -> string -> int -> unit
+  val value : t -> string -> int
+end
+
+(** Named last-writer-wins cells.  Gauges are {e always} volatile:
+    under concurrent writers the surviving value is
+    schedule-dependent, so no gauge may appear in the stable
+    snapshot.  Use a histogram observed once per epoch for stable
+    size readings. *)
+module Gauge : sig
+  val set : t -> string -> int -> unit
+  val value : t -> string -> int
+end
+
+(** Named histograms (see {!Hist}).  [~volatile:true] for wall-clock
+    series; instruction-count series default stable. *)
+module Histogram : sig
+  val observe : ?volatile:bool -> t -> string -> int -> unit
+  val get : t -> string -> Hist.h option
+  (** A copy of the named histogram's current state. *)
+end
+
+(** OpenMetrics-style text exposition (schema
+    [vp-metrics-snapshot/1], documented in DESIGN.md).
+
+    The file is line-oriented: [# vp-metrics-snapshot/1] first,
+    [# EOF] last; metric names have [.]/[-] mapped to [_];
+    counters render as [# TYPE n counter] + [n_total V]; gauges as
+    [# TYPE n gauge] + [n V]; histograms as cumulative
+    [n_bucket{le="B"} C] lines (non-empty buckets plus
+    [le="+Inf"]), [n_sum]/[n_count], and [n_p50]/[n_p90]/[n_p99]
+    readouts.  Stable metrics sorted by name come first; with
+    [~volatile:true] a [# volatile] marker follows, then the
+    volatile metrics. *)
+module Snapshot : sig
+  type sample =
+    | Counter of int
+    | Gauge of int
+    | Hist of Hist.h
+
+  val samples : ?volatile:bool -> t -> (string * sample) list
+  (** Current values, sorted by name; [volatile] (default [false])
+      appends the volatile section after the stable one. *)
+
+  val render : ?volatile:bool -> t -> string
+
+  val write : ?volatile:bool -> t -> path:string -> unit
+  (** Atomic rewrite: renders to [path ^ ".tmp"] then renames, so a
+      concurrent reader ([vpack top]) never sees a torn file. *)
+
+  val validate_file : path:string -> (int, string) result
+  (** Schema check; [Ok n] is the number of lines.  Errors name the
+      offending line: ["line 12: ..."]. *)
+
+  val read : path:string -> ((string * sample) list, string) result
+  (** Parse an exposition file back into samples (names in rendered,
+      sanitized form) — the [vpack top] ingestion path. *)
+end
+
+(** Chrome trace-event / Perfetto JSON export (schema
+    [vp-perfetto-trace/1]): one complete event ([ph:"X"]) per line,
+    pid = component, tid = domain/lane, timestamps in microseconds
+    normalized to the earliest event. *)
+module Perfetto : sig
+  type event = {
+    name : string;
+    cat : string;
+    pid : int;
+    tid : int;
+    ts_us : float;  (** absolute; normalized on write *)
+    dur_us : float;
+  }
+
+  val of_spans : pid:int -> ?tid:int -> cat:string -> Vp_obs.span list -> event list
+  (** Obs spans as events; [tid] defaults to the span's nesting
+      depth. *)
+
+  val write : ?processes:(int * string) list -> path:string -> event list -> unit
+  (** [processes] adds [process_name] metadata records
+      (pid, label). *)
+
+  val validate_file : path:string -> (int, string) result
+end
+
+(** Flight recorder: a bounded ring of recent marks (demotions,
+    rejections, oracle failures) plus the full metrics state,
+    dumped to files on demand for post-hoc diagnosis of dirty
+    epochs. *)
+module Flight : sig
+  val note : t -> kind:string -> label:string -> unit
+  (** Record a mark in the ring; no I/O, no-op when disabled. *)
+
+  val dump : t -> ?obs:Vp_obs.t -> reason:string -> label:string -> unit -> unit
+  (** Write [<flight_dir>/flight-<label>-<n>.metrics] (a
+      vp-metrics-snapshot/1 file with [# reason]/[# mark] comment
+      lines, volatile section included) and, when [obs] is an
+      enabled recorder, [flight-<label>-<n>-obs.jsonl]
+      (vp-obs-trace/1).  [n] counts dumps per label.  No-op when
+      disabled or no [flight_dir] was configured. *)
+
+  val dumps : t -> int
+  (** Total dumps written so far. *)
+end
+
+(** Pool scheduler telemetry: {!hooks} adapts a registry to
+    {!Vp_util.Pool.hooks}, recording per-domain task counts
+    ([pool.tasks.dK]), queue depth at submit ([pool.queue_depth])
+    and per-domain busy time ([pool.busy_us.dK]) — all volatile,
+    since scheduling is inherently schedule-dependent. *)
+module Sched : sig
+  val hooks : t -> Vp_util.Pool.hooks option
+  (** [None] when the registry is disabled, so the pool's no-hook
+      fast path is taken. *)
+end

@@ -13,6 +13,12 @@
    slots and be pure up to their own isolated state, so the gather
    (e.g. [map], which stores by index) is schedule-independent. *)
 
+type hooks = {
+  on_submit : depth:int -> unit;
+  on_start : domain:int -> depth:int -> unit;
+  on_finish : domain:int -> unit;
+}
+
 type t = {
   jobs : int;
   mutex : Mutex.t;
@@ -22,11 +28,15 @@ type t = {
   mutable pending : int;  (* queued + running *)
   mutable stopped : bool;
   mutable domains : unit Domain.t list;
+  hooks : hooks option;
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let worker t =
+(* Hooks run on the calling/worker domain, outside the pool mutex,
+   and must not raise.  [index] is the dense worker slot (0 in
+   sequential mode), not [Domain.self]. *)
+let worker t index =
   let rec loop () =
     Mutex.lock t.mutex;
     while Queue.is_empty t.queue && not t.stopped do
@@ -36,8 +46,13 @@ let worker t =
       Mutex.unlock t.mutex
     else begin
       let task = Queue.pop t.queue in
+      let depth = Queue.length t.queue in
       Mutex.unlock t.mutex;
+      (match t.hooks with
+      | Some h -> h.on_start ~domain:index ~depth
+      | None -> ());
       task ();
+      (match t.hooks with Some h -> h.on_finish ~domain:index | None -> ());
       Mutex.lock t.mutex;
       t.pending <- t.pending - 1;
       if t.pending = 0 then Condition.broadcast t.drained;
@@ -47,7 +62,7 @@ let worker t =
   in
   loop ()
 
-let create ?(jobs = default_jobs ()) () =
+let create ?(jobs = default_jobs ()) ?hooks () =
   let t =
     {
       jobs = Stdlib.max 1 jobs;
@@ -58,10 +73,11 @@ let create ?(jobs = default_jobs ()) () =
       pending = 0;
       stopped = false;
       domains = [];
+      hooks;
     }
   in
   if t.jobs > 1 then
-    t.domains <- List.init t.jobs (fun _ -> Domain.spawn (fun () -> worker t));
+    t.domains <- List.init t.jobs (fun i -> Domain.spawn (fun () -> worker t i));
   t
 
 let jobs t = t.jobs
@@ -71,7 +87,15 @@ let submit t task =
      that escapes is swallowed here so one task can neither kill a
      worker domain nor wedge [wait]. *)
   let guarded () = try task () with _ -> () in
-  if t.jobs <= 1 then guarded ()
+  if t.jobs <= 1 then begin
+    match t.hooks with
+    | None -> guarded ()
+    | Some h ->
+      h.on_submit ~depth:0;
+      h.on_start ~domain:0 ~depth:0;
+      guarded ();
+      h.on_finish ~domain:0
+  end
   else begin
     Mutex.lock t.mutex;
     if t.stopped then begin
@@ -80,8 +104,10 @@ let submit t task =
     end;
     t.pending <- t.pending + 1;
     Queue.push guarded t.queue;
+    let depth = Queue.length t.queue in
     Condition.signal t.work_available;
-    Mutex.unlock t.mutex
+    Mutex.unlock t.mutex;
+    match t.hooks with Some h -> h.on_submit ~depth | None -> ()
   end
 
 let wait t =
@@ -103,12 +129,12 @@ let shutdown t =
     t.domains <- []
   end
 
-let run ~jobs tasks =
+let run ~jobs ?hooks tasks =
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
   let results : _ option array = Array.make n None in
   let errors : exn option array = Array.make n None in
-  let pool = create ~jobs () in
+  let pool = create ~jobs ?hooks () in
   Array.iteri
     (fun i task ->
       submit pool (fun () ->
@@ -128,4 +154,4 @@ let run ~jobs tasks =
          | None -> invalid_arg (Printf.sprintf "Pool.run: task %d lost" i))
        results)
 
-let map ~jobs f items = run ~jobs (List.map (fun x () -> f x) items)
+let map ~jobs ?hooks f items = run ~jobs ?hooks (List.map (fun x () -> f x) items)

@@ -13,10 +13,25 @@
 
 type t
 
+type hooks = {
+  on_submit : depth:int -> unit;
+      (** After a task is enqueued; [depth] is the queue length at
+          that instant ([0] in sequential mode). *)
+  on_start : domain:int -> depth:int -> unit;
+      (** Before a task runs; [domain] is the dense worker index
+          [0 .. jobs-1] ([0] in sequential mode). *)
+  on_finish : domain:int -> unit;  (** After the task returned. *)
+}
+(** Scheduler observation points, called on the submitting/worker
+    domain {e outside} the pool mutex.  Hooks must not raise and
+    must not call back into the pool.  Readings are inherently
+    schedule-dependent — consumers (e.g. [Vp_metrics.Sched]) must
+    tag them volatile.  [None] hooks cost nothing. *)
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?hooks:hooks -> unit -> t
 (** Spawn a pool of [jobs] workers (default {!default_jobs}); values
     [<= 1] select the in-caller sequential mode. *)
 
@@ -36,10 +51,10 @@ val shutdown : t -> unit
 (** Stop accepting work, drain the queue, and join the workers.
     Idempotent; a no-op in sequential mode. *)
 
-val run : jobs:int -> (unit -> 'a) list -> 'a list
+val run : jobs:int -> ?hooks:hooks -> (unit -> 'a) list -> 'a list
 (** Run independent thunks on a fresh pool; results in input order.
     If any task raised, re-raises the exception of the earliest failed
     task (by input position) after all tasks finish. *)
 
-val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : jobs:int -> ?hooks:hooks -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f l] is [run ~jobs (List.map (fun x () -> f x) l)]. *)

@@ -1,0 +1,451 @@
+(* The metrics plane: log-scale histograms, the registry and its
+   volatility classes, snapshot exposition and round-trip, Perfetto
+   export, the flight recorder, pool scheduler hooks — and the two
+   contracts everything hangs on: stable snapshots are byte-identical
+   across schedules and backends, and the disabled registry allocates
+   nothing on hot paths. *)
+
+module M = Vp_metrics
+module Hist = Vp_metrics.Hist
+module Pool = Vp_util.Pool
+module Program = Vp_prog.Program
+module Emulator = Vp_exec.Emulator
+module Config = Vacuum.Config
+module Session = Vacuum.Session
+module Progs = Vp_test_support.Progs
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let temp suffix = Filename.temp_file "vp-metrics" suffix
+
+(* ---- Hist ---- *)
+
+let test_hist_bounds () =
+  Alcotest.(check int) "bound 0" 0 (Hist.bound 0);
+  Alcotest.(check int) "bound 1" 1 (Hist.bound 1);
+  Alcotest.(check int) "bound 2" 2 (Hist.bound 2);
+  Alcotest.(check int) "bound 3" 4 (Hist.bound 3);
+  (* index/bound identity: reading a bucket's upper bound back lands in
+     the same bucket, the property Snapshot.read's reconstruction
+     relies on *)
+  for i = 0 to Hist.buckets - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "index (bound %d)" i)
+      i
+      (Hist.index (Hist.bound i))
+  done;
+  Alcotest.(check int) "<= 0 in bucket 0" 0 (Hist.index (-5));
+  Alcotest.(check int) "max_int clamps to last bucket" (Hist.buckets - 1)
+    (Hist.index max_int)
+
+let test_hist_exact_count_sum () =
+  let h = Hist.create () in
+  let values = [ 0; 1; 1; 3; 100; 1024; 1025; 999_999 ] in
+  List.iter (Hist.observe h) values;
+  Alcotest.(check int) "count" (List.length values) (Hist.count h);
+  Alcotest.(check int) "sum" (List.fold_left ( + ) 0 values) (Hist.sum h);
+  let by_buckets = ref 0 in
+  for i = 0 to Hist.buckets - 1 do
+    by_buckets := !by_buckets + Hist.bucket_count h i
+  done;
+  Alcotest.(check int) "buckets partition the observations"
+    (Hist.count h) !by_buckets;
+  (* every observation is within its bucket's bounds *)
+  List.iter
+    (fun v ->
+      let i = Hist.index v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d <= bound %d" v i)
+        true
+        (v <= Hist.bound i || i = Hist.buckets - 1))
+    values
+
+let test_hist_quantiles () =
+  let h = Hist.create () in
+  Alcotest.(check int) "empty p50" 0 (Hist.quantile h 0.5);
+  for v = 1 to 100 do
+    Hist.observe h v
+  done;
+  (* The quantile is the upper bound of the bucket holding the rank-q
+     observation: an upper bound on the true quantile with at most 2x
+     relative error. *)
+  List.iter
+    (fun (q, exact) ->
+      let got = Hist.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f=%d is an upper bound on %d" (100. *. q) got exact)
+        true (got >= exact);
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f=%d within 2x of %d" (100. *. q) got exact)
+        true
+        (got <= 2 * exact))
+    [ (0.5, 50); (0.9, 90); (0.99, 99) ];
+  Alcotest.(check int) "p100 = last bucket bound" (Hist.bound (Hist.index 100))
+    (Hist.quantile h 1.0)
+
+let test_hist_merge () =
+  let observe_all h vs = List.iter (Hist.observe h) vs in
+  let a = [ 1; 5; 5; 700 ] and b = [ 0; 2; 900_000; 3 ] in
+  let whole = Hist.create () in
+  observe_all whole (a @ b);
+  let ha = Hist.create () and hb = Hist.create () in
+  observe_all ha a;
+  observe_all hb b;
+  (* merge in both orders: additive, so both equal the straight run *)
+  let ab = Hist.copy ha and ba = Hist.copy hb in
+  Hist.merge_into ~dst:ab hb;
+  Hist.merge_into ~dst:ba ha;
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check int) (name ^ " count") (Hist.count whole) (Hist.count m);
+      Alcotest.(check int) (name ^ " sum") (Hist.sum whole) (Hist.sum m);
+      for i = 0 to Hist.buckets - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "%s bucket %d" name i)
+          (Hist.bucket_count whole i) (Hist.bucket_count m i)
+      done)
+    [ ("a+b", ab); ("b+a", ba) ]
+
+(* ---- registry ---- *)
+
+let test_registry_ops () =
+  let t = M.create () in
+  M.Counter.bump t "c" 2;
+  M.Counter.bump t "c" 3;
+  Alcotest.(check int) "counter" 5 (M.Counter.value t "c");
+  M.Gauge.set t "g" 7;
+  M.Gauge.set t "g" 9;
+  Alcotest.(check int) "gauge last-writer-wins" 9 (M.Gauge.value t "g");
+  M.Histogram.observe t "h" 10;
+  M.Histogram.observe t "h" 20;
+  match M.Histogram.get t "h" with
+  | None -> Alcotest.fail "histogram registered"
+  | Some h ->
+    Alcotest.(check int) "hist count" 2 (Hist.count h);
+    Alcotest.(check int) "hist sum" 30 (Hist.sum h)
+
+let test_disabled_registry_inert () =
+  let t = M.disabled in
+  Alcotest.(check bool) "disabled" false (M.enabled t);
+  M.Counter.bump t "c" 5;
+  M.Gauge.set t "g" 5;
+  M.Histogram.observe t "h" 5;
+  M.Flight.note t ~kind:"k" ~label:"l";
+  Alcotest.(check int) "counter silent" 0 (M.Counter.value t "c");
+  Alcotest.(check int) "gauge silent" 0 (M.Gauge.value t "g");
+  Alcotest.(check bool) "hist silent" true (M.Histogram.get t "h" = None);
+  Alcotest.(check bool) "no sched hooks" true (M.Sched.hooks t = None);
+  Alcotest.(check int) "no dumps" 0 (M.Flight.dumps t);
+  Alcotest.(check string) "empty render" "# vp-metrics-snapshot/1\n# EOF\n"
+    (M.Snapshot.render t)
+
+let test_first_registration_wins () =
+  let t = M.create () in
+  M.Counter.bump t "x" 4;
+  (* a later op of a different kind under the same name is dropped, not
+     a crash and not a silent re-type *)
+  M.Gauge.set t "x" 99;
+  M.Histogram.observe t "x" 99;
+  Alcotest.(check int) "still the counter" 4 (M.Counter.value t "x");
+  Alcotest.(check int) "no gauge grafted" 0 (M.Gauge.value t "x")
+
+(* ---- alloc (the CI gate group: disabled path allocates nothing) ---- *)
+
+let test_disabled_zero_alloc () =
+  let t = M.disabled in
+  (* warm up any one-time allocation *)
+  M.Counter.bump t "hot" 1;
+  M.Histogram.observe t "hot" 1;
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    M.Counter.bump t "hot" 1;
+    M.Histogram.observe t "hot" i
+  done;
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f minor words over 200k disabled ops" words)
+    true (words < 256.)
+
+(* ---- snapshot ---- *)
+
+let populated () =
+  let t = M.create () in
+  M.Counter.bump t "session.cache.hits" 12;
+  M.Counter.bump t "demote.drop-package" 2;
+  M.Histogram.observe t "session.epoch.instructions" 50_000;
+  M.Histogram.observe t "session.epoch.instructions" 51_000;
+  M.Histogram.observe t "session.epoch.instructions" 1;
+  (* volatile metrics must stay out of the stable exposition *)
+  M.Gauge.set t "aggregate.snapshots_per_sec" 123_456;
+  M.Counter.bump ~volatile:true t "pool.tasks" 9;
+  M.Histogram.observe ~volatile:true t "session.epoch.wall_us" 777;
+  t
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_render_volatility_classes () =
+  let t = populated () in
+  let stable = M.Snapshot.render t in
+  let full = M.Snapshot.render ~volatile:true t in
+  Alcotest.(check bool) "counter rendered" true
+    (contains stable "session_cache_hits_total 12");
+  Alcotest.(check bool) "hist count rendered" true
+    (contains stable "session_epoch_instructions_count 3");
+  Alcotest.(check bool) "no volatile marker in stable" false
+    (contains stable "# volatile");
+  Alcotest.(check bool) "no gauge in stable" false
+    (contains stable "aggregate_snapshots_per_sec");
+  Alcotest.(check bool) "no wall hist in stable" false
+    (contains stable "wall_us");
+  Alcotest.(check bool) "volatile marker in full" true
+    (contains full "# volatile");
+  Alcotest.(check bool) "gauge in full" true
+    (contains full "aggregate_snapshots_per_sec 123456");
+  Alcotest.(check bool) "volatile counter in full" true
+    (contains full "pool_tasks_total 9");
+  (* the full render still begins with the stable section *)
+  Alcotest.(check bool) "stable is a prefix modulo EOF" true
+    (contains full "session_cache_hits_total 12")
+
+let test_snapshot_write_validate_roundtrip () =
+  let t = populated () in
+  let path = temp ".metrics" in
+  M.Snapshot.write t ~path;
+  (match M.Snapshot.validate_file ~path with
+  | Ok n -> Alcotest.(check bool) "some lines" true (n > 4)
+  | Error e -> Alcotest.fail ("valid snapshot rejected: " ^ e));
+  (match M.Snapshot.read ~path with
+  | Error e -> Alcotest.fail ("roundtrip failed: " ^ e)
+  | Ok samples ->
+    (match List.assoc_opt "session_cache_hits" samples with
+    | Some (M.Snapshot.Counter v) -> Alcotest.(check int) "counter back" 12 v
+    | _ -> Alcotest.fail "counter lost");
+    (match List.assoc_opt "session_epoch_instructions" samples with
+    | Some (M.Snapshot.Hist h) ->
+      Alcotest.(check int) "hist count back" 3 (Hist.count h);
+      Alcotest.(check int) "hist sum back" 101_001 (Hist.sum h)
+    | _ -> Alcotest.fail "histogram lost");
+    Alcotest.(check bool) "volatile excluded from default write" true
+      (List.assoc_opt "aggregate_snapshots_per_sec" samples = None));
+  Sys.remove path
+
+let test_validator_rejections () =
+  let check_error name content expect =
+    let path = temp ".metrics" in
+    write_file path content;
+    (match M.Snapshot.validate_file ~path with
+    | Ok _ -> Alcotest.fail (name ^ ": accepted")
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentions %S" name e expect)
+        true (contains e expect));
+    Sys.remove path
+  in
+  check_error "wrong meta" "# nope/1\n# EOF\n" "line 1";
+  check_error "missing EOF" "# vp-metrics-snapshot/1\nfoo_total 1\n" "EOF";
+  check_error "garbage line"
+    "# vp-metrics-snapshot/1\nnot a metric line at all!\n# EOF\n" "line 2";
+  check_error "non-numeric value"
+    "# vp-metrics-snapshot/1\nfoo_total bar\n# EOF\n" "line 2"
+
+(* ---- determinism: stable snapshot across schedules and backends ---- *)
+
+let test_stable_snapshot_jobs_invariant () =
+  let render_under jobs =
+    let t = M.create () in
+    ignore
+      (Pool.map ~jobs
+         ?hooks:(M.Sched.hooks t)
+         (fun i ->
+           M.Counter.bump t "work.items" 1;
+           M.Histogram.observe t "work.size" (100 * (i + 1)))
+         [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+    M.Snapshot.render t
+  in
+  let seq = render_under 1 in
+  Alcotest.(check string) "jobs 4 = jobs 1" seq (render_under 4);
+  Alcotest.(check bool) "work counted" true (contains seq "work_items_total 8")
+
+let test_stable_snapshot_backend_invariant () =
+  (* The serve-shaped path: a session instruments the registry while it
+     runs; the stable exposition must not depend on the execution
+     backend. *)
+  let img = Program.layout (Progs.two_phase ~iters_per_phase:3000 ~repeats:2) in
+  let render_under backend =
+    let t = M.create () in
+    let config =
+      Config.default
+      |> Config.with_detector Vp_hsd.Config.tiny
+      |> Config.with_backend backend
+      |> Config.with_metrics t
+      |> Config.map_session (fun s -> { s with Config.cache_pct = 300.0 })
+    in
+    ignore (Session.run ~epochs:4 (Session.create ~config img));
+    M.Snapshot.render t
+  in
+  let d = render_under Emulator.Decoded in
+  Alcotest.(check bool) "epochs observed" true
+    (contains d "session_epoch_instructions_count 4");
+  Alcotest.(check string) "reference = decoded" d
+    (render_under Emulator.Reference);
+  Alcotest.(check string) "compiled = decoded" d (render_under Emulator.Compiled)
+
+(* ---- pool hooks ---- *)
+
+let test_pool_hooks_totals () =
+  let t = M.create () in
+  let n = 32 in
+  ignore
+    (Pool.map ~jobs:3
+       ?hooks:(M.Sched.hooks t)
+       (fun i -> i * i)
+       (List.init n Fun.id));
+  Alcotest.(check int) "every task counted" n (M.Counter.value t "pool.tasks");
+  let per_domain = ref 0 in
+  for d = 0 to 7 do
+    per_domain :=
+      !per_domain + M.Counter.value t (Printf.sprintf "pool.tasks.d%d" d)
+  done;
+  Alcotest.(check int) "per-domain counts partition the total" n !per_domain;
+  match M.Histogram.get t "pool.queue_depth" with
+  | None -> Alcotest.fail "queue depth recorded"
+  | Some h -> Alcotest.(check int) "one depth sample per submit" n (Hist.count h)
+
+(* ---- perfetto ---- *)
+
+let test_perfetto_export () =
+  let obs = Vp_obs.create () in
+  Vp_obs.Span.note obs "profile:w" ~wall_s:0.25 ~work:1000;
+  Vp_obs.Span.note obs "rewrite:w" ~wall_s:0.5 ~work:0;
+  let events =
+    M.Perfetto.of_spans ~pid:1 ~cat:"driver" (Vp_obs.Sink.spans obs)
+    @ [
+        {
+          M.Perfetto.name = "epoch-0";
+          cat = "session";
+          pid = 3;
+          tid = 0;
+          ts_us = 10.0;
+          dur_us = 5.0;
+        };
+      ]
+  in
+  let path = temp ".json" in
+  M.Perfetto.write ~processes:[ (1, "driver"); (3, "session") ] ~path events;
+  (match M.Perfetto.validate_file ~path with
+  | Ok n ->
+    (* 3 complete events + 2 process_name metadata records *)
+    Alcotest.(check int) "event count" 5 n
+  | Error e -> Alcotest.fail ("perfetto export rejected: " ^ e));
+  let s = read_file path in
+  Alcotest.(check bool) "schema line" true (contains s "vp-perfetto-trace/1");
+  Alcotest.(check bool) "process metadata" true (contains s "process_name");
+  Alcotest.(check bool) "span event" true (contains s "profile:w");
+  Sys.remove path
+
+(* ---- flight recorder ---- *)
+
+let test_flight_dump () =
+  let dir = Filename.temp_file "vp-flight" "" in
+  Sys.remove dir;
+  let t = M.create ~flight_capacity:4 ~flight_dir:dir () in
+  M.Counter.bump t "session.drifts" 3;
+  M.Gauge.set t "aggregate.snapshots_per_sec" 42;
+  (* overflow the ring: only the 4 most recent marks survive *)
+  for i = 1 to 6 do
+    M.Flight.note t ~kind:"drift" ~label:(string_of_int i)
+  done;
+  let obs = Vp_obs.create () in
+  Vp_obs.Span.note obs "profile:w" ~wall_s:0.1 ~work:10;
+  M.Flight.dump t ~obs ~reason:"oracle-failure" ~label:"epoch-2" ();
+  Alcotest.(check int) "one dump" 1 (M.Flight.dumps t);
+  let metrics_file = Filename.concat dir "flight-epoch-2-0.metrics" in
+  let obs_file = Filename.concat dir "flight-epoch-2-0-obs.jsonl" in
+  Alcotest.(check bool) "metrics file written" true (Sys.file_exists metrics_file);
+  Alcotest.(check bool) "obs file written" true (Sys.file_exists obs_file);
+  (* the dump is itself a valid snapshot, and the obs file a valid trace *)
+  (match M.Snapshot.validate_file ~path:metrics_file with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("flight dump not a valid snapshot: " ^ e));
+  (match Vp_obs.Sink.validate_file ~path:obs_file with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("flight obs not a valid trace: " ^ e));
+  let s = read_file metrics_file in
+  Alcotest.(check bool) "reason recorded" true
+    (contains s "# reason oracle-failure");
+  Alcotest.(check bool) "ring bounded: oldest mark evicted" false
+    (contains s "# mark 0 drift 1");
+  Alcotest.(check bool) "newest mark kept" true (contains s "drift 6");
+  Alcotest.(check bool) "volatile section included" true (contains s "# volatile");
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_flight_noop_without_dir () =
+  let t = M.create () in
+  M.Flight.note t ~kind:"demote" ~label:"x";
+  M.Flight.dump t ~reason:"verifier-rejection" ~label:"driver" ();
+  Alcotest.(check int) "no dump without flight_dir" 0 (M.Flight.dumps t)
+
+let () =
+  Alcotest.run "vp_metrics"
+    [
+      ( "hist",
+        [
+          Alcotest.test_case "bounds and index" `Quick test_hist_bounds;
+          Alcotest.test_case "exact count and sum" `Quick
+            test_hist_exact_count_sum;
+          Alcotest.test_case "quantiles" `Quick test_hist_quantiles;
+          Alcotest.test_case "merge additive" `Quick test_hist_merge;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counter gauge histogram" `Quick test_registry_ops;
+          Alcotest.test_case "disabled registry inert" `Quick
+            test_disabled_registry_inert;
+          Alcotest.test_case "first registration wins" `Quick
+            test_first_registration_wins;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "disabled path allocation-free" `Quick
+            test_disabled_zero_alloc;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "volatility classes" `Quick
+            test_render_volatility_classes;
+          Alcotest.test_case "write validate read roundtrip" `Quick
+            test_snapshot_write_validate_roundtrip;
+          Alcotest.test_case "validator names the line" `Quick
+            test_validator_rejections;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "stable snapshot jobs-invariant" `Quick
+            test_stable_snapshot_jobs_invariant;
+          Alcotest.test_case "stable snapshot backend-invariant" `Slow
+            test_stable_snapshot_backend_invariant;
+        ] );
+      ( "sched",
+        [ Alcotest.test_case "pool hook totals" `Quick test_pool_hooks_totals ] );
+      ( "perfetto",
+        [ Alcotest.test_case "export and validate" `Quick test_perfetto_export ] );
+      ( "flight",
+        [
+          Alcotest.test_case "dump on failure" `Quick test_flight_dump;
+          Alcotest.test_case "no-op without dir" `Quick
+            test_flight_noop_without_dir;
+        ] );
+    ]

@@ -215,6 +215,72 @@ let test_jobs_invariant () =
     (fun i (a, b) -> Alcotest.(check string) (Printf.sprintf "spec %d" i) a b)
     (List.combine seq par)
 
+(* ---- per-epoch telemetry (satellite) ---- *)
+
+let telemetry_config ?epochs () =
+  session_config ?epochs ()
+  |> Config.with_telemetry (Vp_telemetry.on ())
+
+(* The merged vp-timeline-trace/1 bytes of a report's epoch timelines —
+   the exact artifact `vpack serve --trace-dir` ships, so byte equality
+   here is byte equality of the shipped file. *)
+let trace_string (r : Session.report) =
+  let path = Filename.temp_file "vp-session-trace" ".jsonl" in
+  Vp_telemetry.Sink.write_trace ~path
+    (List.map (fun (e : Session.epoch_report) -> e.Session.timeline)
+       r.Session.epochs);
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  s
+
+let test_epoch_tags_dense_and_ordered () =
+  (* Stepping manually and then resuming with [run] must produce the
+     same dense, strictly ordered epoch-K run labels as a straight run:
+     the tag records the epoch's absolute index, not the call shape. *)
+  let img = Lazy.force drifting_image in
+  let config = telemetry_config () in
+  let s = Session.create ~config img in
+  ignore (Session.step s);
+  ignore (Session.step s);
+  let r = Session.run ~epochs:4 s in
+  Alcotest.(check int) "all epochs reported" 4 (List.length r.Session.epochs);
+  List.iteri
+    (fun i (e : Session.epoch_report) ->
+      Alcotest.(check int) (Printf.sprintf "epoch %d dense" i) i e.Session.epoch;
+      Alcotest.(check (option string))
+        (Printf.sprintf "epoch %d run label" i)
+        (Some (Printf.sprintf "epoch-%d" i))
+        (Vp_telemetry.name e.Session.timeline))
+    r.Session.epochs
+
+let test_epoch_trace_byte_identical () =
+  let img = Lazy.force drifting_image in
+  let config = telemetry_config () in
+  let straight = trace_string (Session.run ~epochs:4 (Session.create ~config img)) in
+  (* resume ≡ straight-through, down to the trace bytes *)
+  let s = Session.create ~config img in
+  ignore (Session.step s);
+  Alcotest.(check string) "resume trace = straight-through" straight
+    (trace_string (Session.run ~epochs:4 s));
+  (* backend-invariant *)
+  List.iter
+    (fun backend ->
+      let config = Config.with_backend backend config in
+      Alcotest.(check string)
+        (Emulator.backend_name backend ^ " trace = decoded trace")
+        straight
+        (trace_string (Session.run ~epochs:4 (Session.create ~config img))))
+    [ Emulator.Reference; Emulator.Compiled ];
+  (* jobs-invariant: the same sessions through the pool *)
+  let specs = [ 1; 2; 3 ] in
+  let run _ = trace_string (Session.run ~epochs:4 (Session.create ~config img)) in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string) (Printf.sprintf "spec %d jobs 1 = jobs 4" i) a b)
+    (List.combine (Pool.map ~jobs:1 run specs) (Pool.map ~jobs:4 run specs))
+
 (* ---- the branch map (profile folding) ---- *)
 
 let test_branch_map_targets () =
@@ -283,6 +349,13 @@ let () =
           Alcotest.test_case "resume = straight-through" `Slow
             test_resume_equals_straight_through;
           Alcotest.test_case "jobs 1 = jobs 4" `Slow test_jobs_invariant;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "epoch tags dense and ordered" `Slow
+            test_epoch_tags_dense_and_ordered;
+          Alcotest.test_case "epoch trace byte-identical" `Slow
+            test_epoch_trace_byte_identical;
         ] );
       ( "branch map",
         [ Alcotest.test_case "targets are branches" `Quick test_branch_map_targets ] );
