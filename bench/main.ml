@@ -792,6 +792,56 @@ let micro ~quick =
   micro_results := rows;
   print_bechamel_rows rows
 
+(* The generative corpus: program generation, trace record/codec
+   throughput, and the end-to-end campaign case rate — the budget that
+   sizes CI's fuzz-smoke sweep (cases/second x wall budget = corpus
+   size). *)
+let gen_results : (string * float * float option) list ref = ref []
+
+let gen_exp ~quick =
+  heading "Generative corpus: generation, trace codec and campaign case rates";
+  let open Bechamel in
+  let params = Vp_gen.Gen.default in
+  let image = Vp_prog.Program.layout (Vp_gen.Gen.program ~seed:1 params) in
+  let trace, _ = Vp_gen.Trace.record ~backend:!backend image in
+  let enc = Vp_gen.Trace.encode trace in
+  let spec = Vp_gen.Campaign.spec_of_index ~root_seed:1 0 in
+  let generate =
+    Staged.stage (fun () -> ignore (Vp_gen.Gen.program ~seed:1 params))
+  in
+  let layout =
+    Staged.stage (fun () ->
+        ignore (Vp_prog.Program.layout (Vp_gen.Gen.program ~seed:1 params)))
+  in
+  let record =
+    Staged.stage (fun () -> ignore (Vp_gen.Trace.record ~backend:!backend image))
+  in
+  let encode = Staged.stage (fun () -> ignore (Vp_gen.Trace.encode trace)) in
+  let decode = Staged.stage (fun () -> ignore (Vp_gen.Trace.decode enc)) in
+  let case =
+    Staged.stage (fun () ->
+        ignore
+          (Vp_gen.Campaign.run_case
+             ~config:
+               (Vacuum.Config.with_backend !backend
+                  Vp_gen.Campaign.default_config)
+             ~index:0 spec))
+  in
+  let tests =
+    Test.make_grouped ~name:"gen"
+      [
+        Test.make ~name:"generate (default params)" generate;
+        Test.make ~name:"generate + layout" layout;
+        Test.make ~name:(Printf.sprintf "trace record (%d events)" (Vp_gen.Trace.length trace)) record;
+        Test.make ~name:"trace encode" encode;
+        Test.make ~name:"trace decode + checksum" decode;
+        Test.make ~name:"campaign case (full pipeline)" case;
+      ]
+  in
+  let rows = bechamel_rows ~quick tests in
+  gen_results := rows;
+  print_bechamel_rows rows
+
 (* The cost of the metrics plane itself: registry operations on a
    disabled vs enabled registry, and the emulator micro with a
    disabled registry observed once per run — the instrumentation shape
@@ -964,6 +1014,7 @@ let write_json ~path ~jobs ~engine_metrics ~counters ~timeline =
   in
   bechamel_array "micro" !micro_results;
   bechamel_array "overhead" !overhead_results;
+  bechamel_array "gen" !gen_results;
   out "  \"tasks\": [";
   List.iteri
     (fun i m ->
@@ -1026,6 +1077,7 @@ let () =
     | "session" -> session_exp workloads
     | "micro" -> micro ~quick
     | "overhead" -> overhead ~quick
+    | "gen" -> gen_exp ~quick
     | other ->
       Printf.eprintf "unknown experiment %s\n" other;
       exit 1
@@ -1035,6 +1087,7 @@ let () =
       "table1"; "table2"; "fig8"; "table3"; "fig9"; "fig10";
       "baseline-aggregate"; "aggregate"; "ablation-bbb"; "ablation-growth";
       "ablation-sink"; "ablation-superblock"; "session"; "micro"; "overhead";
+      "gen";
     ]
   in
   let picks = match selected with [] -> all | picks -> picks in

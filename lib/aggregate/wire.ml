@@ -89,7 +89,13 @@ let get_varint s pos =
     if !p >= n then malformed "truncated varint at byte %d" !p;
     if !shift > 56 then malformed "varint overflow at byte %d" !pos;
     let b = Char.code s.[!p] in
-    acc := !acc lor ((b land 0x7f) lsl !shift);
+    let bits = b land 0x7f in
+    (* The 9th byte sits at shift 56 and may only carry the 6 value
+       bits 56..61: anything above wraps into the native int's sign
+       bit and would decode as an accepted negative value. *)
+    if !shift = 56 && bits > 0x3f then
+      malformed "varint overflow at byte %d" !pos;
+    acc := !acc lor (bits lsl !shift);
     incr p;
     if b < 0x80 then fin := true else shift := !shift + 7
   done;
@@ -165,7 +171,13 @@ let decode_exn s =
   done;
   List.rev !runs
 
-let decode s = try Ok (decode_exn s) with Malformed e -> Error e
+(* Total over arbitrary input: [Malformed] carries the diagnosis; any
+   other exception is a decoder bug, reported rather than re-raised so
+   a hostile stream can never crash an ingesting process. *)
+let decode s =
+  try Ok (decode_exn s) with
+  | Malformed e -> Error e
+  | exn -> Error ("decoder failure: " ^ Printexc.to_string exn)
 
 let write_file ~path runs =
   let oc = open_out_bin path in

@@ -9,7 +9,7 @@
    Exit codes: 0 success, 2 command-line error (unknown subcommand,
    unknown/ambiguous workload, bad flags), 3 pipeline error, 4
    verifier rejection (verify; serve on a fallback or oracle failure),
-   5 chaos-matrix failure. *)
+   5 chaos-matrix failure, 6 fuzz-campaign failure. *)
 
 module Registry = Vp_workloads.Registry
 module Program = Vp_prog.Program
@@ -110,6 +110,42 @@ let obs_trace_flag =
     "Record pipeline spans and counters and write a JSON-lines trace (schema \
      vp-obs-trace/1, one object per line) to FILE."
 
+let ingest_trace_flag =
+  Spec.flag ~kind:Spec.Value ~docv:"FILE"
+    ~doc:
+      "Ingest a vp-retire-trace/1 retired-branch trace instead of running \
+       the emulator: the recorded stream drives the detector, phase \
+       filtering and packaging exactly as a live run's would."
+    [ "ingest-trace" ]
+
+let record_trace_flag =
+  Spec.flag ~kind:Spec.Value ~docv:"FILE"
+    ~doc:
+      "Record the run's retired-branch stream to FILE (schema \
+       vp-retire-trace/1), for later --ingest-trace or trace-check."
+    [ "record-trace" ]
+
+(* Profile through the emulator, or — under --ingest-trace — from the
+   recorded stream, the emulator-free path.  Trace problems are
+   pipeline errors (exit 3), not usage errors: the command line was
+   fine, the file was not. *)
+let profile_or_ingest m ~config img =
+  match Spec.value m "ingest-trace" with
+  | None -> Vacuum.Driver.profile ~config img
+  | Some path -> (
+    match Vp_gen.Trace.read_file ~path with
+    | Error e -> Vacuum.Error.failf ~stage:"trace" "%s: %s" path e
+    | Ok t ->
+      let p =
+        Vacuum.Driver.profile_of_events ~config
+          ~instructions:t.Vp_gen.Trace.instructions img
+          (Vp_gen.Trace.events t)
+      in
+      List.iter
+        (fun w -> Format.eprintf "warning: %a@." Vacuum.Error.pp w)
+        p.Vacuum.Driver.warnings;
+      p)
+
 let resolve_jobs m =
   let n = Spec.int_value m "jobs" ~default:0 in
   if n <= 0 then Vp_util.Pool.default_jobs () else n
@@ -160,11 +196,19 @@ let list_cmd =
 
 let run_cmd =
   Spec.cmd ~name:"run" ~doc:"Execute a workload on the functional emulator."
-    ~flags:[ workload_flag; backend_flag ] (fun m ->
+    ~flags:[ workload_flag; backend_flag; record_trace_flag ] (fun m ->
       let backend = resolve_backend m in
       let w = workload_of m in
       let img = Program.layout (w.Registry.program ()) in
-      let o = Emulator.run_backend ~backend img in
+      let o =
+        match Spec.value m "record-trace" with
+        | None -> Emulator.run_backend ~backend img
+        | Some path ->
+          let t, o = Vp_gen.Trace.record ~backend img in
+          Vp_gen.Trace.write_file ~path t;
+          Printf.printf "trace: %d events -> %s\n" (Vp_gen.Trace.length t) path;
+          o
+      in
       Printf.printf "%s: %d instructions, %d conditional branches, result %d%s\n"
         (Registry.name w) o.Emulator.instructions o.Emulator.cond_branches
         o.Emulator.result
@@ -179,12 +223,13 @@ let phases_cmd =
   in
   Spec.cmd ~name:"phases"
     ~doc:"Profile a workload and show its detected phases."
-    ~flags:[ workload_flag; ipc_flag; backend_flag ] (fun m ->
+    ~flags:[ workload_flag; ipc_flag; backend_flag; ingest_trace_flag ]
+    (fun m ->
       let backend = resolve_backend m in
       let w = workload_of m in
       let img = Program.layout (w.Registry.program ()) in
       let profile =
-        Vacuum.Driver.profile
+        profile_or_ingest m
           ~config:(Config.with_backend backend Config.default)
           img
       in
@@ -213,13 +258,20 @@ let phases_cmd =
 let extract_cmd =
   Spec.cmd ~name:"extract"
     ~doc:"Run region identification and package extraction."
-    ~flags:[ workload_flag; no_inference_flag; no_linking_flag; backend_flag ]
+    ~flags:
+      [
+        workload_flag; no_inference_flag; no_linking_flag; backend_flag;
+        ingest_trace_flag;
+      ]
     (fun m ->
       let backend = resolve_backend m in
       let w = workload_of m in
       let img = Program.layout (w.Registry.program ()) in
       let config = Config.with_backend backend (config_of m) in
-      let r = Vacuum.Driver.rewrite ~config img in
+      let r =
+        Vacuum.Driver.rewrite_of_profile ~config
+          (profile_or_ingest m ~config img)
+      in
       List.iter
         (fun (info : Vacuum.Driver.region_info) ->
           Printf.printf
@@ -880,9 +932,9 @@ let trace_check_cmd =
   Spec.cmd ~name:"trace-check"
     ~doc:
       "Validate a trace file against its schema (vp-obs-trace/1, \
-       vp-timeline-trace/1, vp-profile-wire/1, vp-metrics-snapshot/1 or \
-       vp-perfetto-trace/1, detected from the first line); failures name \
-       the schema and the offending line."
+       vp-timeline-trace/1, vp-profile-wire/1, vp-retire-trace/1, \
+       vp-metrics-snapshot/1 or vp-perfetto-trace/1, detected from the \
+       first line); failures name the schema and the offending line."
     ~positional:
       {
         Spec.pos_docv = "FILE";
@@ -909,6 +961,11 @@ let trace_check_cmd =
                 (fun (runs, snapshots) ->
                   Printf.sprintf "%d runs, %d snapshots" runs snapshots)
                 (Vp_aggregate.Wire.validate_file ~path) );
+          ( "vp-retire-trace/1",
+            fun path ->
+              Result.map
+                (Printf.sprintf "%d events")
+                (Vp_gen.Trace.validate_file ~path) );
           ( "vp-metrics-snapshot/1",
             fun path ->
               Result.map
@@ -926,12 +983,20 @@ let trace_check_cmd =
                 (Vp_obs.Sink.validate_file ~path) );
         ]
       in
-      let first =
-        let ic = open_in file in
+      (* A zero-byte file matches no schema and would otherwise fall
+         through to the vp-obs-trace/1 parser's own complaint; report
+         it for what it is. *)
+      let size, first =
+        let ic = open_in_bin file in
+        let n = in_channel_length ic in
         let l = try input_line ic with End_of_file -> "" in
         close_in ic;
-        l
+        (n, l)
       in
+      if size = 0 then begin
+        Printf.eprintf "%s: invalid trace: empty trace (0 bytes)\n" file;
+        exit 1
+      end;
       let contains hay needle =
         let nh = String.length hay and nn = String.length needle in
         let rec go i =
@@ -1274,6 +1339,144 @@ let chaos_cmd =
         exit 5
       end)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let count_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"N" ~default:"50" ~check:Spec.check_int
+      ~doc:"Generated binaries to put through the campaign." [ "count" ]
+  in
+  let fuzz_seeds_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"N" ~default:"1" ~check:Spec.check_int
+      ~doc:"Chaos seeds per fault plan per generated binary." [ "seeds" ]
+  in
+  let seed_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"S" ~default:"0" ~check:Spec.check_int
+      ~doc:"Root seed of the campaign's case derivation." [ "seed" ]
+  in
+  let report_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"FILE"
+      ~doc:"Write the campaign report to FILE as well as stdout." [ "report" ]
+  in
+  let corpus_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"DIR"
+      ~doc:
+        "Write one shrunk vp-fuzz-repro/1 file per failing case into DIR \
+         (created if missing)."
+      [ "corpus" ]
+  in
+  let replay_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"FILE" ~repeatable:true
+      ~doc:
+        "Replay committed vp-fuzz-repro/1 file(s) instead of sampling new \
+         cases; exit 6 if any still fails."
+      [ "replay" ]
+  in
+  let max_phases_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"N" ~default:"4" ~check:Spec.check_int
+      ~doc:"Largest planted phase count sampled." [ "max-phases" ]
+  in
+  let max_hot_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"N" ~default:"5" ~check:Spec.check_int
+      ~doc:"Largest per-phase hot-function count sampled." [ "max-hot" ]
+  in
+  let max_iters_flag =
+    Spec.flag ~kind:Spec.Value ~docv:"N" ~default:"60" ~check:Spec.check_int
+      ~doc:"Largest per-phase iteration count sampled." [ "max-iters" ]
+  in
+  Spec.cmd ~name:"fuzz"
+    ~doc:
+      "Statistical chaos campaign over generated binaries: each case runs \
+       the full profile -> package -> verify -> rewrite pipeline under the \
+       fault-plan matrix with the differential oracle, plus \
+       vp-retire-trace/1 round-trip, ingestion-equivalence and \
+       corruption-totality checks; failures are shrunk to minimal repro \
+       files.  Reports are byte-identical across --jobs and backends."
+    ~exits:
+      [
+        (0, "every case passed");
+        (6, "a case crashed or failed an oracle (after shrinking)");
+        (3, "a pipeline error");
+      ]
+    ~flags:
+      [
+        count_flag; fuzz_seeds_flag; seed_flag; jobs_flag; backend_flag;
+        report_flag; corpus_flag; replay_flag; max_phases_flag; max_hot_flag;
+        max_iters_flag;
+      ]
+    (fun m ->
+      let backend = resolve_backend m in
+      let config = Config.with_backend backend Vp_gen.Campaign.default_config in
+      let chaos_seeds = Spec.int_value m "seeds" ~default:1 in
+      match Spec.values m "replay" with
+      | _ :: _ as files ->
+        let failed =
+          List.filter
+            (fun path ->
+              match Vp_gen.Campaign.load_repro_file ~path with
+              | Error e -> Vacuum.Error.failf ~stage:"trace" "%s: %s" path e
+              | Ok r -> (
+                match Vp_gen.Campaign.replay ~config ~chaos_seeds r with
+                | Ok o ->
+                  Printf.printf
+                    "%s: seed %d passes (%d cells, %d trace events)\n" path
+                    r.Vp_gen.Campaign.spec.Vp_gen.Campaign.seed
+                    o.Vp_gen.Campaign.cells o.Vp_gen.Campaign.trace_events;
+                  false
+                | Error f ->
+                  Printf.printf "%s: seed %d still FAILS [%s] %s\n" path
+                    r.Vp_gen.Campaign.spec.Vp_gen.Campaign.seed
+                    f.Vp_gen.Campaign.stage f.Vp_gen.Campaign.detail;
+                  true))
+            files
+        in
+        if failed <> [] then begin
+          Printf.eprintf "fuzz: %d of %d repro(s) still failing\n"
+            (List.length failed) (List.length files);
+          exit 6
+        end
+      | [] ->
+        let bounds =
+          {
+            Vp_gen.Gen.default_bounds with
+            Vp_gen.Gen.max_phases = Spec.int_value m "max-phases" ~default:4;
+            max_hot_funcs = Spec.int_value m "max-hot" ~default:5;
+            max_phase_iters = Spec.int_value m "max-iters" ~default:60;
+          }
+        in
+        let report =
+          Vp_gen.Campaign.run ~config ~bounds ~chaos_seeds
+            ~jobs:(resolve_jobs m)
+            ~root_seed:(Spec.int_value m "seed" ~default:0)
+            ~count:(Spec.int_value m "count" ~default:50)
+            ()
+        in
+        let text = Vp_gen.Campaign.render report in
+        print_string text;
+        (match Spec.value m "report" with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "report -> %s\n" path);
+        (match Spec.value m "corpus" with
+        | Some dir when report.Vp_gen.Campaign.repros <> [] ->
+          List.iter
+            (Printf.printf "repro -> %s\n")
+            (Vp_gen.Campaign.save_repros ~dir report)
+        | _ -> ());
+        if not (Vp_gen.Campaign.ok report) then begin
+          Printf.eprintf "fuzz: %d of %d cases failed\n"
+            (List.length
+               (List.filter
+                  (fun (o : Vp_gen.Campaign.outcome) ->
+                    o.Vp_gen.Campaign.failure <> None)
+                  report.Vp_gen.Campaign.outcomes))
+            report.Vp_gen.Campaign.count;
+          exit 6
+        end)
+
 (* --- machine --- *)
 
 let machine_cmd =
@@ -1293,7 +1496,7 @@ let tool =
         list_cmd; run_cmd; phases_cmd; extract_cmd; aggregate_cmd; report_cmd;
         stats_cmd; timeline_cmd; serve_cmd; top_cmd; trace_check_cmd;
         verify_cmd;
-        chaos_cmd; diag_cmd; asm_cmd; disasm_cmd; machine_cmd;
+        chaos_cmd; fuzz_cmd; diag_cmd; asm_cmd; disasm_cmd; machine_cmd;
       ];
   }
 

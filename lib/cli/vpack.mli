@@ -5,10 +5,12 @@
 
 val tool : Spec.tool
 (** The full command table: list, run, phases, extract, aggregate,
-    report, stats, timeline, serve, trace-check, verify, chaos, diag,
-    asm, disasm, machine. *)
+    report, stats, timeline, serve, trace-check, verify, chaos, fuzz,
+    diag, asm, disasm, machine. *)
 
 val main : unit -> unit
 (** Parse [Sys.argv], dispatch, and exit: 0 success, 2 command-line
     error, 3 pipeline error, 4 verifier rejection (and [serve] epochs
-    falling back or failing the oracle), 5 chaos-matrix failure. *)
+    falling back or failing the oracle), 5 chaos-matrix failure, 6
+    fuzz-campaign failure (a generated case crashed or failed an
+    oracle). *)

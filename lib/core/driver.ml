@@ -53,6 +53,75 @@ let rung_name = function
 let pp_demotion ppf d =
   Format.fprintf ppf "%s: %a" (rung_name d.rung) Error.pp d.error
 
+(* The software back half of profiling, shared by the emulator-driven
+   [profile] and the external-trace [profile_of_events]: fault
+   injection at the hardware→software boundary, detector and filter
+   accounting, phase-log construction, truncation warnings. *)
+let finish_profile ~config ~image ~fuel ~outcome ~detector ~executed ~takens
+    ~timeline ~extra_warnings =
+  let obs = Config.obs config in
+  Vp_metrics.Histogram.observe (Config.metrics config)
+    "driver.profile.instructions" outcome.Emulator.instructions;
+  let aggregate = Vp_exec.Branch_profile.of_counts ~executed ~takens in
+  let plan = Config.fault config in
+  let snapshots = Detector.snapshots detector in
+  let snapshots, fault_warnings =
+    match plan with
+    | Some plan when not (Vp_fault.Plan.is_clean plan) ->
+      let counter_max = Config.counter_max config in
+      let faulted = Vp_fault.Inject.snapshots ~plan ~counter_max snapshots in
+      Counter.bump obs "fault.runs" 1;
+      ( faulted,
+        [
+          Error.v ~stage:"fault" "plan %s active (%d -> %d snapshots)"
+            plan.Vp_fault.Plan.name (List.length snapshots)
+            (List.length faulted);
+        ] )
+    | _ -> (snapshots, [])
+  in
+  Counter.bump obs "detector.detections" (Detector.detections detector);
+  Counter.bump obs "detector.rearms" (Detector.rearms detector);
+  Counter.bump obs "detector.recordings" (Detector.recordings detector);
+  Counter.bump obs "detector.history_suppressed"
+    (Detector.history_suppressed detector);
+  let log, filter_stats =
+    Phase_log.build_with_stats ~similarity:(Config.similarity config) snapshots
+  in
+  Counter.bump obs "phases.merged" filter_stats.Phase_log.merged;
+  Counter.bump obs "phases.unique" filter_stats.Phase_log.new_classes;
+  Counter.bump obs "phases.rejected_missing"
+    filter_stats.Phase_log.rejected_missing;
+  Counter.bump obs "phases.rejected_bias_flips"
+    filter_stats.Phase_log.rejected_bias_flips;
+  let truncated = not outcome.Emulator.halted in
+  let truncation_warnings =
+    if truncated then begin
+      Counter.bump obs "profile.truncated" 1;
+      Log.warn (fun m ->
+          m
+            "profile truncated: fuel (%d) exhausted after %d instructions; \
+             coverage and speedup would reflect a partial run"
+            fuel outcome.Emulator.instructions);
+      [
+        Error.v ~stage:"profile"
+          "truncated: fuel (%d) exhausted after %d instructions" fuel
+          outcome.Emulator.instructions;
+      ]
+    end
+    else []
+  in
+  {
+    image;
+    outcome;
+    snapshots;
+    log;
+    aggregate;
+    detections = Detector.detections detector;
+    truncated;
+    timeline;
+    warnings = truncation_warnings @ fault_warnings @ extra_warnings;
+  }
+
 let profile ?(config = Config.default) image =
   let obs = Config.obs config in
   Span.record obs "profile"
@@ -137,66 +206,71 @@ let profile ?(config = Config.default) image =
       ~mem_words:(Config.mem_words config) ~on_branch ?on_retire image
   in
   tail_flush ();
-  Vp_metrics.Histogram.observe (Config.metrics config)
-    "driver.profile.instructions" outcome.Emulator.instructions;
-  let aggregate = Vp_exec.Branch_profile.of_counts ~executed ~takens in
-  let snapshots = Detector.snapshots detector in
-  let snapshots, fault_warnings =
-    match plan with
-    | Some plan when not (Vp_fault.Plan.is_clean plan) ->
-      let counter_max = Config.counter_max config in
-      let faulted = Vp_fault.Inject.snapshots ~plan ~counter_max snapshots in
-      Counter.bump obs "fault.runs" 1;
-      ( faulted,
-        [
-          Error.v ~stage:"fault" "plan %s active (%d -> %d snapshots)"
-            plan.Vp_fault.Plan.name (List.length snapshots)
-            (List.length faulted);
-        ] )
-    | _ -> (snapshots, [])
+  finish_profile ~config ~image ~fuel ~outcome ~detector ~executed ~takens
+    ~timeline:tl ~extra_warnings:[]
+
+(* External-trace ingestion: the same software pipeline fed by a
+   recorded (pc, taken) stream — a [vp-retire-trace/1] file, a PMU
+   shim — instead of a live emulator run.  The detector replays the
+   stream exactly as [on_branch] would have seen it; events whose pc
+   falls outside the image (a trace captured against a different
+   build, or hostile input) still reach the detector — real hardware
+   records whatever pc retires — but are excluded from the pc-indexed
+   aggregate arrays and surfaced as a warning.  The outcome is
+   synthesized ([halted = true], no checksum), so speedup numbers that
+   need a real run are out of scope; packaging, verification and
+   rewriting are not. *)
+let profile_of_events ?(config = Config.default) ?(instructions = 0) image
+    events =
+  let obs = Config.obs config in
+  Span.record obs "ingest"
+    ~work:(fun p -> p.outcome.Emulator.cond_branches)
+  @@ fun () ->
+  let same = Vp_phase.Similarity.same ~config:(Config.similarity config) in
+  let detector =
+    Detector.create ~config:(Config.detector config)
+      ~history_size:(Config.history_size config) ~same ()
   in
-  Counter.bump obs "detector.detections" (Detector.detections detector);
-  Counter.bump obs "detector.rearms" (Detector.rearms detector);
-  Counter.bump obs "detector.recordings" (Detector.recordings detector);
-  Counter.bump obs "detector.history_suppressed"
-    (Detector.history_suppressed detector);
-  let log, filter_stats =
-    Phase_log.build_with_stats ~similarity:(Config.similarity config) snapshots
+  let tl = Vp_telemetry.create (Config.telemetry config) in
+  let n = Vp_prog.Image.size image in
+  let executed = Array.make n 0 in
+  let takens = Array.make n 0 in
+  let alien = ref 0 in
+  Array.iter
+    (fun (pc, taken) ->
+      if pc < 0 then incr alien
+      else begin
+        Detector.on_branch detector ~pc ~taken;
+        if pc < n then begin
+          executed.(pc) <- executed.(pc) + 1;
+          if taken then takens.(pc) <- takens.(pc) + 1
+        end
+        else incr alien
+      end)
+    events;
+  let cond_branches = Array.length events in
+  let instructions = if instructions > 0 then instructions else cond_branches in
+  let outcome =
+    {
+      Emulator.instructions;
+      package_instructions = 0;
+      cond_branches;
+      halted = true;
+      checksum = 0;
+      result = 0;
+      final_pc = -1;
+    }
   in
-  Counter.bump obs "phases.merged" filter_stats.Phase_log.merged;
-  Counter.bump obs "phases.unique" filter_stats.Phase_log.new_classes;
-  Counter.bump obs "phases.rejected_missing"
-    filter_stats.Phase_log.rejected_missing;
-  Counter.bump obs "phases.rejected_bias_flips"
-    filter_stats.Phase_log.rejected_bias_flips;
-  let truncated = not outcome.Emulator.halted in
-  let truncation_warnings =
-    if truncated then begin
-      Counter.bump obs "profile.truncated" 1;
-      Log.warn (fun m ->
-          m
-            "profile truncated: fuel (%d) exhausted after %d instructions; \
-             coverage and speedup would reflect a partial run"
-            fuel outcome.Emulator.instructions);
+  let extra_warnings =
+    if !alien = 0 then []
+    else
       [
-        Error.v ~stage:"profile"
-          "truncated: fuel (%d) exhausted after %d instructions" fuel
-          outcome.Emulator.instructions;
+        Error.v ~stage:"ingest"
+          "%d trace event(s) fall outside the image (size %d)" !alien n;
       ]
-    end
-    else []
   in
-  {
-    image;
-    outcome;
-    snapshots;
-    log;
-    aggregate;
-    detections = Detector.detections detector;
-    truncated;
-    timeline = tl;
-    warnings = truncation_warnings @ fault_warnings;
-  }
+  finish_profile ~config ~image ~fuel:(Config.fuel config) ~outcome ~detector
+    ~executed ~takens ~timeline:tl ~extra_warnings
 
 (* The demotion ladder.  Whenever a stage fails — a region that cannot
    be identified or built, a package that fails structural validation

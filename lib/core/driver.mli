@@ -76,6 +76,26 @@ val pp_demotion : Format.formatter -> demotion -> unit
 
 val profile : ?config:Config.t -> Vp_prog.Image.t -> profile
 
+val profile_of_events :
+  ?config:Config.t ->
+  ?instructions:int ->
+  Vp_prog.Image.t ->
+  (int * bool) array ->
+  profile
+(** Build a profile from an {e external} retired-branch stream —
+    (pc, taken) per retired conditional branch, e.g. a decoded
+    [vp-retire-trace/1] file — without running the emulator.  The
+    stream drives the detector exactly as a live run's [on_branch]
+    would; fault plans, filtering and counters apply identically, so
+    [rewrite_of_profile] packages an ingested profile the same way it
+    packages a live one.  Events outside the image still reach the
+    detector (hardware records whatever pc retires) but are excluded
+    from the aggregate branch profile and reported in [warnings];
+    negative pcs are dropped outright.  The synthesized outcome has
+    [halted = true], checksum 0 and [instructions] (default: the
+    event count), so consumers needing a real run — speedup, the
+    differential oracle — must run the image themselves. *)
+
 val with_snapshots :
   ?similarity:Vp_phase.Similarity.config ->
   profile ->

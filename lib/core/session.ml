@@ -274,9 +274,29 @@ let step t =
   t.package_retired <- t.package_retired + slice.Emulator.package_instructions;
   t.halted <- slice.Emulator.halted;
   (* ---- drift classification ---- *)
+  (* Fault plans apply at the same hardware→software boundary as the
+     one-shot driver's: the epoch's raw snapshot stream is perturbed
+     before classification ever sees it.  The plan seed is re-derived
+     per epoch through [Rng.stream_seed], so epochs draw decorrelated
+     faults yet the whole session stays deterministic under any
+     [--jobs] count. *)
+  let raw_snapshots =
+    match Config.fault config with
+    | Some plan when not (Vp_fault.Plan.is_clean plan) ->
+      let plan =
+        Vp_fault.Plan.with_seed plan
+          (Vp_util.Rng.stream_seed
+             (Vp_util.Rng.create ~seed:plan.Vp_fault.Plan.seed)
+             epoch)
+      in
+      Counter.bump obs "fault.runs" 1;
+      Vp_fault.Inject.snapshots ~plan
+        ~counter_max:(Config.counter_max config)
+        (Detector.snapshots detector)
+    | _ -> Detector.snapshots detector
+  in
   let log =
-    Phase_log.build ~similarity:(Config.similarity config)
-      (Detector.snapshots detector)
+    Phase_log.build ~similarity:(Config.similarity config) raw_snapshots
   in
   let phases = Phase_log.phases log in
   let matched = ref [] in

@@ -1,0 +1,325 @@
+module B = Vp_prog.Builder
+module Op = Vp_isa.Op
+module R = Vp_util.Rng
+
+type params = {
+  phases : int;
+  hot_funcs : int;
+  call_depth : int;
+  loop_nesting : int;
+  body_blocks : int;
+  share_pct : int;
+  phase_iters : int;
+  rounds : int;
+  globals : int;
+}
+
+let default =
+  {
+    phases = 3;
+    hot_funcs = 3;
+    call_depth = 2;
+    loop_nesting = 2;
+    body_blocks = 3;
+    share_pct = 25;
+    phase_iters = 40;
+    rounds = 2;
+    globals = 64;
+  }
+
+let rec pow2_up n = if n >= 1024 then 1024 else if n land (n - 1) = 0 then n else pow2_up (n + 1)
+
+let clamp p =
+  {
+    phases = max 1 (min 8 p.phases);
+    hot_funcs = max 1 (min 12 p.hot_funcs);
+    call_depth = max 1 (min 4 p.call_depth);
+    loop_nesting = max 0 (min 3 p.loop_nesting);
+    body_blocks = max 1 (min 6 p.body_blocks);
+    share_pct = max 0 (min 100 p.share_pct);
+    phase_iters = max 1 (min 400 p.phase_iters);
+    rounds = max 1 (min 4 p.rounds);
+    globals = pow2_up (max 8 (min 1024 p.globals));
+  }
+
+(* Dynamic-size proxy: each root call executes every hot function of
+   its phase once (the DAG covers all of them), each body costs
+   roughly [body_blocks * 3^loop_nesting] elements, and sharing can at
+   worst chain every phase's DAG behind one root. *)
+let weight p =
+  let p = clamp p in
+  let rec pow3 n = if n <= 0 then 1 else 3 * pow3 (n - 1) in
+  let body = p.body_blocks * pow3 p.loop_nesting in
+  let share_chain = if p.share_pct > 0 then 2 else 1 in
+  (p.rounds * p.phases * p.phase_iters * p.hot_funcs * body * share_chain)
+  + p.globals + p.call_depth
+
+let fields p =
+  [
+    ("phases", p.phases);
+    ("hot_funcs", p.hot_funcs);
+    ("call_depth", p.call_depth);
+    ("loop_nesting", p.loop_nesting);
+    ("body_blocks", p.body_blocks);
+    ("share_pct", p.share_pct);
+    ("phase_iters", p.phase_iters);
+    ("rounds", p.rounds);
+    ("globals", p.globals);
+  ]
+
+let of_fields kvs =
+  let set p (k, v) =
+    match k with
+    | "phases" -> Ok { p with phases = v }
+    | "hot_funcs" -> Ok { p with hot_funcs = v }
+    | "call_depth" -> Ok { p with call_depth = v }
+    | "loop_nesting" -> Ok { p with loop_nesting = v }
+    | "body_blocks" -> Ok { p with body_blocks = v }
+    | "share_pct" -> Ok { p with share_pct = v }
+    | "phase_iters" -> Ok { p with phase_iters = v }
+    | "rounds" -> Ok { p with rounds = v }
+    | "globals" -> Ok { p with globals = v }
+    | _ -> Error (Printf.sprintf "unknown generator parameter %S" k)
+  in
+  let rec go p = function
+    | [] -> Ok (clamp p)
+    | kv :: rest -> ( match set p kv with Ok p -> go p rest | Error _ as e -> e)
+  in
+  go default kvs
+
+let pp ppf p =
+  Format.fprintf ppf "%s"
+    (String.concat " "
+       (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) (fields p)))
+
+type bounds = {
+  max_phases : int;
+  max_hot_funcs : int;
+  max_call_depth : int;
+  max_loop_nesting : int;
+  max_body_blocks : int;
+  max_phase_iters : int;
+  max_rounds : int;
+}
+
+let default_bounds =
+  {
+    max_phases = 4;
+    max_hot_funcs = 5;
+    max_call_depth = 3;
+    max_loop_nesting = 2;
+    max_body_blocks = 4;
+    max_phase_iters = 60;
+    max_rounds = 2;
+  }
+
+let sample bounds rng =
+  clamp
+    {
+      phases = 1 + R.int rng (max 1 bounds.max_phases);
+      hot_funcs = 1 + R.int rng (max 1 bounds.max_hot_funcs);
+      call_depth = 1 + R.int rng (max 1 bounds.max_call_depth);
+      loop_nesting = R.int rng (max 1 (bounds.max_loop_nesting + 1));
+      body_blocks = 1 + R.int rng (max 1 bounds.max_body_blocks);
+      share_pct = 10 * R.int rng 8;
+      phase_iters = 10 + R.int rng (max 1 (bounds.max_phase_iters - 9));
+      rounds = 1 + R.int rng (max 1 bounds.max_rounds);
+      globals = [| 16; 64; 256 |].(R.int rng 3);
+    }
+
+(* ---- body elements ----
+
+   Like the test suite's snapshot-side generators these are structured
+   (arith / global traffic / diamond / counted loop), but loop bounds
+   are kept at 2–3 so a nest of [loop_nesting] loops multiplies the
+   body by at most 3^nesting — the generator's termination and size
+   arguments both rest on every loop being small and counted. *)
+
+let arith_ops = [| Op.Add; Op.Sub; Op.Mul; Op.And; Op.Or; Op.Xor; Op.Slt |]
+
+let arith rng fb regs =
+  let n = Array.length regs in
+  for _ = 1 to 2 + R.int rng 4 do
+    let op = arith_ops.(R.int rng (Array.length arith_ops)) in
+    let dst = regs.(R.int rng n) in
+    let src = regs.(R.int rng n) in
+    let operand =
+      if R.bool rng 0.5 then B.V regs.(R.int rng n)
+      else B.K (R.int_in rng (-40) 40)
+    in
+    B.alu fb op dst src operand;
+    if op = Op.Mul then B.alu fb Op.And dst dst (B.K 0xFFFFF)
+  done
+
+let global_traffic rng fb ~base ~len regs =
+  let n = Array.length regs in
+  let addr = B.vreg fb in
+  let v = regs.(R.int rng n) in
+  B.alu fb Op.And addr regs.(R.int rng n) (B.K (len - 1));
+  B.alu fb Op.Add addr addr (B.K base);
+  if R.bool rng 0.5 then B.store fb v ~base:addr ~off:0
+  else B.load fb v ~base:addr ~off:0
+
+let rec element rng fb ~nesting ~base ~len regs =
+  match R.int rng (if nesting > 0 then 4 else 3) with
+  | 0 -> arith rng fb regs
+  | 1 -> global_traffic rng fb ~base ~len regs
+  | 2 ->
+    let n = Array.length regs in
+    let a = regs.(R.int rng n) in
+    B.if_ fb
+      ((if R.bool rng 0.5 then Op.Lt else Op.Ge), a, B.K (R.int_in rng (-10) 10))
+      (fun () -> arith rng fb regs)
+      (fun () -> arith rng fb regs)
+  | _ ->
+    let i = B.vreg fb in
+    B.for_ fb i ~from:(B.K 0) ~below:(B.K (2 + R.int rng 2)) (fun () ->
+        element rng fb ~nesting:(nesting - 1) ~base ~len regs)
+
+(* One hot function: [body_blocks] elements with the function's calls
+   (its DAG out-edges) interleaved at top level — never under a loop,
+   so the per-root-call cost is the sum of the bodies, not a
+   product. *)
+let define_function b rng ~name ~callees ~base ~len ~(p : params) =
+  let rng_body = R.split rng in
+  B.func b name ~nargs:2 (fun fb args ->
+      let x = args.(0) in
+      let salt = args.(1) in
+      let locals = Array.init 3 (fun _ -> B.vreg fb) in
+      Array.iteri (fun k v -> B.li fb v ((k * 7) + 1)) locals;
+      let regs = Array.append [| x; salt |] locals in
+      let nregs = Array.length regs in
+      let slots =
+        List.map (fun c -> (R.int rng_body p.body_blocks, c)) callees
+      in
+      for k = 0 to p.body_blocks - 1 do
+        element rng_body fb ~nesting:p.loop_nesting ~base ~len regs;
+        List.iter
+          (fun (slot, callee) ->
+            if slot = k then begin
+              let r = B.call fb callee [ regs.(R.int rng_body nregs); salt ] in
+              B.alu fb Op.Xor x x (B.V r)
+            end)
+          slots
+      done;
+      B.ret fb (Some regs.(R.int rng_body nregs)))
+
+let func_name ~phase ~level ~index =
+  Printf.sprintf "p%d_l%d_f%d" phase level index
+
+(* Distribute [hot_funcs] nodes over a chain of levels: the root is
+   level 0, alone; the rest round-robin over levels 1..levels-1.  A
+   caller [i] at level [d] calls every level-[d+1] function [j] with
+   [j mod counts.(d) = i], so the union of out-edges covers the next
+   level — every hot function is reachable, and each root call
+   executes each function of its phase exactly once. *)
+let level_counts (p : params) =
+  let levels = 1 + min p.call_depth (p.hot_funcs - 1) in
+  let counts = Array.make levels 0 in
+  counts.(0) <- 1;
+  for k = 0 to p.hot_funcs - 2 do
+    let d = if levels = 1 then 0 else 1 + (k mod (levels - 1)) in
+    counts.(d) <- counts.(d) + 1
+  done;
+  counts
+
+let program ~seed p =
+  let p = clamp p in
+  let rng = R.create ~seed in
+  let b = B.create () in
+  let len = p.globals in
+  let base = B.global b ~words:len in
+  let counts = level_counts p in
+  let levels = Array.length counts in
+  let roots = Array.make p.phases "" in
+  for ph = 0 to p.phases - 1 do
+    (* Deepest level first so every callee exists textually before its
+       caller; the previous phase (and hence its root, the shared
+       launch point) is fully defined before this one starts. *)
+    let share_prev = ph > 0 && R.bool rng (float_of_int p.share_pct /. 100.) in
+    for d = levels - 1 downto 0 do
+      for i = 0 to counts.(d) - 1 do
+        let callees =
+          if d = levels - 1 then []
+          else
+            List.filter_map
+              (fun j ->
+                if j mod counts.(d) = i then
+                  Some (func_name ~phase:ph ~level:(d + 1) ~index:j)
+                else None)
+              (List.init counts.(d + 1) Fun.id)
+        in
+        let callees =
+          if d = 0 && share_prev then callees @ [ roots.(ph - 1) ]
+          else callees
+        in
+        define_function b rng
+          ~name:(func_name ~phase:ph ~level:d ~index:i)
+          ~callees ~base ~len ~p
+      done
+    done;
+    roots.(ph) <- func_name ~phase:ph ~level:0 ~index:0
+  done;
+  (* Phase extents differ (0.75–1.5x) and each phase folds its result
+     with a different operator, so consecutive phases are distinct to
+     both the detector and the differential oracle. *)
+  let fold_ops = [| Op.Add; Op.Xor; Op.Sub; Op.Or |] in
+  let plan =
+    Array.to_list
+      (Array.mapi
+         (fun ph root ->
+           let iters =
+             max 1 (p.phase_iters * (75 + R.int rng 76) / 100)
+           in
+           (root, iters, fold_ops.(ph mod Array.length fold_ops)))
+         roots)
+  in
+  B.func b "main" ~nargs:0 (fun fb _ ->
+      let acc = B.vreg fb in
+      let salt = B.vreg fb in
+      B.li fb acc 1;
+      B.li fb salt 3;
+      let round = B.vreg fb in
+      B.for_ fb round ~from:(B.K 0) ~below:(B.K p.rounds) (fun () ->
+          List.iter
+            (fun (root, iters, op) ->
+              let i = B.vreg fb in
+              B.for_ fb i ~from:(B.K 0) ~below:(B.K iters) (fun () ->
+                  let r = B.call fb root [ acc; salt ] in
+                  B.alu fb op acc acc (B.V r);
+                  B.alu fb Op.And acc acc (B.K 0xFFFFFF)))
+            plan);
+      B.store_abs fb acc base;
+      B.ret fb (Some acc);
+      B.halt fb);
+  B.program b ~entry:"main"
+
+let shrinks p =
+  let p = clamp p in
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let add q =
+    let q = clamp q in
+    if q <> p && weight q < weight p && not (Hashtbl.mem seen q) then begin
+      Hashtbl.add seen q ();
+      acc := q :: !acc
+    end
+  in
+  (* Floors first (biggest reduction), then halvings, field by field
+     in decreasing impact order. *)
+  add { p with phases = 1 };
+  add { p with hot_funcs = 1 };
+  add { p with phase_iters = 1 };
+  add { p with rounds = 1 };
+  add { p with loop_nesting = 0 };
+  add { p with body_blocks = 1 };
+  add { p with call_depth = 1 };
+  add { p with share_pct = 0 };
+  add { p with phases = p.phases / 2 };
+  add { p with hot_funcs = p.hot_funcs / 2 };
+  add { p with phase_iters = p.phase_iters / 2 };
+  add { p with loop_nesting = p.loop_nesting / 2 };
+  add { p with body_blocks = p.body_blocks / 2 };
+  add { p with call_depth = p.call_depth / 2 };
+  add { p with globals = 16 };
+  List.rev !acc

@@ -1,0 +1,87 @@
+(** Phase-structured random program generation.
+
+    Grows the test suite's adversarial {e snapshot} generators into
+    full random CFG {e binaries} with planted phase skeletons: each
+    generated program is a set of per-phase hot-function DAGs (acyclic
+    calls, counted loops only, so every program provably halts) driven
+    by a main loop that cycles through the phases — the ground-truth
+    structure the Hot Spot Detector is supposed to rediscover.
+
+    Generation is fully deterministic: equal [(seed, params)] pairs
+    yield byte-identical programs whatever machine, [--jobs] count or
+    backend builds them.  All randomness flows through
+    {!Vp_util.Rng}. *)
+
+type params = {
+  phases : int;  (** planted phases; main cycles through them *)
+  hot_funcs : int;  (** hot functions per phase (the DAG's node count) *)
+  call_depth : int;  (** max call-chain length below a phase root *)
+  loop_nesting : int;  (** max counted-loop nesting inside a body *)
+  body_blocks : int;  (** structured elements per function body *)
+  share_pct : int;
+      (** probability (percent) that a phase root also calls the
+          previous phase's root — shared launch points, the hard case
+          for package linking *)
+  phase_iters : int;  (** root calls per phase per round (scaled
+          0.75–1.5x per phase so phase extents differ) *)
+  rounds : int;  (** full phase cycles the main loop performs *)
+  globals : int;  (** global data words (rounded up to a power of 2) *)
+}
+
+val default : params
+
+val clamp : params -> params
+(** Clamp every field into its supported range (and [globals] up to a
+    power of two): [program] applies it, so any int tuple — including
+    a hostile one — names a valid generator input. *)
+
+val weight : params -> int
+(** Monotone size proxy used to order shrink candidates: an estimate
+    of the dynamic instruction count a program built from [params]
+    retires. *)
+
+val fields : params -> (string * int) list
+(** Stable [(name, value)] rendering, the serialization used by repro
+    files; inverse of {!of_fields}. *)
+
+val of_fields : (string * int) list -> (params, string) result
+(** Rebuild params from {!fields} output.  Unknown keys are errors;
+    missing keys take their {!default} value; values are clamped. *)
+
+val pp : Format.formatter -> params -> unit
+(** One line, [key=value] pairs in {!fields} order. *)
+
+type bounds = {
+  max_phases : int;
+  max_hot_funcs : int;
+  max_call_depth : int;
+  max_loop_nesting : int;
+  max_body_blocks : int;
+  max_phase_iters : int;
+  max_rounds : int;
+}
+(** Upper bounds for {!sample} — the campaign's size envelope. *)
+
+val default_bounds : bounds
+(** Sized so a generated binary retires well under a million
+    instructions: small enough that a chaos matrix over hundreds of
+    binaries stays a smoke test, large enough to exercise multi-phase
+    detection, call chains and loop nests. *)
+
+val sample : bounds -> Vp_util.Rng.t -> params
+(** Draw a random (clamped) parameter point under [bounds]. *)
+
+val program : seed:int -> params -> Vp_prog.Program.t
+(** Build the program.  Structure: for each phase, [hot_funcs]
+    functions are arranged in levels (a chain of at most [call_depth]
+    calls below the root); every function is reachable, calls only go
+    to deeper levels (acyclic), and all loops are counted with small
+    constant bounds, so the program halts on every input.  [main]
+    iterates [rounds] cycles of the phases, calling each root
+    [phase_iters] (scaled) times. *)
+
+val shrinks : params -> params list
+(** Strictly-smaller candidate parameter points, biggest reduction
+    first — the shrinking lattice {!Campaign} walks while a failure
+    still reproduces.  Every candidate is clamped and has a strictly
+    smaller {!weight}, so greedy descent terminates. *)

@@ -1,0 +1,72 @@
+(** [vp-retire-trace/1]: an external retired-branch trace.
+
+    The on-disk record of the one hardware event stream the Hot Spot
+    Detector consumes — (pc, taken) per retired conditional branch —
+    so a profile can be captured on one machine (or by a real PMU
+    shim) and ingested elsewhere, driving detection and packaging
+    {e without} the emulator ({!Vacuum.Driver.profile_of_events}).
+
+    Wire layout: a [vp-retire-trace/1\n] header line; an ['M'] record
+    carrying image size, retired-instruction count and total event
+    count; ['C'] chunks of delta-coded events (zigzag pc delta and the
+    taken bit packed into one varint each); an ['E'] trailer repeating
+    the event count and an FNV-1a checksum of the body.  Varints are
+    LEB128 over non-negative 62-bit ints — a 9th byte carrying more
+    than 6 value bits is rejected, so no hostile encoding can smuggle
+    a negative value through native-int wraparound.
+
+    {!decode} and {!validate} are total: any byte string yields [Ok]
+    or a diagnostic [Error] naming the failing byte offset — never an
+    exception. *)
+
+val schema : string
+
+type t = {
+  image_size : int;  (** static size of the profiled image (0 unknown) *)
+  instructions : int;  (** instructions retired over the run (0 unknown) *)
+  pcs : int array;  (** branch pc per event, in retirement order *)
+  takens : bool array;  (** outcome per event; same length as [pcs] *)
+}
+
+val length : t -> int
+(** Event count. *)
+
+val events : t -> (int * bool) array
+(** The (pc, taken) stream, ready for
+    {!Vacuum.Driver.profile_of_events}. *)
+
+val of_events :
+  ?image_size:int -> ?instructions:int -> (int * bool) array -> t
+(** Package an event stream; raises [Invalid_argument] on a negative
+    pc. *)
+
+val record :
+  ?backend:Vp_exec.Emulator.backend ->
+  ?fuel:int ->
+  ?mem_words:int ->
+  Vp_prog.Image.t ->
+  t * Vp_exec.Emulator.outcome
+(** Run the image, recording every retired conditional branch — the
+    reference trace writer.  The trace carries the image size and the
+    run's retired-instruction count. *)
+
+val prefix : t -> int -> t
+(** First [n] events (clamped); [instructions] is scaled
+    proportionally.  The campaign's trace-shrinking hook. *)
+
+val equal : t -> t -> bool
+
+val encode : t -> string
+
+val decode : string -> (t, string) result
+(** Total: structural errors, truncations (named byte offset),
+    overlong varints, negative deltas walking before pc 0, checksum
+    and count mismatches all come back as [Error]. *)
+
+val validate : string -> (int, string) result
+(** {!decode} reduced to the event count — what [vpack trace-check]
+    prints. *)
+
+val write_file : path:string -> t -> unit
+val read_file : path:string -> (t, string) result
+val validate_file : path:string -> (int, string) result

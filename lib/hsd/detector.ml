@@ -122,6 +122,9 @@ let on_branch t ~pc ~taken =
     if t.since_clear >= t.cfg.Config.clear_interval then rearm t
   end
 
+let replay t events =
+  Array.iter (fun (pc, taken) -> on_branch t ~pc ~taken) events
+
 let snapshots t =
   let raws = List.rev t.recorded_rev in
   let rec build = function

@@ -58,6 +58,11 @@ val on_branch : t -> pc:int -> taken:bool -> unit
 (** Feed one retired conditional branch; wire this to
     [Vp_exec.Emulator.run ~on_branch]. *)
 
+val replay : t -> (int * bool) array -> unit
+(** Feed a recorded (pc, taken) stream through {!on_branch} in order —
+    the external-trace ingestion entry: a detector replaying a trace
+    reaches exactly the state of one that watched the run live. *)
+
 val snapshots : t -> Snapshot.t list
 (** Recorded hot spots in detection order.  Each snapshot's extent
     runs from its detection to the next recording (or to the current

@@ -201,6 +201,72 @@ let test_wire_rejects_descending_pcs () =
        })
     (fun () -> ignore (Wire.encode bad))
 
+let wire_contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let wire_header s = String.sub s 0 (String.index s '\n' + 1)
+
+let test_wire_rejects_overlong_varint () =
+  (* A 9th varint byte may only carry the native int's remaining 6
+     value bits: 0x40 at shift 56 would wrap into the sign bit and
+     decode as an accepted negative run id.  It must be rejected at
+     its byte offset instead. *)
+  let s = Wire.encode (runs_of_seed 1 1) in
+  let evil = wire_header s ^ "R" ^ String.make 8 '\x80' ^ "\x40" in
+  match Wire.decode evil with
+  | Ok runs ->
+    Alcotest.failf "overlong varint accepted (%d runs)" (List.length runs)
+  | Error e ->
+    Alcotest.(check bool)
+      ("overflow named with its offset: " ^ e)
+      true
+      (wire_contains e "varint overflow at byte")
+
+let test_wire_mid_varint_cut_names_byte () =
+  (* A stream cut mid-varint must come back as a typed truncation
+     error naming the byte offset — never an escaping exception. *)
+  let s = Wire.encode (runs_of_seed 2 2) in
+  let cut = String.length (wire_header s) + 1 in
+  match Wire.decode (String.sub s 0 cut) with
+  | Ok _ -> Alcotest.fail "mid-varint cut accepted"
+  | Error e ->
+    Alcotest.(check bool)
+      ("truncation named with its offset: " ^ e)
+      true
+      (wire_contains e "truncated varint at byte")
+  | exception exn ->
+    Alcotest.failf "mid-varint cut raised %s" (Printexc.to_string exn)
+
+let test_wire_every_truncation_total () =
+  let s = Wire.encode (runs_of_seed 5 3) in
+  for cut = 0 to String.length s - 1 do
+    match Wire.decode (String.sub s 0 cut) with
+    | Ok _ -> Alcotest.failf "truncation to %d bytes accepted" cut
+    | Error _ -> ()
+    | exception exn ->
+      Alcotest.failf "truncation to %d bytes raised %s" cut
+        (Printexc.to_string exn)
+  done
+
+let test_wire_bit_flips_total () =
+  let s = Wire.encode (runs_of_seed 11 4) in
+  let rng = Vp_util.Rng.create ~seed:29 in
+  for _ = 1 to 200 do
+    let at = Vp_util.Rng.int rng (String.length s) in
+    let bit = Vp_util.Rng.int rng 8 in
+    let b = Bytes.of_string s in
+    Bytes.set b at (Char.chr (Char.code s.[at] lxor (1 lsl bit)));
+    match Wire.decode (Bytes.to_string b) with
+    | Ok _ ->
+      Alcotest.failf "bit %d of byte %d flipped: accepted" bit at
+    | Error _ -> ()
+    | exception exn ->
+      Alcotest.failf "bit %d of byte %d flipped: raised %s" bit at
+        (Printexc.to_string exn)
+  done
+
 let prop_wire_roundtrip =
   QCheck.Test.make ~name:"wire roundtrip on random streams" ~count:60
     QCheck.(pair small_nat (int_range 0 12))
@@ -284,6 +350,13 @@ let () =
           Alcotest.test_case "corruption" `Quick test_wire_rejects_corruption;
           Alcotest.test_case "invalid counters" `Quick test_wire_rejects_invalid_counters;
           Alcotest.test_case "descending pcs" `Quick test_wire_rejects_descending_pcs;
+          Alcotest.test_case "overlong varint rejected" `Quick
+            test_wire_rejects_overlong_varint;
+          Alcotest.test_case "mid-varint cut names its byte" `Quick
+            test_wire_mid_varint_cut_names_byte;
+          Alcotest.test_case "every truncation total" `Quick
+            test_wire_every_truncation_total;
+          Alcotest.test_case "bit flips total" `Quick test_wire_bit_flips_total;
           QCheck_alcotest.to_alcotest prop_wire_roundtrip;
         ] );
       ( "shard",

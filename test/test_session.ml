@@ -215,6 +215,120 @@ let test_jobs_invariant () =
     (fun i (a, b) -> Alcotest.(check string) (Printf.sprintf "spec %d" i) a b)
     (List.combine seq par)
 
+(* ---- fault plans over a generated drifting workload ---- *)
+
+(* A generated multi-phase binary: enough planted phases and rounds
+   that the cache churns (drift, re-assembly, activation) across
+   epochs even while the snapshot stream is being corrupted.  The
+   detector needs the campaign's BBB sizing — tiny's 4-entry table
+   thrashes on generated code and never fires. *)
+let gen_drifting_image =
+  lazy
+    (Program.layout
+       (Vp_gen.Gen.program ~seed:41
+          {
+            Vp_gen.Gen.default with
+            Vp_gen.Gen.phases = 4;
+            rounds = 3;
+            phase_iters = 60;
+          }))
+
+let gen_detector = { Vp_hsd.Config.tiny with Vp_hsd.Config.sets = 64 }
+
+let faulted_config ?(epochs = 6) plan =
+  Config.default
+  |> Config.with_detector gen_detector
+  |> Config.with_fault plan
+  |> Config.map_session (fun s ->
+         { s with Config.epochs; oracle = true; cache_pct = 300.0 })
+
+let corruption_plan =
+  Vp_fault.Plan.v ~seed:9 ~drop:0.3 ~duplicate:0.2 ~reorder:0.2 ~saturate:0.2
+    ~zero_counters:0.2 ~alias:0.2 "session-snapshot-corruption"
+
+let rung_name = function
+  | Driver.Drop_package -> "drop-package"
+  | Driver.Drop_region -> "drop-region"
+  | Driver.Fallback_image -> "fallback-image"
+
+(* The demotion ladder's order inside one epoch: [Fallback_image] is
+   terminal (everything was given up), so it may appear at most once
+   and only as the last step, and the [fallback] flag must agree with
+   the drop list. *)
+let check_ladder_order (e : Session.epoch_report) =
+  let rungs = List.map (fun (d : Driver.demotion) -> d.Driver.rung) e.Session.drops in
+  let rec terminal = function
+    | [] | [ Driver.Fallback_image ] -> true
+    | Driver.Fallback_image :: _ -> false
+    | _ :: rest -> terminal rest
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "epoch %d: fallback rung is terminal [%s]" e.Session.epoch
+       (String.concat ";" (List.map rung_name rungs)))
+    true (terminal rungs);
+  Alcotest.(check bool)
+    (Printf.sprintf "epoch %d: fallback flag agrees with drops" e.Session.epoch)
+    (List.mem Driver.Fallback_image rungs)
+    e.Session.fallback
+
+let test_fault_corruption_demotes_gracefully () =
+  (* Snapshot corruption may cost coverage, never correctness: every
+     epoch's final image still verifies (demotion resolved the
+     damage), the ladder is walked in order, and the halted machine is
+     architecturally equivalent to the original. *)
+  let img = Lazy.force gen_drifting_image in
+  let config = faulted_config corruption_plan in
+  let r = Session.run ~epochs:12 (Session.create ~config img) in
+  List.iter
+    (fun (e : Session.epoch_report) ->
+      check_ladder_order e;
+      Alcotest.(check bool)
+        (Printf.sprintf "epoch %d verifier clean after demotion"
+           e.Session.epoch)
+        true e.Session.verifier_ok)
+    r.Session.epochs;
+  Alcotest.(check bool) "halted" true r.Session.halted;
+  Alcotest.(check (option bool)) "equivalent at halt" (Some true)
+    r.Session.equivalent
+
+let test_fault_exhausted_budget_drops_everything () =
+  (* A zero expansion budget screens out every package, one
+     [Drop_package] rung at a time: the ladder is walked every epoch
+     the cache tries to assemble, no package code ever runs, and the
+     session still halts equivalent. *)
+  let img = Lazy.force gen_drifting_image in
+  let plan = Vp_fault.Plan.v ~seed:3 ~max_expansion_pct:0.0 "budget-exhausted" in
+  let r = Session.run ~epochs:12 (Session.create ~config:(faulted_config plan) img) in
+  List.iter check_ladder_order r.Session.epochs;
+  Alcotest.(check bool) "ladder walked at least once" true
+    (List.exists
+       (fun (e : Session.epoch_report) -> e.Session.drops <> [])
+       r.Session.epochs);
+  Alcotest.(check int) "no package code ever ran" 0
+    r.Session.package_instructions;
+  Alcotest.(check bool) "halted" true r.Session.halted;
+  Alcotest.(check (option bool)) "equivalent at halt" (Some true)
+    r.Session.equivalent
+
+let test_fault_jobs_invariant () =
+  (* Fault injection derives per-epoch seeds from the plan, never from
+     scheduling: faulted sessions must render byte-identically under
+     any pool job count. *)
+  let img = Lazy.force gen_drifting_image in
+  let specs =
+    [
+      (img, faulted_config corruption_plan);
+      (img, faulted_config ~epochs:4 (Vp_fault.Plan.with_seed corruption_plan 77));
+      (Lazy.force drifting_image, faulted_config corruption_plan);
+    ]
+  in
+  let run (i, config) = render (Session.run (Session.create ~config i)) in
+  let seq = Pool.map ~jobs:1 run specs in
+  let par = Pool.map ~jobs:4 run specs in
+  List.iteri
+    (fun i (a, b) -> Alcotest.(check string) (Printf.sprintf "spec %d" i) a b)
+    (List.combine seq par)
+
 (* ---- per-epoch telemetry (satellite) ---- *)
 
 let telemetry_config ?epochs () =
@@ -356,6 +470,15 @@ let () =
             test_epoch_tags_dense_and_ordered;
           Alcotest.test_case "epoch trace byte-identical" `Slow
             test_epoch_trace_byte_identical;
+        ] );
+      ( "fault plans",
+        [
+          Alcotest.test_case "snapshot corruption demotes gracefully" `Slow
+            test_fault_corruption_demotes_gracefully;
+          Alcotest.test_case "exhausted budget drops every package" `Slow
+            test_fault_exhausted_budget_drops_everything;
+          Alcotest.test_case "faulted jobs 1 = jobs 4" `Slow
+            test_fault_jobs_invariant;
         ] );
       ( "branch map",
         [ Alcotest.test_case "targets are branches" `Quick test_branch_map_targets ] );
